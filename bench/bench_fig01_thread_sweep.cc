@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Fig. 1 reproduction: completion time of SSSP as thread counts sweep
+ * from minimum to maximum on both accelerators, for a sparse road
+ * network (USA-Cal) and a dense graph (CAGE-14). Expected shape: the
+ * multicore wins the road network by a wide margin (long dependency
+ * chains starve the GPU), the GPU wins the dense graph, and both
+ * curves bottom out at intermediate threading (the U-shape from
+ * memory-system stress).
+ */
+
+#include <iostream>
+
+#include "core/oracle.hh"
+#include "core/experiment.hh"
+#include "graph/datasets.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+#include "workloads/registry.hh"
+
+using namespace heteromap;
+
+namespace {
+
+void
+sweep(const Oracle &oracle, const AcceleratorPair &pair,
+      const BenchmarkCase &bench)
+{
+    std::cout << "\n== " << bench.label()
+              << " (normalized thread fraction -> modelled ms) ==\n";
+    TextTable table({"threads%", pair.gpu.name + " (ms)",
+                     pair.multicore.name + " (ms)"});
+
+    const double fractions[] = {0.05, 0.1, 0.2, 0.35, 0.5,
+                                0.65, 0.8, 0.9, 1.0};
+    double best_gpu = 1e300;
+    double best_mc = 1e300;
+    for (double f : fractions) {
+        MConfig gpu;
+        gpu.accelerator = AcceleratorKind::Gpu;
+        gpu.gpuGlobalThreads = std::max<unsigned>(
+            1, static_cast<unsigned>(f * pair.gpu.maxGlobalThreads));
+        gpu.gpuLocalThreads = 128;
+
+        MConfig mc;
+        mc.accelerator = AcceleratorKind::Multicore;
+        mc.cores = std::max<unsigned>(
+            1, static_cast<unsigned>(f * pair.multicore.cores));
+        mc.threadsPerCore = pair.multicore.threadsPerCore;
+        mc.simdWidth = pair.multicore.simdWidth;
+        mc.schedule = SchedulePolicy::Dynamic;
+        mc.chunkSize = 16;
+
+        double tg = oracle.seconds(bench, pair, gpu) * 1e3;
+        double tm = oracle.seconds(bench, pair, mc) * 1e3;
+        best_gpu = std::min(best_gpu, tg);
+        best_mc = std::min(best_mc, tm);
+        table.addRow({formatNumber(f * 100.0, 0), formatNumber(tg, 4),
+                      formatNumber(tm, 4)});
+    }
+    table.print(std::cout);
+    std::cout << "best: GPU " << formatNumber(best_gpu, 4) << " ms, "
+              << "multicore " << formatNumber(best_mc, 4) << " ms -> "
+              << (best_gpu < best_mc ? "GPU" : "multicore") << " wins by "
+              << formatNumber(std::max(best_gpu, best_mc) /
+                              std::min(best_gpu, best_mc), 2)
+              << "x\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    setLogVerbose(false);
+    std::cout << "Fig. 1: input variations across accelerators "
+                 "(Delta-stepping SSSP)\n";
+
+    Oracle oracle;
+    AcceleratorPair pair = pinnedPair(primaryPair());
+    auto delta = makeWorkload("SSSP-Delta");
+    auto bf = makeWorkload("SSSP-BF");
+
+    // Sparse road network: multicore territory.
+    sweep(oracle, pair, makeCase(*delta, datasetByShortName("CA")));
+    // Dense graph: GPU territory (the paper sweeps the same kernel;
+    // we show both SSSP variants on CAGE for completeness).
+    sweep(oracle, pair, makeCase(*bf, datasetByShortName("CAGE")));
+    sweep(oracle, pair, makeCase(*delta, datasetByShortName("CAGE")));
+    return 0;
+}

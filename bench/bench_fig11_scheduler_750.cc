@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fig. 11 reproduction: scheduler comparison for every graph
+ * workload-input combination on the primary (GTX-750Ti, Xeon Phi
+ * 7120P) setup. All results are normalized to the tuned GPU-only run
+ * (higher is worse, as in the paper). HeteroMap uses the Deep.128
+ * learner and its completion times include the measured framework
+ * overhead. Expected shape: SSSP-BF/BFS-style combinations GPU-biased,
+ * PR/PR-DP/COMM/SSSP-Delta multicore-biased with large-graph
+ * exceptions, HeteroMap tracking the per-combination winner within
+ * ~10% of ideal.
+ */
+
+#include <iostream>
+
+#include "core/experiment.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+using namespace heteromap;
+
+int
+main()
+{
+    setLogVerbose(false);
+    std::cout << "Fig. 11: scheduler comparison, GTX-750Ti + Xeon Phi "
+                 "(normalized to the GPU; higher is worse)\n\n";
+
+    Oracle oracle;
+    AcceleratorPair pair = pinnedPair(primaryPair());
+    HeteroMap framework =
+        trainedHeteroMap(pair, oracle, PredictorKind::Deep128);
+
+    TextTable table({"Combination", "GPU-only", "XeonPhi-only",
+                     "HeteroMap", "Ideal"});
+    std::vector<double> phi_norm;
+    std::vector<double> hetero_norm;
+    std::vector<double> ideal_norm;
+
+    for (const auto &bench : evaluationCases()) {
+        CaseBaselines base = computeBaselines(bench, pair, oracle);
+        Deployment deployment = framework.deploy(bench);
+
+        double phi = base.multicoreSeconds / base.gpuSeconds;
+        double hetero =
+            deployedSeconds(deployment, bench) / base.gpuSeconds;
+        double ideal = base.idealSeconds / base.gpuSeconds;
+        phi_norm.push_back(phi);
+        hetero_norm.push_back(hetero);
+        ideal_norm.push_back(ideal);
+
+        table.addRow({bench.label(), "1.00", formatNumber(phi, 2),
+                      formatNumber(hetero, 2),
+                      formatNumber(ideal, 2)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nGeomeans (normalized to GPU-only):\n"
+              << "  XeonPhi-only: " << formatNumber(geomean(phi_norm), 3)
+              << "\n  HeteroMap:    "
+              << formatNumber(geomean(hetero_norm), 3)
+              << "  -> " << formatNumber(
+                     (1.0 / geomean(hetero_norm) - 1.0) * 100.0, 1)
+              << "% better than GPU-only (paper: 31%), "
+              << formatNumber((geomean(phi_norm) /
+                               geomean(hetero_norm) - 1.0) * 100.0, 1)
+              << "% better than Phi-only (paper: 75%)\n"
+              << "  Ideal:        "
+              << formatNumber(geomean(ideal_norm), 3)
+              << "  (HeteroMap within "
+              << formatNumber((geomean(hetero_norm) /
+                               geomean(ideal_norm) - 1.0) * 100.0, 1)
+              << "% of ideal; paper: within 10%)\n";
+    return 0;
+}

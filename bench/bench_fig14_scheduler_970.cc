@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fig. 14 reproduction: the Fig. 11 scheduler comparison with the
+ * stronger GTX-970 replacing the GTX-750Ti (models re-learned for the
+ * new pair). Expected shape: benchmark trends stay similar but the
+ * optimal choices shift GPU-ward (e.g. TRI-LJ flips to the GPU);
+ * HeteroMap beats GPU-only by a smaller margin (~14% in the paper)
+ * and Phi-only by a much larger one.
+ */
+
+#include <iostream>
+
+#include "core/experiment.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+using namespace heteromap;
+
+int
+main()
+{
+    setLogVerbose(false);
+    std::cout << "Fig. 14: scheduler comparison, GTX-970 + Xeon Phi "
+                 "(normalized to the GPU; higher is worse)\n\n";
+
+    Oracle oracle;
+    AcceleratorPair pair =
+        pinnedPair({gtx970Spec(), xeonPhi7120Spec()});
+    // Machine-learning models are re-learned for the changed
+    // architecture (Sec. VII-D).
+    HeteroMap framework =
+        trainedHeteroMap(pair, oracle, PredictorKind::Deep128);
+
+    TextTable table({"Combination", "GPU-only", "XeonPhi-only",
+                     "HeteroMap", "Ideal"});
+    std::vector<double> phi_norm, hetero_norm, ideal_norm;
+
+    for (const auto &bench : evaluationCases()) {
+        CaseBaselines base = computeBaselines(bench, pair, oracle);
+        Deployment deployment = framework.deploy(bench);
+
+        double phi = base.multicoreSeconds / base.gpuSeconds;
+        double hetero =
+            deployedSeconds(deployment, bench) / base.gpuSeconds;
+        double ideal = base.idealSeconds / base.gpuSeconds;
+        phi_norm.push_back(phi);
+        hetero_norm.push_back(hetero);
+        ideal_norm.push_back(ideal);
+        table.addRow({bench.label(), "1.00", formatNumber(phi, 2),
+                      formatNumber(hetero, 2),
+                      formatNumber(ideal, 2)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nGeomeans (normalized to GPU-only):\n"
+              << "  XeonPhi-only: "
+              << formatNumber(geomean(phi_norm), 3)
+              << "\n  HeteroMap:    "
+              << formatNumber(geomean(hetero_norm), 3) << "  -> "
+              << formatNumber(
+                     (1.0 / geomean(hetero_norm) - 1.0) * 100.0, 1)
+              << "% better than GPU-only (paper: 14%), "
+              << formatNumber((geomean(phi_norm) /
+                               geomean(hetero_norm) - 1.0) * 100.0, 1)
+              << "% better than Phi-only (paper: 3.8x)\n"
+              << "  Ideal:        "
+              << formatNumber(geomean(ideal_norm), 3) << "\n";
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Fig. 15 reproduction: the 40-core CPU against both GPUs — geomean
+ * completion times per benchmark (averaged over inputs), normalized
+ * to the GPU. Expected shape: the GPUs win the highly parallel
+ * benchmarks (SSSP-BF, BFS); the CPU wins most others against the
+ * GTX-750Ti; the GTX-970 claws back DFS and Conn. Comp.; HeteroMap
+ * gains ~22% over the GTX-750 and ~5% over the GTX-970.
+ */
+
+#include <iostream>
+
+#include "core/experiment.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+#include "workloads/registry.hh"
+
+using namespace heteromap;
+
+namespace {
+
+void
+compare(const Oracle &oracle, AcceleratorPair pair,
+        const char *paper_note)
+{
+    pair = pinnedPair(pair);
+    HeteroMap framework =
+        trainedHeteroMap(pair, oracle, PredictorKind::Deep128);
+
+    std::cout << "\n== " << pair.name() << " (mem pinned "
+              << (pair.gpu.memBytes >> 30) << " GB) ==\n";
+    TextTable table({"Benchmark", "GPU-only", "CPU-only", "HeteroMap",
+                     "Ideal"});
+    std::vector<double> cpu_norm, hetero_norm, ideal_norm;
+
+    for (const auto &wname : workloadNames()) {
+        std::vector<double> cpu_w, hetero_w, ideal_w;
+        for (const auto *bench : casesForWorkload(wname)) {
+            CaseBaselines base =
+                computeBaselines(*bench, pair, oracle);
+            Deployment deployment = framework.deploy(*bench);
+            cpu_w.push_back(base.multicoreSeconds / base.gpuSeconds);
+            hetero_w.push_back(deployedSeconds(deployment, *bench) /
+                               base.gpuSeconds);
+            ideal_w.push_back(base.idealSeconds / base.gpuSeconds);
+        }
+        cpu_norm.insert(cpu_norm.end(), cpu_w.begin(), cpu_w.end());
+        hetero_norm.insert(hetero_norm.end(), hetero_w.begin(),
+                           hetero_w.end());
+        ideal_norm.insert(ideal_norm.end(), ideal_w.begin(),
+                          ideal_w.end());
+        table.addRow({wname, "1.00", formatNumber(geomean(cpu_w), 2),
+                      formatNumber(geomean(hetero_w), 2),
+                      formatNumber(geomean(ideal_w), 2)});
+    }
+    table.print(std::cout);
+    std::cout << "geomean: CPU-only "
+              << formatNumber(geomean(cpu_norm), 3) << ", HeteroMap "
+              << formatNumber(geomean(hetero_norm), 3)
+              << " (gain over GPU-only "
+              << formatNumber(
+                     (1.0 / geomean(hetero_norm) - 1.0) * 100.0, 1)
+              << "%; " << paper_note << ")\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    setLogVerbose(false);
+    std::cout << "Fig. 15: 40-core CPU vs GPUs (normalized to the "
+                 "GPU; higher is worse)\n";
+
+    Oracle oracle;
+    compare(oracle, {gtx750TiSpec(), xeon40CoreSpec()},
+            "paper: 22% over the GTX-750, CPU 3% ahead of it overall");
+    compare(oracle, {gtx970Spec(), xeon40CoreSpec()},
+            "paper: 5% over the GTX-970, GPU 10% ahead of the CPU");
+    return 0;
+}

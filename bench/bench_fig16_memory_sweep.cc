@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Fig. 16 reproduction: memory-size sensitivity. Sweeps the (GPU,
+ * multicore) memory-size combinations each accelerator supports and
+ * reports the geomean completion time of all benchmark-input
+ * combinations, normalized to the worst (1 GB, 1 GB) corner. Expected
+ * shape: GPU performance saturates at its 2-4 GB ceiling while the
+ * multicore keeps improving up to its full memory — the Phi pulls
+ * ahead of the GTX-750Ti and closes on the GTX-970 at full memory;
+ * the 40-core CPU improves similarly.
+ *
+ * The memory-size slowdown is a per-case multiplier, so each side's
+ * tuned configuration is found once and re-scored per memory point.
+ */
+
+#include <iostream>
+
+#include "core/experiment.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+using namespace heteromap;
+
+namespace {
+
+void
+sweep(const Oracle &oracle, const AcceleratorPair &base_pair,
+      const std::vector<uint64_t> &mc_sizes)
+{
+    std::cout << "\n== " << base_pair.name() << " ==\n";
+
+    // Tuned per-side configurations (invariant across memory sizes).
+    std::vector<CaseBaselines> tuned;
+    for (const auto &bench : evaluationCases())
+        tuned.push_back(
+            computeBaselines(bench, base_pair, oracle,
+                             GridGranularity::Coarse));
+
+    TextTable table({"(GPU GB, MC GB)", base_pair.gpu.name,
+                     base_pair.multicore.name});
+    const std::vector<uint64_t> gpu_sizes = {
+        1, 2, base_pair.gpu.maxMemBytes >> 30};
+
+    double norm = 0.0;
+    std::vector<std::vector<double>> rows;
+    std::vector<std::string> labels;
+    for (uint64_t gpu_gb : gpu_sizes) {
+        for (uint64_t mc_gb : mc_sizes) {
+            AcceleratorPair pair = base_pair;
+            pair.gpu.memBytes = std::min<uint64_t>(
+                pair.gpu.maxMemBytes, gpu_gb << 30);
+            pair.multicore.memBytes = std::min<uint64_t>(
+                pair.multicore.maxMemBytes, mc_gb << 30);
+
+            std::vector<double> gpu, multicore;
+            const auto &cases = evaluationCases();
+            for (std::size_t i = 0; i < cases.size(); ++i) {
+                gpu.push_back(oracle.seconds(cases[i], pair,
+                                             tuned[i].gpuBest));
+                multicore.push_back(oracle.seconds(
+                    cases[i], pair, tuned[i].multicoreBest));
+            }
+            labels.push_back("(" + std::to_string(gpu_gb) + ", " +
+                             std::to_string(mc_gb) + ")");
+            rows.push_back({geomean(gpu), geomean(multicore)});
+            norm = std::max({norm, rows.back()[0], rows.back()[1]});
+        }
+    }
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        table.addRow({labels[i], formatNumber(rows[i][0] / norm, 3),
+                      formatNumber(rows[i][1] / norm, 3)});
+    }
+    table.print(std::cout);
+
+    // Full-memory comparison (the paper's headline for this figure).
+    double gpu_best = rows.back()[0];
+    double mc_best = rows.back()[1];
+    std::cout << "at full memory: multicore is "
+              << formatNumber((gpu_best / mc_best - 1.0) * 100.0, 1)
+              << "% better than the GPU\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    setLogVerbose(false);
+    std::cout << "Fig. 16: geomean memory-size variations (normalized "
+                 "to the worst corner; lower is better)\n";
+
+    Oracle oracle;
+    sweep(oracle, {gtx750TiSpec(), xeonPhi7120Spec()},
+          {1, 2, 4, 8, 16});
+    sweep(oracle, {gtx970Spec(), xeonPhi7120Spec()}, {1, 2, 4, 8, 16});
+    sweep(oracle, {gtx750TiSpec(), xeon40CoreSpec()},
+          {1, 2, 4, 16, 64});
+    sweep(oracle, {gtx970Spec(), xeon40CoreSpec()}, {1, 2, 4, 16, 64});
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Extension study: phase-level accelerator mapping ("temporal
+ * aspects", which Sec. V-A leaves out). For every benchmark-input
+ * combination, compares the whole-benchmark ideal against assigning
+ * each *phase* to its best accelerator, with and without charging
+ * PCIe-class state transfers on every switch. Shows how much headroom
+ * the paper's future-work direction holds and where transfer costs
+ * erase it.
+ */
+
+#include <iostream>
+
+#include "core/phase_mapping.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+#include "workloads/registry.hh"
+
+using namespace heteromap;
+
+int
+main()
+{
+    setLogVerbose(false);
+    std::cout << "Phase-level mapping headroom (primary pair; values "
+                 "normalized to the whole-benchmark ideal, lower is "
+                 "better)\n\n";
+
+    Oracle oracle;
+    AcceleratorPair pair = pinnedPair(primaryPair());
+
+    TextTable table({"Benchmark", "phase-ideal (free)",
+                     "phase-ideal (PCIe)", "avg switches/iter",
+                     "split assignments"});
+    std::vector<double> free_all, pcie_all;
+
+    for (const auto &wname : workloadNames()) {
+        std::vector<double> free_n, pcie_n, switches;
+        unsigned split_cases = 0;
+        for (const auto *bench : casesForWorkload(wname)) {
+            PhaseMappingResult r =
+                evaluatePhaseMapping(*bench, pair, oracle);
+            free_n.push_back(r.freeTransferSeconds /
+                             r.wholeBenchmarkSeconds);
+            pcie_n.push_back(r.withTransferSeconds /
+                             r.wholeBenchmarkSeconds);
+            switches.push_back(r.switchesPerIteration);
+            bool split = false;
+            for (const auto &[name, side] : r.assignment)
+                split |= side != r.assignment.front().second;
+            split_cases += split;
+        }
+        free_all.insert(free_all.end(), free_n.begin(), free_n.end());
+        pcie_all.insert(pcie_all.end(), pcie_n.begin(), pcie_n.end());
+        table.addRow({wname, formatNumber(geomean(free_n), 3),
+                      formatNumber(geomean(pcie_n), 3),
+                      formatNumber(mean(switches), 1),
+                      std::to_string(split_cases) + "/9"});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nOverall geomeans: free transfers "
+              << formatNumber(geomean(free_all), 3)
+              << ", with PCIe transfers "
+              << formatNumber(geomean(pcie_all), 3) << "\n"
+              << "Interpretation: values < 1 mean phase-level "
+                 "mapping beats the whole-benchmark ideal; the gap "
+                 "between the two columns is what the interconnect "
+                 "takes back.\n";
+    return 0;
+}

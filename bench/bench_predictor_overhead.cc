@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for predictor inference latency —
+ * the real-time component of Table IV's "Overhead (ms)" column — plus
+ * the deployment scaling step and a full model evaluation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/experiment.hh"
+#include "core/heteromap.hh"
+#include "core/training.hh"
+#include "graph/generators.hh"
+#include "model/decision_tree.hh"
+#include "util/logging.hh"
+#include "workloads/registry.hh"
+
+using namespace heteromap;
+
+namespace {
+
+/** Shared fixture state, built once. */
+struct State {
+    Oracle oracle;
+    AcceleratorPair pair;
+    BenchmarkCase bench;
+    TrainingSet corpus;
+
+    State()
+        : pair(pinnedPair(primaryPair())),
+          bench([] {
+              setLogVerbose(false);
+              auto workload = makeWorkload("PR");
+              return makeCase(*workload, datasetByShortName("CO"));
+          }())
+    {
+        // Small deterministic corpus for the trained learners.
+        TrainingOptions options;
+        options.syntheticBenchmarks = 8;
+        options.syntheticIterations = 1;
+        TrainingPipeline pipeline(pair, oracle, options);
+        corpus = pipeline.run();
+    }
+};
+
+State &
+state()
+{
+    static State instance;
+    return instance;
+}
+
+void
+predictorBench(benchmark::State &bs, PredictorKind kind)
+{
+    auto predictor = makePredictor(kind);
+    predictor->train(state().corpus);
+    const FeatureVector &features = state().bench.features;
+    for (auto _ : bs) {
+        auto y = predictor->predict(features);
+        benchmark::DoNotOptimize(y);
+    }
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(predictorBench, decision_tree,
+                  PredictorKind::DecisionTree);
+BENCHMARK_CAPTURE(predictorBench, linear_regression,
+                  PredictorKind::LinearRegression);
+BENCHMARK_CAPTURE(predictorBench, multi_regression,
+                  PredictorKind::MultiRegression);
+BENCHMARK_CAPTURE(predictorBench, adaptive_library,
+                  PredictorKind::AdaptiveLibrary);
+BENCHMARK_CAPTURE(predictorBench, deep_16, PredictorKind::Deep16);
+BENCHMARK_CAPTURE(predictorBench, deep_32, PredictorKind::Deep32);
+BENCHMARK_CAPTURE(predictorBench, deep_64, PredictorKind::Deep64);
+BENCHMARK_CAPTURE(predictorBench, deep_128, PredictorKind::Deep128);
+
+static void
+BM_DeployScaling(benchmark::State &bs)
+{
+    DecisionTreeHeuristic tree;
+    auto y = tree.predict(state().bench.features);
+    for (auto _ : bs) {
+        MConfig config = deployNormalized(y, state().pair);
+        benchmark::DoNotOptimize(config);
+    }
+}
+BENCHMARK(BM_DeployScaling);
+
+static void
+BM_PerfModelEvaluate(benchmark::State &bs)
+{
+    MConfig config;
+    config.accelerator = AcceleratorKind::Multicore;
+    config.cores = 61;
+    config.threadsPerCore = 4;
+    config.simdWidth = 8;
+    for (auto _ : bs) {
+        auto report =
+            state().oracle.run(state().bench, state().pair, config);
+        benchmark::DoNotOptimize(report);
+    }
+}
+BENCHMARK(BM_PerfModelEvaluate);
+
+BENCHMARK_MAIN();

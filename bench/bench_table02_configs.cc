@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Table II reproduction: the accelerator configurations, plus the
+ * Fig. 3 machine-choice (M) inventory exposed on each side.
+ */
+
+#include <iostream>
+
+#include "arch/presets.hh"
+#include "util/table.hh"
+
+using namespace heteromap;
+
+int
+main()
+{
+    std::cout << "Table II: Accelerator Configurations\n\n";
+
+    TextTable table({"Parameter", "GTX-750Ti", "GTX-970",
+                     "XeonPhi-7120P", "Xeon-40Core"});
+    const AcceleratorSpec specs[] = {gtx750TiSpec(), gtx970Spec(),
+                                     xeonPhi7120Spec(),
+                                     xeon40CoreSpec()};
+    auto row = [&](const std::string &name, auto getter) {
+        std::vector<std::string> cells{name};
+        for (const auto &spec : specs)
+            cells.push_back(getter(spec));
+        table.addRow(cells);
+    };
+
+    row("Cores", [](const AcceleratorSpec &s) {
+        return std::to_string(s.cores) +
+               (s.kind == AcceleratorKind::Gpu ? " SMs" : "");
+    });
+    row("Threads", [](const AcceleratorSpec &s) {
+        return s.kind == AcceleratorKind::Gpu
+                   ? "Many (" + std::to_string(s.maxThreads()) + ")"
+                   : std::to_string(s.maxThreads());
+    });
+    row("Cache Size", [](const AcceleratorSpec &s) {
+        return std::to_string(s.cacheBytes >> 20) + " MB";
+    });
+    row("Coherence", [](const AcceleratorSpec &s) {
+        return std::string(s.coherentCache ? "Yes" : "No");
+    });
+    row("Mem (GB)", [](const AcceleratorSpec &s) {
+        return std::to_string(s.memBytes >> 30);
+    });
+    row("BW (GB/s)", [](const AcceleratorSpec &s) {
+        return formatNumber(s.memBandwidthGBs, 0);
+    });
+    row("SP TFlops", [](const AcceleratorSpec &s) {
+        return formatNumber(s.spTflops, 2);
+    });
+    row("DP TFlops", [](const AcceleratorSpec &s) {
+        return formatNumber(s.dpTflops, 2);
+    });
+    row("Freq (GHz)", [](const AcceleratorSpec &s) {
+        return formatNumber(s.freqGHz, 2);
+    });
+    row("TDP (W)", [](const AcceleratorSpec &s) {
+        return formatNumber(s.tdpWatts, 0);
+    });
+    table.print(std::cout);
+
+    std::cout << "\nFig. 3 machine choices (M variables)\n"
+              << "  M1      accelerator select (GPU | multicore)\n"
+              << "  M2-M3   multicore cores / threads-per-core\n"
+              << "  M4      KMP blocktime (1..1000 ms)\n"
+              << "  M5-M7   thread placement (core/thread ids, "
+                 "offsets)\n"
+              << "  M8      KMP affinity (pinned..movable)\n"
+              << "  M9      OMP schedule (static|chunked|dynamic|"
+                 "guided|auto)\n"
+              << "  M10     #pragma simd width\n"
+              << "  M11     OMP chunk size\n"
+              << "  M12-M13 OMP nested / max active levels\n"
+              << "  M14     GOMP spin count\n"
+              << "  M15-M18 wait policy / proc bind / dynamic teams / "
+                 "stack size\n"
+              << "  M19-M20 GPU global / local threads\n";
+
+    std::cout << "\nMulti-accelerator pairings (Sec. VI-A):\n";
+    for (const auto &pair : allPairs())
+        std::cout << "  " << pair.name() << "\n";
+    return 0;
+}

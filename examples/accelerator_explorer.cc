@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Accelerator explorer: sweeps the intra-accelerator choice space for
+ * one benchmark-input combination and prints the performance surface
+ * — the manual view a performance engineer would use before trusting
+ * the predictor. Shows thread-count U-shapes, schedule-policy
+ * effects, and the GPU work-group sweet spot.
+ *
+ * Run: ./accelerator_explorer [workload] [dataset]
+ *      e.g. ./accelerator_explorer SSSP-Delta CA
+ */
+
+#include <iostream>
+
+#include "core/experiment.hh"
+#include "graph/datasets.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+#include "workloads/registry.hh"
+
+using namespace heteromap;
+
+int
+main(int argc, char **argv)
+{
+    setLogVerbose(false);
+    const std::string workload_name = argc > 1 ? argv[1] : "PR";
+    const std::string dataset_name = argc > 2 ? argv[2] : "LJ";
+
+    Oracle oracle;
+    AcceleratorPair pair = pinnedPair(primaryPair());
+    auto workload = makeWorkload(workload_name);
+    BenchmarkCase bench =
+        makeCase(*workload, datasetByShortName(dataset_name));
+    std::cout << "exploring " << bench.label() << " on "
+              << pair.name() << "\n\n";
+
+    // Multicore surface: cores x schedule policy.
+    std::cout << "multicore (ms): cores x schedule "
+                 "(tpc=max, simd=max)\n";
+    TextTable mc_table({"cores", "static", "dynamic", "guided"});
+    for (unsigned cores : {1u, 4u, 16u, 32u, 61u}) {
+        std::vector<std::string> row{std::to_string(cores)};
+        for (SchedulePolicy policy :
+             {SchedulePolicy::Static, SchedulePolicy::Dynamic,
+              SchedulePolicy::Guided}) {
+            MConfig c;
+            c.accelerator = AcceleratorKind::Multicore;
+            c.cores = cores;
+            c.threadsPerCore = pair.multicore.threadsPerCore;
+            c.simdWidth = pair.multicore.simdWidth;
+            c.schedule = policy;
+            c.chunkSize = policy == SchedulePolicy::Static ? 0 : 16;
+            row.push_back(formatNumber(
+                oracle.seconds(bench, pair, c) * 1e3, 4));
+        }
+        mc_table.addRow(row);
+    }
+    mc_table.print(std::cout);
+
+    // GPU surface: global x local threads.
+    std::cout << "\nGPU (ms): global x local threads\n";
+    TextTable gpu_table({"global\\local", "32", "128", "512", "1024"});
+    for (unsigned global : {256u, 1024u, 4096u, 10240u}) {
+        std::vector<std::string> row{std::to_string(global)};
+        for (unsigned local : {32u, 128u, 512u, 1024u}) {
+            MConfig c;
+            c.accelerator = AcceleratorKind::Gpu;
+            c.gpuGlobalThreads = global;
+            c.gpuLocalThreads = local;
+            row.push_back(formatNumber(
+                oracle.seconds(bench, pair, c) * 1e3, 4));
+        }
+        gpu_table.addRow(row);
+    }
+    gpu_table.print(std::cout);
+
+    // The tuned reference points.
+    CaseBaselines base = computeBaselines(bench, pair, oracle);
+    std::cout << "\ntuned best:\n  GPU:       "
+              << formatNumber(base.gpuSeconds * 1e3, 4) << " ms ("
+              << base.gpuBest.toString() << ")\n  multicore: "
+              << formatNumber(base.multicoreSeconds * 1e3, 4)
+              << " ms (" << base.multicoreBest.toString() << ")\n";
+    return 0;
+}

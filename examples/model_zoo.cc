@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Model zoo: trains every predictor family on one synthetic corpus,
+ * compares their fit and inference latency, and demonstrates
+ * persisting a trained model to disk and reloading it.
+ *
+ * Run: ./model_zoo
+ */
+
+#include <fstream>
+#include <iostream>
+#include <cmath>
+#include <memory>
+
+#include "core/experiment.hh"
+#include "core/training.hh"
+#include "model/cart.hh"
+#include "model/dataset.hh"
+#include "model/mlp.hh"
+#include "model/table_lookup.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+#include "util/timer.hh"
+
+using namespace heteromap;
+
+int
+main()
+{
+    setLogVerbose(false);
+    Oracle oracle;
+    AcceleratorPair pair = pinnedPair(primaryPair());
+
+    TrainingOptions options;
+    options.syntheticBenchmarks = 16;
+    options.syntheticIterations = 1;
+    TrainingPipeline pipeline(pair, oracle, options);
+    TrainingSet corpus = pipeline.run();
+    auto [train, valid] = splitTrainingSet(corpus, 0.8);
+    std::cout << "corpus: " << train.size() << " train / "
+              << valid.size() << " validation samples\n\n";
+
+    std::vector<std::unique_ptr<Predictor>> zoo;
+    for (PredictorKind kind : allPredictorKinds())
+        zoo.push_back(makePredictor(kind));
+    zoo.push_back(std::make_unique<TableLookupPredictor>(3));
+    zoo.push_back(std::make_unique<CartTree>());
+    zoo.push_back(std::make_unique<CartForest>(16));
+
+    TextTable table({"model", "train MSE", "valid MSE",
+                     "train time (s)", "predict (us)"});
+    for (auto &model : zoo) {
+        Timer timer;
+        timer.start();
+        model->train(train);
+        double fit_seconds = timer.elapsedSeconds();
+
+        timer.start();
+        for (int i = 0; i < 200; ++i)
+            model->predict(valid[i % valid.size()].x);
+        double predict_us = timer.elapsedMicros() / 200.0;
+
+        table.addRow({model->name(),
+                      formatNumber(meanSquaredError(*model, train), 4),
+                      formatNumber(meanSquaredError(*model, valid), 4),
+                      formatNumber(fit_seconds, 2),
+                      formatNumber(predict_us, 1)});
+    }
+    table.print(std::cout);
+
+    // Persist a trained deep model and reload it.
+    MlpOptions mlp_options;
+    mlp_options.epochs = 60;
+    Mlp deep(32, mlp_options);
+    deep.train(train);
+    {
+        std::ofstream out("deep32.model");
+        deep.save(out);
+    }
+    std::ifstream in("deep32.model");
+    Mlp restored = Mlp::load(in);
+    std::cout << "\nsaved Deep.32 to deep32.model and reloaded it; "
+              << "round-trip prediction delta: "
+              << formatNumber(
+                     std::fabs(deep.predict(valid[0].x).m[0] -
+                               restored.predict(valid[0].x).m[0]),
+                     12)
+              << "\n";
+    return 0;
+}

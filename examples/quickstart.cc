@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Quickstart: the smallest end-to-end HeteroMap flow.
+ *
+ *  1. Load (here: generate) an input graph.
+ *  2. Pick a benchmark and discretize its (B, I) features.
+ *  3. Let the Section IV decision tree predict machine choices.
+ *  4. Deploy on the multi-accelerator model and inspect the report.
+ *
+ * Run: ./quickstart
+ */
+
+#include <iostream>
+
+#include "core/heteromap.hh"
+#include "graph/generators.hh"
+#include "graph/props.hh"
+#include "model/decision_tree.hh"
+#include "util/logging.hh"
+#include "workloads/registry.hh"
+
+using namespace heteromap;
+
+int
+main()
+{
+    setLogVerbose(false);
+
+    // 1. An input graph: a small social-network-like R-MAT instance.
+    Graph graph = generateRmat(/*scale=*/12, /*edge_factor=*/10.0,
+                               /*seed=*/42);
+    GraphStats stats = measureGraph(graph);
+    std::cout << "input graph: " << stats.toString() << "\n";
+
+    // 2. A benchmark: PageRank, profiled on the graph. makeCase runs
+    //    the instrumented algorithm and extracts the (B, I) features.
+    auto workload = makeWorkload("PR");
+    BenchmarkCase bench = makeCase(*workload, graph, "rmat12", stats);
+    std::cout << "B = " << bench.features.b.toString() << "\n"
+              << "I = " << bench.features.i.toString() << "\n"
+              << "PageRank converged in " << bench.output.scalar
+              << " iterations\n\n";
+
+    // 3 + 4. HeteroMap with the analytical decision tree (no training
+    //        needed) on the paper's primary accelerator pair.
+    Oracle oracle;
+    HeteroMap framework(primaryPair(),
+                        makePredictor(PredictorKind::DecisionTree),
+                        oracle);
+    Deployment deployment = framework.deploy(bench);
+
+    std::cout << "predicted machine choices: "
+              << deployment.config.toString() << "\n"
+              << "modelled execution:\n"
+              << deployment.report.toString()
+              << "predictor overhead: " << deployment.overheadMs
+              << " ms\n";
+
+    // Compare against the other accelerator to see the choice matter.
+    MConfig other = deployment.config;
+    if (other.accelerator == AcceleratorKind::Gpu) {
+        other.accelerator = AcceleratorKind::Multicore;
+        other.cores = primaryPair().multicore.cores;
+        other.threadsPerCore = primaryPair().multicore.threadsPerCore;
+        other.simdWidth = primaryPair().multicore.simdWidth;
+    } else {
+        other.accelerator = AcceleratorKind::Gpu;
+        other.gpuGlobalThreads = primaryPair().gpu.maxGlobalThreads;
+        other.gpuLocalThreads = 128;
+    }
+    double alt = oracle.seconds(bench, primaryPair(), other);
+    std::cout << "\nthe other accelerator would take "
+              << alt * 1e3 << " ms (selected: "
+              << deployment.report.seconds * 1e3 << " ms)\n";
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Full offline-train / online-deploy walk-through (Fig. 8):
+ *
+ *  1. Generate synthetic benchmarks (Fig. 9) and graphs (Table III).
+ *  2. Auto-tune each combination to its best M configuration and
+ *     record the (B, I) -> M tuples in the profiler database.
+ *  3. Train the Deep.128 learner on the corpus, save the database.
+ *  4. Deploy real benchmark-input combinations online and compare
+ *     against the tuned ideal.
+ *
+ * Run: ./train_and_deploy
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "core/experiment.hh"
+#include "core/training.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+#include "util/timer.hh"
+#include "workloads/registry.hh"
+
+using namespace heteromap;
+
+int
+main()
+{
+    setLogVerbose(false);
+    Oracle oracle;
+    AcceleratorPair pair = pinnedPair(primaryPair());
+
+    // --- Offline phase -------------------------------------------
+    TrainingOptions options;
+    options.syntheticBenchmarks = 24;
+    options.syntheticIterations = 1;
+    TrainingPipeline pipeline(pair, oracle, options);
+
+    Timer timer;
+    timer.start();
+    TrainingSet corpus = pipeline.run();
+    std::cout << "offline: " << corpus.size() << " labelled samples, "
+              << pipeline.evaluations() << " tuner evaluations in "
+              << formatNumber(timer.elapsedSeconds(), 1) << " s\n";
+
+    // Persist the profiler database like the paper's CPU-resident
+    // store (Sec. V "Training").
+    {
+        std::ofstream db_file("heteromap_profile.db");
+        pipeline.database().save(db_file);
+    }
+    std::cout << "profiler database: " << pipeline.database().size()
+              << " (B,I)->M tuples saved to heteromap_profile.db\n";
+
+    timer.start();
+    HeteroMap framework(pair, makePredictor(PredictorKind::Deep128),
+                        oracle);
+    framework.trainOffline(corpus);
+    std::cout << "Deep.128 trained in "
+              << formatNumber(timer.elapsedSeconds(), 1) << " s\n\n";
+
+    // --- Online phase --------------------------------------------
+    const std::pair<const char *, const char *> combos[] = {
+        {"SSSP-BF", "CAGE"}, {"SSSP-Delta", "CA"}, {"PR", "LJ"},
+        {"TRI", "CO"},       {"BFS", "FB"},        {"CONN", "CAGE"},
+    };
+    TextTable table({"combination", "choice", "HeteroMap (ms)",
+                     "ideal (ms)", "accuracy", "overhead (ms)"});
+    for (const auto &[w, d] : combos) {
+        auto workload = makeWorkload(w);
+        BenchmarkCase bench =
+            makeCase(*workload, datasetByShortName(d));
+        // Warm the predictor once; the first call pays one-time
+        // allocation costs that are not steady-state overhead.
+        framework.deploy(bench);
+        Deployment deployment = framework.deploy(bench);
+        CaseBaselines base = computeBaselines(bench, pair, oracle,
+                                              GridGranularity::Coarse);
+        // Real inference milliseconds are charged at the case's
+        // nominal time scale (see core/experiment.hh).
+        double total = deployedSeconds(deployment, bench);
+        table.addRow({
+            bench.label(),
+            acceleratorKindName(deployment.config.accelerator),
+            formatNumber(total * 1e3, 4),
+            formatNumber(base.idealSeconds * 1e3, 4),
+            formatPercent(accuracyVsIdeal(total, base.idealSeconds),
+                          1),
+            formatNumber(deployment.overheadMs, 4),
+        });
+    }
+    table.print(std::cout);
+    return 0;
+}

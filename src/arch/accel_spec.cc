@@ -1,0 +1,44 @@
+/**
+ * @file
+ * AcceleratorSpec implementation.
+ */
+
+#include "arch/accel_spec.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace heteromap {
+
+double
+AcceleratorSpec::opsPerSecond(double fp_fraction) const
+{
+    fp_fraction = std::clamp(fp_fraction, 0.0, 1.0);
+    // Integer/control throughput tracks core count and frequency; FP
+    // throughput tracks the rated TFLOPs. Mix by the workload's FP
+    // share. A small floor keeps degenerate specs finite.
+    // Scalar throughput: hardware threads share a core's issue slots,
+    // so capacity scales with cores x IPC, not thread contexts.
+    double int_ops = static_cast<double>(cores) * freqGHz * issueIpc *
+                     1e9;
+    // Graph FP work mixes single and double precision; blend the rated
+    // peaks so DP-capable multicores keep their Table II edge.
+    double fp_ops =
+        std::max(0.7 * spTflops + 0.3 * dpTflops, 0.001) * 1e12;
+    return (1.0 - fp_fraction) * int_ops + fp_fraction * fp_ops;
+}
+
+std::string
+AcceleratorSpec::toString() const
+{
+    std::ostringstream oss;
+    oss << name << " (" << acceleratorKindName(kind) << "): "
+        << cores << " cores x " << threadsPerCore << " threads, "
+        << freqGHz << " GHz, cache " << (cacheBytes >> 20) << " MB"
+        << (coherentCache ? " (coherent)" : "") << ", mem "
+        << (memBytes >> 30) << " GB @ " << memBandwidthGBs << " GB/s, "
+        << spTflops << "/" << dpTflops << " SP/DP TFLOPs";
+    return oss.str();
+}
+
+} // namespace heteromap

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Accelerator hardware description (Table II plus the model-relevant
+ * microarchitectural constants). The four paper accelerators are
+ * provided as presets in arch/presets.hh; users can describe their own
+ * hardware by filling this struct.
+ */
+
+#ifndef HETEROMAP_ARCH_ACCEL_SPEC_HH
+#define HETEROMAP_ARCH_ACCEL_SPEC_HH
+
+#include <cstdint>
+#include <string>
+
+#include "arch/mconfig.hh"
+
+namespace heteromap {
+
+/**
+ * Static description of one accelerator. "Cores" means physical cores
+ * for a multicore and streaming multiprocessors for a GPU; GPU lane
+ * counts are expressed through simdWidth (warp lanes per SM issue).
+ */
+struct AcceleratorSpec {
+    std::string name;
+    AcceleratorKind kind = AcceleratorKind::Multicore;
+
+    unsigned cores = 1;             //!< physical cores / SMs
+    unsigned threadsPerCore = 1;    //!< hardware thread contexts per core
+    unsigned simdWidth = 1;         //!< SIMD lanes (multicore) / warp (GPU)
+    double freqGHz = 1.0;
+
+    /**
+     * Sustained instruction throughput per core per cycle on scalar
+     * irregular code (SIMD handled separately): ~1-2 for in-order
+     * cores, ~3 for wide OoO cores, lanes-per-SM for GPUs.
+     */
+    double issueIpc = 1.0;
+
+    uint64_t cacheBytes = 0;        //!< last-level cache capacity
+    bool coherentCache = false;     //!< hardware cache coherence
+    uint64_t memBytes = 0;          //!< configured main memory
+    uint64_t maxMemBytes = 0;       //!< largest supported memory
+    double memBandwidthGBs = 0.0;
+    double memLatencyNs = 100.0;
+
+    /**
+     * Outstanding DRAM misses one hardware thread sustains: ~8 for a
+     * wide OoO core, ~1.5 for an in-order core, ~0.5 per GPU thread
+     * (a warp's lanes coalesce into a handful of lines).
+     */
+    double mlpPerThread = 4.0;
+
+    /** Chip-wide cap on outstanding misses (MSHR/queue depth). */
+    double maxOutstandingMisses = 512.0;
+
+    /**
+     * Achievable fraction of peak bandwidth on sequential/streaming
+     * access (CSR scans). GPUs coalesce close to peak; the Xeon Phi
+     * needs vector loads it cannot issue from scalar graph code.
+     */
+    double seqBwFraction = 0.6;
+
+    /**
+     * Achievable fraction of peak bandwidth on scattered word-granule
+     * access (distance arrays, atomics). This is where GDDR+coalescing
+     * beats the Phi's ring by a wide margin.
+     */
+    double randBwFraction = 0.2;
+
+    /**
+     * Multiplier on both bandwidth fractions when the code is purely
+     * scalar. The Xeon Phi's memory system needs 512-bit vector
+     * loads/gathers to approach its rating (~0.25); OoO CPUs prefetch
+     * well even from scalar loops (~0.85); GPUs coalesce regardless
+     * (1.0). Vectorized phases interpolate toward the full fraction.
+     */
+    double scalarBwPenalty = 1.0;
+
+    double spTflops = 0.0;          //!< single-precision peak
+    double dpTflops = 0.0;          //!< double-precision peak
+
+    double tdpWatts = 100.0;        //!< board/package power rating
+    double idleWatts = 10.0;
+
+    // --- Synchronization microbenchmarks (modelled costs) ---
+    double atomicNs = 20.0;         //!< uncontended atomic RMW
+    double barrierBaseNs = 500.0;   //!< barrier latency floor
+    double schedEventNs = 80.0;     //!< dynamic-schedule dequeue cost
+
+    /** Maximum concurrently schedulable threads. */
+    unsigned
+    maxThreads() const
+    {
+        return cores * threadsPerCore *
+               (kind == AcceleratorKind::Gpu ? simdWidth : 1);
+    }
+
+    /** GPU work-group size ceiling (CL_KERNEL_WORK_GROUP_SIZE). */
+    unsigned maxLocalThreads = 1;
+
+    /** GPU global work size ceiling for M19 scaling. */
+    unsigned maxGlobalThreads = 1;
+
+    /** Peak ops/second for a @p fp_fraction mix of FP and int work. */
+    double opsPerSecond(double fp_fraction) const;
+
+    /** One-line description. */
+    std::string toString() const;
+};
+
+} // namespace heteromap
+
+#endif // HETEROMAP_ARCH_ACCEL_SPEC_HH

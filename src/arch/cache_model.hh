@@ -1,0 +1,89 @@
+/**
+ * @file
+ * First-order cache model. Estimates the miss rate of a phase's
+ * memory traffic on a given accelerator, capturing the three effects
+ * the paper attributes accelerator wins/losses to:
+ *
+ *  - capacity: whether the working set fits in the last-level cache
+ *    (the Xeon Phi's 32 MB vs the GPUs' 2 MB);
+ *  - temporal reuse: denser graphs revisit neighbor data more often,
+ *    and coherent caches keep read-write shared data on chip;
+ *  - thrashing: more threads shrink the per-thread effective cache.
+ */
+
+#ifndef HETEROMAP_ARCH_CACHE_MODEL_HH
+#define HETEROMAP_ARCH_CACHE_MODEL_HH
+
+#include "arch/accel_spec.hh"
+#include "exec/profile.hh"
+#include "graph/props.hh"
+
+namespace heteromap {
+
+/** Tunable constants for the cache model. */
+struct CacheModelParams {
+    double lineBytes = 64.0;
+    /** Reuse ceiling for read-only shared data in any cache. */
+    double sharedReadReuse = 0.75;
+    /** Extra reuse coherent caches extract from read-write data
+     *  (modest: scattered writes also trigger invalidation traffic). */
+    double coherentRwReuse = 0.22;
+    /** Reuse non-coherent (GPU) memory gets on read-write data. */
+    double incoherentRwReuse = 0.1;
+    /** Degree at which neighbor-reuse saturates. */
+    double reuseSaturationDegree = 32.0;
+    /** Threads at which thrashing halves the effective cache. */
+    double thrashThreads = 256.0;
+};
+
+/**
+ * Per-phase cache behaviour estimate. All rates are in [0, 1].
+ * DRAM traffic is split by access class because achievable bandwidth
+ * differs sharply between streaming (CSR scans) and scattered
+ * (per-vertex state) traffic on every accelerator.
+ */
+struct CacheEstimate {
+    double missRate = 1.0;     //!< fraction of traffic missing LLC
+    double missBytes = 0.0;    //!< total DRAM traffic for the phase
+    double seqMissBytes = 0.0; //!< streaming-class DRAM traffic
+    double randMissBytes = 0.0;//!< scattered-class DRAM traffic
+    double indirectMissRate = 1.0; //!< miss rate of dependent chases
+    double fitFraction = 0.0;  //!< working set captured by the cache
+};
+
+/** Estimates phase miss behaviour for one accelerator. */
+class CacheModel
+{
+  public:
+    explicit CacheModel(CacheModelParams params = {});
+
+    /**
+     * @param spec     Target accelerator.
+     * @param phase    Measured phase counters.
+     * @param stats    Input graph characteristics (scale: footprint;
+     *                 shape: average degree for reuse).
+     * @param threads  Concurrently active threads (thrash pressure).
+     */
+    CacheEstimate estimate(const AcceleratorSpec &spec,
+                           const PhaseProfile &phase,
+                           const GraphStats &stats,
+                           unsigned threads) const;
+
+    /** Algorithm working set for @p stats (CSR + per-vertex state). */
+    static double workingSetBytes(const GraphStats &stats);
+
+    /** Streaming (CSR) bytes of the working set. */
+    static double csrBytes(const GraphStats &stats);
+
+    /** Hot per-vertex state bytes of the working set. */
+    static double vertexStateBytes(const GraphStats &stats);
+
+    const CacheModelParams &params() const { return params_; }
+
+  private:
+    CacheModelParams params_;
+};
+
+} // namespace heteromap
+
+#endif // HETEROMAP_ARCH_CACHE_MODEL_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Energy model implementation.
+ */
+
+#include "arch/energy_model.hh"
+
+#include <algorithm>
+
+namespace heteromap {
+
+EnergyModel::EnergyModel(EnergyModelParams params) : params_(params)
+{
+}
+
+double
+EnergyModel::averageWatts(const AcceleratorSpec &spec,
+                          const MConfig &config, double utilization) const
+{
+    utilization = std::clamp(utilization, 0.0, 1.0);
+
+    double active_fraction = 1.0;
+    if (spec.kind == AcceleratorKind::Multicore) {
+        active_fraction = std::clamp(
+            static_cast<double>(config.cores) /
+                std::max(1u, spec.cores), 0.0, 1.0);
+    } else {
+        // SMs power on at warp granularity: a handful of warps per
+        // SM lights up the whole chip.
+        const double full_chip = static_cast<double>(spec.cores) *
+                                 spec.simdWidth * 8.0;
+        active_fraction = std::clamp(
+            static_cast<double>(config.gpuGlobalThreads) / full_chip,
+            0.0, 1.0);
+        active_fraction = std::max(active_fraction, 0.25);
+    }
+
+    double busy = utilization +
+                  (1.0 - utilization) * params_.stallPowerFraction;
+    if (spec.kind == AcceleratorKind::Multicore &&
+        (config.activeWaitPolicy || config.spinCount > 100000)) {
+        busy = std::min(1.0, busy + (1.0 - utilization) *
+                                        params_.spinPowerFraction);
+    }
+
+    const double dynamic_range = spec.tdpWatts - spec.idleWatts;
+    return spec.idleWatts + dynamic_range * active_fraction * busy;
+}
+
+double
+EnergyModel::joules(const AcceleratorSpec &spec, const MConfig &config,
+                    double utilization, double seconds) const
+{
+    return averageWatts(spec, config, utilization) * seconds;
+}
+
+} // namespace heteromap

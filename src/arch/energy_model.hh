@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Energy and core-utilization models (Sec. VII-C). Power scales from
+ * idle to the board rating with the fraction of the chip that is
+ * active and how busy it is; energy is power times modelled time.
+ */
+
+#ifndef HETEROMAP_ARCH_ENERGY_MODEL_HH
+#define HETEROMAP_ARCH_ENERGY_MODEL_HH
+
+#include "arch/accel_spec.hh"
+#include "arch/mconfig.hh"
+
+namespace heteromap {
+
+/** Tunable constants for the energy model. */
+struct EnergyModelParams {
+    /** Power floor an active-but-stalled core draws vs a busy one. */
+    double stallPowerFraction = 0.45;
+    /** Extra power for an active wait policy during stalls. */
+    double spinPowerFraction = 0.25;
+};
+
+/** Computes power/energy from a modelled execution. */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(EnergyModelParams params = {});
+
+    /**
+     * Average power draw.
+     *
+     * @param spec        Target accelerator.
+     * @param config      Deployed machine choices (active fraction).
+     * @param utilization Pipeline-busy fraction in [0, 1] (Fig. 13).
+     */
+    double averageWatts(const AcceleratorSpec &spec, const MConfig &config,
+                        double utilization) const;
+
+    /** Energy in joules for @p seconds of modelled time. */
+    double joules(const AcceleratorSpec &spec, const MConfig &config,
+                  double utilization, double seconds) const;
+
+    const EnergyModelParams &params() const { return params_; }
+
+  private:
+    EnergyModelParams params_;
+};
+
+} // namespace heteromap
+
+#endif // HETEROMAP_ARCH_ENERGY_MODEL_HH

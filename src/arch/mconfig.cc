@@ -1,0 +1,86 @@
+/**
+ * @file
+ * MConfig implementation.
+ */
+
+#include "arch/mconfig.hh"
+
+#include <cmath>
+#include <sstream>
+
+namespace heteromap {
+
+const char *
+acceleratorKindName(AcceleratorKind kind)
+{
+    return kind == AcceleratorKind::Gpu ? "gpu" : "multicore";
+}
+
+std::string
+MConfig::toString() const
+{
+    std::ostringstream oss;
+    oss << acceleratorKindName(accelerator);
+    if (accelerator == AcceleratorKind::Gpu) {
+        oss << " global=" << gpuGlobalThreads
+            << " local=" << gpuLocalThreads;
+    } else {
+        oss << " cores=" << cores << " tpc=" << threadsPerCore
+            << " simd=" << simdWidth
+            << " sched=" << schedulePolicyName(schedule)
+            << " chunk=" << chunkSize
+            << " place=" << placementSpread
+            << " affin=" << affinityMovable
+            << " blocktime=" << blocktimeMs << "ms";
+    }
+    return oss.str();
+}
+
+namespace {
+
+/** Snap a [0, 1] continuous knob to one of four levels. */
+int
+level4(double x)
+{
+    if (x < 0.25)
+        return 0;
+    if (x < 0.5)
+        return 1;
+    if (x < 0.75)
+        return 2;
+    return 3;
+}
+
+/** Coarse log2 level for a thread-like count. */
+int
+logLevel(unsigned v)
+{
+    return v == 0 ? 0 : static_cast<int>(std::lround(std::log2(v)));
+}
+
+} // namespace
+
+std::array<int, 12>
+MConfig::choiceVector() const
+{
+    std::array<int, 12> out{};
+    out[0] = accelerator == AcceleratorKind::Gpu ? 0 : 1;
+    if (accelerator == AcceleratorKind::Gpu) {
+        out[1] = logLevel(gpuGlobalThreads);
+        out[2] = logLevel(gpuLocalThreads);
+        return out;
+    }
+    out[3] = logLevel(cores);
+    out[4] = logLevel(threadsPerCore);
+    out[5] = level4(placementSpread);
+    out[6] = level4(affinityMovable);
+    out[7] = static_cast<int>(schedule);
+    out[8] = logLevel(simdWidth);
+    out[9] = logLevel(chunkSize);
+    out[10] = level4(blocktimeMs / 1000.0);
+    out[11] = (nestedParallelism ? 1 : 0) | (activeWaitPolicy ? 2 : 0) |
+              (procBindClose ? 4 : 0) | (dynamicTeams ? 8 : 0);
+    return out;
+}
+
+} // namespace heteromap

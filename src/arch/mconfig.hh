@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Machine choices (M variables), Fig. 3. M1 selects the accelerator;
+ * M2-M18 configure a multicore (threading, placement, OpenMP runtime
+ * knobs); M19-M20 configure a GPU (global/local threading). The tuner,
+ * the decision-tree heuristic, and the learned predictors all produce
+ * values of this struct.
+ */
+
+#ifndef HETEROMAP_ARCH_MCONFIG_HH
+#define HETEROMAP_ARCH_MCONFIG_HH
+
+#include <array>
+#include <string>
+
+#include "exec/executor.hh"
+
+namespace heteromap {
+
+/** Inter-accelerator choice (machine variable M1). */
+enum class AcceleratorKind {
+    Gpu,
+    Multicore,
+};
+
+/** @return "gpu" or "multicore". */
+const char *acceleratorKindName(AcceleratorKind kind);
+
+/**
+ * Full machine-choice tuple. Integer-valued members hold deployable
+ * values (e.g. actual core counts), produced by scaling the model's
+ * normalized outputs by the target accelerator's maxima.
+ */
+struct MConfig {
+    AcceleratorKind accelerator = AcceleratorKind::Gpu; //!< M1
+
+    // --- Multicore hardware choices ---
+    unsigned cores = 1;            //!< M2: cores used
+    unsigned threadsPerCore = 1;   //!< M3: threads per core
+    double blocktimeMs = 1.0;      //!< M4: KMP blocktime before sleep
+    double placementSpread = 0.0;  //!< M5-M7: 0 = compact .. 1 = loose
+    double affinityMovable = 0.0;  //!< M8: 0 = pinned .. 1 = movable
+
+    // --- Multicore OpenMP runtime choices ---
+    SchedulePolicy schedule = SchedulePolicy::Static; //!< M9
+    unsigned simdWidth = 1;        //!< M10: lanes per core used
+    unsigned chunkSize = 0;        //!< M11: 0 = policy default
+    bool nestedParallelism = false;//!< M12: OMP_NESTED
+    unsigned maxActiveLevels = 1;  //!< M13: OMP_MAX_ACTIVE_LEVELS
+    unsigned spinCount = 0;        //!< M14: GOMP_SPINCOUNT
+    bool activeWaitPolicy = false; //!< M15: OMP_WAIT_POLICY=active
+    bool procBindClose = true;     //!< M16: OMP_PROC_BIND
+    bool dynamicTeams = false;     //!< M17: OMP_DYNAMIC
+    unsigned stackSizeKb = 2048;   //!< M18: OMP_STACKSIZE
+
+    // --- GPU hardware choices ---
+    unsigned gpuGlobalThreads = 1; //!< M19: global work size
+    unsigned gpuLocalThreads = 1;  //!< M20: work-group size
+
+    /** Total multicore threads = cores * threadsPerCore. */
+    unsigned multicoreThreads() const { return cores * threadsPerCore; }
+
+    /** Threads deployed on the selected accelerator. */
+    unsigned
+    activeThreads() const
+    {
+        return accelerator == AcceleratorKind::Gpu ? gpuGlobalThreads
+                                                   : multicoreThreads();
+    }
+
+    /** One-line summary for logs and bench output. */
+    std::string toString() const;
+
+    /**
+     * Discretized integer choice vector used for the paper's accuracy
+     * metric ("percentage accuracies are found by comparing the
+     * integer outputs constituting choice selections"). Continuous
+     * members snap to coarse levels; unused side's members are zeroed
+     * so GPU and multicore configs compare fairly.
+     */
+    std::array<int, 12> choiceVector() const;
+
+    bool operator==(const MConfig &) const = default;
+};
+
+} // namespace heteromap
+
+#endif // HETEROMAP_ARCH_MCONFIG_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Memory model implementation.
+ */
+
+#include "arch/memory_model.hh"
+
+#include <algorithm>
+
+namespace heteromap {
+
+MemoryModel::MemoryModel(MemoryModelParams params) : params_(params)
+{
+}
+
+MemoryTime
+MemoryModel::estimate(const AcceleratorSpec &spec, const PhaseProfile &phase,
+                      const CacheEstimate &cache, double threads,
+                      double vector_share) const
+{
+    MemoryTime out;
+    threads = std::max(1.0, threads);
+    vector_share = std::clamp(vector_share, 0.0, 1.0);
+
+    // Bulk bandwidth term: DRAM traffic at the fraction of peak
+    // bandwidth this many threads can generate, split by access
+    // class — streaming traffic runs near the spec's sequential
+    // fraction, scattered word-granule traffic far below it. Scalar
+    // code further derates a multicore's achievable bandwidth.
+    const double scalar_derate =
+        spec.scalarBwPenalty +
+        (1.0 - spec.scalarBwPenalty) * vector_share;
+    const double bw_frac =
+        threads / (threads + params_.bandwidthSaturationThreads);
+    const double peak = spec.memBandwidthGBs * 1e9 * scalar_derate;
+    const double seq_bw =
+        std::max(1.0, peak * spec.seqBwFraction * bw_frac);
+    const double rand_bw =
+        std::max(1.0, peak * spec.randBwFraction * bw_frac);
+    out.bandwidthSeconds = cache.seqMissBytes / seq_bw +
+                           cache.randMissBytes / rand_bw;
+
+    // Dependent-access term: indirect accesses that miss serialize on
+    // DRAM latency; concurrent threads overlap them up to the MSHR cap.
+    const double indirect_misses =
+        phase.indirectAccesses * cache.indirectMissRate;
+    if (indirect_misses > 0.0) {
+        double mlp = std::clamp(threads * spec.mlpPerThread, 1.0,
+                                spec.maxOutstandingMisses);
+        out.latencySeconds =
+            indirect_misses * spec.memLatencyNs * 1e-9 / mlp;
+    }
+    return out;
+}
+
+} // namespace heteromap

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * DRAM timing model: a bandwidth component for bulk miss traffic and a
+ * latency component for dependent (indirect) accesses, with latency
+ * hiding from hardware thread concurrency — the mechanism that lets
+ * GPUs tolerate low-locality graph accesses when the frontier is wide,
+ * and starves them when it is narrow.
+ */
+
+#ifndef HETEROMAP_ARCH_MEMORY_MODEL_HH
+#define HETEROMAP_ARCH_MEMORY_MODEL_HH
+
+#include "arch/accel_spec.hh"
+#include "arch/cache_model.hh"
+#include "exec/profile.hh"
+
+namespace heteromap {
+
+/** Tunable constants for the DRAM model. Per-device MLP limits live
+ *  on AcceleratorSpec (mlpPerThread, maxOutstandingMisses). */
+struct MemoryModelParams {
+    /** Fraction of peak bandwidth reachable by @p t threads:
+     *  t / (t + bandwidthSaturationThreads). */
+    double bandwidthSaturationThreads = 48.0;
+};
+
+/** Timing breakdown for one phase's memory behaviour. */
+struct MemoryTime {
+    double bandwidthSeconds = 0.0;
+    double latencySeconds = 0.0;
+};
+
+/** Estimates memory time for a phase on one accelerator. */
+class MemoryModel
+{
+  public:
+    explicit MemoryModel(MemoryModelParams params = {});
+
+    /**
+     * @param spec         Target accelerator.
+     * @param phase        Measured counters.
+     * @param cache        Output of CacheModel::estimate.
+     * @param threads      Effective concurrent threads.
+     * @param vector_share Fraction of the phase's work issued as
+     *                     vector operations (0 for GPUs); lifts a
+     *                     multicore's achievable bandwidth toward its
+     *                     rated fraction (see scalarBwPenalty).
+     */
+    MemoryTime estimate(const AcceleratorSpec &spec,
+                        const PhaseProfile &phase,
+                        const CacheEstimate &cache,
+                        double threads,
+                        double vector_share = 0.0) const;
+
+    const MemoryModelParams &params() const { return params_; }
+
+  private:
+    MemoryModelParams params_;
+};
+
+} // namespace heteromap
+
+#endif // HETEROMAP_ARCH_MEMORY_MODEL_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Memory-size model implementation.
+ */
+
+#include "arch/memory_size_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace heteromap {
+
+MemorySizeModel::MemorySizeModel(MemorySizeParams params) : params_(params)
+{
+}
+
+double
+MemorySizeModel::footprintBytes(const GraphStats &stats) const
+{
+    return static_cast<double>(stats.numVertices) *
+               params_.vertexStateBytes +
+           static_cast<double>(stats.numEdges) * params_.edgeBytes;
+}
+
+MemorySizeEffect
+MemorySizeModel::effect(const GraphStats &stats, uint64_t mem_bytes,
+                        uint64_t iterations) const
+{
+    HM_ASSERT(mem_bytes > 0, "memory size must be positive");
+    MemorySizeEffect out;
+
+    const double footprint = footprintBytes(stats);
+    const double chunks =
+        std::ceil(footprint / static_cast<double>(mem_bytes));
+    out.chunks = static_cast<unsigned>(std::max(1.0, chunks));
+    if (out.chunks == 1)
+        return out;
+
+    // Each extra chunk costs a streaming pass; iterative algorithms
+    // additionally converge slower because chunk-local updates only
+    // propagate across chunk boundaries between passes.
+    const double extra = static_cast<double>(out.chunks - 1);
+    const double iter_scale =
+        1.0 + params_.convergencePenalty *
+                  std::log2(1.0 + static_cast<double>(iterations));
+    out.slowdown = 1.0 + params_.chunkPassPenalty * extra * iter_scale;
+    return out;
+}
+
+} // namespace heteromap

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Memory-size sensitivity model (Sec. VII-D, Fig. 16). Graphs whose
+ * (nominal) footprint exceeds the accelerator's configured memory are
+ * processed in streamed chunks (Stinger-style); each extra chunk adds
+ * a streaming pass and, for iterative algorithms, cross-chunk
+ * convergence overhead.
+ */
+
+#ifndef HETEROMAP_ARCH_MEMORY_SIZE_MODEL_HH
+#define HETEROMAP_ARCH_MEMORY_SIZE_MODEL_HH
+
+#include <cstdint>
+
+#include "arch/accel_spec.hh"
+#include "graph/props.hh"
+
+namespace heteromap {
+
+/** Tunable constants for the memory-size model. */
+struct MemorySizeParams {
+    /** Per-vertex state bytes streamed alongside the CSR chunk. */
+    double vertexStateBytes = 16.0;
+    /** CSR bytes per edge. */
+    double edgeBytes = 12.0;
+    /** Relative slowdown added per extra chunk pass. */
+    double chunkPassPenalty = 0.22;
+    /** Extra iterations fraction caused by chunked convergence. */
+    double convergencePenalty = 0.08;
+};
+
+/** Result of a memory feasibility/penalty query. */
+struct MemorySizeEffect {
+    unsigned chunks = 1;      //!< streamed chunks per pass
+    double slowdown = 1.0;    //!< multiplier on on-chip time
+};
+
+/** Computes chunking effects of a memory size on an input graph. */
+class MemorySizeModel
+{
+  public:
+    explicit MemorySizeModel(MemorySizeParams params = {});
+
+    /** Nominal in-memory footprint of @p stats in bytes. */
+    double footprintBytes(const GraphStats &stats) const;
+
+    /**
+     * Chunking penalty for running a graph of @p stats scale on
+     * @p mem_bytes of device memory, with @p iterations outer
+     * iterations (chunked convergence is charged per iteration).
+     */
+    MemorySizeEffect effect(const GraphStats &stats, uint64_t mem_bytes,
+                            uint64_t iterations) const;
+
+    const MemorySizeParams &params() const { return params_; }
+
+  private:
+    MemorySizeParams params_;
+};
+
+} // namespace heteromap
+
+#endif // HETEROMAP_ARCH_MEMORY_SIZE_MODEL_HH

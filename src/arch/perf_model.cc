@@ -1,0 +1,312 @@
+/**
+ * @file
+ * PerfModel implementation. The composition rule per phase is
+ *
+ *   time = max(compute, bandwidth) + latency + atomics + scheduling
+ *
+ * (compute overlaps with bulk bandwidth, dependent latency and
+ * serialized costs do not), plus per-invocation parallel-region /
+ * kernel-launch costs and explicit barrier costs, all scaled by the
+ * memory-size streaming penalty.
+ */
+
+#include "arch/perf_model.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace heteromap {
+
+double
+PhaseBreakdown::seconds() const
+{
+    return std::max(computeSeconds, bandwidthSeconds) + latencySeconds +
+           atomicSeconds + scheduleSeconds;
+}
+
+std::string
+ExecutionReport::toString() const
+{
+    std::ostringstream oss;
+    oss << "time=" << seconds * 1e3 << "ms energy=" << joules
+        << "J watts=" << watts << " util=" << utilization
+        << " chunks=" << memoryChunks << "\n";
+    for (const auto &p : phases) {
+        oss << "  " << p.name << ": " << p.seconds() * 1e3
+            << "ms (compute=" << p.computeSeconds * 1e3
+            << " bw=" << p.bandwidthSeconds * 1e3
+            << " lat=" << p.latencySeconds * 1e3
+            << " atomic=" << p.atomicSeconds * 1e3
+            << " sched=" << p.scheduleSeconds * 1e3 << ")\n";
+    }
+    return oss.str();
+}
+
+PerfModel::PerfModel(PerfModelParams params)
+    : params_(params), cacheModel_(params.cache),
+      memoryModel_(params.memory), syncModel_(params.sync),
+      energyModel_(params.energy), memorySizeModel_(params.memorySize)
+{
+}
+
+double
+PerfModel::effectiveThreads(const AcceleratorSpec &spec,
+                            const MConfig &config,
+                            const PhaseProfile &phase) const
+{
+    // Deployable thread count, clamped to the hardware.
+    double threads;
+    if (spec.kind == AcceleratorKind::Gpu) {
+        threads = std::clamp<double>(config.gpuGlobalThreads, 1.0,
+                                     spec.maxThreads());
+    } else {
+        double cores = std::clamp<double>(config.cores, 1.0, spec.cores);
+        double tpc = std::clamp<double>(config.threadsPerCore, 1.0,
+                                        spec.threadsPerCore);
+        threads = cores * tpc;
+    }
+
+    // A phase invocation with fewer items than threads cannot use all
+    // of them — the high-diameter / narrow-frontier starvation effect.
+    if (phase.invocations > 0) {
+        double items_per_inv =
+            static_cast<double>(phase.workItems) /
+            static_cast<double>(phase.invocations);
+        threads = std::min(threads, std::max(1.0, items_per_inv));
+    }
+    return threads;
+}
+
+double
+PerfModel::computeRate(const AcceleratorSpec &spec, const MConfig &config,
+                       const PhaseProfile &phase, const GraphStats &shape,
+                       double threads, const CacheEstimate &cache) const
+{
+    const double ops = std::max(1.0, phase.totalOps());
+    const double fp_frac = phase.fpOps / ops;
+    const double peak = spec.opsPerSecond(fp_frac);
+
+    if (spec.kind == AcceleratorKind::Gpu) {
+        // Occupancy: throughput ramps with resident threads and
+        // saturates well below the architectural maximum.
+        const double sat = params_.gpuOccupancySaturation *
+                           static_cast<double>(spec.maxThreads());
+        const double occupancy = std::min(1.0, threads / sat);
+
+        // Work-group size: tiny groups starve the SM's warp scheduler,
+        // oversized groups thrash the small cache in proportion to how
+        // badly the working set already misses.
+        const double local = std::clamp<double>(
+            config.gpuLocalThreads, 1.0, spec.maxLocalThreads);
+        const double ramp_up = local / (local + 32.0);
+        const double pressure =
+            std::max(0.0, (local - params_.gpuLocalSweetSpot) /
+                              params_.gpuLocalSweetSpot);
+        const double ramp_down =
+            1.0 / (1.0 + pressure * cache.missRate);
+        const double group_eff =
+            (ramp_up / (params_.gpuLocalSweetSpot /
+                        (params_.gpuLocalSweetSpot + 32.0))) *
+            ramp_down;
+
+        // Warp divergence from irregular per-item work.
+        const double cv =
+            shape.avgDegree > 0.0
+                ? std::min(3.0, shape.degreeStddev / shape.avgDegree)
+                : 0.0;
+        const double div_eff =
+            1.0 / (1.0 + params_.gpuDivergenceCoef * cv);
+
+        double kind_eff = 1.0;
+        switch (phase.kind) {
+          case PhaseKind::PushPop:
+            kind_eff = params_.gpuPushPopEfficiency;
+            break;
+          case PhaseKind::Reduction:
+            kind_eff = params_.gpuReductionEfficiency;
+            break;
+          case PhaseKind::Pareto:
+          case PhaseKind::ParetoDynamic:
+            kind_eff = params_.gpuParetoEfficiency;
+            break;
+          case PhaseKind::VertexDivision:
+            kind_eff = 1.0;
+            break;
+        }
+        return std::max(1.0, peak * occupancy *
+                                 std::min(1.0, group_eff) * div_eff *
+                                 kind_eff);
+    }
+
+    // Multicore: cores used scale throughput; SMT fills the issue
+    // pipeline; SIMD accelerates the vectorizable (dense, FP,
+    // directly-addressed) share of the work.
+    const double cores = std::clamp<double>(config.cores, 1.0, spec.cores);
+    const double tpc = std::clamp<double>(config.threadsPerCore, 1.0,
+                                          spec.threadsPerCore);
+    (void)threads;
+
+    const double max_tpc = static_cast<double>(spec.threadsPerCore);
+    const double yield =
+        (tpc / (tpc + params_.smtYieldK)) /
+        (max_tpc / (max_tpc + params_.smtYieldK));
+
+    const double vec_frac = vectorShare(spec, config, phase, shape);
+    const double simd_used = std::clamp<double>(
+        config.simdWidth, 1.0, spec.simdWidth);
+    const double simd_speedup =
+        1.0 / (1.0 - vec_frac + vec_frac / simd_used);
+
+    const double core_fraction = cores / static_cast<double>(spec.cores);
+    return std::max(1.0, peak * core_fraction * yield * simd_speedup);
+}
+
+double
+PerfModel::vectorShare(const AcceleratorSpec &spec, const MConfig &config,
+                       const PhaseProfile &phase,
+                       const GraphStats &shape) const
+{
+    if (spec.kind == AcceleratorKind::Gpu || config.simdWidth <= 1)
+        return 0.0;
+    const double ops = std::max(1.0, phase.totalOps());
+    const double fp_frac = phase.fpOps / ops;
+    const double accesses = std::max(1.0, phase.totalAccesses());
+    const double direct_share = phase.directAccesses / accesses;
+    const double degree_factor =
+        shape.avgDegree / (shape.avgDegree + spec.simdWidth);
+    return std::min(params_.simdVectorizableCap,
+                    fp_frac * direct_share) *
+           degree_factor;
+}
+
+ExecutionReport
+PerfModel::evaluate(const RunInput &input, const AcceleratorSpec &spec,
+                    const MConfig &config) const
+{
+    HM_ASSERT(input.profile != nullptr, "RunInput requires a profile");
+    HM_ASSERT(config.accelerator == spec.kind,
+              "MConfig accelerator kind does not match the spec");
+
+    const WorkloadProfile &profile = *input.profile;
+    ExecutionReport report;
+
+    double compute_total = 0.0;
+    double worst_imbalance = 0.0;
+
+    for (const auto &phase : profile.phases) {
+        PhaseBreakdown pb;
+        pb.name = phase.name;
+
+        const double threads = effectiveThreads(spec, config, phase);
+
+        // Parallel span from the recorded work distribution.
+        const double items_per_bucket =
+            static_cast<double>(phase.workItems) /
+            static_cast<double>(kNumBuckets);
+        const double chunk_buckets =
+            config.chunkSize == 0
+                ? 1.0
+                : std::max(0.01, config.chunkSize /
+                                     std::max(1.0, items_per_bucket));
+        ScheduleModel sched(phase.bucketCost, chunk_buckets,
+                            phase.maxItemCost);
+        const SchedulePolicy policy = spec.kind == AcceleratorKind::Gpu
+                                          ? SchedulePolicy::Static
+                                          : config.schedule;
+        pb.spanFactor = sched.spanFactor(
+            static_cast<unsigned>(threads), policy);
+        worst_imbalance = std::max(worst_imbalance, pb.spanFactor - 1.0);
+
+        const CacheEstimate cache = cacheModel_.estimate(
+            spec, phase, input.scaleStats,
+            static_cast<unsigned>(threads));
+
+        const double rate =
+            computeRate(spec, config, phase, input.shapeStats, threads,
+                        cache);
+        pb.computeSeconds = phase.totalOps() / rate * pb.spanFactor;
+
+        MemoryTime mem = memoryModel_.estimate(
+            spec, phase, cache, threads,
+            vectorShare(spec, config, phase, input.shapeStats));
+        pb.bandwidthSeconds = mem.bandwidthSeconds;
+        // Latency chains partially overlap with imbalance: charge the
+        // square root of the span factor rather than the full factor.
+        pb.latencySeconds =
+            mem.latencySeconds * std::sqrt(pb.spanFactor);
+
+        SyncTime sync =
+            syncModel_.phaseCost(spec, config, phase, threads);
+        pb.atomicSeconds = sync.atomicSeconds;
+        pb.scheduleSeconds = sync.scheduleSeconds;
+
+        // Placement / affinity modulate the shared-data movement cost.
+        const double rw_frac =
+            phase.sharedWriteBytes / std::max(1.0, phase.totalBytes());
+        const double placement = syncModel_.placementFactor(
+            config, input.shapeStats, rw_frac);
+        pb.bandwidthSeconds *= placement;
+        pb.latencySeconds *= placement;
+
+        compute_total += pb.computeSeconds;
+        report.phases.push_back(pb);
+    }
+
+    // Parallel-region / kernel-launch boundaries: one per phase
+    // invocation. A barrier that directly follows a parallel region is
+    // the region's own end-of-kernel sync, so only barriers *beyond*
+    // the invocation count cost extra.
+    double region_crossings = 0.0;
+    double threads_now = config.activeThreads();
+    for (const auto &phase : profile.phases)
+        region_crossings += static_cast<double>(phase.invocations);
+    const double per_barrier = syncModel_.barrierCost(
+        spec, config, threads_now, worst_imbalance);
+    const double extra_barriers = std::max(
+        0.0, static_cast<double>(profile.barriers) - region_crossings);
+    report.regionSeconds = region_crossings * per_barrier;
+    report.barrierSeconds = extra_barriers * per_barrier;
+
+    double total = report.regionSeconds + report.barrierSeconds;
+    for (const auto &pb : report.phases)
+        total += pb.seconds();
+
+    // Memory-size streaming penalty (Fig. 16).
+    const auto mem_effect = memorySizeModel_.effect(
+        input.scaleStats, std::max<uint64_t>(1, spec.memBytes),
+        std::max<uint64_t>(1, profile.iterations));
+    report.memoryChunks = mem_effect.chunks;
+    total *= mem_effect.slowdown;
+
+    report.seconds = total;
+
+    // Chip-wide core utilization (Fig. 13): the busy fraction of the
+    // *deployed* resources scaled by how much of the chip is deployed.
+    double active_fraction;
+    if (spec.kind == AcceleratorKind::Gpu) {
+        // SMs count as active once they hold a handful of warps;
+        // nvprof-style utilization is SM-granular, not thread-slot
+        // granular.
+        const double full_chip = static_cast<double>(spec.cores) *
+                                 spec.simdWidth * 8.0;
+        active_fraction = std::clamp(
+            static_cast<double>(config.gpuGlobalThreads) / full_chip,
+            0.0, 1.0);
+    } else {
+        active_fraction = std::clamp(
+            static_cast<double>(config.cores) /
+                std::max(1u, spec.cores), 0.0, 1.0);
+    }
+    const double busy_share =
+        total > 0.0 ? std::clamp(compute_total / total, 0.0, 1.0) : 0.0;
+    report.utilization = busy_share * active_fraction;
+    report.watts =
+        energyModel_.averageWatts(spec, config, report.utilization);
+    report.joules = report.watts * report.seconds;
+    return report;
+}
+
+} // namespace heteromap

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Whole-accelerator performance model. Converts a measured
+ * WorkloadProfile plus graph characteristics into modelled completion
+ * time, energy, and core utilization for any (AcceleratorSpec,
+ * MConfig) pair. This is the oracle that replaces the paper's real
+ * hardware runs — see DESIGN.md Sec. 2 for the substitution argument.
+ */
+
+#ifndef HETEROMAP_ARCH_PERF_MODEL_HH
+#define HETEROMAP_ARCH_PERF_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "arch/accel_spec.hh"
+#include "arch/cache_model.hh"
+#include "arch/energy_model.hh"
+#include "arch/mconfig.hh"
+#include "arch/memory_model.hh"
+#include "arch/memory_size_model.hh"
+#include "arch/sync_model.hh"
+#include "exec/profile.hh"
+#include "graph/props.hh"
+
+namespace heteromap {
+
+/** Inputs to one model evaluation. */
+struct RunInput {
+    const WorkloadProfile *profile = nullptr;
+    /** Shape statistics measured from the executed (proxy) graph. */
+    GraphStats shapeStats;
+    /** Scale statistics (nominal Table I values) for memory effects. */
+    GraphStats scaleStats;
+};
+
+/** Per-phase time breakdown (seconds). */
+struct PhaseBreakdown {
+    std::string name;
+    double computeSeconds = 0.0;
+    double bandwidthSeconds = 0.0;
+    double latencySeconds = 0.0;
+    double atomicSeconds = 0.0;
+    double scheduleSeconds = 0.0;
+    double spanFactor = 1.0;
+
+    /** Phase wall time under the overlap rule. */
+    double seconds() const;
+};
+
+/** Full result of one model evaluation. */
+struct ExecutionReport {
+    double seconds = 0.0;
+    double joules = 0.0;
+    double watts = 0.0;
+    double utilization = 0.0;     //!< pipeline-busy fraction [0, 1]
+    unsigned memoryChunks = 1;    //!< streamed chunks (Fig. 16)
+    double regionSeconds = 0.0;   //!< parallel-region/kernel launches
+    double barrierSeconds = 0.0;  //!< explicit global barriers
+    std::vector<PhaseBreakdown> phases;
+
+    /** Multi-line diagnostic dump. */
+    std::string toString() const;
+};
+
+/** Model constants beyond the component models' own parameters. */
+struct PerfModelParams {
+    CacheModelParams cache;
+    MemoryModelParams memory;
+    SyncModelParams sync;
+    EnergyModelParams energy;
+    MemorySizeParams memorySize;
+
+    /** GPU efficiency on ordered push-pop phases. */
+    double gpuPushPopEfficiency = 0.50;
+    /** GPU efficiency on reduction phases (atomics charged apart). */
+    double gpuReductionEfficiency = 0.70;
+    /** GPU efficiency on pareto/frontier phases. */
+    double gpuParetoEfficiency = 0.90;
+    /** Warp-divergence penalty per unit degree CV. */
+    double gpuDivergenceCoef = 0.35;
+    /** Occupancy fraction of max threads at which GPUs reach peak. */
+    double gpuOccupancySaturation = 0.25;
+    /** Sweet-spot GPU work-group size before cache pressure builds. */
+    double gpuLocalSweetSpot = 128.0;
+    /** Multicore SMT issue-yield curve constant. */
+    double smtYieldK = 1.0;
+    /** Fraction of FP work that is vectorizable at best. */
+    double simdVectorizableCap = 0.85;
+};
+
+/** The composed performance model. */
+class PerfModel
+{
+  public:
+    explicit PerfModel(PerfModelParams params = {});
+
+    /** Modelled execution of @p input on @p spec under @p config. */
+    ExecutionReport evaluate(const RunInput &input,
+                             const AcceleratorSpec &spec,
+                             const MConfig &config) const;
+
+    const PerfModelParams &params() const { return params_; }
+
+  private:
+    PerfModelParams params_;
+    CacheModel cacheModel_;
+    MemoryModel memoryModel_;
+    SyncModel syncModel_;
+    EnergyModel energyModel_;
+    MemorySizeModel memorySizeModel_;
+
+    /** Effective scalar op throughput (ops/s) for one phase. */
+    double computeRate(const AcceleratorSpec &spec, const MConfig &config,
+                       const PhaseProfile &phase,
+                       const GraphStats &shape, double threads,
+                       const CacheEstimate &cache) const;
+
+    /**
+     * Share of a phase's work a multicore can issue as vector
+     * operations: dense, FP, directly-addressed loops vectorize; the
+     * rest stays scalar. Always 0 on GPUs (SIMT is implicit).
+     */
+    double vectorShare(const AcceleratorSpec &spec,
+                       const MConfig &config, const PhaseProfile &phase,
+                       const GraphStats &shape) const;
+
+    /** Threads that can do useful work in a phase invocation. */
+    double effectiveThreads(const AcceleratorSpec &spec,
+                            const MConfig &config,
+                            const PhaseProfile &phase) const;
+};
+
+} // namespace heteromap
+
+#endif // HETEROMAP_ARCH_PERF_MODEL_HH

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Table II accelerator presets. Headline figures (cores, cache,
+ * memory, bandwidth, TFLOPs) are taken from Table II / Sec. VI-A and
+ * Sec. VII-D; microarchitectural cost constants (latencies, atomic and
+ * barrier costs) are first-order literature values for each device
+ * class, chosen once and shared by every experiment.
+ */
+
+#include "arch/presets.hh"
+
+namespace heteromap {
+
+AcceleratorSpec
+gtx750TiSpec()
+{
+    AcceleratorSpec s;
+    s.name = "GTX-750Ti";
+    s.kind = AcceleratorKind::Gpu;
+    s.cores = 5;              // SMM count (5 x 128 = 640 CUDA cores)
+    s.threadsPerCore = 64;    // resident warps per SM
+    s.simdWidth = 32;         // warp lanes
+    s.freqGHz = 1.3;
+    s.issueIpc = 128.0;       // CUDA lanes per SM
+    s.cacheBytes = 2ULL << 20;
+    s.coherentCache = false;
+    s.memBytes = 2ULL << 30;
+    s.maxMemBytes = 4ULL << 30;
+    s.memBandwidthGBs = 86.0;
+    s.memLatencyNs = 350.0;
+    s.mlpPerThread = 0.5;
+    s.maxOutstandingMisses = 640.0;  // 5 SMs' MSHR depth
+    s.seqBwFraction = 0.9;    // coalesced CSR streams
+    s.randBwFraction = 0.5;   // coalesced word-granule gathers
+    s.scalarBwPenalty = 1.0;  // coalescing is independent of SIMD
+    s.spTflops = 1.3;
+    s.dpTflops = 0.04;
+    s.tdpWatts = 60.0;
+    s.idleWatts = 5.0;
+    s.atomicNs = 120.0;       // global-memory RMW round trip
+    s.barrierBaseNs = 2500.0; // kernel-boundary global sync
+    s.schedEventNs = 200.0;
+    s.maxLocalThreads = 1024;
+    s.maxGlobalThreads = 10240;
+    return s;
+}
+
+AcceleratorSpec
+gtx970Spec()
+{
+    AcceleratorSpec s;
+    s.name = "GTX-970";
+    s.kind = AcceleratorKind::Gpu;
+    s.cores = 13;             // SMM count (13 x 128 = 1664 CUDA cores)
+    s.threadsPerCore = 64;
+    s.simdWidth = 32;
+    s.freqGHz = 1.7;
+    s.issueIpc = 128.0;
+    s.cacheBytes = 2ULL << 20;
+    s.coherentCache = false;
+    s.memBytes = 4ULL << 30;
+    s.maxMemBytes = 4ULL << 30;
+    s.memBandwidthGBs = 224.0;
+    s.memLatencyNs = 320.0;
+    s.mlpPerThread = 0.5;
+    s.maxOutstandingMisses = 2048.0; // 13 SMs' MSHR depth
+    s.seqBwFraction = 0.9;
+    s.randBwFraction = 0.55;
+    s.scalarBwPenalty = 1.0;
+    s.spTflops = 3.5;
+    s.dpTflops = 0.11;
+    s.tdpWatts = 145.0;
+    s.idleWatts = 10.0;
+    s.atomicNs = 80.0;
+    s.barrierBaseNs = 3000.0;
+    s.schedEventNs = 180.0;
+    s.maxLocalThreads = 1024;
+    s.maxGlobalThreads = 26624;
+    return s;
+}
+
+AcceleratorSpec
+xeonPhi7120Spec()
+{
+    AcceleratorSpec s;
+    s.name = "XeonPhi-7120P";
+    s.kind = AcceleratorKind::Multicore;
+    s.cores = 61;
+    s.threadsPerCore = 4;     // 244 hardware threads
+    s.simdWidth = 16;         // 512-bit SP vectors
+    s.freqGHz = 1.24;
+    s.issueIpc = 1.0;         // in-order; SMT only fills stalls
+    s.cacheBytes = 32ULL << 20;
+    s.coherentCache = true;
+    s.memBytes = 16ULL << 30;
+    s.maxMemBytes = 16ULL << 30;
+    s.memBandwidthGBs = 352.0;
+    s.memLatencyNs = 300.0;
+    s.mlpPerThread = 1.2;     // in-order: stalls on load-use
+    s.maxOutstandingMisses = 512.0;
+    s.seqBwFraction = 0.6;    // vectorized streams approach this
+    s.randBwFraction = 0.2;   // vector gather/scatter ceiling
+    s.scalarBwPenalty = 0.25; // scalar code starves the ring
+    s.spTflops = 2.4;
+    s.dpTflops = 1.2;
+    s.tdpWatts = 300.0;
+    s.idleWatts = 50.0;
+    s.atomicNs = 40.0;        // ring-hop RMW
+    s.barrierBaseNs = 2000.0; // 61-core ring barrier
+    s.schedEventNs = 60.0;
+    s.maxLocalThreads = 4;
+    s.maxGlobalThreads = 244;
+    return s;
+}
+
+AcceleratorSpec
+xeon40CoreSpec()
+{
+    AcceleratorSpec s;
+    s.name = "Xeon-40Core";
+    s.kind = AcceleratorKind::Multicore;
+    s.cores = 40;             // 4 sockets x 10 cores (E5-2650 v3)
+    s.threadsPerCore = 2;
+    s.simdWidth = 8;          // AVX2 SP lanes
+    s.freqGHz = 2.3;
+    s.issueIpc = 1.6;         // wide OoO, NUMA-stalled
+    s.cacheBytes = 100ULL << 20;
+    s.coherentCache = true;
+    s.memBytes = 1024ULL << 30;
+    s.maxMemBytes = 1024ULL << 30;
+    s.memBandwidthGBs = 272.0;
+    s.memLatencyNs = 95.0;
+    s.mlpPerThread = 5.0;     // wide OoO + prefetchers
+    s.maxOutstandingMisses = 1200.0;
+    s.seqBwFraction = 0.25;   // 4-socket NUMA interleave
+    s.randBwFraction = 0.06;  // remote-socket scatter
+    s.scalarBwPenalty = 0.85; // OoO prefetch works from scalar code
+    s.spTflops = 1.47;
+    s.dpTflops = 0.74;
+    s.tdpWatts = 420.0;
+    s.idleWatts = 80.0;
+    s.atomicNs = 40.0;        // cross-socket RMW
+    s.barrierBaseNs = 3000.0; // 4-socket barrier
+    s.schedEventNs = 50.0;
+    s.maxLocalThreads = 2;
+    s.maxGlobalThreads = 80;
+    return s;
+}
+
+std::string
+AcceleratorPair::name() const
+{
+    return gpu.name + " + " + multicore.name;
+}
+
+AcceleratorPair
+primaryPair()
+{
+    return {gtx750TiSpec(), xeonPhi7120Spec()};
+}
+
+std::vector<AcceleratorPair>
+allPairs()
+{
+    return {
+        {gtx750TiSpec(), xeonPhi7120Spec()},
+        {gtx970Spec(), xeonPhi7120Spec()},
+        {gtx750TiSpec(), xeon40CoreSpec()},
+        {gtx970Spec(), xeon40CoreSpec()},
+    };
+}
+
+} // namespace heteromap

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The four accelerators the paper evaluates (Table II and Sec. VI-A),
+ * and the multi-accelerator pairings built from them.
+ */
+
+#ifndef HETEROMAP_ARCH_PRESETS_HH
+#define HETEROMAP_ARCH_PRESETS_HH
+
+#include <vector>
+
+#include "arch/accel_spec.hh"
+
+namespace heteromap {
+
+/** NVidia GTX-750Ti: 640 CUDA cores, 2 MB cache, 2 GB @ 86 GB/s. */
+AcceleratorSpec gtx750TiSpec();
+
+/** NVidia GTX-970: 1664 CUDA cores, 3.5 SP TFLOPs, 4 GB. */
+AcceleratorSpec gtx970Spec();
+
+/** Intel Xeon Phi 7120P: 61 cores x 4 threads, 32 MB coherent cache. */
+AcceleratorSpec xeonPhi7120Spec();
+
+/** 4-socket Intel Xeon E5-2650 v3: 40 cores @ 2.3 GHz, up to 1 TB. */
+AcceleratorSpec xeon40CoreSpec();
+
+/** A GPU + multicore pairing forming one multi-accelerator system. */
+struct AcceleratorPair {
+    AcceleratorSpec gpu;
+    AcceleratorSpec multicore;
+
+    /** e.g. "GTX-750Ti + XeonPhi-7120P". */
+    std::string name() const;
+};
+
+/** Primary paper configuration: GTX-750Ti + Xeon Phi 7120P. */
+AcceleratorPair primaryPair();
+
+/** All four pairings analyzed in Sec. VI-A. */
+std::vector<AcceleratorPair> allPairs();
+
+} // namespace heteromap
+
+#endif // HETEROMAP_ARCH_PRESETS_HH

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Synchronization model implementation.
+ */
+
+#include "arch/sync_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace heteromap {
+
+SyncModel::SyncModel(SyncModelParams params) : params_(params)
+{
+}
+
+SyncTime
+SyncModel::phaseCost(const AcceleratorSpec &spec, const MConfig &config,
+                     const PhaseProfile &phase, double threads) const
+{
+    SyncTime out;
+    threads = std::max(1.0, threads);
+
+    if (phase.atomics > 0.0) {
+        // GPUs aggregate reduction atomics within a warp before
+        // touching memory, cutting the global atomic count by the
+        // warp width.
+        double atomics = phase.atomics;
+        if (spec.kind == AcceleratorKind::Gpu &&
+            phase.kind == PhaseKind::Reduction) {
+            atomics /= std::max(1u, spec.simdWidth);
+        }
+        // Fraction of traffic that is contended read-write data.
+        const double total_bytes = std::max(1.0, phase.totalBytes());
+        double contended = phase.sharedWriteBytes / total_bytes;
+        if (config.schedule == SchedulePolicy::Dynamic ||
+            config.schedule == SchedulePolicy::Guided) {
+            contended *= (1.0 - params_.dynamicRelief);
+        }
+        // Atomics divide across threads but serialize under
+        // contention, growing with sqrt(T). Without cache coherence
+        // every contended retry round-trips through DRAM instead of
+        // arbitrating in the cache hierarchy.
+        const double coherence_factor = spec.coherentCache ? 1.0 : 2.5;
+        const double serialization =
+            1.0 + params_.contentionCoef * coherence_factor *
+                      contended * std::sqrt(threads);
+        out.atomicSeconds = atomics / threads * spec.atomicNs * 1e-9 *
+                            serialization;
+    }
+
+    // Dynamic scheduling dispatch cost: one dequeue per chunk.
+    // Guided shrinks its chunks exponentially and StaticChunked
+    // precomputes its assignment, so both dispatch far fewer events
+    // than a plain dynamic loop.
+    if (config.schedule == SchedulePolicy::Dynamic ||
+        config.schedule == SchedulePolicy::Guided ||
+        config.schedule == SchedulePolicy::StaticChunked) {
+        const double chunk = std::max<double>(
+            1.0, config.chunkSize == 0 ? 16.0 : config.chunkSize);
+        double events = static_cast<double>(phase.workItems) / chunk;
+        if (config.schedule != SchedulePolicy::Dynamic)
+            events *= 0.25;
+        // Dequeues are distributed, but the shared queue head
+        // serializes a fraction of them.
+        out.scheduleSeconds = events * spec.schedEventNs * 1e-9 /
+                              std::sqrt(threads);
+    }
+    return out;
+}
+
+double
+SyncModel::barrierCost(const AcceleratorSpec &spec, const MConfig &config,
+                       double threads, double imbalance) const
+{
+    threads = std::max(1.0, threads);
+    double cost = spec.barrierBaseNs *
+                  (1.0 + params_.barrierLogCoef * std::log2(threads));
+
+    if (spec.kind == AcceleratorKind::Multicore) {
+        // Threads that exhaust their blocktime sleep and pay an OS
+        // wake-up on the next region. Imbalanced arrivals make short
+        // blocktimes expensive; an active wait policy (or a large
+        // spin count) avoids the sleep entirely.
+        const bool spins = config.activeWaitPolicy ||
+                           config.spinCount > 100000;
+        if (!spins) {
+            const double wait_ms = std::max(0.001, config.blocktimeMs);
+            const double sleep_prob =
+                std::clamp(imbalance, 0.0, 1.0) *
+                std::exp(-wait_ms / 10.0);
+            cost += params_.wakeupNs * sleep_prob;
+        }
+    }
+    return cost * 1e-9;
+}
+
+double
+SyncModel::placementFactor(const MConfig &config, const GraphStats &stats,
+                           double rw_shared_fraction) const
+{
+    if (config.accelerator == AcceleratorKind::Gpu)
+        return 1.0;
+
+    // Ideal spread grows with work divergence (degree CV) and graph
+    // diameter (Sec. IV's Avg.Deg.Dia reasoning): loose placement lets
+    // threads borrow idle cores' cache slices on long dependence
+    // chains; compact placement wins for tightly shared data.
+    const double cv = stats.avgDegree > 0.0
+                          ? std::min(1.0, stats.degreeStddev /
+                                              stats.avgDegree)
+                          : 0.0;
+    const double dia_norm =
+        std::min(1.0, static_cast<double>(stats.diameter) / 1000.0);
+    const double ideal_spread = std::clamp(
+        0.5 * cv + 0.5 * dia_norm, 0.0, 1.0);
+
+    double factor = 1.0 + params_.placementPenalty *
+                              std::fabs(config.placementSpread -
+                                        ideal_spread);
+
+    // Affinity: movable threads lose cached read-write data when the
+    // OS migrates them; pinning wastes balance headroom otherwise.
+    const double ideal_movable =
+        std::clamp(1.0 - rw_shared_fraction * 2.0, 0.0, 1.0);
+    factor += params_.affinityPenalty *
+              std::fabs(config.affinityMovable - ideal_movable);
+    return factor;
+}
+
+} // namespace heteromap

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Synchronization and runtime-overhead model: atomic contention,
+ * barriers (kernel relaunches on GPUs), dynamic-scheduling dispatch,
+ * thread placement / affinity data-movement effects, and the KMP
+ * blocktime / OMP wait-policy sleep-wake trade-off. These are the
+ * costs that make multicores win contended, phase-heavy workloads.
+ */
+
+#ifndef HETEROMAP_ARCH_SYNC_MODEL_HH
+#define HETEROMAP_ARCH_SYNC_MODEL_HH
+
+#include "arch/accel_spec.hh"
+#include "arch/mconfig.hh"
+#include "exec/profile.hh"
+#include "graph/props.hh"
+
+namespace heteromap {
+
+/** Tunable constants for the synchronization model. */
+struct SyncModelParams {
+    /** Serialization growth per sqrt(thread) under full contention. */
+    double contentionCoef = 0.18;
+    /** Contention relief from dynamic scheduling (paper Sec. III-A). */
+    double dynamicRelief = 0.5;
+    /** OS wake-up cost paid when a slept thread is needed again. */
+    double wakeupNs = 12000.0;
+    /** Barrier cost growth per log2(threads). */
+    double barrierLogCoef = 0.25;
+    /** Communication penalty for a fully mismatched placement. */
+    double placementPenalty = 0.35;
+    /** Communication penalty for a fully mismatched affinity. */
+    double affinityPenalty = 0.25;
+};
+
+/** Timing breakdown of synchronization costs for one phase. */
+struct SyncTime {
+    double atomicSeconds = 0.0;
+    double scheduleSeconds = 0.0;
+};
+
+/** Estimates synchronization costs. */
+class SyncModel
+{
+  public:
+    explicit SyncModel(SyncModelParams params = {});
+
+    /**
+     * Atomic and dynamic-scheduling costs for @p phase when run with
+     * @p threads threads under @p config on @p spec.
+     */
+    SyncTime phaseCost(const AcceleratorSpec &spec, const MConfig &config,
+                       const PhaseProfile &phase, double threads) const;
+
+    /**
+     * Cost of one global barrier / parallel-region boundary crossing
+     * with @p threads participants, including the sleep-wake penalty
+     * implied by the blocktime / wait-policy choice when threads
+     * arrive imbalanced.
+     *
+     * @param imbalance spanFactor - 1 of the preceding phase.
+     */
+    double barrierCost(const AcceleratorSpec &spec, const MConfig &config,
+                       double threads, double imbalance) const;
+
+    /**
+     * Multiplier (>= 1) on shared-data communication time from the
+     * thread placement (M5-M7) and affinity (M8) choices. The ideal
+     * placement spread grows with work divergence and graph diameter
+     * (Sec. IV); the ideal affinity pins threads when read-write
+     * sharing is high.
+     */
+    double placementFactor(const MConfig &config,
+                           const GraphStats &stats,
+                           double rw_shared_fraction) const;
+
+    const SyncModelParams &params() const { return params_; }
+
+  private:
+    SyncModelParams params_;
+};
+
+} // namespace heteromap
+
+#endif // HETEROMAP_ARCH_SYNC_MODEL_HH

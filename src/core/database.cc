@@ -1,0 +1,125 @@
+/**
+ * @file
+ * ProfilerDatabase implementation.
+ */
+
+#include "core/database.hh"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace heteromap {
+
+std::string
+ProfilerDatabase::keyOf(const FeatureVector &features)
+{
+    std::ostringstream oss;
+    for (double v : features.asArray())
+        oss << static_cast<int>(std::lround(discretize01(v) * 10.0))
+            << ":";
+    return oss.str();
+}
+
+void
+ProfilerDatabase::insert(const FeatureVector &features,
+                         const NormalizedMVector &best)
+{
+    entries_[keyOf(features)] = Entry{features, best};
+}
+
+std::optional<NormalizedMVector>
+ProfilerDatabase::lookup(const FeatureVector &features) const
+{
+    auto it = entries_.find(keyOf(features));
+    if (it == entries_.end())
+        return std::nullopt;
+    return it->second.best;
+}
+
+NormalizedMVector
+ProfilerDatabase::nearest(const FeatureVector &features) const
+{
+    if (entries_.empty())
+        HM_FATAL("nearest() on an empty profiler database");
+    auto target = features.asArray();
+    const Entry *best_entry = nullptr;
+    double best_dist = 0.0;
+    for (const auto &[key, entry] : entries_) {
+        (void)key;
+        auto flat = entry.features.asArray();
+        double dist = 0.0;
+        for (std::size_t i = 0; i < flat.size(); ++i) {
+            double d = flat[i] - target[i];
+            dist += d * d;
+        }
+        if (best_entry == nullptr || dist < best_dist) {
+            best_entry = &entry;
+            best_dist = dist;
+        }
+    }
+    return best_entry->best;
+}
+
+TrainingSet
+ProfilerDatabase::toTrainingSet() const
+{
+    TrainingSet out;
+    out.reserve(entries_.size());
+    for (const auto &[key, entry] : entries_) {
+        (void)key;
+        out.push_back({entry.features, entry.best});
+    }
+    return out;
+}
+
+void
+ProfilerDatabase::save(std::ostream &os) const
+{
+    os << "# heteromap profiler database v1\n";
+    for (const auto &[key, entry] : entries_) {
+        (void)key;
+        for (double v : entry.features.asArray())
+            os << v << " ";
+        os << "->";
+        for (double v : entry.best.m)
+            os << " " << v;
+        os << "\n";
+    }
+}
+
+ProfilerDatabase
+ProfilerDatabase::load(std::istream &is)
+{
+    ProfilerDatabase db;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::array<double, kNumFeatures> flat{};
+        for (double &v : flat)
+            ls >> v;
+        std::string arrow;
+        ls >> arrow;
+        if (ls.fail() || arrow != "->")
+            HM_FATAL("profiler database line ", line_no,
+                     ": malformed entry");
+        NormalizedMVector best;
+        for (double &v : best.m)
+            ls >> v;
+        if (ls.fail())
+            HM_FATAL("profiler database line ", line_no,
+                     ": truncated M vector");
+        db.insert(featureVectorFromArray(flat), best);
+    }
+    return db;
+}
+
+} // namespace heteromap

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Profiler database (Sec. V "Training"): the offline store of
+ * (B, I) -> best-M tuples the training pipeline produces. Keys are the
+ * discretized feature grid; lookups support exact hits and
+ * nearest-neighbor fallback, and the store round-trips through a text
+ * format so a trained setup can be reused.
+ */
+
+#ifndef HETEROMAP_CORE_DATABASE_HH
+#define HETEROMAP_CORE_DATABASE_HH
+
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "model/predictor.hh"
+
+namespace heteromap {
+
+/** Offline (B, I) -> M store, indexed by the discretized features. */
+class ProfilerDatabase
+{
+  public:
+    ProfilerDatabase() = default;
+
+    /** Insert/overwrite the tuple for @p features. */
+    void insert(const FeatureVector &features,
+                const NormalizedMVector &best);
+
+    /** Exact lookup on the discretized key. */
+    std::optional<NormalizedMVector>
+    lookup(const FeatureVector &features) const;
+
+    /**
+     * Nearest stored entry by L2 feature distance; fatal when the
+     * database is empty.
+     */
+    NormalizedMVector nearest(const FeatureVector &features) const;
+
+    std::size_t size() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+
+    /** Convert the store to a TrainingSet for the learners. */
+    TrainingSet toTrainingSet() const;
+
+    /** Serialize as "key17 -> m20" text lines. */
+    void save(std::ostream &os) const;
+
+    /** Parse the save() format; fatal on malformed input. */
+    static ProfilerDatabase load(std::istream &is);
+
+  private:
+    /** Discretized feature grid key. */
+    static std::string keyOf(const FeatureVector &features);
+
+    struct Entry {
+        FeatureVector features;
+        NormalizedMVector best;
+    };
+    std::map<std::string, Entry> entries_;
+};
+
+} // namespace heteromap
+
+#endif // HETEROMAP_CORE_DATABASE_HH

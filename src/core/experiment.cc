@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Experiment harness implementation.
+ */
+
+#include "core/experiment.hh"
+
+#include <algorithm>
+
+#include "core/training.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+#include "workloads/registry.hh"
+
+namespace heteromap {
+
+const std::vector<BenchmarkCase> &
+evaluationCases()
+{
+    static const std::vector<BenchmarkCase> cases = [] {
+        std::vector<BenchmarkCase> out;
+        auto workloads = allWorkloads();
+        const auto &datasets = evaluationDatasets();
+        out.reserve(workloads.size() * datasets.size());
+        for (const auto &workload : workloads) {
+            for (const auto &dataset : datasets) {
+                inform("profiling ", workload->name(), " on ",
+                       dataset.shortName());
+                out.push_back(makeCase(*workload, dataset));
+            }
+        }
+        return out;
+    }();
+    return cases;
+}
+
+std::vector<const BenchmarkCase *>
+casesForWorkload(const std::string &workload_name)
+{
+    std::vector<const BenchmarkCase *> out;
+    for (const auto &bench : evaluationCases())
+        if (bench.workloadName == workload_name)
+            out.push_back(&bench);
+    return out;
+}
+
+std::vector<const BenchmarkCase *>
+casesForInput(const std::string &input_name)
+{
+    std::vector<const BenchmarkCase *> out;
+    for (const auto &bench : evaluationCases())
+        if (bench.inputName == input_name)
+            out.push_back(&bench);
+    return out;
+}
+
+TuneResult
+gridSearchSide(const MSearchSpace &space, const TuneObjective &objective,
+               AcceleratorKind side)
+{
+    TuneResult result;
+    bool first = true;
+    for (const MConfig &candidate : space.enumerate()) {
+        if (candidate.accelerator != side)
+            continue;
+        double score = objective(candidate);
+        ++result.evaluations;
+        if (first || score < result.bestScore) {
+            result.best = candidate;
+            result.bestScore = score;
+            first = false;
+        }
+    }
+    HM_ASSERT(!first, "no candidates on the requested accelerator side");
+    return result;
+}
+
+CaseBaselines
+computeBaselines(const BenchmarkCase &bench, const AcceleratorPair &pair,
+                 const Oracle &oracle, GridGranularity granularity)
+{
+    MSearchSpace space(pair, granularity);
+    TuneObjective objective = oracle.timeObjective(bench, pair);
+
+    CaseBaselines out;
+    TuneResult gpu =
+        gridSearchSide(space, objective, AcceleratorKind::Gpu);
+    TuneResult multicore =
+        gridSearchSide(space, objective, AcceleratorKind::Multicore);
+    out.gpuBest = gpu.best;
+    out.gpuSeconds = gpu.bestScore;
+    out.multicoreBest = multicore.best;
+    out.multicoreSeconds = multicore.bestScore;
+
+    if (gpu.bestScore <= multicore.bestScore) {
+        out.idealBest = gpu.best;
+        out.idealSeconds = gpu.bestScore;
+    } else {
+        out.idealBest = multicore.best;
+        out.idealSeconds = multicore.bestScore;
+    }
+    return out;
+}
+
+double
+accuracyVsIdeal(double actual_seconds, double ideal_seconds)
+{
+    if (actual_seconds <= 0.0)
+        return 0.0;
+    return clamp(ideal_seconds / actual_seconds, 0.0, 1.0);
+}
+
+AcceleratorPair
+pinnedPair(AcceleratorPair pair, uint64_t mem_bytes)
+{
+    if (mem_bytes == 0)
+        mem_bytes = std::min(pair.gpu.memBytes, pair.multicore.memBytes);
+    pair.gpu.memBytes = std::min(pair.gpu.maxMemBytes, mem_bytes);
+    pair.multicore.memBytes =
+        std::min(pair.multicore.maxMemBytes, mem_bytes);
+    return pair;
+}
+
+double
+deployedSeconds(const Deployment &deployment, const BenchmarkCase &bench)
+{
+    return deployment.report.seconds +
+           deployment.overheadMs * 1e-3 / bench.timeScale();
+}
+
+HeteroMap
+trainedHeteroMap(const AcceleratorPair &pair, const Oracle &oracle,
+                 PredictorKind kind, std::size_t synthetic_benchmarks)
+{
+    TrainingOptions options;
+    options.syntheticBenchmarks = synthetic_benchmarks;
+    options.syntheticIterations = 1;
+    TrainingPipeline pipeline(pair, oracle, options);
+    TrainingSet corpus = pipeline.run();
+
+    HeteroMap framework(pair, makePredictor(kind), oracle);
+    framework.trainOffline(corpus);
+    return framework;
+}
+
+} // namespace heteromap

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Shared experiment harness for the bench binaries: the cached 9x9
+ * benchmark-input case grid (Sec. VI-B x Table I), per-case
+ * single-accelerator and ideal baselines, and the paper's metrics
+ * (speedup over the GPU baseline, accuracy vs the ideal).
+ */
+
+#ifndef HETEROMAP_CORE_EXPERIMENT_HH
+#define HETEROMAP_CORE_EXPERIMENT_HH
+
+#include <vector>
+
+#include "core/heteromap.hh"
+#include "core/oracle.hh"
+#include "tuner/grid_search.hh"
+
+namespace heteromap {
+
+/**
+ * The full evaluation grid: every paper benchmark on every Table I
+ * dataset, profiled once per process and cached. The first call is
+ * expensive (it executes all 81 combinations).
+ */
+const std::vector<BenchmarkCase> &evaluationCases();
+
+/** Subset view of evaluationCases() for one workload. */
+std::vector<const BenchmarkCase *>
+casesForWorkload(const std::string &workload_name);
+
+/** Subset view of evaluationCases() for one input. */
+std::vector<const BenchmarkCase *>
+casesForInput(const std::string &input_name);
+
+/** Grid search restricted to one accelerator side. */
+TuneResult gridSearchSide(const MSearchSpace &space,
+                          const TuneObjective &objective,
+                          AcceleratorKind side);
+
+/** Tuned single-accelerator baselines + the cross-accelerator ideal. */
+struct CaseBaselines {
+    MConfig gpuBest;
+    MConfig multicoreBest;
+    MConfig idealBest;
+    double gpuSeconds = 0.0;
+    double multicoreSeconds = 0.0;
+    double idealSeconds = 0.0;
+};
+
+/**
+ * Compute baselines for one case: best GPU-only configuration, best
+ * multicore-only configuration (both OpenTuner-style optimized, per
+ * Sec. VI-C), and the overall ideal.
+ */
+CaseBaselines computeBaselines(const BenchmarkCase &bench,
+                               const AcceleratorPair &pair,
+                               const Oracle &oracle,
+                               GridGranularity granularity =
+                                   GridGranularity::Fine);
+
+/** ideal/actual performance ratio in [0, 1] — Table IV "Accuracy". */
+double accuracyVsIdeal(double actual_seconds, double ideal_seconds);
+
+/**
+ * Pin both accelerators' memory to the same size (Sec. VI-A: "the
+ * main memory used by both accelerators is pinned to the smallest one
+ * available"). @p mem_bytes = 0 picks the smaller of the two.
+ */
+AcceleratorPair pinnedPair(AcceleratorPair pair, uint64_t mem_bytes = 0);
+
+/**
+ * Train one predictor on the default synthetic corpus and wrap it in
+ * a ready-to-deploy HeteroMap runtime. Shared by the evaluation
+ * benches; options default to the corpus size the benches use.
+ */
+HeteroMap trainedHeteroMap(const AcceleratorPair &pair,
+                           const Oracle &oracle, PredictorKind kind,
+                           std::size_t synthetic_benchmarks = 32);
+
+/**
+ * Deployment completion time with the framework's (real, measured)
+ * inference overhead charged at the case's nominal time scale — the
+ * paper adds milliseconds of overhead to seconds-scale runs; our
+ * modelled times are proxy-scaled, so the overhead is divided by
+ * BenchmarkCase::timeScale() to keep its relative weight faithful.
+ */
+double deployedSeconds(const Deployment &deployment,
+                       const BenchmarkCase &bench);
+
+} // namespace heteromap
+
+#endif // HETEROMAP_CORE_EXPERIMENT_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * HeteroMap runtime implementation.
+ */
+
+#include "core/heteromap.hh"
+
+#include "model/adaptive_library.hh"
+#include "model/decision_tree.hh"
+#include "model/linear_regression.hh"
+#include "model/mlp.hh"
+#include "model/poly_regression.hh"
+#include "util/logging.hh"
+#include "util/timer.hh"
+
+namespace heteromap {
+
+std::unique_ptr<Predictor>
+makePredictor(PredictorKind kind)
+{
+    switch (kind) {
+      case PredictorKind::DecisionTree:
+        return std::make_unique<DecisionTreeHeuristic>();
+      case PredictorKind::LinearRegression:
+        return std::make_unique<LinearRegression>();
+      case PredictorKind::MultiRegression:
+        return std::make_unique<PolyRegression>(7);
+      case PredictorKind::AdaptiveLibrary:
+        return std::make_unique<AdaptiveLibrary>();
+      case PredictorKind::Deep16:
+        return std::make_unique<Mlp>(16);
+      case PredictorKind::Deep32:
+        return std::make_unique<Mlp>(32);
+      case PredictorKind::Deep64:
+        return std::make_unique<Mlp>(64);
+      case PredictorKind::Deep128:
+        return std::make_unique<Mlp>(128);
+    }
+    HM_PANIC("unhandled predictor kind");
+}
+
+const std::vector<PredictorKind> &
+allPredictorKinds()
+{
+    static const std::vector<PredictorKind> kinds = {
+        PredictorKind::DecisionTree,    PredictorKind::LinearRegression,
+        PredictorKind::MultiRegression, PredictorKind::AdaptiveLibrary,
+        PredictorKind::Deep16,          PredictorKind::Deep32,
+        PredictorKind::Deep64,          PredictorKind::Deep128,
+    };
+    return kinds;
+}
+
+HeteroMap::HeteroMap(AcceleratorPair pair,
+                     std::unique_ptr<Predictor> predictor,
+                     const Oracle &oracle)
+    : pair_(std::move(pair)), predictor_(std::move(predictor)),
+      oracle_(oracle)
+{
+    HM_ASSERT(predictor_ != nullptr, "HeteroMap requires a predictor");
+}
+
+void
+HeteroMap::trainOffline(const TrainingSet &corpus)
+{
+    predictor_->train(corpus);
+}
+
+Deployment
+HeteroMap::deploy(const BenchmarkCase &bench) const
+{
+    Deployment out;
+
+    // The inference latency is real wall-clock time — the paper adds
+    // the framework's runtime overhead to the completion time.
+    Timer timer;
+    timer.start();
+    out.predicted = predictor_->predict(bench.features);
+    out.config = deployNormalized(out.predicted, pair_);
+    out.overheadMs = timer.elapsedMillis();
+
+    out.report = oracle_.run(bench, pair_, out.config);
+    return out;
+}
+
+} // namespace heteromap

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The HeteroMap runtime (Fig. 8): offline-trained predictor + online
+ * evaluation. Given a discretized benchmark-input combination, the
+ * framework predicts machine choices, deploys them on the selected
+ * accelerator, and charges its own (real, measured) inference latency
+ * to the completion time, exactly as the paper's methodology does.
+ */
+
+#ifndef HETEROMAP_CORE_HETEROMAP_HH
+#define HETEROMAP_CORE_HETEROMAP_HH
+
+#include <memory>
+
+#include "core/oracle.hh"
+#include "model/predictor.hh"
+
+namespace heteromap {
+
+/** The learner strategies of Table IV. */
+enum class PredictorKind {
+    DecisionTree,
+    LinearRegression,
+    MultiRegression,
+    AdaptiveLibrary,
+    Deep16,
+    Deep32,
+    Deep64,
+    Deep128,
+};
+
+/** Instantiate one of the Table IV learners. */
+std::unique_ptr<Predictor> makePredictor(PredictorKind kind);
+
+/** All Table IV learner kinds, in table order. */
+const std::vector<PredictorKind> &allPredictorKinds();
+
+/** Result of one online deployment. */
+struct Deployment {
+    MConfig config;            //!< deployed machine choices
+    ExecutionReport report;    //!< modelled on-chip execution
+    double overheadMs = 0.0;   //!< measured predictor latency
+    NormalizedMVector predicted;
+
+    /** Completion time including the framework's overhead. */
+    double
+    totalSeconds() const
+    {
+        return report.seconds + overheadMs * 1e-3;
+    }
+};
+
+/** Trained predictor bound to a multi-accelerator pair. */
+class HeteroMap
+{
+  public:
+    /**
+     * @param pair      Target multi-accelerator system.
+     * @param predictor Learner (trained or analytical).
+     * @param oracle    Evaluation oracle for deployment.
+     */
+    HeteroMap(AcceleratorPair pair, std::unique_ptr<Predictor> predictor,
+              const Oracle &oracle);
+
+    /** Fit the learner on an offline corpus (no-op for analytical). */
+    void trainOffline(const TrainingSet &corpus);
+
+    /** Predict, deploy, and report one benchmark-input combination. */
+    Deployment deploy(const BenchmarkCase &bench) const;
+
+    const Predictor &predictor() const { return *predictor_; }
+    const AcceleratorPair &pair() const { return pair_; }
+
+  private:
+    AcceleratorPair pair_;
+    std::unique_ptr<Predictor> predictor_;
+    const Oracle &oracle_;
+};
+
+} // namespace heteromap
+
+#endif // HETEROMAP_CORE_HETEROMAP_HH

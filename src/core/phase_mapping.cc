@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Phase-level mapping implementation. Each phase is scored in
+ * isolation (a single-phase profile inheriting its share of the
+ * workload's barriers) under both sides' tuned configurations; the
+ * assignment takes the per-phase minimum, and switches between
+ * adjacent phases pay a per-iteration state transfer.
+ */
+
+#include "core/phase_mapping.hh"
+
+#include <algorithm>
+
+#include "arch/cache_model.hh"
+#include "util/logging.hh"
+
+namespace heteromap {
+
+PhaseMappingResult
+evaluatePhaseMapping(const BenchmarkCase &bench,
+                     const AcceleratorPair &pair, const Oracle &oracle,
+                     double interconnect_gbs)
+{
+    HM_ASSERT(interconnect_gbs > 0.0,
+              "interconnect bandwidth must be positive");
+
+    CaseBaselines base = computeBaselines(bench, pair, oracle,
+                                          GridGranularity::Coarse);
+
+    PhaseMappingResult result;
+    result.wholeBenchmarkSeconds = base.idealSeconds;
+
+    const WorkloadProfile &profile = bench.profile;
+    const double total_invocations = [&] {
+        double sum = 0.0;
+        for (const auto &phase : profile.phases)
+            sum += static_cast<double>(phase.invocations);
+        return std::max(1.0, sum);
+    }();
+
+    std::vector<AcceleratorKind> chosen;
+    for (const auto &phase : profile.phases) {
+        // Single-phase profile with a proportional barrier share.
+        WorkloadProfile solo;
+        solo.phases.push_back(phase);
+        solo.iterations = profile.iterations;
+        solo.barriers = static_cast<uint64_t>(
+            static_cast<double>(profile.barriers) *
+            static_cast<double>(phase.invocations) /
+            total_invocations);
+
+        BenchmarkCase phase_case = bench;
+        phase_case.profile = solo;
+
+        double gpu_s =
+            oracle.seconds(phase_case, pair, base.gpuBest);
+        double mc_s =
+            oracle.seconds(phase_case, pair, base.multicoreBest);
+        AcceleratorKind side = gpu_s <= mc_s
+                                   ? AcceleratorKind::Gpu
+                                   : AcceleratorKind::Multicore;
+        chosen.push_back(side);
+        result.assignment.emplace_back(phase.name, side);
+        result.freeTransferSeconds += std::min(gpu_s, mc_s);
+    }
+
+    // Transfers: per outer iteration, every adjacent-phase boundary
+    // whose sides differ moves the hot per-vertex state across the
+    // interconnect (plus the wrap-around boundary of the loop).
+    unsigned switches = 0;
+    for (std::size_t i = 0; i + 1 < chosen.size(); ++i)
+        switches += chosen[i] != chosen[i + 1];
+    if (chosen.size() > 1 && chosen.front() != chosen.back())
+        ++switches;
+    result.switchesPerIteration = switches;
+
+    const double state_bytes =
+        CacheModel::vertexStateBytes(bench.scaleStats);
+    // Scale the nominal state volume down to proxy time units, like
+    // every other modelled cost (the profile is proxy-scaled).
+    const double proxy_state_bytes = state_bytes / bench.timeScale();
+    const double transfer_seconds =
+        static_cast<double>(switches) *
+        static_cast<double>(std::max<uint64_t>(1, profile.iterations)) *
+        proxy_state_bytes / (interconnect_gbs * 1e9);
+
+    result.withTransferSeconds =
+        result.freeTransferSeconds + transfer_seconds;
+    return result;
+}
+
+} // namespace heteromap

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Phase-level accelerator mapping — the "temporal aspects, where
+ * program parts are run on either accelerator" that Sec. V-A
+ * explicitly leaves out. This extension evaluates the headroom such a
+ * scheme would have: each phase of a workload is assigned to the
+ * accelerator that runs it fastest, charging an interconnect transfer
+ * of the per-vertex state on every switch between adjacent phases.
+ */
+
+#ifndef HETEROMAP_CORE_PHASE_MAPPING_HH
+#define HETEROMAP_CORE_PHASE_MAPPING_HH
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+
+namespace heteromap {
+
+/** Outcome of a phase-level mapping analysis for one case. */
+struct PhaseMappingResult {
+    /** Whole-benchmark ideal (best single accelerator, tuned). */
+    double wholeBenchmarkSeconds = 0.0;
+    /** Phase-level seconds with free transfers (upper bound). */
+    double freeTransferSeconds = 0.0;
+    /** Phase-level seconds including interconnect transfers. */
+    double withTransferSeconds = 0.0;
+    /** Accelerator switches per outer iteration. */
+    unsigned switchesPerIteration = 0;
+    /** Chosen accelerator per phase, in profile order. */
+    std::vector<std::pair<std::string, AcceleratorKind>> assignment;
+};
+
+/**
+ * Evaluate phase-level mapping for @p bench on @p pair, scoring each
+ * phase under the side's whole-benchmark tuned configuration.
+ *
+ * @param interconnect_gbs Host interconnect bandwidth for state
+ *        transfers between accelerators (PCIe 3.0 x16 ~ 12 GB/s).
+ */
+PhaseMappingResult evaluatePhaseMapping(const BenchmarkCase &bench,
+                                        const AcceleratorPair &pair,
+                                        const Oracle &oracle,
+                                        double interconnect_gbs = 12.0);
+
+} // namespace heteromap
+
+#endif // HETEROMAP_CORE_PHASE_MAPPING_HH

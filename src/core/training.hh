@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Offline training pipeline (Sec. V, Fig. 8 step 1): synthetic
+ * benchmarks (B-vector mixes) x synthetic graphs (Table III families)
+ * are executed, auto-tuned to their best M configuration, and recorded
+ * in the profiler database / training set the learners fit.
+ */
+
+#ifndef HETEROMAP_CORE_TRAINING_HH
+#define HETEROMAP_CORE_TRAINING_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/database.hh"
+#include "core/oracle.hh"
+
+namespace heteromap {
+
+/** Tuner used to label each synthetic combination. */
+enum class TunerKind {
+    Grid,
+    Random,
+    Anneal,
+};
+
+/** Pipeline knobs. Defaults balance corpus quality and runtime. */
+struct TrainingOptions {
+    std::size_t syntheticBenchmarks = 48; //!< B vectors to sample
+    unsigned syntheticIterations = 2;     //!< outer iterations per run
+    TunerKind tuner = TunerKind::Grid;
+    GridGranularity granularity = GridGranularity::Coarse;
+    std::size_t searchIterations = 400;   //!< for Random/Anneal
+    bool energyObjective = false;         //!< train for energy instead
+    uint64_t seed = 2026;
+};
+
+/** A named synthetic training graph. */
+struct TrainingGraph {
+    std::string name;
+    Graph graph;
+    GraphStats stats;      //!< measured (shape) statistics
+    GraphStats scaleStats; //!< nominal scale the graph stands in for
+};
+
+/**
+ * Scaled-down Table III corpus: uniform-random and Kronecker graphs
+ * across sizes and densities. Each executed instance stands in for a
+ * family of nominal sizes spanning Table III's 16-65M vertex / up to
+ * 2B edge range, so the training corpus covers the I-feature space
+ * the real inputs occupy (the paper trains on graphs this large for
+ * exactly that reason). Deterministic in @p seed.
+ */
+std::vector<TrainingGraph> defaultTrainingGraphs(uint64_t seed);
+
+/** Runs the offline sweep and accumulates labelled samples. */
+class TrainingPipeline
+{
+  public:
+    TrainingPipeline(AcceleratorPair pair, const Oracle &oracle,
+                     TrainingOptions options = {});
+
+    /**
+     * Execute the sweep over @p graphs (defaultTrainingGraphs when
+     * empty) and return the labelled corpus. Also fills database().
+     */
+    TrainingSet run(const std::vector<TrainingGraph> &graphs = {});
+
+    /** The (B, I) -> M store filled by run(). */
+    const ProfilerDatabase &database() const { return database_; }
+
+    /** Tuner evaluations spent in the last run(). */
+    std::size_t evaluations() const { return evaluations_; }
+
+  private:
+    AcceleratorPair pair_;
+    const Oracle &oracle_;
+    TrainingOptions options_;
+    ProfilerDatabase database_;
+    std::size_t evaluations_ = 0;
+
+    TuneResult tuneCase(const BenchmarkCase &bench);
+};
+
+} // namespace heteromap
+
+#endif // HETEROMAP_CORE_TRAINING_HH

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Instrumented executor. Workloads express their outer loops through
+ * parallelFor()/barrier(); the executor runs the kernels *serially and
+ * deterministically* while recording per-phase counters and the work
+ * distribution over the item index space. Parallel behaviour (span,
+ * imbalance, schedule policy) is reconstructed afterwards by the
+ * ScheduleModel from the recorded bucket histogram, so one execution
+ * serves every accelerator / thread-count / schedule combination.
+ */
+
+#ifndef HETEROMAP_EXEC_EXECUTOR_HH
+#define HETEROMAP_EXEC_EXECUTOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exec/profile.hh"
+
+namespace heteromap {
+
+/** OpenMP-style scheduling policies (machine choice M9). */
+enum class SchedulePolicy {
+    Static,
+    StaticChunked,
+    Guided,
+    Dynamic,
+    Auto,
+};
+
+/** @return a short name, e.g. "dynamic". */
+const char *schedulePolicyName(SchedulePolicy policy);
+
+/**
+ * Collects a WorkloadProfile while a workload executes. One Executor
+ * instance per (workload, input) run.
+ */
+class Executor
+{
+  public:
+    /** Kernel signature: item index plus a cost recorder. */
+    using Kernel = std::function<void(uint64_t, ItemCost &)>;
+
+    Executor() = default;
+
+    /**
+     * Run @p kernel over [0, num_items) under phase @p name of kind
+     * @p kind. Repeated invocations with the same name accumulate into
+     * one PhaseProfile. Items execute in index order.
+     */
+    void parallelFor(const std::string &name, PhaseKind kind,
+                     uint64_t num_items, const Kernel &kernel);
+
+    /** Record one global barrier crossing. */
+    void barrier();
+
+    /** Mark the completion of one outer iteration. */
+    void endIteration();
+
+    /** @return the accumulated profile (valid any time). */
+    const WorkloadProfile &profile() const { return profile_; }
+
+    /** Move the profile out; the executor is reset afterwards. */
+    WorkloadProfile takeProfile();
+
+  private:
+    WorkloadProfile profile_;
+
+    /** Find-or-create the accumulation slot for a phase. */
+    PhaseProfile &phaseSlot(const std::string &name, PhaseKind kind);
+};
+
+/**
+ * Reconstructs parallel spans from a phase's bucket histogram.
+ *
+ * Given T threads and a scheduling policy, spanFactor() returns the
+ * ratio of the parallel span to the ideal span (total / T); 1.0 means
+ * perfectly balanced. chunkCount() reports how many scheduling events
+ * the policy generates, which the performance model charges dynamic-
+ * scheduling overhead for.
+ */
+class ScheduleModel
+{
+  public:
+    /**
+     * @param bucket_cost   Work-unit histogram (from PhaseProfile).
+     * @param chunk_buckets Chunk size for StaticChunked/Dynamic, in
+     *                      buckets; <= 0 picks a default of 1.
+     * @param max_item_cost Heaviest single item (span floor).
+     */
+    explicit ScheduleModel(const std::vector<double> &bucket_cost,
+                           double chunk_buckets = 0.0,
+                           double max_item_cost = 0.0);
+
+    /** Span ratio >= 1 for @p threads under @p policy. */
+    double spanFactor(unsigned threads, SchedulePolicy policy) const;
+
+    /** Scheduling events charged overhead under @p policy. */
+    double chunkCount(unsigned threads, SchedulePolicy policy) const;
+
+    /** Total recorded work units. */
+    double totalCost() const { return total_; }
+
+  private:
+    std::vector<double> buckets_;
+    std::vector<double> prefix_; //!< prefix sums over buckets_
+    double total_ = 0.0;
+    double maxBucket_ = 0.0;
+    double maxChunk_ = 0.0;      //!< heaviest aligned chunk
+    double chunkBuckets_ = 0.0;
+    double maxItemCost_ = 0.0;
+
+    double staticSpan(unsigned threads) const;
+    double chunkedSpan(unsigned threads, double chunk_buckets) const;
+    double dynamicSpan(unsigned threads) const;
+};
+
+} // namespace heteromap
+
+#endif // HETEROMAP_EXEC_EXECUTOR_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * B-variable helpers.
+ */
+
+#include "features/bvars.hh"
+
+#include <sstream>
+
+namespace heteromap {
+
+std::array<double, 13>
+BVariables::asArray() const
+{
+    return {b1, b2, b3, b4, b5, b6, b7, b8, b9, b10, b11, b12, b13};
+}
+
+std::string
+BVariables::validate() const
+{
+    auto values = asArray();
+    std::ostringstream oss;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (values[i] < 0.0 || values[i] > 1.0) {
+            oss << "B" << (i + 1) << "=" << values[i]
+                << " outside [0, 1]; ";
+        }
+    }
+    return oss.str();
+}
+
+std::string
+BVariables::toString() const
+{
+    std::ostringstream oss;
+    oss << "[";
+    auto values = asArray();
+    for (std::size_t i = 0; i < values.size(); ++i)
+        oss << values[i] << (i + 1 == values.size() ? "]" : ", ");
+    return oss.str();
+}
+
+} // namespace heteromap

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Benchmark (B) variables, Section III-C: thirteen normalized,
+ * 0.1-discretized characteristics of a graph workload, set by the
+ * programmer (here: encoded per workload from Fig. 5/6).
+ *
+ * Vertex processing & scheduling (mutually exclusive phase mix, sums
+ * to 1 over B1-B5):
+ *   B1 vertex division   B2 pareto fronts   B3 pareto-dynamic
+ *   B4 push-pop          B5 reduction
+ * Compute type:
+ *   B6 floating-point data fraction
+ * Memory access patterns:
+ *   B7 data-driven (loop-index) addressing   B8 indirect addressing
+ * Data movement:
+ *   B9 read-only shared   B10 read-write shared   B11 local data
+ * Synchronization:
+ *   B12 contention (atomics)   B13 barriers per iteration
+ */
+
+#ifndef HETEROMAP_FEATURES_BVARS_HH
+#define HETEROMAP_FEATURES_BVARS_HH
+
+#include <array>
+#include <string>
+
+namespace heteromap {
+
+/** The thirteen benchmark variables, each in {0.0, 0.1, ..., 1.0}. */
+struct BVariables {
+    double b1 = 0.0;  //!< % program in vertex division
+    double b2 = 0.0;  //!< % program in pareto fronts
+    double b3 = 0.0;  //!< % program in dynamic paretos
+    double b4 = 0.0;  //!< % program in push-pops
+    double b5 = 0.0;  //!< % program in reductions
+    double b6 = 0.0;  //!< % floating-point data
+    double b7 = 0.0;  //!< % data-driven addressing
+    double b8 = 0.0;  //!< % indirect addressing
+    double b9 = 0.0;  //!< % read-only shared data
+    double b10 = 0.0; //!< % read-write shared data
+    double b11 = 0.0; //!< % locally accessed data
+    double b12 = 0.0; //!< % data contended via atomics
+    double b13 = 0.0; //!< barriers per iteration (x0.1)
+
+    /** Flat view for feature-vector assembly. */
+    std::array<double, 13> asArray() const;
+
+    /** Phase-mix sum B1+...+B5 (should be ~1 for real workloads). */
+    double phaseSum() const { return b1 + b2 + b3 + b4 + b5; }
+
+    /**
+     * Validate ranges: every variable in [0, 1]. @return a diagnostic
+     * string, empty when valid.
+     */
+    std::string validate() const;
+
+    /** "[b1, ..., b13]" for diagnostics. */
+    std::string toString() const;
+
+    bool operator==(const BVariables &) const = default;
+};
+
+} // namespace heteromap
+
+#endif // HETEROMAP_FEATURES_BVARS_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * FeatureVector flattening helpers.
+ */
+
+#include "features/feature_vector.hh"
+
+namespace heteromap {
+
+std::array<double, kNumFeatures>
+FeatureVector::asArray() const
+{
+    std::array<double, kNumFeatures> flat{};
+    auto bs = b.asArray();
+    auto is = i.asArray();
+    std::size_t k = 0;
+    for (double v : bs)
+        flat[k++] = v;
+    for (double v : is)
+        flat[k++] = v;
+    return flat;
+}
+
+std::vector<double>
+FeatureVector::asVector() const
+{
+    auto flat = asArray();
+    return {flat.begin(), flat.end()};
+}
+
+FeatureVector
+featureVectorFromArray(const std::array<double, kNumFeatures> &flat)
+{
+    FeatureVector fv;
+    fv.b.b1 = flat[0];
+    fv.b.b2 = flat[1];
+    fv.b.b3 = flat[2];
+    fv.b.b4 = flat[3];
+    fv.b.b5 = flat[4];
+    fv.b.b6 = flat[5];
+    fv.b.b7 = flat[6];
+    fv.b.b8 = flat[7];
+    fv.b.b9 = flat[8];
+    fv.b.b10 = flat[9];
+    fv.b.b11 = flat[10];
+    fv.b.b12 = flat[11];
+    fv.b.b13 = flat[12];
+    fv.i.i1 = flat[13];
+    fv.i.i2 = flat[14];
+    fv.i.i3 = flat[15];
+    fv.i.i4 = flat[16];
+    return fv;
+}
+
+} // namespace heteromap

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The 17-element (B, I) feature vector the automated predictors take
+ * as input — 13 benchmark variables followed by 4 input variables,
+ * matching the paper's 17 input neurons (Fig. 10).
+ */
+
+#ifndef HETEROMAP_FEATURES_FEATURE_VECTOR_HH
+#define HETEROMAP_FEATURES_FEATURE_VECTOR_HH
+
+#include <array>
+#include <vector>
+
+#include "features/bvars.hh"
+#include "features/ivars.hh"
+
+namespace heteromap {
+
+/** Number of predictor inputs: 13 B variables + 4 I variables. */
+inline constexpr std::size_t kNumFeatures = 17;
+
+/** Combined (B, I) sample. */
+struct FeatureVector {
+    BVariables b;
+    IVariables i;
+
+    /** Flatten to [b1..b13, i1..i4]. */
+    std::array<double, kNumFeatures> asArray() const;
+
+    /** Flatten to a std::vector (for the linear-algebra layer). */
+    std::vector<double> asVector() const;
+
+    bool operator==(const FeatureVector &) const = default;
+};
+
+/** Rebuild a FeatureVector from a flat array. */
+FeatureVector featureVectorFromArray(
+    const std::array<double, kNumFeatures> &flat);
+
+} // namespace heteromap
+
+#endif // HETEROMAP_FEATURES_FEATURE_VECTOR_HH

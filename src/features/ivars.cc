@@ -1,0 +1,89 @@
+/**
+ * @file
+ * I-variable extraction implementation.
+ */
+
+#include "features/ivars.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace heteromap {
+
+double
+IVariables::avgDegreeTerm() const
+{
+    double ratio = i1 > 0.0 ? i2 / i1 : i2;
+    return clamp(std::fabs(i3 - ratio), 0.0, 1.0);
+}
+
+double
+IVariables::avgDegreeDiameterTerm() const
+{
+    return clamp(std::fabs((i4 + avgDegreeTerm()) / 2.0), 0.0, 1.0);
+}
+
+std::string
+IVariables::toString() const
+{
+    std::ostringstream oss;
+    oss << "[" << i1 << ", " << i2 << ", " << i3 << ", " << i4 << "]";
+    return oss.str();
+}
+
+double
+decadeScore(double value, double max_value, double decades)
+{
+    HM_ASSERT(max_value > 0.0, "decadeScore requires a positive maximum");
+    HM_ASSERT(decades > 0.0, "decadeScore requires positive decades");
+    if (value <= 0.0)
+        return 0.0;
+    double gap = std::log10(max_value / value);
+    return clamp(1.0 - gap / decades, 0.0, 1.0);
+}
+
+double
+linearFloorScore(double value, double max_value)
+{
+    HM_ASSERT(max_value > 0.0,
+              "linearFloorScore requires a positive maximum");
+    if (value <= 0.0)
+        return 0.0;
+    return clamp(std::max(value / max_value, 0.1), 0.0, 1.0);
+}
+
+IVariables
+extractIVariables(const GraphStats &stats, const LiteratureMaxima &maxima)
+{
+    IVariables vars;
+    vars.i1 = discretize01(
+        decadeScore(static_cast<double>(stats.numVertices),
+                    maxima.maxVertices));
+    vars.i2 = discretize01(
+        linearFloorScore(static_cast<double>(stats.numEdges),
+                         maxima.maxEdges));
+    vars.i3 = discretize01(
+        decadeScore(static_cast<double>(stats.maxDegree),
+                    maxima.maxDegree));
+    vars.i4 = discretize01(
+        decadeScore(static_cast<double>(stats.diameter),
+                    maxima.maxDiameter));
+    return vars;
+}
+
+IVariables
+extractIVariables(const GraphStats &stats)
+{
+    return extractIVariables(stats, literatureMaxima());
+}
+
+IVariables
+extractIVariables(const Dataset &dataset)
+{
+    return extractIVariables(dataset.nominal(), literatureMaxima());
+}
+
+} // namespace heteromap

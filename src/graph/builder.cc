@@ -1,0 +1,129 @@
+/**
+ * @file
+ * GraphBuilder implementation: edge accumulation, option application,
+ * and counting-sort CSR finalization.
+ */
+
+#include "graph/builder.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace heteromap {
+
+GraphBuilder::GraphBuilder(VertexId num_vertices)
+    : numVertices_(num_vertices)
+{
+}
+
+void
+GraphBuilder::addEdge(VertexId src, VertexId dst, float weight)
+{
+    HM_ASSERT(src < numVertices_, "edge source ", src, " out of range");
+    HM_ASSERT(dst < numVertices_, "edge target ", dst, " out of range");
+    edges_.push_back({src, dst, weight});
+}
+
+GraphBuilder &
+GraphBuilder::symmetrize(bool on)
+{
+    symmetrize_ = on;
+    return *this;
+}
+
+GraphBuilder &
+GraphBuilder::dedup(bool on)
+{
+    dedup_ = on;
+    return *this;
+}
+
+GraphBuilder &
+GraphBuilder::dropSelfLoops(bool on)
+{
+    dropSelfLoops_ = on;
+    return *this;
+}
+
+GraphBuilder &
+GraphBuilder::randomWeights(uint64_t seed, float lo, float hi)
+{
+    HM_ASSERT(lo < hi, "weight range must be non-empty");
+    randomWeights_ = true;
+    weightSeed_ = seed;
+    weightLo_ = lo;
+    weightHi_ = hi;
+    return *this;
+}
+
+Graph
+GraphBuilder::build(bool weighted)
+{
+    std::vector<RawEdge> work;
+    work.swap(edges_);
+
+    if (dropSelfLoops_) {
+        std::erase_if(work, [](const RawEdge &e) { return e.src == e.dst; });
+    }
+
+    if (symmetrize_) {
+        std::size_t original = work.size();
+        work.reserve(original * 2);
+        for (std::size_t i = 0; i < original; ++i) {
+            const RawEdge &e = work[i];
+            work.push_back({e.dst, e.src, e.weight});
+        }
+    }
+
+    if (randomWeights_) {
+        // Assign deterministic weights keyed on the endpoint pair so
+        // both arcs of a symmetrized edge get the same weight.
+        for (auto &e : work) {
+            uint64_t key = (static_cast<uint64_t>(std::min(e.src, e.dst))
+                            << 32) |
+                           std::max(e.src, e.dst);
+            Rng rng(weightSeed_ ^ (key * 0x9e3779b97f4a7c15ULL));
+            e.weight = static_cast<float>(
+                rng.nextDouble(weightLo_, weightHi_));
+        }
+    }
+
+    std::sort(work.begin(), work.end(),
+              [](const RawEdge &a, const RawEdge &b) {
+                  if (a.src != b.src)
+                      return a.src < b.src;
+                  return a.dst < b.dst;
+              });
+
+    if (dedup_) {
+        auto last = std::unique(work.begin(), work.end(),
+                                [](const RawEdge &a, const RawEdge &b) {
+                                    return a.src == b.src && a.dst == b.dst;
+                                });
+        work.erase(last, work.end());
+    }
+
+    std::vector<EdgeId> offsets(static_cast<std::size_t>(numVertices_) + 1,
+                                0);
+    for (const auto &e : work)
+        ++offsets[e.src + 1];
+    for (std::size_t v = 1; v < offsets.size(); ++v)
+        offsets[v] += offsets[v - 1];
+
+    std::vector<VertexId> neighbors(work.size());
+    std::vector<float> weights;
+    if (weighted)
+        weights.resize(work.size());
+    for (std::size_t i = 0; i < work.size(); ++i) {
+        neighbors[i] = work[i].dst;
+        if (weighted)
+            weights[i] = work[i].weight;
+    }
+
+    return Graph(std::move(offsets), std::move(neighbors),
+                 std::move(weights));
+}
+
+} // namespace heteromap

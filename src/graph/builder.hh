@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Mutable edge-list accumulator that produces an immutable CSR Graph.
+ * All generators and the I/O layer build graphs through this class so
+ * the CSR invariants are established in exactly one place.
+ */
+
+#ifndef HETEROMAP_GRAPH_BUILDER_HH
+#define HETEROMAP_GRAPH_BUILDER_HH
+
+#include <vector>
+
+#include "graph/graph.hh"
+
+namespace heteromap {
+
+/** A single weighted arc used during construction. */
+struct RawEdge {
+    VertexId src;
+    VertexId dst;
+    float weight;
+};
+
+/**
+ * Accumulates edges and finalizes them into a CSR Graph.
+ *
+ * Options:
+ *  - symmetrize: add the reverse arc of every edge (undirected graphs);
+ *  - dedup: drop parallel arcs (keeping the first weight seen);
+ *  - dropSelfLoops: discard u->u arcs.
+ */
+class GraphBuilder
+{
+  public:
+    /** Create a builder for @p num_vertices vertices. */
+    explicit GraphBuilder(VertexId num_vertices);
+
+    /** Add one directed arc @p src -> @p dst with @p weight. */
+    void addEdge(VertexId src, VertexId dst, float weight = 1.0f);
+
+    /** Request reverse-arc insertion at build time. */
+    GraphBuilder &symmetrize(bool on = true);
+
+    /** Request parallel-arc removal at build time. */
+    GraphBuilder &dedup(bool on = true);
+
+    /** Request self-loop removal at build time. */
+    GraphBuilder &dropSelfLoops(bool on = true);
+
+    /** Attach uniform-random weights in [lo, hi) at build time. */
+    GraphBuilder &randomWeights(uint64_t seed, float lo = 1.0f,
+                                float hi = 64.0f);
+
+    /** @return number of arcs currently accumulated (pre-options). */
+    std::size_t pendingEdges() const { return edges_.size(); }
+
+    /** @return vertex count the builder was created with. */
+    VertexId numVertices() const { return numVertices_; }
+
+    /**
+     * Finalize into a CSR graph with sorted adjacency lists. The
+     * builder is left empty afterwards.
+     */
+    Graph build(bool weighted = true);
+
+  private:
+    VertexId numVertices_;
+    std::vector<RawEdge> edges_;
+    bool symmetrize_ = false;
+    bool dedup_ = false;
+    bool dropSelfLoops_ = false;
+    bool randomWeights_ = false;
+    uint64_t weightSeed_ = 0;
+    float weightLo_ = 1.0f;
+    float weightHi_ = 64.0f;
+};
+
+} // namespace heteromap
+
+#endif // HETEROMAP_GRAPH_BUILDER_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Registry of the paper's Table I evaluation inputs. Each entry pairs
+ * the *nominal* Table I characteristics (used by the I-variable
+ * extractor so the prediction path sees the paper's feature values)
+ * with a scaled-down synthetic *proxy* graph of the same structural
+ * family (used for instrumented execution). See DESIGN.md, Sec. 2.
+ */
+
+#ifndef HETEROMAP_GRAPH_DATASETS_HH
+#define HETEROMAP_GRAPH_DATASETS_HH
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hh"
+#include "graph/props.hh"
+
+namespace heteromap {
+
+/** One evaluation input: nominal stats + lazily built proxy graph. */
+class Dataset
+{
+  public:
+    /**
+     * @param name       Full Table I name, e.g. "USA-Cal".
+     * @param short_name Paper abbreviation, e.g. "CA".
+     * @param family     Structural family, e.g. "road", "social".
+     * @param nominal    Paper-reported characteristics.
+     * @param index      Registry index used to fetch the proxy.
+     */
+    Dataset(std::string name, std::string short_name, std::string family,
+            GraphStats nominal, std::size_t index);
+
+    const std::string &name() const { return name_; }
+    const std::string &shortName() const { return shortName_; }
+    const std::string &family() const { return family_; }
+
+    /** Paper-reported (Table I) characteristics. */
+    const GraphStats &nominal() const { return nominal_; }
+
+    /** Scaled-down proxy graph; built on first use, then cached. */
+    const Graph &proxy() const;
+
+    /** Measured stats of the proxy graph (cached alongside it). */
+    const GraphStats &proxyStats() const;
+
+  private:
+    std::string name_;
+    std::string shortName_;
+    std::string family_;
+    GraphStats nominal_;
+    std::size_t index_;
+};
+
+/** @return the nine Table I datasets, in paper order. */
+const std::vector<Dataset> &evaluationDatasets();
+
+/** Look up a dataset by its paper abbreviation; fatal if unknown. */
+const Dataset &datasetByShortName(const std::string &short_name);
+
+/**
+ * The literature maxima Section III-B normalizes against: Kron's
+ * vertex count, Twitter/Kron edge counts, Twitter's maximum degree,
+ * and Rgg's diameter.
+ */
+struct LiteratureMaxima {
+    double maxVertices;
+    double maxEdges;
+    double maxDegree;
+    double maxDiameter;
+};
+
+/** @return the normalization constants derived from Table I. */
+LiteratureMaxima literatureMaxima();
+
+} // namespace heteromap
+
+#endif // HETEROMAP_GRAPH_DATASETS_HH

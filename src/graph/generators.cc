@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Synthetic graph generator implementations. Every generator is
+ * deterministic in its seed and finalizes through GraphBuilder so the
+ * resulting CSR invariants are uniform.
+ */
+
+#include "graph/generators.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "graph/builder.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace heteromap {
+
+Graph
+generateUniformRandom(VertexId num_vertices, EdgeId num_edges,
+                      uint64_t seed)
+{
+    HM_ASSERT(num_vertices > 1, "uniform random graph needs >= 2 vertices");
+    Rng rng(seed);
+    GraphBuilder builder(num_vertices);
+    for (EdgeId i = 0; i < num_edges; ++i) {
+        auto src = static_cast<VertexId>(rng.nextBounded(num_vertices));
+        auto dst = static_cast<VertexId>(rng.nextBounded(num_vertices));
+        builder.addEdge(src, dst);
+    }
+    return builder.symmetrize().dedup().dropSelfLoops()
+        .randomWeights(seed ^ 0xabcdefULL).build();
+}
+
+Graph
+generateRmat(unsigned scale, double edge_factor, uint64_t seed,
+             double a, double b, double c)
+{
+    HM_ASSERT(scale >= 2 && scale <= 30, "R-MAT scale out of range");
+    double d = 1.0 - a - b - c;
+    HM_ASSERT(d >= 0.0, "R-MAT probabilities exceed 1");
+
+    const VertexId n = VertexId{1} << scale;
+    const auto target =
+        static_cast<EdgeId>(edge_factor * static_cast<double>(n));
+    Rng rng(seed);
+    GraphBuilder builder(n);
+
+    for (EdgeId i = 0; i < target; ++i) {
+        VertexId src = 0;
+        VertexId dst = 0;
+        for (unsigned bit = 0; bit < scale; ++bit) {
+            // Perturb quadrant probabilities slightly per level, the
+            // standard "noisy R-MAT" trick that avoids exact
+            // self-similarity artifacts.
+            double na = a * rng.nextDouble(0.95, 1.05);
+            double nb = b * rng.nextDouble(0.95, 1.05);
+            double nc = c * rng.nextDouble(0.95, 1.05);
+            double nd = d * rng.nextDouble(0.95, 1.05);
+            double total = na + nb + nc + nd;
+            double draw = rng.nextDouble() * total;
+            src <<= 1;
+            dst <<= 1;
+            if (draw < na) {
+                // top-left quadrant: no bits set
+            } else if (draw < na + nb) {
+                dst |= 1;
+            } else if (draw < na + nb + nc) {
+                src |= 1;
+            } else {
+                src |= 1;
+                dst |= 1;
+            }
+        }
+        builder.addEdge(src, dst);
+    }
+    return builder.symmetrize().dedup().dropSelfLoops()
+        .randomWeights(seed ^ 0x5eedULL).build();
+}
+
+Graph
+generateRoadGrid(VertexId width, VertexId height, uint64_t seed,
+                 double rewire)
+{
+    HM_ASSERT(width >= 2 && height >= 2, "grid must be at least 2x2");
+    const VertexId n = width * height;
+    Rng rng(seed);
+    GraphBuilder builder(n);
+
+    auto id = [width](VertexId x, VertexId y) { return y * width + x; };
+
+    for (VertexId y = 0; y < height; ++y) {
+        for (VertexId x = 0; x < width; ++x) {
+            if (x + 1 < width)
+                builder.addEdge(id(x, y), id(x + 1, y));
+            if (y + 1 < height)
+                builder.addEdge(id(x, y), id(x, y + 1));
+        }
+    }
+
+    // Local shortcuts: short diagonal hops emulating highway ramps.
+    auto shortcuts = static_cast<EdgeId>(
+        rewire * static_cast<double>(n));
+    for (EdgeId i = 0; i < shortcuts; ++i) {
+        auto x = static_cast<VertexId>(rng.nextBounded(width - 1));
+        auto y = static_cast<VertexId>(rng.nextBounded(height - 1));
+        builder.addEdge(id(x, y), id(x + 1, y + 1));
+    }
+
+    return builder.symmetrize().dedup().dropSelfLoops()
+        .randomWeights(seed ^ 0x60adULL, 1.0f, 16.0f).build();
+}
+
+Graph
+generateRandomGeometric(VertexId num_vertices, double radius,
+                        uint64_t seed)
+{
+    HM_ASSERT(num_vertices > 1, "RGG needs >= 2 vertices");
+    HM_ASSERT(radius > 0.0 && radius < 1.0, "RGG radius must be in (0,1)");
+    Rng rng(seed);
+
+    struct Point { double x, y; };
+    std::vector<Point> pts(num_vertices);
+    for (auto &p : pts)
+        p = {rng.nextDouble(), rng.nextDouble()};
+
+    // Spatial hash on a radius-sized cell grid: only neighboring cells
+    // can contain edges, keeping generation near-linear.
+    const auto cells = std::max<VertexId>(
+        1, static_cast<VertexId>(1.0 / radius));
+    std::vector<std::vector<VertexId>> grid(
+        static_cast<std::size_t>(cells) * cells);
+    auto cell_of = [&](const Point &p) {
+        auto cx = std::min<VertexId>(
+            cells - 1, static_cast<VertexId>(p.x * cells));
+        auto cy = std::min<VertexId>(
+            cells - 1, static_cast<VertexId>(p.y * cells));
+        return static_cast<std::size_t>(cy) * cells + cx;
+    };
+    for (VertexId v = 0; v < num_vertices; ++v)
+        grid[cell_of(pts[v])].push_back(v);
+
+    GraphBuilder builder(num_vertices);
+    const double r2 = radius * radius;
+    for (VertexId v = 0; v < num_vertices; ++v) {
+        auto cx = std::min<VertexId>(
+            cells - 1, static_cast<VertexId>(pts[v].x * cells));
+        auto cy = std::min<VertexId>(
+            cells - 1, static_cast<VertexId>(pts[v].y * cells));
+        for (int dy = -1; dy <= 1; ++dy) {
+            for (int dx = -1; dx <= 1; ++dx) {
+                int nx = static_cast<int>(cx) + dx;
+                int ny = static_cast<int>(cy) + dy;
+                if (nx < 0 || ny < 0 || nx >= static_cast<int>(cells) ||
+                    ny >= static_cast<int>(cells)) {
+                    continue;
+                }
+                for (VertexId u :
+                     grid[static_cast<std::size_t>(ny) * cells + nx]) {
+                    if (u <= v)
+                        continue;
+                    double ddx = pts[v].x - pts[u].x;
+                    double ddy = pts[v].y - pts[u].y;
+                    if (ddx * ddx + ddy * ddy <= r2)
+                        builder.addEdge(v, u);
+                }
+            }
+        }
+    }
+    return builder.symmetrize().dedup()
+        .randomWeights(seed ^ 0x9e0ULL, 1.0f, 8.0f).build();
+}
+
+Graph
+generateDenseEr(VertexId num_vertices, double p, uint64_t seed)
+{
+    HM_ASSERT(num_vertices > 1, "dense ER needs >= 2 vertices");
+    HM_ASSERT(p > 0.0 && p <= 1.0, "dense ER probability out of range");
+    Rng rng(seed);
+    GraphBuilder builder(num_vertices);
+    for (VertexId u = 0; u < num_vertices; ++u)
+        for (VertexId v = u + 1; v < num_vertices; ++v)
+            if (rng.nextBool(p))
+                builder.addEdge(u, v);
+    return builder.symmetrize()
+        .randomWeights(seed ^ 0xde5eULL).build();
+}
+
+Graph
+generatePreferentialAttachment(VertexId num_vertices, unsigned attach,
+                               uint64_t seed)
+{
+    HM_ASSERT(num_vertices > attach + 1,
+              "preferential attachment needs more vertices than links");
+    HM_ASSERT(attach >= 1, "attach count must be >= 1");
+    Rng rng(seed);
+    GraphBuilder builder(num_vertices);
+
+    // Endpoint pool: each arc contributes both endpoints, so sampling
+    // uniformly from the pool is degree-proportional sampling.
+    std::vector<VertexId> pool;
+    pool.reserve(static_cast<std::size_t>(num_vertices) * attach * 2);
+
+    // Seed clique over the first attach+1 vertices.
+    for (VertexId u = 0; u <= attach; ++u) {
+        for (VertexId v = u + 1; v <= attach; ++v) {
+            builder.addEdge(u, v);
+            pool.push_back(u);
+            pool.push_back(v);
+        }
+    }
+
+    for (VertexId v = attach + 1; v < num_vertices; ++v) {
+        for (unsigned k = 0; k < attach; ++k) {
+            VertexId target = pool[rng.nextBounded(pool.size())];
+            builder.addEdge(v, target);
+            pool.push_back(v);
+            pool.push_back(target);
+        }
+    }
+    return builder.symmetrize().dedup().dropSelfLoops()
+        .randomWeights(seed ^ 0xba0ULL).build();
+}
+
+Graph
+generateMesh(VertexId num_vertices, unsigned deg, uint64_t seed)
+{
+    HM_ASSERT(num_vertices > deg + 1, "mesh needs more vertices than degree");
+    HM_ASSERT(deg >= 2, "mesh degree must be >= 2");
+    Rng rng(seed);
+    GraphBuilder builder(num_vertices);
+
+    // Ring lattice of degree deg-1 plus one random shortcut per vertex
+    // (Watts-Strogatz-like) to pull the diameter down.
+    unsigned half = std::max(1u, (deg - 1) / 2);
+    for (VertexId v = 0; v < num_vertices; ++v) {
+        for (unsigned k = 1; k <= half; ++k)
+            builder.addEdge(v, (v + k) % num_vertices);
+        auto shortcut =
+            static_cast<VertexId>(rng.nextBounded(num_vertices));
+        if (shortcut != v)
+            builder.addEdge(v, shortcut);
+    }
+    return builder.symmetrize().dedup().dropSelfLoops()
+        .randomWeights(seed ^ 0x3e5ULL).build();
+}
+
+Graph
+generatePath(VertexId num_vertices)
+{
+    HM_ASSERT(num_vertices >= 1, "path needs >= 1 vertex");
+    GraphBuilder builder(num_vertices);
+    for (VertexId v = 0; v + 1 < num_vertices; ++v)
+        builder.addEdge(v, v + 1);
+    return builder.symmetrize().build();
+}
+
+Graph
+generateCycle(VertexId num_vertices)
+{
+    HM_ASSERT(num_vertices >= 3, "cycle needs >= 3 vertices");
+    GraphBuilder builder(num_vertices);
+    for (VertexId v = 0; v < num_vertices; ++v)
+        builder.addEdge(v, (v + 1) % num_vertices);
+    return builder.symmetrize().build();
+}
+
+Graph
+generateStar(VertexId num_vertices)
+{
+    HM_ASSERT(num_vertices >= 2, "star needs >= 2 vertices");
+    GraphBuilder builder(num_vertices);
+    for (VertexId v = 1; v < num_vertices; ++v)
+        builder.addEdge(0, v);
+    return builder.symmetrize().build();
+}
+
+Graph
+generateComplete(VertexId num_vertices)
+{
+    HM_ASSERT(num_vertices >= 2, "complete graph needs >= 2 vertices");
+    GraphBuilder builder(num_vertices);
+    for (VertexId u = 0; u < num_vertices; ++u)
+        for (VertexId v = u + 1; v < num_vertices; ++v)
+            builder.addEdge(u, v);
+    return builder.symmetrize().build();
+}
+
+} // namespace heteromap

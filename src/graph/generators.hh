@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Synthetic graph generators. Two serve the paper's training pipeline
+ * (uniform-random "GTgraph" style and Kronecker/R-MAT, Table III); the
+ * rest produce scaled-down proxies for the Table I evaluation inputs
+ * (road grids, random-geometric, dense Erdos-Renyi, power-law social
+ * networks) plus tiny fixtures for unit tests.
+ */
+
+#ifndef HETEROMAP_GRAPH_GENERATORS_HH
+#define HETEROMAP_GRAPH_GENERATORS_HH
+
+#include <cstdint>
+
+#include "graph/graph.hh"
+
+namespace heteromap {
+
+/**
+ * Uniform random graph (GTgraph "random" model): @p num_edges arcs with
+ * independently uniform endpoints, symmetrized, deduplicated, weighted.
+ */
+Graph generateUniformRandom(VertexId num_vertices, EdgeId num_edges,
+                            uint64_t seed);
+
+/**
+ * R-MAT / stochastic-Kronecker graph with 2^scale vertices and
+ * edge_factor * 2^scale arcs before symmetrization. Partition
+ * probabilities (a, b, c) follow the usual convention with
+ * d = 1 - a - b - c. a >> d produces the skewed degree distributions
+ * of social networks.
+ */
+Graph generateRmat(unsigned scale, double edge_factor, uint64_t seed,
+                   double a = 0.57, double b = 0.19, double c = 0.19);
+
+/**
+ * Road-network-like graph: a @p width x @p height 4-neighbor grid with
+ * a fraction @p rewire of extra local shortcut edges. High diameter,
+ * degree ~4, weighted (travel costs).
+ */
+Graph generateRoadGrid(VertexId width, VertexId height, uint64_t seed,
+                       double rewire = 0.02);
+
+/**
+ * Random geometric graph: @p num_vertices points in the unit square,
+ * edges between pairs closer than @p radius. Moderate degree, very
+ * high diameter for small radii (the Rgg-n-24 regime).
+ */
+Graph generateRandomGeometric(VertexId num_vertices, double radius,
+                              uint64_t seed);
+
+/**
+ * Dense Erdos-Renyi graph: each unordered pair is connected with
+ * probability @p p. Used for the mouse-retina connectomics proxy
+ * (562 vertices, ~0.57M arcs at high p).
+ */
+Graph generateDenseEr(VertexId num_vertices, double p, uint64_t seed);
+
+/**
+ * Preferential-attachment (Barabasi-Albert) power-law graph; each new
+ * vertex attaches to @p attach existing vertices. Skewed degrees with
+ * low diameter, a second social-network proxy family.
+ */
+Graph generatePreferentialAttachment(VertexId num_vertices,
+                                     unsigned attach, uint64_t seed);
+
+/**
+ * Mesh-like near-regular graph with uniform degree @p deg and low
+ * diameter (random ring lattice + shortcuts). Proxy for CAGE-14-style
+ * DNA-electrophoresis matrices: regular degree, tight diameter.
+ */
+Graph generateMesh(VertexId num_vertices, unsigned deg, uint64_t seed);
+
+/** @name Tiny deterministic fixtures for unit tests.
+ *  @{
+ */
+
+/** Simple path 0-1-2-...-(n-1), symmetrized, unit weights. */
+Graph generatePath(VertexId num_vertices);
+
+/** Cycle over @p num_vertices vertices, symmetrized. */
+Graph generateCycle(VertexId num_vertices);
+
+/** Star with vertex 0 at the center. */
+Graph generateStar(VertexId num_vertices);
+
+/** Complete graph on @p num_vertices vertices. */
+Graph generateComplete(VertexId num_vertices);
+
+/** @} */
+
+} // namespace heteromap
+
+#endif // HETEROMAP_GRAPH_GENERATORS_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * CSR graph implementation.
+ */
+
+#include "graph/graph.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace heteromap {
+
+Graph::Graph(std::vector<EdgeId> offsets, std::vector<VertexId> neighbors,
+             std::vector<float> weights)
+    : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)),
+      weights_(std::move(weights))
+{
+    HM_ASSERT(!offsets_.empty(), "CSR offsets must contain at least [0]");
+    HM_ASSERT(offsets_.front() == 0, "CSR offsets must start at 0");
+    HM_ASSERT(offsets_.back() == neighbors_.size(),
+              "CSR offsets must end at the edge count");
+    HM_ASSERT(weights_.empty() || weights_.size() == neighbors_.size(),
+              "weight array arity mismatch");
+}
+
+uint64_t
+Graph::footprintBytes() const
+{
+    return offsets_.size() * sizeof(EdgeId) +
+           neighbors_.size() * sizeof(VertexId) +
+           weights_.size() * sizeof(float);
+}
+
+EdgeId
+Graph::maxDegree() const
+{
+    EdgeId best = 0;
+    for (VertexId v = 0; v < numVertices(); ++v)
+        best = std::max(best, degree(v));
+    return best;
+}
+
+double
+Graph::avgDegree() const
+{
+    if (numVertices() == 0)
+        return 0.0;
+    return static_cast<double>(numEdges()) /
+           static_cast<double>(numVertices());
+}
+
+} // namespace heteromap

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Edge-list text I/O implementation.
+ */
+
+#include "graph/io.hh"
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "graph/builder.hh"
+#include "util/logging.hh"
+
+namespace heteromap {
+
+void
+writeEdgeList(const Graph &graph, std::ostream &os)
+{
+    os << "# heteromap edge list v1\n";
+    os << "vertices " << graph.numVertices() << "\n";
+    for (VertexId v = 0; v < graph.numVertices(); ++v) {
+        auto nbrs = graph.neighbors(v);
+        auto wts = graph.edgeWeights(v);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+            os << v << " " << nbrs[i] << " "
+               << (wts.empty() ? 1.0f : wts[i]) << "\n";
+        }
+    }
+}
+
+Graph
+readEdgeList(std::istream &is)
+{
+    std::string line;
+    VertexId num_vertices = 0;
+    bool have_header = false;
+    std::unique_ptr<GraphBuilder> builder;
+    std::size_t line_no = 0;
+
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        if (!have_header) {
+            std::string tag;
+            ls >> tag >> num_vertices;
+            if (ls.fail() || tag != "vertices")
+                HM_FATAL("edge list line ", line_no,
+                         ": expected 'vertices <count>' header");
+            have_header = true;
+            builder = std::make_unique<GraphBuilder>(num_vertices);
+            continue;
+        }
+        VertexId src = 0;
+        VertexId dst = 0;
+        float weight = 1.0f;
+        ls >> src >> dst;
+        if (ls.fail())
+            HM_FATAL("edge list line ", line_no, ": malformed edge");
+        ls >> weight;
+        if (ls.fail())
+            weight = 1.0f;
+        if (src >= num_vertices || dst >= num_vertices)
+            HM_FATAL("edge list line ", line_no, ": vertex out of range");
+        builder->addEdge(src, dst, weight);
+    }
+    if (!have_header)
+        HM_FATAL("edge list missing 'vertices' header");
+    return builder->build();
+}
+
+void
+saveEdgeListFile(const Graph &graph, const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        HM_FATAL("cannot open '", path, "' for writing");
+    writeEdgeList(graph, os);
+}
+
+Graph
+loadEdgeListFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        HM_FATAL("cannot open '", path, "' for reading");
+    return readEdgeList(is);
+}
+
+} // namespace heteromap

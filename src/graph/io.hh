@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Graph serialization: a human-readable weighted edge-list text format
+ * (one "src dst weight" triple per line, '#' comments, header line with
+ * the vertex count) and round-trip loading through GraphBuilder.
+ */
+
+#ifndef HETEROMAP_GRAPH_IO_HH
+#define HETEROMAP_GRAPH_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hh"
+
+namespace heteromap {
+
+/** Write @p graph to @p os in edge-list text format. */
+void writeEdgeList(const Graph &graph, std::ostream &os);
+
+/**
+ * Parse an edge-list stream produced by writeEdgeList (or hand-written
+ * in the same format). Throws FatalError on malformed input.
+ */
+Graph readEdgeList(std::istream &is);
+
+/** Convenience file wrappers around the stream functions. */
+void saveEdgeListFile(const Graph &graph, const std::string &path);
+
+/** Load a graph from @p path; throws FatalError if unreadable. */
+Graph loadEdgeListFile(const std::string &path);
+
+} // namespace heteromap
+
+#endif // HETEROMAP_GRAPH_IO_HH

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Graph property measurement implementation.
+ */
+
+#include "graph/props.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace heteromap {
+
+std::string
+GraphStats::toString() const
+{
+    std::ostringstream oss;
+    oss << "V=" << numVertices << " E=" << numEdges
+        << " maxDeg=" << maxDegree << " avgDeg=" << avgDegree
+        << " dia=" << diameter;
+    return oss.str();
+}
+
+std::vector<uint32_t>
+bfsHops(const Graph &graph, VertexId source)
+{
+    HM_ASSERT(source < graph.numVertices(), "BFS source out of range");
+    std::vector<uint32_t> hops(graph.numVertices(), UINT32_MAX);
+    std::deque<VertexId> frontier{source};
+    hops[source] = 0;
+    while (!frontier.empty()) {
+        VertexId v = frontier.front();
+        frontier.pop_front();
+        for (VertexId u : graph.neighbors(v)) {
+            if (hops[u] == UINT32_MAX) {
+                hops[u] = hops[v] + 1;
+                frontier.push_back(u);
+            }
+        }
+    }
+    return hops;
+}
+
+namespace {
+
+/** @return (farthest reachable vertex, its hop distance) from source. */
+std::pair<VertexId, uint32_t>
+farthestFrom(const Graph &graph, VertexId source)
+{
+    auto hops = bfsHops(graph, source);
+    VertexId best = source;
+    uint32_t best_hops = 0;
+    for (VertexId v = 0; v < graph.numVertices(); ++v) {
+        if (hops[v] != UINT32_MAX && hops[v] > best_hops) {
+            best = v;
+            best_hops = hops[v];
+        }
+    }
+    return {best, best_hops};
+}
+
+} // namespace
+
+uint64_t
+approximateDiameter(const Graph &graph, unsigned sweeps, uint64_t seed)
+{
+    if (graph.numVertices() < 2 || graph.numEdges() == 0)
+        return 0;
+    Rng rng(seed);
+    uint64_t best = 0;
+    for (unsigned i = 0; i < std::max(1u, sweeps); ++i) {
+        auto start =
+            static_cast<VertexId>(rng.nextBounded(graph.numVertices()));
+        // Double sweep: farthest vertex from a random start, then the
+        // eccentricity of that vertex, which is exact on trees and a
+        // tight lower bound in general.
+        auto [mid, _] = farthestFrom(graph, start);
+        auto [end, dist] = farthestFrom(graph, mid);
+        (void)end;
+        best = std::max<uint64_t>(best, dist);
+    }
+    return best;
+}
+
+GraphStats
+measureGraph(const Graph &graph, unsigned sweeps, uint64_t seed)
+{
+    GraphStats stats;
+    stats.numVertices = graph.numVertices();
+    stats.numEdges = graph.numEdges();
+    stats.maxDegree = graph.maxDegree();
+    stats.avgDegree = graph.avgDegree();
+    stats.footprintBytes = graph.footprintBytes();
+
+    double var = 0.0;
+    for (VertexId v = 0; v < graph.numVertices(); ++v) {
+        double d = static_cast<double>(graph.degree(v)) - stats.avgDegree;
+        var += d * d;
+    }
+    if (graph.numVertices() > 0)
+        var /= static_cast<double>(graph.numVertices());
+    stats.degreeStddev = std::sqrt(var);
+
+    if (sweeps > 0)
+        stats.diameter = approximateDiameter(graph, sweeps, seed);
+    return stats;
+}
+
+uint64_t
+countComponents(const Graph &graph)
+{
+    std::vector<bool> seen(graph.numVertices(), false);
+    uint64_t components = 0;
+    for (VertexId v = 0; v < graph.numVertices(); ++v) {
+        if (seen[v])
+            continue;
+        ++components;
+        std::deque<VertexId> frontier{v};
+        seen[v] = true;
+        while (!frontier.empty()) {
+            VertexId w = frontier.front();
+            frontier.pop_front();
+            for (VertexId u : graph.neighbors(w)) {
+                if (!seen[u]) {
+                    seen[u] = true;
+                    frontier.push_back(u);
+                }
+            }
+        }
+    }
+    return components;
+}
+
+} // namespace heteromap

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Structural graph properties: the measured counterparts of the
+ * paper's I variables (vertex count, edge density, maximum degree,
+ * diameter) plus auxiliary statistics the performance model consumes
+ * (degree variance for divergence, component structure).
+ */
+
+#ifndef HETEROMAP_GRAPH_PROPS_HH
+#define HETEROMAP_GRAPH_PROPS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hh"
+
+namespace heteromap {
+
+/**
+ * Summary of an input graph. When describing one of the paper's real
+ * datasets, these fields hold the *nominal* Table I values; when
+ * measured from a proxy graph they hold exact (or BFS-approximated,
+ * for the diameter) values.
+ */
+struct GraphStats {
+    uint64_t numVertices = 0;
+    uint64_t numEdges = 0;       //!< stored arcs
+    uint64_t maxDegree = 0;
+    double avgDegree = 0.0;
+    uint64_t diameter = 0;       //!< hop diameter (approximate)
+    double degreeStddev = 0.0;   //!< divergence proxy
+    uint64_t footprintBytes = 0; //!< CSR bytes (for memory-size model)
+
+    /** Pretty one-line summary. */
+    std::string toString() const;
+};
+
+/**
+ * Measure @p graph. The diameter is approximated with @p sweeps
+ * double-sweep BFS probes (exact on trees/paths, a lower bound in
+ * general, accurate in practice); pass sweeps = 0 to skip it.
+ */
+GraphStats measureGraph(const Graph &graph, unsigned sweeps = 4,
+                        uint64_t seed = 1);
+
+/**
+ * Single-source hop distances by BFS. Unreachable vertices get
+ * UINT32_MAX. Exposed for tests and the diameter estimator.
+ */
+std::vector<uint32_t> bfsHops(const Graph &graph, VertexId source);
+
+/**
+ * Approximate hop diameter via repeated double-sweep BFS from random
+ * sources. Returns 0 for graphs with < 2 vertices.
+ */
+uint64_t approximateDiameter(const Graph &graph, unsigned sweeps,
+                             uint64_t seed);
+
+/** @return number of connected components (treating arcs as undirected). */
+uint64_t countComponents(const Graph &graph);
+
+} // namespace heteromap
+
+#endif // HETEROMAP_GRAPH_PROPS_HH

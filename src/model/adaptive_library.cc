@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Adaptive-library baseline implementation.
+ */
+
+#include "model/adaptive_library.hh"
+
+#include "util/logging.hh"
+
+namespace heteromap {
+
+std::vector<double>
+AdaptiveLibrary::reduced(const FeatureVector &f)
+{
+    return {f.b.b1, f.b.b9, f.b.b10, f.b.b11, 1.0};
+}
+
+void
+AdaptiveLibrary::train(const TrainingSet &data)
+{
+    HM_ASSERT(!data.empty(), "cannot train on an empty corpus");
+
+    Matrix x(data.size(), 5);
+    for (std::size_t r = 0; r < data.size(); ++r) {
+        auto row = reduced(data[r].x);
+        for (std::size_t c = 0; c < row.size(); ++c)
+            x.at(r, c) = row[c];
+    }
+    Matrix y(data.size(), kNumOutputs);
+    for (std::size_t r = 0; r < data.size(); ++r)
+        for (std::size_t c = 0; c < kNumOutputs; ++c)
+            y.at(r, c) = data[r].y.m[c];
+
+    Matrix xt = x.transpose();
+    weights_ = choleskySolve(xt.multiply(x), xt.multiply(y), 1e-3);
+}
+
+NormalizedMVector
+AdaptiveLibrary::predict(const FeatureVector &f) const
+{
+    HM_ASSERT(weights_.rows() == 5,
+              "AdaptiveLibrary::predict before train");
+    auto input = reduced(f);
+    NormalizedMVector out;
+    for (std::size_t k = 0; k < kNumOutputs; ++k) {
+        double sum = 0.0;
+        for (std::size_t c = 0; c < input.size(); ++c)
+            sum += weights_.at(c, k) * input[c];
+        out.m[k] = sum;
+    }
+    out.clamp01();
+    return out;
+}
+
+} // namespace heteromap

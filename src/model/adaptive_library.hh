@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Adaptive-library baseline (Table IV, after Rinnegan [38]): a simple
+ * performance-model library whose prediction is proportional only to
+ * the data-movement and accelerator-utilization parameters a
+ * programmer/profiler supplies — here the data-movement B variables
+ * (B9-B11) and the parallelism share (B1) — with everything else held
+ * at profile-derived defaults. Deliberately under-parameterized.
+ */
+
+#ifndef HETEROMAP_MODEL_ADAPTIVE_LIBRARY_HH
+#define HETEROMAP_MODEL_ADAPTIVE_LIBRARY_HH
+
+#include "model/matrix.hh"
+#include "model/predictor.hh"
+
+namespace heteromap {
+
+/** Rinnegan-style adaptive-library predictor. */
+class AdaptiveLibrary : public Predictor
+{
+  public:
+    AdaptiveLibrary() = default;
+
+    std::string name() const override { return "Adaptive Library"; }
+    void train(const TrainingSet &data) override;
+    NormalizedMVector predict(const FeatureVector &f) const override;
+
+  private:
+    /** Reduced feature view: [b1, b9, b10, b11, bias]. */
+    static std::vector<double> reduced(const FeatureVector &f);
+
+    Matrix weights_; //!< 5 x kNumOutputs
+};
+
+} // namespace heteromap
+
+#endif // HETEROMAP_MODEL_ADAPTIVE_LIBRARY_HH

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * CART implementation: greedy variance-reduction splits on the 0.1
+ * feature grid, mean-vector leaves.
+ */
+
+#include "model/cart.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace heteromap {
+
+struct CartTree::Node {
+    // Internal node.
+    std::size_t feature = 0;
+    double threshold = 0.0;
+    std::unique_ptr<Node> left;   //!< feature value <  threshold
+    std::unique_ptr<Node> right;  //!< feature value >= threshold
+
+    // Leaf payload.
+    NormalizedMVector mean;
+
+    bool isLeaf() const { return left == nullptr; }
+
+    std::size_t
+    count() const
+    {
+        if (isLeaf())
+            return 1;
+        return 1 + left->count() + right->count();
+    }
+
+    std::size_t
+    height() const
+    {
+        if (isLeaf())
+            return 1;
+        return 1 + std::max(left->height(), right->height());
+    }
+};
+
+namespace {
+
+/** Mean target vector over an index subset. */
+NormalizedMVector
+meanOf(const TrainingSet &data, const std::vector<std::size_t> &idx)
+{
+    NormalizedMVector out;
+    if (idx.empty())
+        return out;
+    for (std::size_t i : idx)
+        for (std::size_t m = 0; m < kNumOutputs; ++m)
+            out.m[m] += data[i].y.m[m];
+    for (double &v : out.m)
+        v /= static_cast<double>(idx.size());
+    return out;
+}
+
+/** Total squared error of a subset around its mean. */
+double
+sse(const TrainingSet &data, const std::vector<std::size_t> &idx)
+{
+    NormalizedMVector mu = meanOf(data, idx);
+    double total = 0.0;
+    for (std::size_t i : idx) {
+        for (std::size_t m = 0; m < kNumOutputs; ++m) {
+            double d = data[i].y.m[m] - mu.m[m];
+            total += d * d;
+        }
+    }
+    return total;
+}
+
+} // namespace
+
+CartTree::CartTree(CartOptions options) : options_(options)
+{
+}
+
+CartTree::~CartTree() = default;
+CartTree::CartTree(CartTree &&) noexcept = default;
+CartTree &CartTree::operator=(CartTree &&) noexcept = default;
+
+void
+CartTree::train(const TrainingSet &data)
+{
+    HM_ASSERT(!data.empty(), "cannot train on an empty corpus");
+
+    std::vector<std::size_t> all(data.size());
+    for (std::size_t i = 0; i < all.size(); ++i)
+        all[i] = i;
+
+    // Recursive greedy builder.
+    struct Builder {
+        const TrainingSet &data;
+        const CartOptions &options;
+
+        std::unique_ptr<Node>
+        build(std::vector<std::size_t> idx, unsigned depth)
+        {
+            auto node = std::make_unique<Node>();
+            node->mean = meanOf(data, idx);
+            if (depth >= options.maxDepth ||
+                idx.size() < 2 * options.minSamplesLeaf) {
+                return node;
+            }
+
+            const double parent_sse = sse(data, idx);
+            double best_gain = 1e-9;
+            std::size_t best_feature = 0;
+            double best_threshold = 0.0;
+
+            for (std::size_t feat = 0; feat < kNumFeatures; ++feat) {
+                for (unsigned t = 1;
+                     t <= options.thresholdsPerFeature; ++t) {
+                    double threshold =
+                        static_cast<double>(t) /
+                        (options.thresholdsPerFeature + 1.0);
+                    std::vector<std::size_t> lo, hi;
+                    for (std::size_t i : idx) {
+                        if (data[i].x.asArray()[feat] < threshold)
+                            lo.push_back(i);
+                        else
+                            hi.push_back(i);
+                    }
+                    if (lo.size() < options.minSamplesLeaf ||
+                        hi.size() < options.minSamplesLeaf) {
+                        continue;
+                    }
+                    double gain =
+                        parent_sse - sse(data, lo) - sse(data, hi);
+                    if (gain > best_gain) {
+                        best_gain = gain;
+                        best_feature = feat;
+                        best_threshold = threshold;
+                    }
+                }
+            }
+            if (best_gain <= 1e-9)
+                return node; // no useful split
+
+            std::vector<std::size_t> lo, hi;
+            for (std::size_t i : idx) {
+                if (data[i].x.asArray()[best_feature] <
+                    best_threshold) {
+                    lo.push_back(i);
+                } else {
+                    hi.push_back(i);
+                }
+            }
+            node->feature = best_feature;
+            node->threshold = best_threshold;
+            node->left = build(std::move(lo), depth + 1);
+            node->right = build(std::move(hi), depth + 1);
+            return node;
+        }
+    };
+
+    Builder builder{data, options_};
+    root_ = builder.build(std::move(all), 0);
+}
+
+NormalizedMVector
+CartTree::predict(const FeatureVector &f) const
+{
+    HM_ASSERT(root_ != nullptr, "CartTree::predict before train");
+    auto flat = f.asArray();
+    const Node *node = root_.get();
+    while (!node->isLeaf()) {
+        node = flat[node->feature] < node->threshold
+                   ? node->left.get()
+                   : node->right.get();
+    }
+    return node->mean;
+}
+
+std::size_t
+CartTree::nodeCount() const
+{
+    return root_ ? root_->count() : 0;
+}
+
+std::size_t
+CartTree::depth() const
+{
+    return root_ ? root_->height() : 0;
+}
+
+CartForest::CartForest(unsigned trees, CartOptions options, uint64_t seed)
+    : numTrees_(std::max(1u, trees)), options_(options), seed_(seed)
+{
+}
+
+std::string
+CartForest::name() const
+{
+    std::ostringstream oss;
+    oss << "Learned Forest (" << numTrees_ << " trees)";
+    return oss.str();
+}
+
+void
+CartForest::train(const TrainingSet &data)
+{
+    HM_ASSERT(!data.empty(), "cannot train on an empty corpus");
+    trees_.clear();
+    Rng rng(seed_);
+    for (unsigned t = 0; t < numTrees_; ++t) {
+        // Bootstrap sample of the corpus.
+        TrainingSet boot;
+        boot.reserve(data.size());
+        for (std::size_t i = 0; i < data.size(); ++i)
+            boot.push_back(data[rng.nextBounded(data.size())]);
+        CartTree tree(options_);
+        tree.train(boot);
+        trees_.push_back(std::move(tree));
+    }
+}
+
+NormalizedMVector
+CartForest::predict(const FeatureVector &f) const
+{
+    HM_ASSERT(!trees_.empty(), "CartForest::predict before train");
+    NormalizedMVector out;
+    for (const auto &tree : trees_) {
+        auto y = tree.predict(f);
+        for (std::size_t m = 0; m < kNumOutputs; ++m)
+            out.m[m] += y.m[m];
+    }
+    for (double &v : out.m)
+        v /= static_cast<double>(trees_.size());
+    return out;
+}
+
+} // namespace heteromap

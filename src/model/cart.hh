@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Learned decision trees: a multi-output CART regression tree and a
+ * bagged forest of them. The paper hand-builds its decision tree
+ * (Sec. IV) and leaves automated tree construction implicit in "the
+ * proposed analytical model is further automated using machine
+ * learning"; these learners realize that path — trees fitted to the
+ * same (B, I) -> M corpus the other predictors train on, keeping the
+ * decision-tree family's readability while removing the manual
+ * threshold engineering.
+ */
+
+#ifndef HETEROMAP_MODEL_CART_HH
+#define HETEROMAP_MODEL_CART_HH
+
+#include <memory>
+
+#include "model/predictor.hh"
+
+namespace heteromap {
+
+/** CART hyperparameters. */
+struct CartOptions {
+    unsigned maxDepth = 10;
+    unsigned minSamplesLeaf = 4;
+    /** Candidate thresholds per feature (0.1 grid -> 9 is exact). */
+    unsigned thresholdsPerFeature = 9;
+};
+
+/** Multi-output CART regression tree. */
+class CartTree : public Predictor
+{
+  public:
+    explicit CartTree(CartOptions options = {});
+    ~CartTree() override;
+    CartTree(CartTree &&) noexcept;
+    CartTree &operator=(CartTree &&) noexcept;
+
+    std::string name() const override { return "Learned Tree"; }
+    void train(const TrainingSet &data) override;
+    NormalizedMVector predict(const FeatureVector &f) const override;
+
+    /** Number of decision nodes (exposed for tests/introspection). */
+    std::size_t nodeCount() const;
+
+    /** Depth of the fitted tree. */
+    std::size_t depth() const;
+
+  private:
+    struct Node;
+    CartOptions options_;
+    std::unique_ptr<Node> root_;
+
+    friend class CartForest;
+};
+
+/** Bagged ensemble of CART trees. */
+class CartForest : public Predictor
+{
+  public:
+    /**
+     * @param trees   Ensemble size.
+     * @param options Per-tree hyperparameters.
+     * @param seed    Determinizes the bootstrap samples.
+     */
+    explicit CartForest(unsigned trees = 16, CartOptions options = {},
+                        uint64_t seed = 17);
+
+    std::string name() const override;
+    void train(const TrainingSet &data) override;
+    NormalizedMVector predict(const FeatureVector &f) const override;
+
+  private:
+    unsigned numTrees_;
+    CartOptions options_;
+    uint64_t seed_;
+    std::vector<CartTree> trees_;
+};
+
+} // namespace heteromap
+
+#endif // HETEROMAP_MODEL_CART_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * TrainingSet helper implementation.
+ */
+
+#include "model/dataset.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace heteromap {
+
+void
+shuffleTrainingSet(TrainingSet &data, uint64_t seed)
+{
+    Rng rng(seed);
+    rng.shuffle(data);
+}
+
+std::pair<TrainingSet, TrainingSet>
+splitTrainingSet(const TrainingSet &data, double train_fraction)
+{
+    HM_ASSERT(train_fraction > 0.0 && train_fraction <= 1.0,
+              "train fraction out of range");
+    auto cut = static_cast<std::size_t>(
+        train_fraction * static_cast<double>(data.size()));
+    cut = std::min(cut, data.size());
+    TrainingSet train(data.begin(), data.begin() + cut);
+    TrainingSet valid(data.begin() + cut, data.end());
+    return {std::move(train), std::move(valid)};
+}
+
+Matrix
+featureMatrix(const TrainingSet &data)
+{
+    Matrix x(data.size(), kNumFeatures);
+    for (std::size_t r = 0; r < data.size(); ++r) {
+        auto flat = data[r].x.asArray();
+        for (std::size_t c = 0; c < kNumFeatures; ++c)
+            x.at(r, c) = flat[c];
+    }
+    return x;
+}
+
+Matrix
+targetMatrix(const TrainingSet &data)
+{
+    Matrix y(data.size(), kNumOutputs);
+    for (std::size_t r = 0; r < data.size(); ++r)
+        for (std::size_t c = 0; c < kNumOutputs; ++c)
+            y.at(r, c) = data[r].y.m[c];
+    return y;
+}
+
+double
+meanSquaredError(const Predictor &predictor, const TrainingSet &data)
+{
+    if (data.empty())
+        return 0.0;
+    double total = 0.0;
+    for (const auto &sample : data) {
+        auto pred = predictor.predict(sample.x);
+        for (std::size_t k = 0; k < kNumOutputs; ++k) {
+            double d = pred.m[k] - sample.y.m[k];
+            total += d * d;
+        }
+    }
+    return total / (static_cast<double>(data.size()) * kNumOutputs);
+}
+
+} // namespace heteromap

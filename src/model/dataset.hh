@@ -1,0 +1,40 @@
+/**
+ * @file
+ * TrainingSet helpers: deterministic shuffling, train/validation
+ * splits, and conversion to design matrices for the solvers.
+ */
+
+#ifndef HETEROMAP_MODEL_DATASET_HH
+#define HETEROMAP_MODEL_DATASET_HH
+
+#include <utility>
+
+#include "model/matrix.hh"
+#include "model/predictor.hh"
+
+namespace heteromap {
+
+/** Deterministically shuffle @p data in place. */
+void shuffleTrainingSet(TrainingSet &data, uint64_t seed);
+
+/**
+ * Split into (train, validation) with @p train_fraction of samples in
+ * the first part. The input order is preserved; shuffle first if the
+ * corpus is ordered.
+ */
+std::pair<TrainingSet, TrainingSet>
+splitTrainingSet(const TrainingSet &data, double train_fraction);
+
+/** Stack features into an N x 17 matrix. */
+Matrix featureMatrix(const TrainingSet &data);
+
+/** Stack targets into an N x 20 matrix. */
+Matrix targetMatrix(const TrainingSet &data);
+
+/** Mean squared prediction error of @p predictor over @p data. */
+double meanSquaredError(const Predictor &predictor,
+                        const TrainingSet &data);
+
+} // namespace heteromap
+
+#endif // HETEROMAP_MODEL_DATASET_HH

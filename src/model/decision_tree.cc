@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Decision-tree heuristic implementation. The M1 tree encodes the
+ * partial decisions Section IV describes; the M2-M20 values come from
+ * the paper's linear equations:
+ *
+ *   Avg.Deg      = |I3 - I2/I1|
+ *   Avg.Deg.Dia  = |(I4 + Avg.Deg) / 2|
+ *   M19 = I1 * max_global_threads + k      M20 = Avg.Deg * max_local + k
+ *   M2  = I1 * max_cores + k               M3, M10 = Avg.Deg * max_mt + k
+ *   M4  = avg(B12, B13) * max_wait + k     M5-7 = Avg.Deg.Dia * max_place
+ *   M8  = avg(Avg.Deg.Dia, B10) * max_place (k = 0)
+ *
+ * All outputs here are normalized; deployNormalized() applies the
+ * machine maxima and the k floors.
+ */
+
+#include "model/decision_tree.hh"
+
+#include <algorithm>
+
+#include "util/stats.hh"
+
+namespace heteromap {
+
+AcceleratorKind
+DecisionTreeHeuristic::chooseAccelerator(const FeatureVector &f) const
+{
+    const BVariables &b = f.b;
+    const IVariables &i = f.i;
+    const double t = threshold_;
+
+    // Layer 1: dominant outer-loop phase kind.
+    if (b.b1 > t || b.b2 > t || b.b3 > t) {
+        // Abundant vertex-level parallelism favors the GPU...
+        // Layer 2: ...unless the graph is large and the benchmark
+        // leans on indirect addressing or FP (Sec. IV: Conn. Comp.,
+        // PageRank, Comm. run on multicores when graphs are large).
+        if (i.i1 > t && (b.b8 > t || b.b6 > t))
+            return AcceleratorKind::Multicore;
+        // Layer 3: heavily contended read-write shared data throttles
+        // GPU atomics.
+        if (b.b10 > t && b.b12 > t)
+            return AcceleratorKind::Multicore;
+        return AcceleratorKind::Gpu;
+    }
+
+    // Layer 1: serial push-pop accesses.
+    if (b.b4 > t) {
+        // Multicores handle queue ordering and, with dense graphs,
+        // keep the structure resident in their larger caches.
+        return AcceleratorKind::Multicore;
+    }
+
+    // Layer 1: reduction-dominant benchmarks.
+    if (b.b5 > t) {
+        // Layer 2: reductions over read-write shared data want the
+        // multicore's coherent caches.
+        if (b.b10 > t)
+            return AcceleratorKind::Multicore;
+        // Layer 3: reductions with some FP and negligible local
+        // computation run well on the GPU's small fast threads.
+        if (b.b6 > 0.0 && b.b11 <= 0.1)
+            return AcceleratorKind::Gpu;
+        return b.b11 > t ? AcceleratorKind::Multicore
+                         : AcceleratorKind::Gpu;
+    }
+
+    // Mixed phase profile: weigh GPU-friendly against multicore-
+    // friendly evidence.
+    const double gpu_score = b.b1 + b.b2 + b.b3 + 0.5 * b.b5;
+    const double mc_score = 2.0 * b.b4 + b.b8 + b.b10 + b.b12 +
+                            b.b6 * (0.5 + i.i1);
+    return gpu_score >= mc_score ? AcceleratorKind::Gpu
+                                 : AcceleratorKind::Multicore;
+}
+
+NormalizedMVector
+DecisionTreeHeuristic::predict(const FeatureVector &f) const
+{
+    const BVariables &b = f.b;
+    const IVariables &i = f.i;
+
+    const double avg_deg = i.avgDegreeTerm();
+    const double avg_deg_dia = i.avgDegreeDiameterTerm();
+
+    NormalizedMVector y;
+    y.m[0] = chooseAccelerator(f) == AcceleratorKind::Gpu ? 0.0 : 1.0;
+
+    // M2: cores from outer-loop parallelism (vertex count), floored
+    // at one grid increment (k: "at least one core must be used").
+    y.m[1] = std::max(0.1, i.i1);
+    // M3: threads per core from graph density, same floor.
+    y.m[2] = std::max(0.1, avg_deg);
+    // M4: blocktime from contention level.
+    y.m[3] = (b.b12 + b.b13) / 2.0;
+    // M5-M7: thread placement from degree-diameter spread.
+    y.m[4] = y.m[5] = y.m[6] = avg_deg_dia;
+    // M8: affinity from placement spread and read-write sharing.
+    y.m[7] = (avg_deg_dia + b.b10) / 2.0;
+    // M9: dynamic scheduling for read-write shared data (Sec. III-A),
+    // static otherwise. Normalized: static=0, dynamic=0.75.
+    y.m[8] = b.b10 > threshold_ ? 0.75 : 0.0;
+    // M10: SIMD width from density (same relation as M3).
+    y.m[9] = avg_deg;
+    // M11: chunk size — small chunks for skewed/contended work.
+    y.m[10] = clamp(0.5 - b.b12 / 2.0, 0.0, 1.0) * avg_deg;
+    // M12/M13: nested parallelism when barrier-heavy multi-phase.
+    y.m[11] = b.b13 > threshold_ ? 1.0 : 0.0;
+    y.m[12] = b.b13;
+    // M14: spin count from contention.
+    y.m[13] = b.b12;
+    // M15: active wait policy under high contention + barriers.
+    y.m[14] = (b.b12 + b.b13) / 2.0 > threshold_ ? 1.0 : 0.0;
+    // M16: bind threads close when sharing is heavy.
+    y.m[15] = b.b10 > threshold_ ? 1.0 : 0.0;
+    // M17: dynamic teams only for pareto-style irregular phases.
+    y.m[16] = (b.b2 + b.b3) > threshold_ ? 1.0 : 0.0;
+    // M18: stack size scales with local data.
+    y.m[17] = b.b11;
+    // M19: GPU global threads from the vertex count. The k floor is
+    // one grid increment — deploying literally one thread is never
+    // the right reading of "at least 1 thread must be spawned".
+    y.m[18] = std::max(0.1, i.i1);
+    // M20: GPU local threads from the graph density, same floor.
+    y.m[19] = std::max(0.1, avg_deg);
+
+    y.clamp01();
+    return y;
+}
+
+} // namespace heteromap

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The manually constructed decision-tree heuristic of Section IV: a
+ * 3-layer inter-accelerator tree selecting M1 from (B, I) thresholds
+ * (0.5 mid-points by default), followed by the paper's linear
+ * M-equations for the intra-accelerator choices (M2-M20). Analytical:
+ * train() is a no-op.
+ */
+
+#ifndef HETEROMAP_MODEL_DECISION_TREE_HH
+#define HETEROMAP_MODEL_DECISION_TREE_HH
+
+#include "model/predictor.hh"
+
+namespace heteromap {
+
+/** Section IV analytical decision-tree + linear-equation model. */
+class DecisionTreeHeuristic : public Predictor
+{
+  public:
+    /** @param threshold Decision threshold (paper default 0.5). */
+    explicit DecisionTreeHeuristic(double threshold = 0.5)
+        : threshold_(threshold)
+    {
+    }
+
+    std::string name() const override { return "Decision Tree"; }
+    void train(const TrainingSet &) override {}
+    NormalizedMVector predict(const FeatureVector &f) const override;
+
+    /** The inter-accelerator (M1) tree, exposed for tests/Fig. 7. */
+    AcceleratorKind chooseAccelerator(const FeatureVector &f) const;
+
+  private:
+    double threshold_;
+};
+
+} // namespace heteromap
+
+#endif // HETEROMAP_MODEL_DECISION_TREE_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Linear regression implementation.
+ */
+
+#include "model/linear_regression.hh"
+
+#include <istream>
+#include <ostream>
+
+#include "util/logging.hh"
+
+namespace heteromap {
+
+void
+LinearRegression::train(const TrainingSet &data)
+{
+    HM_ASSERT(!data.empty(), "cannot train on an empty corpus");
+
+    // Design matrix with a trailing bias column.
+    Matrix x(data.size(), kNumFeatures + 1);
+    for (std::size_t r = 0; r < data.size(); ++r) {
+        auto flat = data[r].x.asArray();
+        for (std::size_t c = 0; c < kNumFeatures; ++c)
+            x.at(r, c) = flat[c];
+        x.at(r, kNumFeatures) = 1.0;
+    }
+
+    Matrix y(data.size(), kNumOutputs);
+    for (std::size_t r = 0; r < data.size(); ++r)
+        for (std::size_t c = 0; c < kNumOutputs; ++c)
+            y.at(r, c) = data[r].y.m[c];
+
+    Matrix xt = x.transpose();
+    weights_ = choleskySolve(xt.multiply(x), xt.multiply(y), ridge_);
+}
+
+NormalizedMVector
+LinearRegression::predict(const FeatureVector &f) const
+{
+    HM_ASSERT(weights_.rows() == kNumFeatures + 1,
+              "LinearRegression::predict before train");
+    std::vector<double> input = f.asVector();
+    input.push_back(1.0);
+
+    NormalizedMVector out;
+    for (std::size_t k = 0; k < kNumOutputs; ++k) {
+        double sum = 0.0;
+        for (std::size_t c = 0; c < input.size(); ++c)
+            sum += weights_.at(c, k) * input[c];
+        out.m[k] = sum;
+    }
+    out.clamp01();
+    return out;
+}
+
+void
+LinearRegression::save(std::ostream &os) const
+{
+    HM_ASSERT(weights_.rows() == kNumFeatures + 1,
+              "LinearRegression::save before train");
+    os << "linear-regression v1 " << ridge_ << "\n";
+    saveMatrix(os, weights_);
+}
+
+LinearRegression
+LinearRegression::load(std::istream &is)
+{
+    std::string tag;
+    std::string version;
+    double ridge = 0.0;
+    is >> tag >> version >> ridge;
+    if (is.fail() || tag != "linear-regression" || version != "v1")
+        HM_FATAL("LinearRegression::load: bad header");
+    LinearRegression model(ridge);
+    model.weights_ = loadMatrix(is);
+    if (model.weights_.rows() != kNumFeatures + 1 ||
+        model.weights_.cols() != kNumOutputs) {
+        HM_FATAL("LinearRegression::load: unexpected weight shape");
+    }
+    return model;
+}
+
+} // namespace heteromap

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Simple linear regression baseline (Table IV "Linear Regression"):
+ * one ridge-regularized linear map from the 17 features to the 20
+ * outputs. Too weak for the non-linear (B, I) -> M relationships,
+ * which is the point of including it.
+ */
+
+#ifndef HETEROMAP_MODEL_LINEAR_REGRESSION_HH
+#define HETEROMAP_MODEL_LINEAR_REGRESSION_HH
+
+#include <iosfwd>
+
+#include "model/matrix.hh"
+#include "model/predictor.hh"
+
+namespace heteromap {
+
+/** Ridge linear regression, closed-form fit. */
+class LinearRegression : public Predictor
+{
+  public:
+    /** @param ridge L2 regularization strength. */
+    explicit LinearRegression(double ridge = 1e-3) : ridge_(ridge) {}
+
+    std::string name() const override { return "Linear Regression"; }
+    void train(const TrainingSet &data) override;
+    NormalizedMVector predict(const FeatureVector &f) const override;
+
+    /** Persist the fitted weights as text. */
+    void save(std::ostream &os) const;
+
+    /** Restore a fitted model from the save() format. */
+    static LinearRegression load(std::istream &is);
+
+  private:
+    double ridge_;
+    Matrix weights_; //!< (kNumFeatures + 1) x kNumOutputs, bias last
+};
+
+} // namespace heteromap
+
+#endif // HETEROMAP_MODEL_LINEAR_REGRESSION_HH

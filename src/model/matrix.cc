@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Matrix implementation.
+ */
+
+#include "model/matrix.hh"
+
+#include <cmath>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+
+#include "util/logging.hh"
+
+namespace heteromap {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0)
+{
+}
+
+Matrix
+Matrix::fromRows(const std::vector<std::vector<double>> &rows)
+{
+    HM_ASSERT(!rows.empty(), "fromRows requires at least one row");
+    Matrix m(rows.size(), rows.front().size());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        HM_ASSERT(rows[r].size() == m.cols_, "ragged rows in fromRows");
+        for (std::size_t c = 0; c < m.cols_; ++c)
+            m.at(r, c) = rows[r][c];
+    }
+    return m;
+}
+
+Matrix
+Matrix::identity(std::size_t n)
+{
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        m.at(i, i) = 1.0;
+    return m;
+}
+
+double &
+Matrix::at(std::size_t r, std::size_t c)
+{
+    HM_ASSERT(r < rows_ && c < cols_, "matrix index (", r, ",", c,
+              ") out of ", rows_, "x", cols_);
+    return data_[r * cols_ + c];
+}
+
+double
+Matrix::at(std::size_t r, std::size_t c) const
+{
+    HM_ASSERT(r < rows_ && c < cols_, "matrix index (", r, ",", c,
+              ") out of ", rows_, "x", cols_);
+    return data_[r * cols_ + c];
+}
+
+Matrix
+Matrix::transpose() const
+{
+    Matrix out(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c)
+            out.at(c, r) = at(r, c);
+    return out;
+}
+
+Matrix
+Matrix::multiply(const Matrix &other) const
+{
+    HM_ASSERT(cols_ == other.rows_, "matrix product shape mismatch: ",
+              rows_, "x", cols_, " * ", other.rows_, "x", other.cols_);
+    Matrix out(rows_, other.cols_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            double lhs = at(r, k);
+            if (lhs == 0.0)
+                continue;
+            for (std::size_t c = 0; c < other.cols_; ++c)
+                out.at(r, c) += lhs * other.at(k, c);
+        }
+    }
+    return out;
+}
+
+std::vector<double>
+Matrix::apply(const std::vector<double> &x) const
+{
+    HM_ASSERT(x.size() == cols_, "matrix-vector shape mismatch");
+    std::vector<double> out(rows_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        double sum = 0.0;
+        for (std::size_t c = 0; c < cols_; ++c)
+            sum += at(r, c) * x[c];
+        out[r] = sum;
+    }
+    return out;
+}
+
+Matrix
+Matrix::add(const Matrix &other) const
+{
+    HM_ASSERT(rows_ == other.rows_ && cols_ == other.cols_,
+              "matrix addition shape mismatch");
+    Matrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] = data_[i] + other.data_[i];
+    return out;
+}
+
+Matrix
+Matrix::scaled(double factor) const
+{
+    Matrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] = data_[i] * factor;
+    return out;
+}
+
+double
+Matrix::frobeniusNorm() const
+{
+    double sum = 0.0;
+    for (double x : data_)
+        sum += x * x;
+    return std::sqrt(sum);
+}
+
+void
+saveMatrix(std::ostream &os, const Matrix &m)
+{
+    os << m.rows() << " " << m.cols();
+    os << std::setprecision(17);
+    for (double v : m.data())
+        os << " " << v;
+    os << "\n";
+}
+
+Matrix
+loadMatrix(std::istream &is)
+{
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    is >> rows >> cols;
+    if (is.fail())
+        HM_FATAL("loadMatrix: malformed header");
+    Matrix m(rows, cols);
+    for (double &v : m.data()) {
+        is >> v;
+        if (is.fail())
+            HM_FATAL("loadMatrix: truncated data");
+    }
+    return m;
+}
+
+Matrix
+choleskySolve(const Matrix &a, const Matrix &b, double ridge)
+{
+    HM_ASSERT(a.rows() == a.cols(), "choleskySolve requires square A");
+    HM_ASSERT(a.rows() == b.rows(), "choleskySolve shape mismatch");
+    const std::size_t n = a.rows();
+
+    // Decompose A + ridge*I = L * Lt.
+    Matrix l(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) {
+            double sum = a.at(i, j) + (i == j ? ridge : 0.0);
+            for (std::size_t k = 0; k < j; ++k)
+                sum -= l.at(i, k) * l.at(j, k);
+            if (i == j) {
+                if (sum <= 0.0)
+                    HM_FATAL("choleskySolve: matrix not positive "
+                             "definite at pivot ", i, " (", sum,
+                             "); increase the ridge term");
+                l.at(i, i) = std::sqrt(sum);
+            } else {
+                l.at(i, j) = sum / l.at(j, j);
+            }
+        }
+    }
+
+    // Forward/backward substitution per right-hand-side column.
+    Matrix x(n, b.cols());
+    std::vector<double> y(n);
+    for (std::size_t c = 0; c < b.cols(); ++c) {
+        for (std::size_t i = 0; i < n; ++i) {
+            double sum = b.at(i, c);
+            for (std::size_t k = 0; k < i; ++k)
+                sum -= l.at(i, k) * y[k];
+            y[i] = sum / l.at(i, i);
+        }
+        for (std::size_t ii = n; ii > 0; --ii) {
+            std::size_t i = ii - 1;
+            double sum = y[i];
+            for (std::size_t k = i + 1; k < n; ++k)
+                sum -= l.at(k, i) * x.at(k, c);
+            x.at(i, c) = sum / l.at(i, i);
+        }
+    }
+    return x;
+}
+
+} // namespace heteromap

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Minimal dense linear algebra for the learned predictors: row-major
+ * double matrices with the operations the regression solvers and the
+ * MLP need (products, transpose, ridge-regularized Cholesky solve).
+ */
+
+#ifndef HETEROMAP_MODEL_MATRIX_HH
+#define HETEROMAP_MODEL_MATRIX_HH
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+namespace heteromap {
+
+/** Row-major dense matrix of doubles. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** @p rows x @p cols zero matrix. */
+    Matrix(std::size_t rows, std::size_t cols);
+
+    /** Construct from nested initializer data (rows of equal width). */
+    static Matrix fromRows(
+        const std::vector<std::vector<double>> &rows);
+
+    /** Identity of size @p n. */
+    static Matrix identity(std::size_t n);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    double &at(std::size_t r, std::size_t c);
+    double at(std::size_t r, std::size_t c) const;
+
+    /** Raw storage (row-major). */
+    std::vector<double> &data() { return data_; }
+    const std::vector<double> &data() const { return data_; }
+
+    Matrix transpose() const;
+    Matrix multiply(const Matrix &other) const;
+
+    /** this * vector (vector length == cols). */
+    std::vector<double> apply(const std::vector<double> &x) const;
+
+    /** Element-wise addition; shapes must match. */
+    Matrix add(const Matrix &other) const;
+
+    /** Scale all elements. */
+    Matrix scaled(double factor) const;
+
+    /** Frobenius norm. */
+    double frobeniusNorm() const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/** Serialize @p m as "rows cols v00 v01 ..." text. */
+void saveMatrix(std::ostream &os, const Matrix &m);
+
+/** Parse the saveMatrix format; fatal on malformed input. */
+Matrix loadMatrix(std::istream &is);
+
+/**
+ * Solve (A + ridge * I) X = B for X with A symmetric positive
+ * semi-definite (e.g. A = Xt*X), via Cholesky decomposition. B may
+ * have multiple right-hand-side columns. Fatal if the regularized
+ * matrix is not positive definite.
+ */
+Matrix choleskySolve(const Matrix &a, const Matrix &b, double ridge = 0.0);
+
+} // namespace heteromap
+
+#endif // HETEROMAP_MODEL_MATRIX_HH

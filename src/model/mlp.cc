@@ -1,0 +1,249 @@
+/**
+ * @file
+ * MLP implementation: manual backprop with Adam over the fixed
+ * 17 -> H -> H -> 20 topology.
+ */
+
+#include "model/mlp.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace heteromap {
+
+namespace {
+
+double
+sigmoid(double x)
+{
+    return 1.0 / (1.0 + std::exp(-x));
+}
+
+} // namespace
+
+Mlp::Mlp(unsigned hidden_width, MlpOptions options)
+    : hiddenWidth_(std::max(1u, hidden_width)), options_(options)
+{
+    const std::size_t dims[] = {kNumFeatures, hiddenWidth_, hiddenWidth_,
+                                kNumOutputs};
+    Rng rng(options_.seed);
+    for (std::size_t l = 0; l + 1 < std::size(dims); ++l) {
+        Layer layer;
+        const std::size_t fan_in = dims[l];
+        const std::size_t fan_out = dims[l + 1];
+        layer.w = Matrix(fan_out, fan_in);
+        // Xavier/Glorot uniform initialization.
+        const double bound =
+            std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+        for (double &x : layer.w.data())
+            x = rng.nextDouble(-bound, bound);
+        layer.b.assign(fan_out, 0.0);
+        layer.mW = Matrix(fan_out, fan_in);
+        layer.vW = Matrix(fan_out, fan_in);
+        layer.mB.assign(fan_out, 0.0);
+        layer.vB.assign(fan_out, 0.0);
+        layers_.push_back(std::move(layer));
+    }
+}
+
+std::string
+Mlp::name() const
+{
+    std::ostringstream oss;
+    oss << "Deep." << hiddenWidth_;
+    return oss.str();
+}
+
+std::vector<std::vector<double>>
+Mlp::forward(const std::vector<double> &input) const
+{
+    std::vector<std::vector<double>> acts;
+    acts.push_back(input);
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+        const Layer &layer = layers_[l];
+        std::vector<double> z = layer.w.apply(acts.back());
+        for (std::size_t i = 0; i < z.size(); ++i) {
+            z[i] += layer.b[i];
+            z[i] = (l + 1 == layers_.size()) ? sigmoid(z[i])
+                                             : std::tanh(z[i]);
+        }
+        acts.push_back(std::move(z));
+    }
+    return acts;
+}
+
+void
+Mlp::train(const TrainingSet &data)
+{
+    HM_ASSERT(!data.empty(), "cannot train on an empty corpus");
+    Rng rng(options_.seed ^ 0xfeedULL);
+
+    std::vector<std::size_t> order(data.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+
+    uint64_t step = 0;
+    double epoch_loss = 0.0;
+
+    for (unsigned epoch = 0; epoch < options_.epochs; ++epoch) {
+        rng.shuffle(order);
+        epoch_loss = 0.0;
+
+        for (std::size_t start = 0; start < order.size();
+             start += options_.batchSize) {
+            const std::size_t end =
+                std::min(order.size(), start + options_.batchSize);
+            const double batch =
+                static_cast<double>(end - start);
+
+            // Accumulate gradients over the mini-batch.
+            std::vector<Matrix> gradW;
+            std::vector<std::vector<double>> gradB;
+            for (const auto &layer : layers_) {
+                gradW.emplace_back(layer.w.rows(), layer.w.cols());
+                gradB.emplace_back(layer.b.size(), 0.0);
+            }
+
+            for (std::size_t s = start; s < end; ++s) {
+                const TrainingSample &sample = data[order[s]];
+                auto acts = forward(sample.x.asVector());
+                const auto &out = acts.back();
+
+                // Output delta: d(MSE)/dz with sigmoid output.
+                std::vector<double> delta(kNumOutputs);
+                for (std::size_t k = 0; k < kNumOutputs; ++k) {
+                    double err = out[k] - sample.y.m[k];
+                    double weight =
+                        k == 0 ? options_.m1LossWeight : 1.0;
+                    epoch_loss += err * err;
+                    delta[k] =
+                        weight * err * out[k] * (1.0 - out[k]);
+                }
+
+                for (std::size_t li = layers_.size(); li > 0; --li) {
+                    const std::size_t l = li - 1;
+                    const auto &a_in = acts[l];
+                    for (std::size_t i = 0; i < delta.size(); ++i) {
+                        gradB[l][i] += delta[i];
+                        for (std::size_t j = 0; j < a_in.size(); ++j)
+                            gradW[l].at(i, j) += delta[i] * a_in[j];
+                    }
+                    if (l == 0)
+                        break;
+                    // Propagate delta through W and tanh'.
+                    std::vector<double> prev(a_in.size(), 0.0);
+                    for (std::size_t j = 0; j < a_in.size(); ++j) {
+                        double sum = 0.0;
+                        for (std::size_t i = 0; i < delta.size(); ++i)
+                            sum += layers_[l].w.at(i, j) * delta[i];
+                        prev[j] = sum * (1.0 - a_in[j] * a_in[j]);
+                    }
+                    delta = std::move(prev);
+                }
+            }
+
+            // Adam update.
+            ++step;
+            const double b1 = options_.adamBeta1;
+            const double b2 = options_.adamBeta2;
+            const double bias1 =
+                1.0 - std::pow(b1, static_cast<double>(step));
+            const double bias2 =
+                1.0 - std::pow(b2, static_cast<double>(step));
+            for (std::size_t l = 0; l < layers_.size(); ++l) {
+                Layer &layer = layers_[l];
+                auto &gw = gradW[l].data();
+                auto &w = layer.w.data();
+                auto &mw = layer.mW.data();
+                auto &vw = layer.vW.data();
+                for (std::size_t i = 0; i < w.size(); ++i) {
+                    double g = gw[i] / batch;
+                    mw[i] = b1 * mw[i] + (1.0 - b1) * g;
+                    vw[i] = b2 * vw[i] + (1.0 - b2) * g * g;
+                    w[i] -= options_.learningRate * (mw[i] / bias1) /
+                            (std::sqrt(vw[i] / bias2) +
+                             options_.adamEpsilon);
+                }
+                for (std::size_t i = 0; i < layer.b.size(); ++i) {
+                    double g = gradB[l][i] / batch;
+                    layer.mB[i] = b1 * layer.mB[i] + (1.0 - b1) * g;
+                    layer.vB[i] =
+                        b2 * layer.vB[i] + (1.0 - b2) * g * g;
+                    layer.b[i] -= options_.learningRate *
+                                  (layer.mB[i] / bias1) /
+                                  (std::sqrt(layer.vB[i] / bias2) +
+                                   options_.adamEpsilon);
+                }
+            }
+        }
+    }
+
+    finalLoss_ = epoch_loss /
+                 (static_cast<double>(data.size()) * kNumOutputs);
+}
+
+NormalizedMVector
+Mlp::predict(const FeatureVector &f) const
+{
+    auto acts = forward(f.asVector());
+    NormalizedMVector out;
+    for (std::size_t k = 0; k < kNumOutputs; ++k)
+        out.m[k] = acts.back()[k];
+    out.clamp01();
+    return out;
+}
+
+void
+Mlp::save(std::ostream &os) const
+{
+    os << "mlp v1 " << hiddenWidth_ << " " << layers_.size() << "\n";
+    os << std::setprecision(17);
+    for (const Layer &layer : layers_) {
+        saveMatrix(os, layer.w);
+        os << layer.b.size();
+        for (double v : layer.b)
+            os << " " << v;
+        os << "\n";
+    }
+}
+
+Mlp
+Mlp::load(std::istream &is)
+{
+    std::string tag;
+    std::string version;
+    unsigned hidden = 0;
+    std::size_t layer_count = 0;
+    is >> tag >> version >> hidden >> layer_count;
+    if (is.fail() || tag != "mlp" || version != "v1")
+        HM_FATAL("Mlp::load: bad header");
+
+    Mlp model(hidden);
+    if (model.layers_.size() != layer_count)
+        HM_FATAL("Mlp::load: layer count mismatch");
+    for (Layer &layer : model.layers_) {
+        Matrix w = loadMatrix(is);
+        if (w.rows() != layer.w.rows() || w.cols() != layer.w.cols())
+            HM_FATAL("Mlp::load: unexpected layer shape");
+        layer.w = std::move(w);
+        std::size_t bias_count = 0;
+        is >> bias_count;
+        if (is.fail() || bias_count != layer.b.size())
+            HM_FATAL("Mlp::load: bias arity mismatch");
+        for (double &v : layer.b) {
+            is >> v;
+            if (is.fail())
+                HM_FATAL("Mlp::load: truncated biases");
+        }
+    }
+    return model;
+}
+
+} // namespace heteromap

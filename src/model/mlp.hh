@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Feed-forward deep-learning predictor (Sec. V-B, Fig. 10): 17 input
+ * neurons, two hidden layers of configurable width (the paper's
+ * Deep.16/32/64/128 family), 20 output neurons. Tanh hidden
+ * activations, sigmoid outputs, Adam optimizer, deterministic
+ * seeded initialization.
+ */
+
+#ifndef HETEROMAP_MODEL_MLP_HH
+#define HETEROMAP_MODEL_MLP_HH
+
+#include <iosfwd>
+#include <vector>
+
+#include "model/matrix.hh"
+#include "model/predictor.hh"
+
+namespace heteromap {
+
+/** Training hyperparameters for the MLP. */
+struct MlpOptions {
+    unsigned epochs = 120;
+    unsigned batchSize = 32;
+    double learningRate = 3e-3;
+    double adamBeta1 = 0.9;
+    double adamBeta2 = 0.999;
+    double adamEpsilon = 1e-8;
+    /** Loss weight on the M1 (accelerator-select) output. Choosing
+     *  the wrong machine costs far more than a misjudged knob, so the
+     *  boundary output trains with extra emphasis. */
+    double m1LossWeight = 6.0;
+    uint64_t seed = 7;
+};
+
+/** Four-layer feed-forward network. */
+class Mlp : public Predictor
+{
+  public:
+    /**
+     * @param hidden_width Neurons per hidden layer (Deep.<width>).
+     * @param options      Optimizer settings.
+     */
+    explicit Mlp(unsigned hidden_width = 128, MlpOptions options = {});
+
+    std::string name() const override;
+    void train(const TrainingSet &data) override;
+    NormalizedMVector predict(const FeatureVector &f) const override;
+
+    /** Final training loss of the last train() call (MSE). */
+    double finalLoss() const { return finalLoss_; }
+
+    unsigned hiddenWidth() const { return hiddenWidth_; }
+
+    /** Persist the network weights as text. */
+    void save(std::ostream &os) const;
+
+    /** Restore a trained network from the save() format. */
+    static Mlp load(std::istream &is);
+
+  private:
+    unsigned hiddenWidth_;
+    MlpOptions options_;
+    double finalLoss_ = 0.0;
+
+    /** One dense layer's parameters and Adam state. */
+    struct Layer {
+        Matrix w;               //!< out x in
+        std::vector<double> b;  //!< out
+        Matrix mW, vW;          //!< Adam moments for w
+        std::vector<double> mB, vB;
+    };
+    std::vector<Layer> layers_;
+
+    /** Forward pass; returns activations per layer (input first). */
+    std::vector<std::vector<double>>
+    forward(const std::vector<double> &input) const;
+};
+
+} // namespace heteromap
+
+#endif // HETEROMAP_MODEL_MLP_HH

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Polynomial regression implementation.
+ */
+
+#include "model/poly_regression.hh"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace heteromap {
+
+PolyRegression::PolyRegression(unsigned order, double ridge)
+    : order_(order), ridge_(ridge)
+{
+    HM_ASSERT(order_ >= 1, "polynomial order must be >= 1");
+}
+
+std::string
+PolyRegression::name() const
+{
+    std::ostringstream oss;
+    oss << "Multi Regression (order " << order_ << ")";
+    return oss.str();
+}
+
+std::size_t
+PolyRegression::expandedSize() const
+{
+    // bias + per-feature powers + pairwise products.
+    return 1 + kNumFeatures * order_ +
+           kNumFeatures * (kNumFeatures - 1) / 2;
+}
+
+std::vector<double>
+PolyRegression::expand(const FeatureVector &f) const
+{
+    auto flat = f.asArray();
+    std::vector<double> out;
+    out.reserve(expandedSize());
+    out.push_back(1.0);
+    for (double x : flat) {
+        double power = x;
+        for (unsigned p = 0; p < order_; ++p) {
+            out.push_back(power);
+            power *= x;
+        }
+    }
+    for (std::size_t i = 0; i < flat.size(); ++i)
+        for (std::size_t j = i + 1; j < flat.size(); ++j)
+            out.push_back(flat[i] * flat[j]);
+    return out;
+}
+
+void
+PolyRegression::train(const TrainingSet &data)
+{
+    HM_ASSERT(!data.empty(), "cannot train on an empty corpus");
+    const std::size_t dim = expandedSize();
+
+    Matrix x(data.size(), dim);
+    for (std::size_t r = 0; r < data.size(); ++r) {
+        auto row = expand(data[r].x);
+        for (std::size_t c = 0; c < dim; ++c)
+            x.at(r, c) = row[c];
+    }
+
+    Matrix y(data.size(), kNumOutputs);
+    for (std::size_t r = 0; r < data.size(); ++r)
+        for (std::size_t c = 0; c < kNumOutputs; ++c)
+            y.at(r, c) = data[r].y.m[c];
+
+    Matrix xt = x.transpose();
+    weights_ = choleskySolve(xt.multiply(x), xt.multiply(y), ridge_);
+}
+
+NormalizedMVector
+PolyRegression::predict(const FeatureVector &f) const
+{
+    HM_ASSERT(weights_.rows() == expandedSize(),
+              "PolyRegression::predict before train");
+    auto input = expand(f);
+
+    NormalizedMVector out;
+    for (std::size_t k = 0; k < kNumOutputs; ++k) {
+        double sum = 0.0;
+        for (std::size_t c = 0; c < input.size(); ++c)
+            sum += weights_.at(c, k) * input[c];
+        out.m[k] = sum;
+    }
+    out.clamp01();
+    return out;
+}
+
+void
+PolyRegression::save(std::ostream &os) const
+{
+    HM_ASSERT(weights_.rows() == expandedSize(),
+              "PolyRegression::save before train");
+    os << "poly-regression v1 " << order_ << " " << ridge_ << "\n";
+    saveMatrix(os, weights_);
+}
+
+PolyRegression
+PolyRegression::load(std::istream &is)
+{
+    std::string tag;
+    std::string version;
+    unsigned order = 0;
+    double ridge = 0.0;
+    is >> tag >> version >> order >> ridge;
+    if (is.fail() || tag != "poly-regression" || version != "v1")
+        HM_FATAL("PolyRegression::load: bad header");
+    PolyRegression model(order, ridge);
+    model.weights_ = loadMatrix(is);
+    if (model.weights_.rows() != model.expandedSize() ||
+        model.weights_.cols() != kNumOutputs) {
+        HM_FATAL("PolyRegression::load: unexpected weight shape");
+    }
+    return model;
+}
+
+} // namespace heteromap

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Multiple non-linear regression (Sec. V-C, Table IV "Multi
+ * Regression"): ridge regression over a polynomial feature expansion
+ * — per-feature powers up to the configured order (7 in the paper)
+ * plus all pairwise products. More capable than the linear baseline,
+ * more expensive at inference (the paper's 4.11 ms overhead row).
+ */
+
+#ifndef HETEROMAP_MODEL_POLY_REGRESSION_HH
+#define HETEROMAP_MODEL_POLY_REGRESSION_HH
+
+#include <iosfwd>
+
+#include "model/matrix.hh"
+#include "model/predictor.hh"
+
+namespace heteromap {
+
+/** Polynomial ridge regression of configurable order. */
+class PolyRegression : public Predictor
+{
+  public:
+    /**
+     * @param order Maximum per-feature power (>= 1).
+     * @param ridge L2 regularization strength.
+     */
+    explicit PolyRegression(unsigned order = 7, double ridge = 0.5);
+
+    std::string name() const override;
+    void train(const TrainingSet &data) override;
+    NormalizedMVector predict(const FeatureVector &f) const override;
+
+    /** Expanded feature count (exposed for tests). */
+    std::size_t expandedSize() const;
+
+    /** Polynomial expansion of one raw feature vector. */
+    std::vector<double> expand(const FeatureVector &f) const;
+
+    /** Persist the fitted weights as text. */
+    void save(std::ostream &os) const;
+
+    /** Restore a fitted model from the save() format. */
+    static PolyRegression load(std::istream &is);
+
+  private:
+    unsigned order_;
+    double ridge_;
+    Matrix weights_; //!< expandedSize() x kNumOutputs
+};
+
+} // namespace heteromap
+
+#endif // HETEROMAP_MODEL_POLY_REGRESSION_HH

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Normalized M-vector encode/decode.
+ */
+
+#include "model/predictor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.hh"
+
+namespace heteromap {
+
+namespace {
+
+/** Round a normalized knob scaled by @p max_value, with minimum @p k. */
+unsigned
+scaleUp(double norm, double max_value, unsigned k)
+{
+    double value = clamp(norm, 0.0, 1.0) * max_value;
+    auto rounded = static_cast<long>(std::lround(value));
+    // Ceiling to the machine maximum, floor to the constant k.
+    rounded = std::min<long>(rounded, static_cast<long>(max_value));
+    return static_cast<unsigned>(
+        std::max<long>(rounded, static_cast<long>(k)));
+}
+
+double
+scaleDown(double value, double max_value)
+{
+    if (max_value <= 0.0)
+        return 0.0;
+    return clamp(value / max_value, 0.0, 1.0);
+}
+
+constexpr double kMaxBlocktimeMs = 1000.0;
+constexpr double kMaxChunkSize = 256.0;
+constexpr double kMaxActiveLevels = 4.0;
+constexpr double kMaxSpinCount = 250000.0;
+constexpr double kMaxStackKb = 8192.0;
+
+} // namespace
+
+void
+NormalizedMVector::clamp01()
+{
+    for (double &v : m)
+        v = clamp(v, 0.0, 1.0);
+}
+
+MConfig
+deployNormalized(const NormalizedMVector &y, const AcceleratorPair &pair)
+{
+    MConfig c;
+    c.accelerator = y.m[0] < 0.5 ? AcceleratorKind::Gpu
+                                 : AcceleratorKind::Multicore;
+    const AcceleratorSpec &mc = pair.multicore;
+    const AcceleratorSpec &gpu = pair.gpu;
+
+    // Multicore hardware choices (M2-M8). k = 1 core / 1 thread.
+    c.cores = scaleUp(y.m[1], mc.cores, 1);
+    c.threadsPerCore = scaleUp(y.m[2], mc.threadsPerCore, 1);
+    c.blocktimeMs =
+        clamp(y.m[3], 0.0, 1.0) * kMaxBlocktimeMs + 1.0;
+    c.placementSpread =
+        clamp((y.m[4] + y.m[5] + y.m[6]) / 3.0, 0.0, 1.0);
+    c.affinityMovable = clamp(y.m[7], 0.0, 1.0);
+
+    // OpenMP runtime choices (M9-M18).
+    c.schedule = static_cast<SchedulePolicy>(
+        std::min(4l, std::lround(clamp(y.m[8], 0.0, 1.0) * 4.0)));
+    c.simdWidth = scaleUp(y.m[9], mc.simdWidth, 1);
+    c.chunkSize = scaleUp(y.m[10], kMaxChunkSize, 0);
+    c.nestedParallelism = y.m[11] >= 0.5;
+    c.maxActiveLevels = scaleUp(y.m[12], kMaxActiveLevels, 1);
+    c.spinCount = scaleUp(y.m[13], kMaxSpinCount, 0);
+    c.activeWaitPolicy = y.m[14] >= 0.5;
+    c.procBindClose = y.m[15] >= 0.5;
+    c.dynamicTeams = y.m[16] >= 0.5;
+    c.stackSizeKb = scaleUp(y.m[17], kMaxStackKb, 256);
+
+    // GPU hardware choices (M19-M20). k = 1 thread.
+    c.gpuGlobalThreads = scaleUp(y.m[18], gpu.maxGlobalThreads, 1);
+    c.gpuLocalThreads = scaleUp(y.m[19], gpu.maxLocalThreads, 1);
+    return c;
+}
+
+NormalizedMVector
+normalizeConfig(const MConfig &config, const AcceleratorPair &pair)
+{
+    NormalizedMVector y;
+    y.m[0] = config.accelerator == AcceleratorKind::Gpu ? 0.0 : 1.0;
+    const AcceleratorSpec &mc = pair.multicore;
+    const AcceleratorSpec &gpu = pair.gpu;
+
+    y.m[1] = scaleDown(config.cores, mc.cores);
+    y.m[2] = scaleDown(config.threadsPerCore, mc.threadsPerCore);
+    y.m[3] = scaleDown(config.blocktimeMs - 1.0, kMaxBlocktimeMs);
+    y.m[4] = y.m[5] = y.m[6] = clamp(config.placementSpread, 0.0, 1.0);
+    y.m[7] = clamp(config.affinityMovable, 0.0, 1.0);
+    y.m[8] = static_cast<double>(config.schedule) / 4.0;
+    y.m[9] = scaleDown(config.simdWidth, mc.simdWidth);
+    y.m[10] = scaleDown(config.chunkSize, kMaxChunkSize);
+    y.m[11] = config.nestedParallelism ? 1.0 : 0.0;
+    y.m[12] = scaleDown(config.maxActiveLevels, kMaxActiveLevels);
+    y.m[13] = scaleDown(config.spinCount, kMaxSpinCount);
+    y.m[14] = config.activeWaitPolicy ? 1.0 : 0.0;
+    y.m[15] = config.procBindClose ? 1.0 : 0.0;
+    y.m[16] = config.dynamicTeams ? 1.0 : 0.0;
+    y.m[17] = scaleDown(config.stackSizeKb, kMaxStackKb);
+    y.m[18] = scaleDown(config.gpuGlobalThreads, gpu.maxGlobalThreads);
+    y.m[19] = scaleDown(config.gpuLocalThreads, gpu.maxLocalThreads);
+    return y;
+}
+
+} // namespace heteromap

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Predictor interface and the normalized M-vector encoding shared by
+ * every learner. A predictor maps the 17 (B, I) features to 20
+ * normalized machine-choice outputs (Fig. 10); deployNormalized()
+ * scales the outputs to a concrete MConfig for a specific
+ * multi-accelerator pair ("multiplied with the maximum value of the
+ * machine variable being applied", Sec. IV), and normalizeConfig() is
+ * its inverse, used to encode tuner-found optima as training targets.
+ */
+
+#ifndef HETEROMAP_MODEL_PREDICTOR_HH
+#define HETEROMAP_MODEL_PREDICTOR_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "arch/presets.hh"
+#include "features/feature_vector.hh"
+
+namespace heteromap {
+
+/** Number of predictor outputs: M1-M20. */
+inline constexpr std::size_t kNumOutputs = 20;
+
+/** Normalized machine choices, each in [0, 1]. Index = M-number - 1. */
+struct NormalizedMVector {
+    std::array<double, kNumOutputs> m{};
+
+    /** Clamp every component into [0, 1]. */
+    void clamp01();
+
+    bool operator==(const NormalizedMVector &) const = default;
+};
+
+/** One training sample: features in, best machine choices out. */
+struct TrainingSample {
+    FeatureVector x;
+    NormalizedMVector y;
+};
+
+/** A labelled training corpus. */
+using TrainingSet = std::vector<TrainingSample>;
+
+/** Scale a normalized M vector to deployable choices on @p pair. */
+MConfig deployNormalized(const NormalizedMVector &y,
+                         const AcceleratorPair &pair);
+
+/** Encode a concrete configuration as a normalized M vector. */
+NormalizedMVector normalizeConfig(const MConfig &config,
+                                  const AcceleratorPair &pair);
+
+/** Abstract learner. */
+class Predictor
+{
+  public:
+    virtual ~Predictor() = default;
+
+    /** Display name, e.g. "Deep.128". */
+    virtual std::string name() const = 0;
+
+    /** Fit to @p data (no-op for analytical models). */
+    virtual void train(const TrainingSet &data) = 0;
+
+    /** Predict normalized machine choices for @p features. */
+    virtual NormalizedMVector predict(
+        const FeatureVector &features) const = 0;
+};
+
+} // namespace heteromap
+
+#endif // HETEROMAP_MODEL_PREDICTOR_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Table-lookup predictor implementation.
+ */
+
+#include "model/table_lookup.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace heteromap {
+
+TableLookupPredictor::TableLookupPredictor(unsigned k, double power)
+    : k_(std::max(1u, k)), power_(power)
+{
+}
+
+std::string
+TableLookupPredictor::name() const
+{
+    std::ostringstream oss;
+    oss << "Table Lookup (k=" << k_ << ")";
+    return oss.str();
+}
+
+void
+TableLookupPredictor::train(const TrainingSet &data)
+{
+    HM_ASSERT(!data.empty(), "cannot train on an empty corpus");
+    samples_ = data;
+}
+
+NormalizedMVector
+TableLookupPredictor::predict(const FeatureVector &f) const
+{
+    HM_ASSERT(!samples_.empty(),
+              "TableLookupPredictor::predict before train");
+    auto target = f.asArray();
+
+    // Partial selection of the k nearest tuples by squared distance.
+    std::vector<std::pair<double, const TrainingSample *>> scored;
+    scored.reserve(samples_.size());
+    for (const auto &sample : samples_) {
+        auto flat = sample.x.asArray();
+        double dist = 0.0;
+        for (std::size_t i = 0; i < flat.size(); ++i) {
+            double d = flat[i] - target[i];
+            dist += d * d;
+        }
+        scored.emplace_back(dist, &sample);
+    }
+    const std::size_t k =
+        std::min<std::size_t>(k_, scored.size());
+    std::partial_sort(scored.begin(), scored.begin() + k, scored.end(),
+                      [](const auto &a, const auto &b) {
+                          return a.first < b.first;
+                      });
+
+    // Exact grid hit: return the stored solution verbatim.
+    if (scored.front().first < 1e-12)
+        return scored.front().second->y;
+
+    // Inverse-distance-weighted blend of the neighbors.
+    NormalizedMVector out;
+    double weight_sum = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+        double weight =
+            power_ <= 0.0
+                ? 1.0
+                : 1.0 / std::pow(scored[i].first, power_ / 2.0);
+        weight_sum += weight;
+        for (std::size_t m = 0; m < kNumOutputs; ++m)
+            out.m[m] += weight * scored[i].second->y.m[m];
+    }
+    for (double &v : out.m)
+        v /= weight_sum;
+    out.clamp01();
+    return out;
+}
+
+} // namespace heteromap

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Table-lookup predictors backed by the profiler database. Section V
+ * describes the offline store as "indexed using B,I tuples to get M
+ * solutions"; these predictors use that index directly — an exact hit
+ * on the discretized feature grid when available, otherwise the
+ * (distance-weighted) average of the k nearest stored tuples. They
+ * serve as the non-parametric reference point for the Table IV
+ * learners and as the paper's database-only deployment mode.
+ */
+
+#ifndef HETEROMAP_MODEL_TABLE_LOOKUP_HH
+#define HETEROMAP_MODEL_TABLE_LOOKUP_HH
+
+#include "model/predictor.hh"
+
+namespace heteromap {
+
+/** k-nearest-neighbor lookup over the training tuples. */
+class TableLookupPredictor : public Predictor
+{
+  public:
+    /**
+     * @param k      Neighbors to blend (1 = pure nearest tuple).
+     * @param power  Inverse-distance weighting exponent (0 = uniform).
+     */
+    explicit TableLookupPredictor(unsigned k = 3, double power = 2.0);
+
+    std::string name() const override;
+    void train(const TrainingSet &data) override;
+    NormalizedMVector predict(const FeatureVector &f) const override;
+
+    /** Number of stored tuples. */
+    std::size_t size() const { return samples_.size(); }
+
+  private:
+    unsigned k_;
+    double power_;
+    TrainingSet samples_;
+};
+
+} // namespace heteromap
+
+#endif // HETEROMAP_MODEL_TABLE_LOOKUP_HH

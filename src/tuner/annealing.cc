@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Simulated-annealing implementation.
+ */
+
+#include "tuner/annealing.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace heteromap {
+
+TuneResult
+simulatedAnnealing(const MSearchSpace &space, const TuneObjective &objective,
+                   AnnealOptions options)
+{
+    HM_ASSERT(options.iterations > 0, "annealing needs >= 1 iteration");
+    HM_ASSERT(options.restarts > 0, "annealing needs >= 1 restart");
+    Rng rng(options.seed);
+
+    TuneResult global;
+    bool global_first = true;
+
+    for (std::size_t restart = 0; restart < options.restarts; ++restart) {
+        MConfig current = space.randomConfig(rng);
+        double current_score = objective(current);
+        ++global.evaluations;
+        if (global_first || current_score < global.bestScore) {
+            global.best = current;
+            global.bestScore = current_score;
+            global_first = false;
+        }
+
+        double temperature =
+            options.initialTemperature * std::max(current_score, 1e-12);
+        for (std::size_t i = 0; i < options.iterations; ++i) {
+            MConfig candidate = space.neighbor(current, rng);
+            double score = objective(candidate);
+            ++global.evaluations;
+
+            double delta = score - current_score;
+            bool accept = delta <= 0.0;
+            if (!accept && temperature > 0.0) {
+                accept = rng.nextDouble() <
+                         std::exp(-delta / temperature);
+            }
+            if (accept) {
+                current = candidate;
+                current_score = score;
+            }
+            if (score < global.bestScore) {
+                global.best = candidate;
+                global.bestScore = score;
+            }
+            temperature *= options.coolingRate;
+        }
+    }
+    return global;
+}
+
+} // namespace heteromap

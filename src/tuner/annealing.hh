@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Simulated annealing over an MSearchSpace: the middle ground between
+ * grid and random search — local refinement with occasional
+ * cross-accelerator jumps, mirroring OpenTuner's ensemble behaviour.
+ */
+
+#ifndef HETEROMAP_TUNER_ANNEALING_HH
+#define HETEROMAP_TUNER_ANNEALING_HH
+
+#include "tuner/search_space.hh"
+
+namespace heteromap {
+
+/** Annealing hyperparameters. */
+struct AnnealOptions {
+    std::size_t iterations = 600;
+    double initialTemperature = 0.4; //!< relative score scale
+    double coolingRate = 0.995;
+    uint64_t seed = 11;
+    std::size_t restarts = 3;
+};
+
+/** Minimize @p objective with simulated annealing. */
+TuneResult simulatedAnnealing(const MSearchSpace &space,
+                              const TuneObjective &objective,
+                              AnnealOptions options = {});
+
+} // namespace heteromap
+
+#endif // HETEROMAP_TUNER_ANNEALING_HH

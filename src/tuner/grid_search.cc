@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Grid-search implementation.
+ */
+
+#include "tuner/grid_search.hh"
+
+#include "util/logging.hh"
+
+namespace heteromap {
+
+TuneResult
+gridSearch(const MSearchSpace &space, const TuneObjective &objective)
+{
+    TuneResult result;
+    bool first = true;
+    for (const MConfig &candidate : space.enumerate()) {
+        double score = objective(candidate);
+        ++result.evaluations;
+        if (first || score < result.bestScore) {
+            result.best = candidate;
+            result.bestScore = score;
+            first = false;
+        }
+    }
+    HM_ASSERT(!first, "grid search over an empty space");
+    return result;
+}
+
+} // namespace heteromap

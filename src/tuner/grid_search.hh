@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Exhaustive grid search over an MSearchSpace — the "ideal"
+ * configuration finder the paper compares HeteroMap against
+ * ("manually optimizes by running all possible configurations").
+ */
+
+#ifndef HETEROMAP_TUNER_GRID_SEARCH_HH
+#define HETEROMAP_TUNER_GRID_SEARCH_HH
+
+#include "tuner/search_space.hh"
+
+namespace heteromap {
+
+/** Evaluate every grid candidate; return the objective minimizer. */
+TuneResult gridSearch(const MSearchSpace &space,
+                      const TuneObjective &objective);
+
+} // namespace heteromap
+
+#endif // HETEROMAP_TUNER_GRID_SEARCH_HH

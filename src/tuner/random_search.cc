@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Random-search implementation.
+ */
+
+#include "tuner/random_search.hh"
+
+#include "util/logging.hh"
+
+namespace heteromap {
+
+TuneResult
+randomSearch(const MSearchSpace &space, const TuneObjective &objective,
+             std::size_t iterations, uint64_t seed)
+{
+    HM_ASSERT(iterations > 0, "random search needs >= 1 iteration");
+    Rng rng(seed);
+    TuneResult result;
+    for (std::size_t i = 0; i < iterations; ++i) {
+        MConfig candidate = space.randomConfig(rng);
+        double score = objective(candidate);
+        ++result.evaluations;
+        if (i == 0 || score < result.bestScore) {
+            result.best = candidate;
+            result.bestScore = score;
+        }
+    }
+    return result;
+}
+
+} // namespace heteromap

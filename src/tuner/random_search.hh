@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Random search over an MSearchSpace: cheap anytime tuner used when a
+ * full grid sweep is not worth its cost (e.g. large training sweeps).
+ */
+
+#ifndef HETEROMAP_TUNER_RANDOM_SEARCH_HH
+#define HETEROMAP_TUNER_RANDOM_SEARCH_HH
+
+#include "tuner/search_space.hh"
+
+namespace heteromap {
+
+/** Sample @p iterations random configurations; keep the best. */
+TuneResult randomSearch(const MSearchSpace &space,
+                        const TuneObjective &objective,
+                        std::size_t iterations, uint64_t seed);
+
+} // namespace heteromap
+
+#endif // HETEROMAP_TUNER_RANDOM_SEARCH_HH

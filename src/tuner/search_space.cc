@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Search-space implementation.
+ */
+
+#include "tuner/search_space.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace heteromap {
+
+namespace {
+
+/** Geometric ladder of levels from 1 to max (inclusive). */
+std::vector<unsigned>
+ladder(unsigned max_value, unsigned steps)
+{
+    std::vector<unsigned> out;
+    if (max_value <= 1) {
+        out.push_back(std::max(1u, max_value));
+        return out;
+    }
+    for (unsigned s = 0; s < steps; ++s) {
+        double frac = static_cast<double>(s) /
+                      static_cast<double>(steps - 1);
+        auto level = static_cast<unsigned>(std::lround(
+            std::pow(static_cast<double>(max_value), frac)));
+        level = std::clamp(level, 1u, max_value);
+        if (out.empty() || out.back() != level)
+            out.push_back(level);
+    }
+    return out;
+}
+
+} // namespace
+
+MSearchSpace::MSearchSpace(const AcceleratorPair &pair,
+                           GridGranularity granularity)
+    : pair_(pair), granularity_(granularity)
+{
+}
+
+std::vector<unsigned>
+MSearchSpace::coreLevels() const
+{
+    return ladder(pair_.multicore.cores,
+                  granularity_ == GridGranularity::Fine ? 8 : 5);
+}
+
+std::vector<unsigned>
+MSearchSpace::tpcLevels() const
+{
+    return ladder(pair_.multicore.threadsPerCore, 4);
+}
+
+std::vector<unsigned>
+MSearchSpace::simdLevels() const
+{
+    return ladder(pair_.multicore.simdWidth, 3);
+}
+
+std::vector<unsigned>
+MSearchSpace::globalLevels() const
+{
+    return ladder(pair_.gpu.maxGlobalThreads,
+                  granularity_ == GridGranularity::Fine ? 10 : 6);
+}
+
+std::vector<unsigned>
+MSearchSpace::localLevels() const
+{
+    return ladder(pair_.gpu.maxLocalThreads,
+                  granularity_ == GridGranularity::Fine ? 6 : 4);
+}
+
+std::vector<MConfig>
+MSearchSpace::enumerate() const
+{
+    std::vector<MConfig> out;
+    const bool fine = granularity_ == GridGranularity::Fine;
+
+    // GPU side: global x local threading.
+    for (unsigned global : globalLevels()) {
+        for (unsigned local : localLevels()) {
+            MConfig c;
+            c.accelerator = AcceleratorKind::Gpu;
+            c.gpuGlobalThreads = global;
+            c.gpuLocalThreads = local;
+            out.push_back(c);
+        }
+    }
+
+    // Multicore side.
+    const std::vector<double> spreads =
+        fine ? std::vector<double>{0.0, 0.25, 0.5, 0.75, 1.0}
+             : std::vector<double>{0.0, 0.5, 1.0};
+    const std::vector<double> affinities = {0.0, 1.0};
+    const std::vector<SchedulePolicy> policies =
+        fine ? std::vector<SchedulePolicy>{SchedulePolicy::Static,
+                                           SchedulePolicy::Dynamic,
+                                           SchedulePolicy::Guided}
+             : std::vector<SchedulePolicy>{SchedulePolicy::Static,
+                                           SchedulePolicy::Dynamic};
+    const std::vector<double> blocktimes =
+        fine ? std::vector<double>{1.0, 10.0, 100.0, 1000.0}
+             : std::vector<double>{1.0, 200.0};
+
+    for (unsigned cores : coreLevels()) {
+        for (unsigned tpc : tpcLevels()) {
+            for (unsigned simd : simdLevels()) {
+                for (SchedulePolicy policy : policies) {
+                    for (double spread : spreads) {
+                        for (double affinity : affinities) {
+                            for (double blocktime : blocktimes) {
+                                MConfig c;
+                                c.accelerator =
+                                    AcceleratorKind::Multicore;
+                                c.cores = cores;
+                                c.threadsPerCore = tpc;
+                                c.simdWidth = simd;
+                                c.schedule = policy;
+                                c.chunkSize =
+                                    policy == SchedulePolicy::Static
+                                        ? 0 : 16;
+                                c.placementSpread = spread;
+                                c.affinityMovable = affinity;
+                                c.blocktimeMs = blocktime;
+                                out.push_back(c);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+MConfig
+MSearchSpace::randomConfig(Rng &rng) const
+{
+    MConfig c;
+    if (rng.nextBool()) {
+        c.accelerator = AcceleratorKind::Gpu;
+        c.gpuGlobalThreads = static_cast<unsigned>(
+            rng.nextRange(1, pair_.gpu.maxGlobalThreads));
+        c.gpuLocalThreads = static_cast<unsigned>(
+            rng.nextRange(1, pair_.gpu.maxLocalThreads));
+        return c;
+    }
+    c.accelerator = AcceleratorKind::Multicore;
+    c.cores = static_cast<unsigned>(
+        rng.nextRange(1, pair_.multicore.cores));
+    c.threadsPerCore = static_cast<unsigned>(
+        rng.nextRange(1, pair_.multicore.threadsPerCore));
+    c.simdWidth = static_cast<unsigned>(
+        rng.nextRange(1, pair_.multicore.simdWidth));
+    c.schedule = static_cast<SchedulePolicy>(rng.nextBounded(5));
+    c.chunkSize = static_cast<unsigned>(rng.nextRange(0, 256));
+    c.placementSpread = rng.nextDouble();
+    c.affinityMovable = rng.nextDouble();
+    c.blocktimeMs = rng.nextDouble(1.0, 1000.0);
+    c.spinCount = rng.nextBool(0.3) ? 200000 : 0;
+    c.activeWaitPolicy = rng.nextBool(0.3);
+    return c;
+}
+
+MConfig
+MSearchSpace::neighbor(const MConfig &base, Rng &rng) const
+{
+    MConfig c = base;
+    auto nudge_unsigned = [&](unsigned value, unsigned lo, unsigned hi) {
+        double factor = rng.nextBool() ? 0.5 : 2.0;
+        auto fresh = static_cast<unsigned>(std::lround(
+            std::max(1.0, static_cast<double>(value) * factor)));
+        return std::clamp(fresh, lo, hi);
+    };
+
+    if (c.accelerator == AcceleratorKind::Gpu) {
+        switch (rng.nextBounded(3)) {
+          case 0:
+            c.gpuGlobalThreads = nudge_unsigned(
+                c.gpuGlobalThreads, 1, pair_.gpu.maxGlobalThreads);
+            break;
+          case 1:
+            c.gpuLocalThreads = nudge_unsigned(
+                c.gpuLocalThreads, 1, pair_.gpu.maxLocalThreads);
+            break;
+          default:
+            // Jump across the inter-accelerator boundary.
+            c = randomConfig(rng);
+            break;
+        }
+        return c;
+    }
+
+    switch (rng.nextBounded(8)) {
+      case 0:
+        c.cores = nudge_unsigned(c.cores, 1, pair_.multicore.cores);
+        break;
+      case 1:
+        c.threadsPerCore = nudge_unsigned(
+            c.threadsPerCore, 1, pair_.multicore.threadsPerCore);
+        break;
+      case 2:
+        c.simdWidth = nudge_unsigned(c.simdWidth, 1,
+                                     pair_.multicore.simdWidth);
+        break;
+      case 3:
+        c.schedule = static_cast<SchedulePolicy>(rng.nextBounded(5));
+        break;
+      case 4:
+        c.placementSpread =
+            std::clamp(c.placementSpread +
+                           rng.nextDouble(-0.25, 0.25), 0.0, 1.0);
+        break;
+      case 5:
+        c.affinityMovable =
+            std::clamp(c.affinityMovable +
+                           rng.nextDouble(-0.5, 0.5), 0.0, 1.0);
+        break;
+      case 6:
+        c.blocktimeMs = std::clamp(
+            c.blocktimeMs * (rng.nextBool() ? 0.25 : 4.0), 1.0, 1000.0);
+        break;
+      default:
+        c = randomConfig(rng);
+        break;
+    }
+    return c;
+}
+
+} // namespace heteromap

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Discretized M-choice search space for one multi-accelerator pair.
+ * The offline auto-tuner (our OpenTuner substitute) searches this
+ * space for the best-performing configuration of each (B, I)
+ * combination; the result becomes the training target.
+ */
+
+#ifndef HETEROMAP_TUNER_SEARCH_SPACE_HH
+#define HETEROMAP_TUNER_SEARCH_SPACE_HH
+
+#include <functional>
+#include <vector>
+
+#include "arch/presets.hh"
+#include "util/rng.hh"
+
+namespace heteromap {
+
+/** Objective to minimize (modelled seconds, joules, ...). */
+using TuneObjective = std::function<double(const MConfig &)>;
+
+/** Result of a tuning run. */
+struct TuneResult {
+    MConfig best;
+    double bestScore = 0.0;
+    std::size_t evaluations = 0;
+};
+
+/** Enumeration granularity. */
+enum class GridGranularity {
+    Coarse, //!< fast: ~100s of points, used inside training sweeps
+    Fine,   //!< thorough: used for the "ideal" baselines
+};
+
+/** Candidate generator over both accelerators' choices. */
+class MSearchSpace
+{
+  public:
+    MSearchSpace(const AcceleratorPair &pair,
+                 GridGranularity granularity = GridGranularity::Coarse);
+
+    /** All grid candidates (GPU and multicore sides). */
+    std::vector<MConfig> enumerate() const;
+
+    /** Uniformly random valid configuration. */
+    MConfig randomConfig(Rng &rng) const;
+
+    /** Local perturbation of @p base (one knob nudged). */
+    MConfig neighbor(const MConfig &base, Rng &rng) const;
+
+    const AcceleratorPair &pair() const { return pair_; }
+
+  private:
+    AcceleratorPair pair_;
+    GridGranularity granularity_;
+
+    std::vector<unsigned> coreLevels() const;
+    std::vector<unsigned> tpcLevels() const;
+    std::vector<unsigned> simdLevels() const;
+    std::vector<unsigned> globalLevels() const;
+    std::vector<unsigned> localLevels() const;
+};
+
+} // namespace heteromap
+
+#endif // HETEROMAP_TUNER_SEARCH_SPACE_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Implementation of the logging helpers.
+ */
+
+#include "util/logging.hh"
+
+#include <atomic>
+#include <cstdio>
+
+namespace heteromap {
+
+namespace {
+
+std::atomic<bool> verboseFlag{true};
+
+const char *
+levelTag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn:   return "warn";
+      case LogLevel::Fatal:  return "fatal";
+      case LogLevel::Panic:  return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setLogVerbose(bool verbose)
+{
+    verboseFlag.store(verbose, std::memory_order_relaxed);
+}
+
+bool
+logVerbose()
+{
+    return verboseFlag.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+logAndDie(LogLevel level, const char *file, int line, const std::string &msg)
+{
+    std::string full = std::string(levelTag(level)) + ": " + msg + " [" +
+                       file + ":" + std::to_string(line) + "]";
+    std::fprintf(stderr, "%s\n", full.c_str());
+    if (level == LogLevel::Panic)
+        throw PanicError(full);
+    throw FatalError(full);
+}
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    if (!logVerbose())
+        return;
+    std::fprintf(stderr, "%s: %s\n", levelTag(level), msg.c_str());
+}
+
+} // namespace detail
+
+} // namespace heteromap

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers, modeled after gem5's
+ * logging discipline: panic() for internal invariant violations,
+ * fatal() for user errors, warn()/inform() for status output.
+ */
+
+#ifndef HETEROMAP_UTIL_LOGGING_HH
+#define HETEROMAP_UTIL_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace heteromap {
+
+/** Thrown by fatal(): a user error the caller may report and recover from. */
+class FatalError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Thrown by panic(): an internal invariant violation (a HeteroMap bug). */
+class PanicError : public std::logic_error
+{
+  public:
+    using std::logic_error::logic_error;
+};
+
+/** Severity of a log message. */
+enum class LogLevel {
+    Inform,
+    Warn,
+    Fatal,
+    Panic,
+};
+
+namespace detail {
+
+/**
+ * Emit a formatted log record to stderr and, for Fatal/Panic, terminate.
+ *
+ * @param level Message severity.
+ * @param file  Source file of the call site.
+ * @param line  Source line of the call site.
+ * @param msg   Fully formatted message body.
+ */
+[[noreturn]] void logAndDie(LogLevel level, const char *file, int line,
+                            const std::string &msg);
+
+/** Emit a non-terminating log record to stderr. */
+void logMessage(LogLevel level, const std::string &msg);
+
+} // namespace detail
+
+/** Toggle inform()/warn() output (tests silence it). */
+void setLogVerbose(bool verbose);
+
+/** @return true when inform()/warn() output is enabled. */
+bool logVerbose();
+
+/**
+ * Report an unrecoverable internal error (a HeteroMap bug) and abort.
+ * Use for conditions that should never happen regardless of user input.
+ */
+template <typename... Args>
+[[noreturn]] void
+panicAt(const char *file, int line, Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    detail::logAndDie(LogLevel::Panic, file, line, oss.str());
+}
+
+/**
+ * Report an unrecoverable user error (bad configuration, invalid
+ * arguments) and exit. The simulation cannot continue but HeteroMap
+ * itself is not at fault.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatalAt(const char *file, int line, Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    detail::logAndDie(LogLevel::Fatal, file, line, oss.str());
+}
+
+/** Print a warning about suspicious but survivable conditions. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    detail::logMessage(LogLevel::Warn, oss.str());
+}
+
+/** Print an informational status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    detail::logMessage(LogLevel::Inform, oss.str());
+}
+
+} // namespace heteromap
+
+/** Abort with an internal-bug diagnostic; see heteromap::panicAt. */
+#define HM_PANIC(...) ::heteromap::panicAt(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Exit with a user-error diagnostic; see heteromap::fatalAt. */
+#define HM_FATAL(...) ::heteromap::fatalAt(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Assert an internal invariant; compiled in all build types. */
+#define HM_ASSERT(cond, ...)                                              \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::heteromap::panicAt(__FILE__, __LINE__,                      \
+                                 "assertion failed: " #cond " ",          \
+                                 ##__VA_ARGS__);                          \
+        }                                                                 \
+    } while (0)
+
+#endif // HETEROMAP_UTIL_LOGGING_HH

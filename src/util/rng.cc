@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Xoshiro256++ implementation (public-domain reference algorithm by
+ * Blackman & Vigna) plus distribution helpers.
+ */
+
+#include "util/rng.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace heteromap {
+
+namespace {
+
+uint64_t
+splitMix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitMix64(sm);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+uint64_t
+Rng::nextBounded(uint64_t bound)
+{
+    HM_ASSERT(bound > 0, "nextBounded requires a positive bound");
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+int64_t
+Rng::nextRange(int64_t lo, int64_t hi)
+{
+    HM_ASSERT(lo <= hi, "nextRange requires lo <= hi, got ", lo, " > ", hi);
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(span == 0 ? next() : nextBounded(span));
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::nextDouble(double lo, double hi)
+{
+    return lo + (hi - lo) * nextDouble();
+}
+
+bool
+Rng::nextBool(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+double
+Rng::nextGaussian()
+{
+    if (hasGaussSpare_) {
+        hasGaussSpare_ = false;
+        return gaussSpare_;
+    }
+    double u1 = 0.0;
+    do {
+        u1 = nextDouble();
+    } while (u1 <= 1e-300);
+    double u2 = nextDouble();
+    double mag = std::sqrt(-2.0 * std::log(u1));
+    gaussSpare_ = mag * std::sin(2.0 * M_PI * u2);
+    hasGaussSpare_ = true;
+    return mag * std::cos(2.0 * M_PI * u2);
+}
+
+std::size_t
+Rng::nextDiscrete(const std::vector<double> &weights)
+{
+    HM_ASSERT(!weights.empty(), "nextDiscrete requires weights");
+    double total = 0.0;
+    for (double w : weights) {
+        HM_ASSERT(w >= 0.0, "negative weight in nextDiscrete");
+        total += w;
+    }
+    HM_ASSERT(total > 0.0, "nextDiscrete requires a positive weight sum");
+    double draw = nextDouble() * total;
+    double accum = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        accum += weights[i];
+        if (draw < accum)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next() ^ 0xd1b54a32d192ed03ULL);
+}
+
+} // namespace heteromap

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation. All stochastic code in
+ * HeteroMap draws from an explicitly seeded Rng so that simulations,
+ * training runs, and tests are bit-reproducible.
+ */
+
+#ifndef HETEROMAP_UTIL_RNG_HH
+#define HETEROMAP_UTIL_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace heteromap {
+
+/**
+ * Xoshiro256++ generator. Small, fast, and high quality; not
+ * cryptographic. Distribution helpers cover the needs of the graph
+ * generators and the tuner.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded with SplitMix64). */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** @return the next raw 64-bit draw. */
+    uint64_t next();
+
+    /** @return uniform integer in [0, bound), bound > 0. */
+    uint64_t nextBounded(uint64_t bound);
+
+    /** @return uniform integer in [lo, hi] inclusive. */
+    int64_t nextRange(int64_t lo, int64_t hi);
+
+    /** @return uniform double in [0, 1). */
+    double nextDouble();
+
+    /** @return uniform double in [lo, hi). */
+    double nextDouble(double lo, double hi);
+
+    /** @return true with probability p (clamped to [0, 1]). */
+    bool nextBool(double p = 0.5);
+
+    /** @return standard normal draw (Box-Muller). */
+    double nextGaussian();
+
+    /**
+     * @return a draw from a discrete distribution proportional to
+     * @p weights (weights need not sum to one; all must be >= 0 and
+     * at least one must be positive).
+     */
+    std::size_t nextDiscrete(const std::vector<double> &weights);
+
+    /** Fisher-Yates shuffle of @p items. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &items)
+    {
+        for (std::size_t i = items.size(); i > 1; --i) {
+            std::size_t j = nextBounded(i);
+            std::swap(items[i - 1], items[j]);
+        }
+    }
+
+    /** Split off an independent child stream (for parallel phases). */
+    Rng split();
+
+  private:
+    uint64_t s_[4];
+
+    /** Cached second Box-Muller variate. */
+    double gaussSpare_ = 0.0;
+    bool hasGaussSpare_ = false;
+};
+
+} // namespace heteromap
+
+#endif // HETEROMAP_UTIL_RNG_HH

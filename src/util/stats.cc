@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Implementation of the numeric helpers.
+ */
+
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace heteromap {
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    return kahanSum(xs) / static_cast<double>(xs.size());
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs) {
+        HM_ASSERT(x > 0.0, "geomean requires positive samples, got ", x);
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    double mu = mean(xs);
+    double accum = 0.0;
+    for (double x : xs)
+        accum += (x - mu) * (x - mu);
+    return std::sqrt(accum / static_cast<double>(xs.size()));
+}
+
+double
+minOf(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        HM_FATAL("minOf on empty vector");
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+double
+maxOf(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        HM_FATAL("maxOf on empty vector");
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+double
+quantile(std::vector<double> xs, double q)
+{
+    if (xs.empty())
+        HM_FATAL("quantile on empty vector");
+    q = clamp(q, 0.0, 1.0);
+    std::sort(xs.begin(), xs.end());
+    double pos = q * static_cast<double>(xs.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(pos);
+    std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    double frac = pos - static_cast<double>(lo);
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double
+clamp(double x, double lo, double hi)
+{
+    return std::min(std::max(x, lo), hi);
+}
+
+double
+discretize01(double x, double step)
+{
+    HM_ASSERT(step > 0.0, "discretize01 requires a positive step");
+    x = clamp(x, 0.0, 1.0);
+    double snapped = std::floor(x / step + 0.5) * step;
+    return clamp(snapped, 0.0, 1.0);
+}
+
+double
+logNormalize(double value, double max_value)
+{
+    HM_ASSERT(max_value > 0.0, "logNormalize requires a positive maximum");
+    if (value <= 0.0)
+        return 0.0;
+    double norm = std::log1p(value) / std::log1p(max_value);
+    return clamp(norm, 0.0, 1.0);
+}
+
+double
+relDiff(double a, double b)
+{
+    double scale = std::max({std::fabs(a), std::fabs(b), 1e-300});
+    return std::fabs(a - b) / scale;
+}
+
+double
+kahanSum(const std::vector<double> &xs)
+{
+    double sum = 0.0;
+    double comp = 0.0;
+    for (double x : xs) {
+        double y = x - comp;
+        double t = sum + y;
+        comp = (t - sum) - y;
+        sum = t;
+    }
+    return sum;
+}
+
+} // namespace heteromap

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Small numeric helpers shared across the library: geometric means,
+ * normalization, clamping to the paper's 0.1 discretization grid, and
+ * summary statistics over sample vectors.
+ */
+
+#ifndef HETEROMAP_UTIL_STATS_HH
+#define HETEROMAP_UTIL_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace heteromap {
+
+/** @return the arithmetic mean of @p xs (0 for an empty vector). */
+double mean(const std::vector<double> &xs);
+
+/**
+ * @return the geometric mean of @p xs. All samples must be positive;
+ * an empty vector yields 0. Used throughout the paper's evaluation
+ * ("geomean completion times").
+ */
+double geomean(const std::vector<double> &xs);
+
+/** @return the population standard deviation of @p xs. */
+double stddev(const std::vector<double> &xs);
+
+/** @return the minimum of @p xs; fatal on empty input. */
+double minOf(const std::vector<double> &xs);
+
+/** @return the maximum of @p xs; fatal on empty input. */
+double maxOf(const std::vector<double> &xs);
+
+/** @return the @p q quantile (0..1) of @p xs by linear interpolation. */
+double quantile(std::vector<double> xs, double q);
+
+/** @return @p x clamped into [lo, hi]. */
+double clamp(double x, double lo, double hi);
+
+/**
+ * Snap @p x in [0, 1] to the paper's discretization grid: increments
+ * of @p step (default 0.1), rounding half up.
+ */
+double discretize01(double x, double step = 0.1);
+
+/**
+ * Logarithmically normalize @p value against @p max_value into [0, 1],
+ * the scheme Section III-B uses to smooth the huge spread in graph
+ * characteristics: log(1+v) / log(1+max).
+ */
+double logNormalize(double value, double max_value);
+
+/** @return relative difference |a-b| / max(|a|,|b|,eps). */
+double relDiff(double a, double b);
+
+/** Kahan-compensated sum of @p xs. */
+double kahanSum(const std::vector<double> &xs);
+
+} // namespace heteromap
+
+#endif // HETEROMAP_UTIL_STATS_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Implementation of the text-table printer.
+ */
+
+#include "util/table.hh"
+
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace heteromap {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    HM_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    HM_ASSERT(cells.size() == headers_.size(),
+              "row arity ", cells.size(), " != header arity ",
+              headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]))
+               << row[c];
+            os << (c + 1 == row.size() ? "\n" : "  ");
+        }
+    };
+
+    emit_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 == widths.size() ? 0 : 2);
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+void
+TextTable::printCsv(std::ostream &os) const
+{
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << row[c] << (c + 1 == row.size() ? "\n" : ",");
+    };
+    emit_row(headers_);
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+std::string
+formatNumber(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return oss.str();
+}
+
+std::string
+formatPercent(double fraction, int precision)
+{
+    return formatNumber(fraction * 100.0, precision) + "%";
+}
+
+std::string
+formatCount(uint64_t value)
+{
+    std::string digits = std::to_string(value);
+    std::string out;
+    int run = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (run != 0 && run % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++run;
+    }
+    return std::string(out.rbegin(), out.rend());
+}
+
+} // namespace heteromap

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Plain-text table printer used by the bench binaries to reproduce the
+ * paper's tables and figure data series, plus a CSV writer so results
+ * can be post-processed.
+ */
+
+#ifndef HETEROMAP_UTIL_TABLE_HH
+#define HETEROMAP_UTIL_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace heteromap {
+
+/**
+ * Column-aligned text table. Collect rows of strings, then print with
+ * automatic column widths. Numeric cells are formatted by the caller
+ * (see formatNumber) so each table controls its own precision.
+ */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append one row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** @return number of data rows. */
+    std::size_t rows() const { return rows_.size(); }
+
+    /** Render the table to @p os with a separator under the header. */
+    void print(std::ostream &os) const;
+
+    /** Render the table as CSV (no alignment padding). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format @p value with @p precision significant decimals. */
+std::string formatNumber(double value, int precision = 3);
+
+/** Format @p value as a percentage string, e.g. "31.0%". */
+std::string formatPercent(double fraction, int precision = 1);
+
+/** Format a count with thousands separators for readability. */
+std::string formatCount(uint64_t value);
+
+} // namespace heteromap
+
+#endif // HETEROMAP_UTIL_TABLE_HH

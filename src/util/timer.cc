@@ -1,0 +1,6 @@
+/**
+ * @file
+ * Timer is header-only; this translation unit anchors the target.
+ */
+
+#include "util/timer.hh"

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Wall-clock timer. Used only where the paper also measures real time:
+ * the inference overhead of each predictor (Table IV "Overhead (ms)").
+ * All *modelled* time comes from arch/PerfModel, never from the clock.
+ */
+
+#ifndef HETEROMAP_UTIL_TIMER_HH
+#define HETEROMAP_UTIL_TIMER_HH
+
+#include <chrono>
+
+namespace heteromap {
+
+/** Monotonic stopwatch with millisecond/microsecond readouts. */
+class Timer
+{
+  public:
+    /** Start (or restart) the stopwatch. */
+    void
+    start()
+    {
+        begin_ = Clock::now();
+    }
+
+    /** @return elapsed seconds since start(). */
+    double
+    elapsedSeconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - begin_).count();
+    }
+
+    /** @return elapsed milliseconds since start(). */
+    double elapsedMillis() const { return elapsedSeconds() * 1e3; }
+
+    /** @return elapsed microseconds since start(). */
+    double elapsedMicros() const { return elapsedSeconds() * 1e6; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point begin_ = Clock::now();
+};
+
+} // namespace heteromap
+
+#endif // HETEROMAP_UTIL_TIMER_HH

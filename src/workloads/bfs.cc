@@ -1,0 +1,88 @@
+/**
+ * @file
+ * BFS implementation.
+ */
+
+#include "workloads/bfs.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace heteromap {
+
+BVariables
+Bfs::bVariables() const
+{
+    BVariables b;
+    b.b3 = 1.0;  // single dynamically growing pareto phase
+    b.b6 = 0.0;
+    b.b7 = 0.8;  // level array via loop indexes
+    b.b8 = 0.0;
+    b.b9 = 0.5;  // read-only graph
+    b.b10 = 0.4; // level array + next frontier
+    b.b11 = 0.1;
+    b.b12 = 0.2; // visited-claim updates
+    b.b13 = 0.1; // one barrier per level
+    return b;
+}
+
+WorkloadOutput
+Bfs::run(const Graph &graph, Executor &exec) const
+{
+    const VertexId n = graph.numVertices();
+    HM_ASSERT(n > 0, "BFS requires a non-empty graph");
+    const VertexId src = std::min<VertexId>(source_, n - 1);
+
+    std::vector<uint32_t> level(n, UINT32_MAX);
+    level[src] = 0;
+    std::vector<VertexId> frontier{src};
+    uint32_t depth = 0;
+
+    while (!frontier.empty()) {
+        std::vector<VertexId> next;
+        ++depth;
+        exec.parallelFor(
+            "frontier", PhaseKind::ParetoDynamic, frontier.size(),
+            [&](uint64_t idx, ItemCost &cost) {
+                VertexId v = frontier[idx];
+                cost.intOps += 2;
+                cost.directAccesses += 1;
+                cost.sharedReadBytes += 4;
+                for (VertexId u : graph.neighbors(v)) {
+                    cost.intOps += 1;
+                    cost.directAccesses += 1;
+                    cost.sharedReadBytes += 4;  // adjacency
+                    cost.sharedWriteBytes += 4; // level probe
+                    if (level[u] == UINT32_MAX) {
+                        // Atomic claim of the vertex.
+                        level[u] = depth;
+                        next.push_back(u);
+                        cost.atomics += 1;
+                        cost.sharedWriteBytes += 8;
+                        cost.localBytes += 4;
+                    }
+                }
+            });
+        exec.barrier();
+        exec.endIteration();
+        frontier.swap(next);
+    }
+
+    WorkloadOutput out;
+    out.vertexValues.resize(n);
+    uint64_t reachable = 0;
+    for (VertexId v = 0; v < n; ++v) {
+        if (level[v] == UINT32_MAX) {
+            out.vertexValues[v] = kUnreachable;
+        } else {
+            out.vertexValues[v] = level[v];
+            ++reachable;
+        }
+    }
+    out.scalar = static_cast<double>(reachable);
+    return out;
+}
+
+} // namespace heteromap

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * PageRank implementation.
+ */
+
+#include "workloads/pagerank.hh"
+
+#include <cmath>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace heteromap {
+
+BVariables
+PageRank::bVariables() const
+{
+    BVariables b;
+    b.b1 = 0.8;  // rank gather is vertex division
+    b.b5 = 0.2;  // convergence-error reduction
+    b.b6 = 0.8;  // rank arithmetic is FP
+    b.b7 = 0.8;
+    b.b8 = 0.0;
+    b.b9 = 0.5;  // graph + previous ranks (read-only per iteration)
+    b.b10 = 0.4; // new ranks
+    b.b11 = 0.2;
+    b.b12 = 0.1; // only the error accumulator is contended
+    b.b13 = 0.2; // two barriers per iteration
+    return b;
+}
+
+WorkloadOutput
+PageRank::run(const Graph &graph, Executor &exec) const
+{
+    const VertexId n = graph.numVertices();
+    HM_ASSERT(n > 0, "PageRank requires a non-empty graph");
+
+    const double base = (1.0 - damping_) / static_cast<double>(n);
+    std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+    std::vector<double> next(n, 0.0);
+
+    unsigned iter = 0;
+    for (; iter < maxIterations_; ++iter) {
+        double error = 0.0;
+
+        exec.parallelFor(
+            "gather", PhaseKind::VertexDivision, n,
+            [&](uint64_t idx, ItemCost &cost) {
+                auto v = static_cast<VertexId>(idx);
+                double sum = 0.0;
+                cost.intOps += 2;
+                cost.directAccesses += 1;
+                for (VertexId u : graph.neighbors(v)) {
+                    // Pull rank/outdegree from each in-neighbor
+                    // (graph is symmetrized).
+                    sum += rank[u] /
+                           static_cast<double>(graph.degree(u));
+                    cost.fpOps += 2;
+                    cost.directAccesses += 2;
+                    cost.sharedReadBytes += 16; // rank + degree
+                    cost.localBytes += 8;
+                }
+                next[v] = base + damping_ * sum;
+                cost.fpOps += 2;
+                cost.sharedWriteBytes += 8;
+            });
+        exec.barrier();
+
+        exec.parallelFor(
+            "error-reduce", PhaseKind::Reduction, n,
+            [&](uint64_t idx, ItemCost &cost) {
+                auto v = static_cast<VertexId>(idx);
+                error += std::fabs(next[v] - rank[v]);
+                rank[v] = next[v];
+                cost.fpOps += 2;
+                cost.directAccesses += 2;
+                cost.sharedWriteBytes += 16;
+                cost.atomics += 1; // shared error accumulator
+            });
+        exec.barrier();
+        exec.endIteration();
+
+        if (error < tolerance_)
+            break;
+    }
+
+    WorkloadOutput out;
+    out.vertexValues.assign(rank.begin(), rank.end());
+    out.scalar = static_cast<double>(iter + 1);
+    return out;
+}
+
+} // namespace heteromap

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Reference implementations.
+ */
+
+#include "workloads/reference.hh"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/logging.hh"
+
+namespace heteromap {
+
+std::vector<int64_t>
+referenceDijkstra(const Graph &graph, VertexId source)
+{
+    constexpr int64_t inf = std::numeric_limits<int64_t>::max() / 4;
+    const VertexId n = graph.numVertices();
+    HM_ASSERT(source < n, "Dijkstra source out of range");
+
+    std::vector<int64_t> dist(n, inf);
+    dist[source] = 0;
+    using Entry = std::pair<int64_t, VertexId>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    heap.push({0, source});
+
+    while (!heap.empty()) {
+        auto [d, v] = heap.top();
+        heap.pop();
+        if (d > dist[v])
+            continue;
+        auto nbrs = graph.neighbors(v);
+        auto wts = graph.edgeWeights(v);
+        for (std::size_t e = 0; e < nbrs.size(); ++e) {
+            int64_t w = std::max<int64_t>(
+                1, static_cast<int64_t>(wts.empty() ? 1.0f : wts[e]));
+            int64_t alt = d + w;
+            if (alt < dist[nbrs[e]]) {
+                dist[nbrs[e]] = alt;
+                heap.push({alt, nbrs[e]});
+            }
+        }
+    }
+    return dist;
+}
+
+std::vector<double>
+referencePageRank(const Graph &graph, double damping, unsigned iterations,
+                  double tolerance)
+{
+    const VertexId n = graph.numVertices();
+    HM_ASSERT(n > 0, "PageRank reference requires a non-empty graph");
+    const double base = (1.0 - damping) / static_cast<double>(n);
+    std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+    std::vector<double> next(n);
+
+    for (unsigned iter = 0; iter < iterations; ++iter) {
+        double error = 0.0;
+        for (VertexId v = 0; v < n; ++v) {
+            double sum = 0.0;
+            for (VertexId u : graph.neighbors(v))
+                sum += rank[u] / static_cast<double>(graph.degree(u));
+            next[v] = base + damping * sum;
+        }
+        for (VertexId v = 0; v < n; ++v) {
+            error += std::abs(next[v] - rank[v]);
+            rank[v] = next[v];
+        }
+        if (error < tolerance)
+            break;
+    }
+    return rank;
+}
+
+uint64_t
+referenceTriangles(const Graph &graph)
+{
+    const VertexId n = graph.numVertices();
+    auto connected = [&](VertexId a, VertexId b) {
+        auto nbrs = graph.neighbors(a);
+        return std::binary_search(nbrs.begin(), nbrs.end(), b);
+    };
+    uint64_t count = 0;
+    for (VertexId v = 0; v < n; ++v)
+        for (VertexId u = v + 1; u < n; ++u)
+            if (connected(v, u))
+                for (VertexId w = u + 1; w < n; ++w)
+                    if (connected(v, w) && connected(u, w))
+                        ++count;
+    return count;
+}
+
+std::vector<VertexId>
+referenceComponents(const Graph &graph)
+{
+    const VertexId n = graph.numVertices();
+    std::vector<VertexId> label(n, kInvalidVertex);
+    for (VertexId v = 0; v < n; ++v) {
+        if (label[v] != kInvalidVertex)
+            continue;
+        // v is the smallest unvisited id in its component.
+        std::queue<VertexId> frontier;
+        frontier.push(v);
+        label[v] = v;
+        while (!frontier.empty()) {
+            VertexId w = frontier.front();
+            frontier.pop();
+            for (VertexId u : graph.neighbors(w)) {
+                if (label[u] == kInvalidVertex) {
+                    label[u] = v;
+                    frontier.push(u);
+                }
+            }
+        }
+    }
+    return label;
+}
+
+} // namespace heteromap

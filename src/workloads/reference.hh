@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Independent sequential reference implementations used by the test
+ * suite to validate the instrumented workloads' outputs. These are
+ * deliberately written with different algorithms/data structures than
+ * the workloads they check.
+ */
+
+#ifndef HETEROMAP_WORKLOADS_REFERENCE_HH
+#define HETEROMAP_WORKLOADS_REFERENCE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hh"
+
+namespace heteromap {
+
+/**
+ * Dijkstra shortest paths with the same integral weight convention as
+ * the SSSP workloads (weights truncated to >= 1). Unreachable
+ * vertices get INT64_MAX/4.
+ */
+std::vector<int64_t> referenceDijkstra(const Graph &graph,
+                                       VertexId source);
+
+/** Power-iteration PageRank matching the workloads' parameters. */
+std::vector<double> referencePageRank(const Graph &graph,
+                                      double damping = 0.85,
+                                      unsigned iterations = 20,
+                                      double tolerance = 1e-7);
+
+/** Brute-force triangle count (O(V^3) — tiny graphs only). */
+uint64_t referenceTriangles(const Graph &graph);
+
+/** Component label per vertex: the minimum vertex id it can reach. */
+std::vector<VertexId> referenceComponents(const Graph &graph);
+
+} // namespace heteromap
+
+#endif // HETEROMAP_WORKLOADS_REFERENCE_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Workload registry implementation.
+ */
+
+#include "workloads/registry.hh"
+
+#include "util/logging.hh"
+#include "workloads/betweenness.hh"
+#include "workloads/bfs.hh"
+#include "workloads/comm_detect.hh"
+#include "workloads/conn_comp.hh"
+#include "workloads/dfs.hh"
+#include "workloads/pagerank.hh"
+#include "workloads/pagerank_dp.hh"
+#include "workloads/sssp_bf.hh"
+#include "workloads/sssp_delta.hh"
+#include "workloads/tri_count.hh"
+
+namespace heteromap {
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name)
+{
+    if (name == "SSSP-BF")
+        return std::make_unique<SsspBellmanFord>();
+    if (name == "SSSP-Delta")
+        return std::make_unique<SsspDelta>();
+    if (name == "BFS")
+        return std::make_unique<Bfs>();
+    if (name == "DFS")
+        return std::make_unique<Dfs>();
+    if (name == "PR")
+        return std::make_unique<PageRank>();
+    if (name == "PR-DP")
+        return std::make_unique<PageRankDp>();
+    if (name == "TRI")
+        return std::make_unique<TriangleCount>();
+    if (name == "COMM")
+        return std::make_unique<CommunityDetection>();
+    if (name == "CONN")
+        return std::make_unique<ConnectedComponents>();
+    if (name == "BC") // extension workload, not in the Fig. 5 list
+        return std::make_unique<BetweennessCentrality>();
+    HM_FATAL("unknown workload '", name, "'");
+}
+
+const std::vector<std::string> &
+workloadNames()
+{
+    static const std::vector<std::string> names = {
+        "SSSP-BF", "SSSP-Delta", "BFS",  "DFS",  "PR",
+        "PR-DP",   "TRI",        "COMM", "CONN",
+    };
+    return names;
+}
+
+std::vector<std::unique_ptr<Workload>>
+allWorkloads()
+{
+    std::vector<std::unique_ptr<Workload>> out;
+    for (const auto &name : workloadNames())
+        out.push_back(makeWorkload(name));
+    return out;
+}
+
+} // namespace heteromap

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Workload registry: the nine paper benchmarks (Sec. VI-B) by name,
+ * plus the full evaluation list used by the benches.
+ */
+
+#ifndef HETEROMAP_WORKLOADS_REGISTRY_HH
+#define HETEROMAP_WORKLOADS_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace heteromap {
+
+/**
+ * Instantiate a benchmark by paper name: "SSSP-BF", "SSSP-Delta",
+ * "BFS", "DFS", "PR", "PR-DP", "TRI", "COMM", "CONN" — plus the
+ * extension workload "BC" (betweenness centrality), which is not part
+ * of the paper's evaluation list. Fatal on unknown names.
+ */
+std::unique_ptr<Workload> makeWorkload(const std::string &name);
+
+/** The nine benchmark names, in Fig. 5 order. */
+const std::vector<std::string> &workloadNames();
+
+/** Instantiate all nine benchmarks. */
+std::vector<std::unique_ptr<Workload>> allWorkloads();
+
+} // namespace heteromap
+
+#endif // HETEROMAP_WORKLOADS_REGISTRY_HH

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * SSSP-BF implementation. Push-style relaxation: every vertex with an
+ * improved distance relaxes its out-edges with atomic-min updates into
+ * a double-buffered distance array; two barriers separate the relax
+ * and commit phases of each iteration, as in the paper's pseudocode.
+ */
+
+#include "workloads/sssp_bf.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace heteromap {
+
+namespace {
+
+constexpr int64_t kInfDist = std::numeric_limits<int64_t>::max() / 4;
+
+/** Integral edge weight, matching the no-FP Fig. 6 discretization. */
+int64_t
+intWeight(float w)
+{
+    return std::max<int64_t>(1, static_cast<int64_t>(w));
+}
+
+} // namespace
+
+BVariables
+SsspBellmanFord::bVariables() const
+{
+    BVariables b;
+    b.b1 = 1.0;  // all parallel work is vertex division
+    b.b6 = 0.0;  // integral distances, no FP
+    b.b7 = 0.8;  // D/Dtmp/W accessed via loop indexes
+    b.b8 = 0.0;
+    b.b9 = 0.5;  // the read-only input graph W[]
+    b.b10 = 0.5; // the two distance arrays
+    b.b11 = 0.2; // local alternative-distance temporaries
+    b.b12 = 0.2; // locks on D[] only
+    b.b13 = 0.2; // two barrier calls per iteration
+    return b;
+}
+
+WorkloadOutput
+SsspBellmanFord::run(const Graph &graph, Executor &exec) const
+{
+    const VertexId n = graph.numVertices();
+    HM_ASSERT(n > 0, "SSSP-BF requires a non-empty graph");
+    const VertexId src = std::min<VertexId>(source_, n - 1);
+
+    std::vector<int64_t> dist(n, kInfDist);
+    std::vector<int64_t> dist_next(n, kInfDist);
+    dist[src] = 0;
+    dist_next[src] = 0;
+
+    bool changed = true;
+    for (uint64_t round = 0; changed && round < n; ++round) {
+        changed = false;
+
+        exec.parallelFor(
+            "relax", PhaseKind::VertexDivision, n,
+            [&](uint64_t idx, ItemCost &cost) {
+                auto v = static_cast<VertexId>(idx);
+                cost.intOps += 2;
+                cost.sharedWriteBytes += 8; // read D[v] (RW array)
+                cost.directAccesses += 1;
+                if (dist[v] >= kInfDist)
+                    return;
+                auto nbrs = graph.neighbors(v);
+                auto wts = graph.edgeWeights(v);
+                for (std::size_t e = 0; e < nbrs.size(); ++e) {
+                    int64_t alt =
+                        dist[v] +
+                        intWeight(wts.empty() ? 1.0f : wts[e]);
+                    cost.intOps += 2;
+                    cost.directAccesses += 2;  // neighbor + weight
+                    cost.sharedReadBytes += 8; // W[] is read-only
+                    cost.localBytes += 8;      // alt temporary
+                    if (alt < dist_next[nbrs[e]]) {
+                        // Atomic-min on the shared Dtmp array.
+                        dist_next[nbrs[e]] = alt;
+                        cost.atomics += 1;
+                        cost.sharedWriteBytes += 8;
+                    }
+                }
+            });
+        exec.barrier();
+
+        exec.parallelFor(
+            "commit", PhaseKind::VertexDivision, n,
+            [&](uint64_t idx, ItemCost &cost) {
+                auto v = static_cast<VertexId>(idx);
+                cost.intOps += 1;
+                cost.directAccesses += 2;
+                cost.sharedWriteBytes += 16; // D[] and Dtmp[]
+                if (dist_next[v] < dist[v]) {
+                    dist[v] = dist_next[v];
+                    changed = true;
+                }
+            });
+        exec.barrier();
+        exec.endIteration();
+    }
+
+    WorkloadOutput out;
+    out.vertexValues.resize(n);
+    uint64_t reachable = 0;
+    for (VertexId v = 0; v < n; ++v) {
+        if (dist[v] >= kInfDist) {
+            out.vertexValues[v] = kUnreachable;
+        } else {
+            out.vertexValues[v] = static_cast<double>(dist[v]);
+            ++reachable;
+        }
+    }
+    out.scalar = static_cast<double>(reachable);
+    return out;
+}
+
+} // namespace heteromap

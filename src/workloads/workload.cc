@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Workload base-class helpers.
+ */
+
+#include "workloads/workload.hh"
+
+namespace heteromap {
+
+std::pair<WorkloadOutput, WorkloadProfile>
+Workload::runProfiled(const Graph &graph) const
+{
+    Executor exec;
+    WorkloadOutput out = run(graph, exec);
+    return {std::move(out), exec.takeProfile()};
+}
+
+} // namespace heteromap

@@ -1,0 +1,400 @@
+/**
+ * @file
+ * Tests for the architecture models: specs/presets, MConfig, cache,
+ * memory, sync, energy, memory-size, and the composed PerfModel's
+ * qualitative behaviours (the ones the paper's results rest on).
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/perf_model.hh"
+#include "arch/presets.hh"
+#include "core/oracle.hh"
+#include "exec/executor.hh"
+#include "graph/datasets.hh"
+#include "util/logging.hh"
+#include "workloads/registry.hh"
+
+namespace heteromap {
+namespace {
+
+TEST(PresetTest, TableTwoHeadlineNumbers)
+{
+    AcceleratorSpec gpu = gtx750TiSpec();
+    EXPECT_EQ(gpu.kind, AcceleratorKind::Gpu);
+    EXPECT_EQ(gpu.cacheBytes, 2ULL << 20);
+    EXPECT_FALSE(gpu.coherentCache);
+    EXPECT_DOUBLE_EQ(gpu.memBandwidthGBs, 86.0);
+    EXPECT_DOUBLE_EQ(gpu.spTflops, 1.3);
+    EXPECT_DOUBLE_EQ(gpu.dpTflops, 0.04);
+
+    AcceleratorSpec phi = xeonPhi7120Spec();
+    EXPECT_EQ(phi.kind, AcceleratorKind::Multicore);
+    EXPECT_EQ(phi.cores, 61u);
+    EXPECT_EQ(phi.threadsPerCore, 4u);
+    EXPECT_EQ(phi.maxThreads(), 244u);
+    EXPECT_TRUE(phi.coherentCache);
+    EXPECT_EQ(phi.cacheBytes, 32ULL << 20);
+    EXPECT_DOUBLE_EQ(phi.memBandwidthGBs, 352.0);
+    EXPECT_DOUBLE_EQ(phi.dpTflops, 1.2);
+
+    AcceleratorSpec gtx970 = gtx970Spec();
+    EXPECT_DOUBLE_EQ(gtx970.spTflops, 3.5);
+    EXPECT_EQ(gtx970.memBytes, 4ULL << 30);
+
+    AcceleratorSpec cpu = xeon40CoreSpec();
+    EXPECT_EQ(cpu.cores, 40u);
+    EXPECT_DOUBLE_EQ(cpu.freqGHz, 2.3);
+}
+
+TEST(PresetTest, AllPairsCoverTheFourCombinations)
+{
+    auto pairs = allPairs();
+    ASSERT_EQ(pairs.size(), 4u);
+    EXPECT_EQ(primaryPair().name(), "GTX-750Ti + XeonPhi-7120P");
+}
+
+TEST(PresetTest, OpsPerSecondBlendsPrecision)
+{
+    AcceleratorSpec phi = xeonPhi7120Spec();
+    // FP-heavy workloads approach the blended TFLOP rating.
+    EXPECT_GT(phi.opsPerSecond(1.0), phi.opsPerSecond(0.0));
+    AcceleratorSpec gpu = gtx750TiSpec();
+    // The Phi's DP advantage shows in the FP mix.
+    EXPECT_GT(phi.opsPerSecond(1.0), gpu.opsPerSecond(1.0));
+}
+
+TEST(MConfigTest, ActiveThreadsFollowsAccelerator)
+{
+    MConfig c;
+    c.accelerator = AcceleratorKind::Gpu;
+    c.gpuGlobalThreads = 4096;
+    EXPECT_EQ(c.activeThreads(), 4096u);
+    c.accelerator = AcceleratorKind::Multicore;
+    c.cores = 8;
+    c.threadsPerCore = 3;
+    EXPECT_EQ(c.activeThreads(), 24u);
+}
+
+TEST(MConfigTest, ChoiceVectorZeroesInactiveSide)
+{
+    MConfig gpu;
+    gpu.accelerator = AcceleratorKind::Gpu;
+    gpu.gpuGlobalThreads = 1024;
+    gpu.cores = 32; // set but inactive
+    auto vec = gpu.choiceVector();
+    EXPECT_EQ(vec[0], 0);
+    EXPECT_EQ(vec[3], 0); // cores slot zeroed for GPU configs
+    EXPECT_GT(vec[1], 0);
+}
+
+/** Shared fixture: profiled PageRank and SSSP-Delta cases. */
+class PerfModelTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        setLogVerbose(false);
+        auto pr = makeWorkload("PR");
+        auto delta = makeWorkload("SSSP-Delta");
+        auto bf = makeWorkload("SSSP-BF");
+        const Dataset &co = datasetByShortName("CO");
+        const Dataset &ca = datasetByShortName("CA");
+
+        prCo_ = new BenchmarkCase(makeCase(*pr, co));
+        deltaCa_ = new BenchmarkCase(makeCase(*delta, ca));
+        bfCo_ = new BenchmarkCase(makeCase(*bf, co));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete prCo_;
+        delete deltaCa_;
+        delete bfCo_;
+        setLogVerbose(true);
+    }
+
+    static RunInput
+    inputFor(const BenchmarkCase &bench)
+    {
+        RunInput in;
+        in.profile = &bench.profile;
+        in.shapeStats = bench.shapeStats;
+        in.scaleStats = bench.scaleStats;
+        return in;
+    }
+
+    static MConfig
+    gpuConfig(unsigned global, unsigned local)
+    {
+        MConfig c;
+        c.accelerator = AcceleratorKind::Gpu;
+        c.gpuGlobalThreads = global;
+        c.gpuLocalThreads = local;
+        return c;
+    }
+
+    static MConfig
+    multicoreConfig(unsigned cores, unsigned tpc, unsigned simd = 8)
+    {
+        MConfig c;
+        c.accelerator = AcceleratorKind::Multicore;
+        c.cores = cores;
+        c.threadsPerCore = tpc;
+        c.simdWidth = simd;
+        return c;
+    }
+
+    static BenchmarkCase *prCo_;
+    static BenchmarkCase *deltaCa_;
+    static BenchmarkCase *bfCo_;
+    PerfModel model_;
+};
+
+BenchmarkCase *PerfModelTest::prCo_ = nullptr;
+BenchmarkCase *PerfModelTest::deltaCa_ = nullptr;
+BenchmarkCase *PerfModelTest::bfCo_ = nullptr;
+
+TEST_F(PerfModelTest, ProducesPositiveTimeAndEnergy)
+{
+    auto report = model_.evaluate(inputFor(*prCo_), xeonPhi7120Spec(),
+                                  multicoreConfig(61, 4));
+    EXPECT_GT(report.seconds, 0.0);
+    EXPECT_GT(report.joules, 0.0);
+    EXPECT_GE(report.utilization, 0.0);
+    EXPECT_LE(report.utilization, 1.0);
+    EXPECT_FALSE(report.toString().empty());
+}
+
+TEST_F(PerfModelTest, KindMismatchIsPanic)
+{
+    EXPECT_THROW(model_.evaluate(inputFor(*prCo_), gtx750TiSpec(),
+                                 multicoreConfig(8, 2)),
+                 PanicError);
+}
+
+TEST_F(PerfModelTest, MoreGpuThreadsHelpUntilSaturation)
+{
+    double t16 = model_.evaluate(inputFor(*bfCo_), gtx750TiSpec(),
+                                 gpuConfig(16, 64)).seconds;
+    double t1024 = model_.evaluate(inputFor(*bfCo_), gtx750TiSpec(),
+                                   gpuConfig(1024, 64)).seconds;
+    EXPECT_LT(t1024, t16);
+}
+
+TEST_F(PerfModelTest, CoreSweepShowsSpeedupThenOverheadUShape)
+{
+    // Scaling from 1 to a moderate core count helps; past the sweet
+    // spot, barrier wake-ups and contention on the tiny CO graph eat
+    // the gains (the intra-accelerator trade-off Fig. 1 motivates).
+    double t1 = model_.evaluate(inputFor(*prCo_), xeonPhi7120Spec(),
+                                multicoreConfig(1, 4)).seconds;
+    double t8 = model_.evaluate(inputFor(*prCo_), xeonPhi7120Spec(),
+                                multicoreConfig(8, 4)).seconds;
+    EXPECT_LT(t8, t1);
+}
+
+TEST_F(PerfModelTest, HighDiameterGraphStarvesGpu)
+{
+    // SSSP-Delta on the road network: the paper's Fig. 1 multicore
+    // win, orders of magnitude in the extreme. Use each side's best
+    // thread settings.
+    double gpu = model_.evaluate(inputFor(*deltaCa_), gtx750TiSpec(),
+                                 gpuConfig(10240, 128)).seconds;
+    double phi = model_.evaluate(inputFor(*deltaCa_), xeonPhi7120Spec(),
+                                 multicoreConfig(61, 4)).seconds;
+    EXPECT_LT(phi, gpu);
+}
+
+TEST_F(PerfModelTest, MemorySizePenaltyKicksInForLargeGraphs)
+{
+    // Twitter's nominal footprint far exceeds 2 GB: the streamed-
+    // chunk count must exceed 1 and shrink with more memory.
+    auto delta = makeWorkload("PR");
+    BenchmarkCase twtr =
+        makeCase(*delta, datasetByShortName("Twtr"));
+
+    AcceleratorSpec small_mem = xeonPhi7120Spec();
+    small_mem.memBytes = 2ULL << 30;
+    AcceleratorSpec big_mem = xeonPhi7120Spec();
+    big_mem.memBytes = 16ULL << 30;
+
+    auto small_report = model_.evaluate(inputFor(twtr), small_mem,
+                                        multicoreConfig(61, 4));
+    auto big_report = model_.evaluate(inputFor(twtr), big_mem,
+                                      multicoreConfig(61, 4));
+    EXPECT_GT(small_report.memoryChunks, big_report.memoryChunks);
+    EXPECT_GT(small_report.seconds, big_report.seconds);
+}
+
+TEST_F(PerfModelTest, CoherentCacheHelpsSharedRwTraffic)
+{
+    AcceleratorSpec coherent = xeonPhi7120Spec();
+    AcceleratorSpec incoherent = xeonPhi7120Spec();
+    incoherent.coherentCache = false;
+
+    CacheModel cache;
+    const PhaseProfile &phase = prCo_->profile.phases.front();
+    auto hit_coherent =
+        cache.estimate(coherent, phase, prCo_->scaleStats, 61);
+    auto hit_incoherent =
+        cache.estimate(incoherent, phase, prCo_->scaleStats, 61);
+    EXPECT_LE(hit_coherent.missRate, hit_incoherent.missRate);
+}
+
+TEST_F(PerfModelTest, ThrashingGrowsMissRateWithThreads)
+{
+    CacheModel cache;
+    const PhaseProfile &phase = prCo_->profile.phases.front();
+    auto few = cache.estimate(gtx750TiSpec(), phase,
+                              prCo_->scaleStats, 32);
+    auto many = cache.estimate(gtx750TiSpec(), phase,
+                               prCo_->scaleStats, 8192);
+    EXPECT_GE(many.missRate, few.missRate);
+}
+
+TEST_F(PerfModelTest, ChipUtilizationGrowsWithOccupancy)
+{
+    // Fig. 13's metric is chip-wide: 32 resident threads leave most
+    // of the GPU idle regardless of how busy they are.
+    auto low = model_.evaluate(inputFor(*bfCo_), gtx750TiSpec(),
+                               gpuConfig(32, 32));
+    auto high = model_.evaluate(inputFor(*bfCo_), gtx750TiSpec(),
+                                gpuConfig(8192, 128));
+    EXPECT_GT(high.utilization, low.utilization);
+}
+
+TEST(EnergyModelTest, EnergyScalesWithPowerRating)
+{
+    EnergyModel energy;
+    MConfig phi_cfg;
+    phi_cfg.accelerator = AcceleratorKind::Multicore;
+    phi_cfg.cores = 61;
+    phi_cfg.threadsPerCore = 4;
+
+    double phi_watts =
+        energy.averageWatts(xeonPhi7120Spec(), phi_cfg, 0.8);
+    MConfig gpu_cfg;
+    gpu_cfg.accelerator = AcceleratorKind::Gpu;
+    gpu_cfg.gpuGlobalThreads = 8192;
+    double gpu_watts =
+        energy.averageWatts(gtx750TiSpec(), gpu_cfg, 0.8);
+    // The Phi's 300 W rating dwarfs the 750Ti's 60 W.
+    EXPECT_GT(phi_watts, 2.0 * gpu_watts);
+}
+
+TEST(EnergyModelTest, SpinningCostsPowerWhenStalled)
+{
+    EnergyModel energy;
+    MConfig cfg;
+    cfg.accelerator = AcceleratorKind::Multicore;
+    cfg.cores = 61;
+    cfg.activeWaitPolicy = false;
+    double passive =
+        energy.averageWatts(xeonPhi7120Spec(), cfg, 0.2);
+    cfg.activeWaitPolicy = true;
+    double active = energy.averageWatts(xeonPhi7120Spec(), cfg, 0.2);
+    EXPECT_GT(active, passive);
+}
+
+TEST(MemorySizeModelTest, FitWithinMemoryHasNoPenalty)
+{
+    MemorySizeModel model;
+    GraphStats small;
+    small.numVertices = 1000;
+    small.numEdges = 10000;
+    auto effect = model.effect(small, 1ULL << 30, 10);
+    EXPECT_EQ(effect.chunks, 1u);
+    EXPECT_DOUBLE_EQ(effect.slowdown, 1.0);
+}
+
+TEST(MemorySizeModelTest, PenaltyGrowsWithChunksAndIterations)
+{
+    MemorySizeModel model;
+    GraphStats big;
+    big.numVertices = 42'000'000;
+    big.numEdges = 1'500'000'000;
+
+    auto two_gb = model.effect(big, 2ULL << 30, 20);
+    auto eight_gb = model.effect(big, 8ULL << 30, 20);
+    EXPECT_GT(two_gb.chunks, eight_gb.chunks);
+    EXPECT_GT(two_gb.slowdown, eight_gb.slowdown);
+
+    auto fewer_iters = model.effect(big, 2ULL << 30, 1);
+    EXPECT_GT(two_gb.slowdown, fewer_iters.slowdown);
+}
+
+TEST(SyncModelTest, DynamicSchedulingRelievesContention)
+{
+    SyncModel sync;
+    PhaseProfile phase;
+    phase.name = "p";
+    phase.atomics = 1e6;
+    phase.sharedWriteBytes = 8e6;
+    phase.workItems = 100000;
+
+    MConfig stat;
+    stat.accelerator = AcceleratorKind::Multicore;
+    stat.schedule = SchedulePolicy::Static;
+    MConfig dyn = stat;
+    dyn.schedule = SchedulePolicy::Dynamic;
+    dyn.chunkSize = 64;
+
+    auto spec = xeonPhi7120Spec();
+    auto t_static = sync.phaseCost(spec, stat, phase, 244);
+    auto t_dynamic = sync.phaseCost(spec, dyn, phase, 244);
+    EXPECT_LT(t_dynamic.atomicSeconds, t_static.atomicSeconds);
+}
+
+TEST(SyncModelTest, ShortBlocktimePaysWakeupsUnderImbalance)
+{
+    SyncModel sync;
+    auto spec = xeonPhi7120Spec();
+    MConfig impatient;
+    impatient.accelerator = AcceleratorKind::Multicore;
+    impatient.blocktimeMs = 1.0;
+    MConfig patient = impatient;
+    patient.blocktimeMs = 500.0;
+
+    double short_bt = sync.barrierCost(spec, impatient, 244, 0.8);
+    double long_bt = sync.barrierCost(spec, patient, 244, 0.8);
+    EXPECT_GT(short_bt, long_bt);
+
+    // With balanced arrivals the choice barely matters.
+    double balanced_short = sync.barrierCost(spec, impatient, 244, 0.0);
+    double balanced_long = sync.barrierCost(spec, patient, 244, 0.0);
+    EXPECT_NEAR(balanced_short, balanced_long, 1e-7);
+}
+
+TEST(SyncModelTest, PlacementMismatchCostsMore)
+{
+    SyncModel sync;
+    GraphStats road;
+    road.avgDegree = 2.5;
+    road.degreeStddev = 0.5;
+    road.diameter = 900; // ideal spread ~ loose
+
+    MConfig loose;
+    loose.accelerator = AcceleratorKind::Multicore;
+    loose.placementSpread = 1.0;
+    MConfig compact = loose;
+    compact.placementSpread = 0.0;
+
+    EXPECT_LT(sync.placementFactor(loose, road, 0.2),
+              sync.placementFactor(compact, road, 0.2));
+}
+
+TEST(SyncModelTest, GpuIgnoresPlacement)
+{
+    SyncModel sync;
+    GraphStats stats;
+    MConfig gpu;
+    gpu.accelerator = AcceleratorKind::Gpu;
+    gpu.placementSpread = 1.0;
+    EXPECT_DOUBLE_EQ(sync.placementFactor(gpu, stats, 0.9), 1.0);
+}
+
+} // namespace
+} // namespace heteromap

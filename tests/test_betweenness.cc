@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for the betweenness-centrality extension workload against
+ * closed-form values on canonical graphs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hh"
+#include "graph/props.hh"
+#include "workloads/betweenness.hh"
+#include "workloads/registry.hh"
+
+namespace heteromap {
+namespace {
+
+TEST(BetweennessTest, PathGraphClosedForm)
+{
+    // Undirected path of n vertices, Brandes over all sources counts
+    // ordered pairs: BC(i) = 2 * i * (n - 1 - i).
+    const VertexId n = 9;
+    Graph g = generatePath(n);
+    BetweennessCentrality exact(/*samples=*/0);
+    auto out = exact.runProfiled(g).first;
+    for (VertexId v = 0; v < n; ++v) {
+        double expected =
+            2.0 * static_cast<double>(v) *
+            static_cast<double>(n - 1 - v);
+        EXPECT_NEAR(out.vertexValues[v], expected, 1e-9)
+            << "vertex " << v;
+    }
+}
+
+TEST(BetweennessTest, StarCenterDominates)
+{
+    // Star with n-1 leaves: center BC = (n-1)(n-2), leaves 0.
+    const VertexId n = 12;
+    Graph g = generateStar(n);
+    BetweennessCentrality exact(0);
+    auto out = exact.runProfiled(g).first;
+    EXPECT_NEAR(out.vertexValues[0],
+                static_cast<double>((n - 1) * (n - 2)), 1e-9);
+    for (VertexId v = 1; v < n; ++v)
+        EXPECT_NEAR(out.vertexValues[v], 0.0, 1e-9);
+}
+
+TEST(BetweennessTest, CycleIsSymmetric)
+{
+    Graph g = generateCycle(10);
+    BetweennessCentrality exact(0);
+    auto out = exact.runProfiled(g).first;
+    for (VertexId v = 1; v < 10; ++v)
+        EXPECT_NEAR(out.vertexValues[v], out.vertexValues[0], 1e-9);
+    EXPECT_GT(out.vertexValues[0], 0.0);
+}
+
+TEST(BetweennessTest, CompleteGraphHasZeroCentrality)
+{
+    // Every pair is adjacent: no shortest path passes through a
+    // third vertex.
+    Graph g = generateComplete(8);
+    BetweennessCentrality exact(0);
+    auto out = exact.runProfiled(g).first;
+    for (double c : out.vertexValues)
+        EXPECT_NEAR(c, 0.0, 1e-9);
+}
+
+TEST(BetweennessTest, SampledRunIsDeterministicAndBounded)
+{
+    Graph g = generateRmat(9, 6.0, 7);
+    BetweennessCentrality sampled(8);
+    auto a = sampled.runProfiled(g).first;
+    auto b = sampled.runProfiled(g).first;
+    EXPECT_EQ(a.vertexValues, b.vertexValues);
+    for (double c : a.vertexValues)
+        EXPECT_GE(c, 0.0);
+}
+
+TEST(BetweennessTest, ProfileShowsBothWaveKinds)
+{
+    Graph g = generatePath(20);
+    auto profile =
+        BetweennessCentrality(4).runProfiled(g).second;
+    ASSERT_NE(profile.findPhase("bc-forward"), nullptr);
+    ASSERT_NE(profile.findPhase("bc-backward"), nullptr);
+    EXPECT_EQ(profile.findPhase("bc-forward")->kind,
+              PhaseKind::ParetoDynamic);
+    EXPECT_EQ(profile.findPhase("bc-backward")->kind,
+              PhaseKind::Pareto);
+    EXPECT_GT(profile.findPhase("bc-backward")->fpOps, 0.0);
+    EXPECT_GT(profile.findPhase("bc-forward")->atomics, 0.0);
+}
+
+TEST(BetweennessTest, AvailableViaRegistryButNotInPaperList)
+{
+    auto workload = makeWorkload("BC");
+    EXPECT_EQ(workload->name(), "BC");
+    for (const auto &name : workloadNames())
+        EXPECT_NE(name, "BC");
+    EXPECT_NEAR(workload->bVariables().phaseSum(), 1.0, 1e-9);
+}
+
+} // namespace
+} // namespace heteromap

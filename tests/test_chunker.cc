@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the Stinger-substitute graph chunker.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/chunker.hh"
+#include "graph/generators.hh"
+#include "util/logging.hh"
+
+namespace heteromap {
+namespace {
+
+TEST(ChunkerTest, SingleChunkWhenBudgetIsLarge)
+{
+    Graph g = generateCycle(100);
+    GraphChunker chunker(g, 1ULL << 30);
+    EXPECT_EQ(chunker.numChunks(), 1u);
+    GraphChunk chunk = chunker.chunk(0);
+    EXPECT_EQ(chunk.firstVertex, 0u);
+    EXPECT_EQ(chunk.subgraph.numVertices(), 100u);
+    EXPECT_EQ(chunk.subgraph.numEdges(), g.numEdges());
+    EXPECT_EQ(chunk.haloBegin, 100u);
+}
+
+TEST(ChunkerTest, SplitsUnderTightBudget)
+{
+    Graph g = generateUniformRandom(500, 2000, 1);
+    GraphChunker chunker(g, 16 * 1024);
+    EXPECT_GT(chunker.numChunks(), 1u);
+
+    // Boundaries cover the whole vertex range monotonically.
+    const auto &bounds = chunker.boundaries();
+    EXPECT_EQ(bounds.front(), 0u);
+    EXPECT_EQ(bounds.back(), g.numVertices());
+    for (std::size_t i = 1; i < bounds.size(); ++i)
+        EXPECT_LT(bounds[i - 1], bounds[i]);
+}
+
+TEST(ChunkerTest, ChunksPreserveAllEdges)
+{
+    Graph g = generateUniformRandom(300, 1200, 2);
+    GraphChunker chunker(g, 8 * 1024);
+
+    EdgeId total = 0;
+    for (std::size_t i = 0; i < chunker.numChunks(); ++i)
+        total += chunker.chunk(i).subgraph.numEdges();
+    EXPECT_EQ(total, g.numEdges());
+}
+
+TEST(ChunkerTest, LocalToGlobalMappingIsConsistent)
+{
+    Graph g = generateUniformRandom(200, 800, 3);
+    GraphChunker chunker(g, 8 * 1024);
+
+    for (std::size_t i = 0; i < chunker.numChunks(); ++i) {
+        GraphChunk chunk = chunker.chunk(i);
+        const Graph &sub = chunk.subgraph;
+
+        // Interior vertices map back to the contiguous range.
+        for (VertexId local = 0; local < chunk.haloBegin; ++local) {
+            EXPECT_EQ(chunk.localToGlobal[local],
+                      chunk.firstVertex + local);
+        }
+
+        // Every chunk edge corresponds to a global edge.
+        for (VertexId local = 0; local < chunk.haloBegin; ++local) {
+            VertexId global_src = chunk.localToGlobal[local];
+            auto global_nbrs = g.neighbors(global_src);
+            auto local_nbrs = sub.neighbors(local);
+            ASSERT_EQ(local_nbrs.size(), global_nbrs.size());
+            for (std::size_t e = 0; e < local_nbrs.size(); ++e) {
+                VertexId mapped =
+                    chunk.localToGlobal[local_nbrs[e]];
+                // Adjacency may be reordered by halo remapping; check
+                // membership instead of position.
+                bool found = false;
+                for (VertexId u : global_nbrs)
+                    found |= (u == mapped);
+                EXPECT_TRUE(found)
+                    << "edge " << global_src << "->" << mapped
+                    << " not in the original graph";
+            }
+        }
+
+        // Halo vertices have no outgoing edges in the chunk.
+        for (VertexId local = chunk.haloBegin;
+             local < sub.numVertices(); ++local) {
+            EXPECT_EQ(sub.degree(local), 0u);
+        }
+    }
+}
+
+TEST(ChunkerTest, FatalWhenOneVertexExceedsBudget)
+{
+    Graph g = generateStar(1000); // hub with degree 999
+    EXPECT_THROW(GraphChunker(g, 1024), FatalError);
+}
+
+TEST(ChunkerTest, RejectsZeroBudget)
+{
+    Graph g = generateCycle(10);
+    EXPECT_THROW(GraphChunker(g, 0), PanicError);
+}
+
+TEST(ChunkerTest, ChunkIndexOutOfRangeIsFatal)
+{
+    Graph g = generateCycle(10);
+    GraphChunker chunker(g, 1ULL << 20);
+    EXPECT_THROW(chunker.chunk(5), PanicError);
+}
+
+} // namespace
+} // namespace heteromap

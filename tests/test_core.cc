@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Tests for the core framework: oracle case construction, the
+ * profiler database, the training pipeline, and the HeteroMap
+ * runtime's deployment path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/database.hh"
+#include "core/experiment.hh"
+#include "core/heteromap.hh"
+#include "core/oracle.hh"
+#include "core/training.hh"
+#include "graph/datasets.hh"
+#include "graph/generators.hh"
+#include "util/logging.hh"
+#include "workloads/registry.hh"
+
+namespace heteromap {
+namespace {
+
+class CoreTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setLogVerbose(false); }
+    void TearDown() override { setLogVerbose(true); }
+
+    Oracle oracle_;
+
+    BenchmarkCase
+    smallCase(const char *workload = "PR", const char *input = "CO")
+    {
+        auto w = makeWorkload(workload);
+        return makeCase(*w, datasetByShortName(input));
+    }
+};
+
+TEST_F(CoreTest, MakeCaseBundlesEverything)
+{
+    BenchmarkCase bench = smallCase();
+    EXPECT_EQ(bench.workloadName, "PR");
+    EXPECT_EQ(bench.inputName, "CO");
+    EXPECT_EQ(bench.label(), "PR-CO");
+    EXPECT_FALSE(bench.profile.phases.empty());
+    EXPECT_GT(bench.output.vertexValues.size(), 0u);
+    // I features come from the nominal (Table I) stats.
+    EXPECT_EQ(bench.scaleStats.numVertices, 562u);
+    EXPECT_GT(bench.features.b.b6, 0.5); // PR is FP-heavy
+}
+
+TEST_F(CoreTest, OracleScoresBothSides)
+{
+    BenchmarkCase bench = smallCase();
+    MConfig gpu;
+    gpu.accelerator = AcceleratorKind::Gpu;
+    gpu.gpuGlobalThreads = 4096;
+    gpu.gpuLocalThreads = 128;
+    MConfig mc;
+    mc.accelerator = AcceleratorKind::Multicore;
+    mc.cores = 32;
+    mc.threadsPerCore = 4;
+
+    EXPECT_GT(oracle_.seconds(bench, primaryPair(), gpu), 0.0);
+    EXPECT_GT(oracle_.seconds(bench, primaryPair(), mc), 0.0);
+    EXPECT_GT(oracle_.run(bench, primaryPair(), mc).joules, 0.0);
+}
+
+TEST_F(CoreTest, DatabaseInsertLookupNearest)
+{
+    ProfilerDatabase db;
+    EXPECT_TRUE(db.empty());
+
+    FeatureVector a;
+    a.b.b1 = 0.5;
+    a.i.i1 = 0.3;
+    NormalizedMVector ya;
+    ya.m[0] = 1.0;
+    db.insert(a, ya);
+
+    FeatureVector b;
+    b.b.b4 = 0.9;
+    NormalizedMVector yb;
+    yb.m[0] = 0.0;
+    db.insert(b, yb);
+
+    EXPECT_EQ(db.size(), 2u);
+    auto hit = db.lookup(a);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_DOUBLE_EQ(hit->m[0], 1.0);
+
+    // A nearby query misses exactly but resolves by distance.
+    FeatureVector near_a = a;
+    near_a.i.i1 = 0.4;
+    EXPECT_FALSE(db.lookup(near_a).has_value());
+    EXPECT_DOUBLE_EQ(db.nearest(near_a).m[0], 1.0);
+}
+
+TEST_F(CoreTest, DatabaseDiscretizesKeys)
+{
+    ProfilerDatabase db;
+    FeatureVector a;
+    a.b.b1 = 0.5001; // same 0.1 grid cell as 0.52
+    NormalizedMVector y;
+    y.m[5] = 0.7;
+    db.insert(a, y);
+
+    FeatureVector b;
+    b.b.b1 = 0.52;
+    auto hit = db.lookup(b);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_DOUBLE_EQ(hit->m[5], 0.7);
+}
+
+TEST_F(CoreTest, DatabaseRoundTripsThroughText)
+{
+    ProfilerDatabase db;
+    FeatureVector a;
+    a.b.b7 = 0.8;
+    a.i.i4 = 0.8;
+    NormalizedMVector y;
+    y.m[0] = 1.0;
+    y.m[19] = 0.4;
+    db.insert(a, y);
+
+    std::stringstream buffer;
+    db.save(buffer);
+    ProfilerDatabase back = ProfilerDatabase::load(buffer);
+    EXPECT_EQ(back.size(), 1u);
+    auto hit = back.lookup(a);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_DOUBLE_EQ(hit->m[19], 0.4);
+}
+
+TEST_F(CoreTest, DatabaseLoadRejectsGarbage)
+{
+    std::stringstream buffer("0.1 0.2 nonsense\n");
+    EXPECT_THROW(ProfilerDatabase::load(buffer), FatalError);
+}
+
+TEST_F(CoreTest, EmptyDatabaseNearestIsFatal)
+{
+    ProfilerDatabase db;
+    EXPECT_THROW(db.nearest(FeatureVector{}), FatalError);
+}
+
+TEST_F(CoreTest, TrainingPipelineProducesLabelledCorpus)
+{
+    TrainingOptions options;
+    options.syntheticBenchmarks = 6;
+    options.syntheticIterations = 1;
+    options.tuner = TunerKind::Anneal;
+    options.searchIterations = 40;
+
+    // A single small training graph keeps this test quick.
+    std::vector<TrainingGraph> graphs;
+    Graph g = generateUniformRandom(512, 2048, 77);
+    GraphStats stats = measureGraph(g);
+    graphs.push_back({"tiny", g, stats, stats});
+
+    TrainingPipeline pipeline(primaryPair(), oracle_, options);
+    TrainingSet corpus = pipeline.run(graphs);
+
+    EXPECT_EQ(corpus.size(), 6u);
+    EXPECT_EQ(pipeline.database().size(), corpus.size());
+    EXPECT_GT(pipeline.evaluations(), 0u);
+    for (const auto &sample : corpus) {
+        for (double v : sample.y.m) {
+            EXPECT_GE(v, 0.0);
+            EXPECT_LE(v, 1.0);
+        }
+    }
+}
+
+TEST_F(CoreTest, MakePredictorCoversAllKinds)
+{
+    EXPECT_EQ(allPredictorKinds().size(), 8u);
+    for (PredictorKind kind : allPredictorKinds()) {
+        auto predictor = makePredictor(kind);
+        ASSERT_NE(predictor, nullptr);
+        EXPECT_FALSE(predictor->name().empty());
+    }
+    EXPECT_EQ(makePredictor(PredictorKind::Deep128)->name(),
+              "Deep.128");
+}
+
+TEST_F(CoreTest, HeteroMapDeploysAndChargesOverhead)
+{
+    HeteroMap framework(primaryPair(),
+                        makePredictor(PredictorKind::DecisionTree),
+                        oracle_);
+    BenchmarkCase bench = smallCase();
+    Deployment deployment = framework.deploy(bench);
+
+    EXPECT_GT(deployment.report.seconds, 0.0);
+    EXPECT_GE(deployment.overheadMs, 0.0);
+    EXPECT_GT(deployment.totalSeconds(), deployment.report.seconds);
+    // Deployed config matches the predicted accelerator choice.
+    EXPECT_EQ(deployment.config.accelerator,
+              deployment.predicted.m[0] < 0.5
+                  ? AcceleratorKind::Gpu
+                  : AcceleratorKind::Multicore);
+}
+
+TEST_F(CoreTest, TrainedHeteroMapBeatsWorstSingleAccelerator)
+{
+    TrainingOptions options;
+    options.syntheticBenchmarks = 10;
+    options.syntheticIterations = 1;
+    TrainingPipeline pipeline(primaryPair(), oracle_, options);
+    TrainingSet corpus = pipeline.run();
+
+    HeteroMap framework(primaryPair(),
+                        makePredictor(PredictorKind::Deep32), oracle_);
+    framework.trainOffline(corpus);
+
+    BenchmarkCase bench = smallCase("SSSP-Delta", "CA");
+    Deployment deployment = framework.deploy(bench);
+    CaseBaselines baselines = computeBaselines(
+        bench, primaryPair(), oracle_, GridGranularity::Coarse);
+
+    double worst =
+        std::max(baselines.gpuSeconds, baselines.multicoreSeconds);
+    EXPECT_LT(deployment.report.seconds, worst * 1.05);
+}
+
+TEST_F(CoreTest, BaselinesOrderedSensibly)
+{
+    BenchmarkCase bench = smallCase("SSSP-Delta", "CA");
+    CaseBaselines baselines = computeBaselines(
+        bench, primaryPair(), oracle_, GridGranularity::Coarse);
+
+    EXPECT_GT(baselines.gpuSeconds, 0.0);
+    EXPECT_GT(baselines.multicoreSeconds, 0.0);
+    EXPECT_LE(baselines.idealSeconds,
+              std::min(baselines.gpuSeconds,
+                       baselines.multicoreSeconds) + 1e-15);
+    EXPECT_EQ(baselines.gpuBest.accelerator, AcceleratorKind::Gpu);
+    EXPECT_EQ(baselines.multicoreBest.accelerator,
+              AcceleratorKind::Multicore);
+
+    // Accuracy metric semantics.
+    EXPECT_DOUBLE_EQ(
+        accuracyVsIdeal(baselines.idealSeconds,
+                        baselines.idealSeconds), 1.0);
+    EXPECT_NEAR(accuracyVsIdeal(2.0 * baselines.idealSeconds,
+                                baselines.idealSeconds), 0.5, 1e-12);
+}
+
+} // namespace
+} // namespace heteromap

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Edge-case and failure-injection tests: degenerate graphs through
+ * every workload, hostile model inputs, and boundary configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/perf_model.hh"
+#include "arch/presets.hh"
+#include "core/oracle.hh"
+#include "graph/builder.hh"
+#include "graph/chunker.hh"
+#include "graph/generators.hh"
+#include "graph/props.hh"
+#include "util/logging.hh"
+#include "workloads/registry.hh"
+
+namespace heteromap {
+namespace {
+
+/** Degenerate graphs every workload must survive. */
+class DegenerateGraph
+    : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    static Graph
+    single()
+    {
+        return GraphBuilder(1).build();
+    }
+
+    static Graph
+    isolatedPair()
+    {
+        return GraphBuilder(2).build();
+    }
+
+    static Graph
+    singleEdge()
+    {
+        GraphBuilder b(2);
+        b.addEdge(0, 1, 3.0f);
+        return b.symmetrize().build();
+    }
+
+    static Graph
+    hubAndIslands()
+    {
+        // A star plus unreachable vertices.
+        GraphBuilder b(10);
+        for (VertexId v = 1; v < 6; ++v)
+            b.addEdge(0, v);
+        return b.symmetrize().build();
+    }
+};
+
+TEST_P(DegenerateGraph, AllWorkloadsSurvive)
+{
+    auto workload = makeWorkload(GetParam());
+    for (const Graph &g :
+         {single(), isolatedPair(), singleEdge(), hubAndIslands()}) {
+        auto [out, profile] = workload->runProfiled(g);
+        ASSERT_EQ(out.vertexValues.size(), g.numVertices());
+        for (double v : out.vertexValues)
+            EXPECT_FALSE(std::isnan(v));
+        EXPECT_GE(out.scalar, 0.0);
+        // Source vertex is always resolved by traversal workloads.
+        if (std::string(GetParam()) != "TRI") {
+            EXPECT_LT(out.vertexValues[0], kUnreachable);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, DegenerateGraph,
+                         ::testing::Values("SSSP-BF", "SSSP-Delta",
+                                           "BFS", "DFS", "PR", "PR-DP",
+                                           "TRI", "COMM", "CONN"),
+                         [](const auto &info) {
+                             std::string name = info.param;
+                             for (char &c : name)
+                                 if (c == '-')
+                                     c = '_';
+                             return name;
+                         });
+
+TEST(EdgeCaseTest, SsspOnSingleVertexIsZero)
+{
+    Graph g = GraphBuilder(1).build();
+    auto out = makeWorkload("SSSP-BF")->runProfiled(g).first;
+    EXPECT_DOUBLE_EQ(out.vertexValues[0], 0.0);
+    EXPECT_DOUBLE_EQ(out.scalar, 1.0);
+}
+
+TEST(EdgeCaseTest, ConnOnIsolatedVerticesGivesSelfLabels)
+{
+    Graph g = GraphBuilder(4).build();
+    auto out = makeWorkload("CONN")->runProfiled(g).first;
+    for (VertexId v = 0; v < 4; ++v)
+        EXPECT_DOUBLE_EQ(out.vertexValues[v], static_cast<double>(v));
+    EXPECT_DOUBLE_EQ(out.scalar, 4.0);
+}
+
+TEST(EdgeCaseTest, PageRankOnIsolatedVerticesIsUniform)
+{
+    Graph g = GraphBuilder(5).build();
+    auto out = makeWorkload("PR")->runProfiled(g).first;
+    for (double r : out.vertexValues)
+        EXPECT_NEAR(r, (1.0 - 0.85) / 5.0, 1e-12);
+}
+
+TEST(EdgeCaseTest, PerfModelHandlesEmptyProfile)
+{
+    WorkloadProfile empty;
+    RunInput input;
+    input.profile = &empty;
+    input.shapeStats.numVertices = 1;
+    input.shapeStats.numEdges = 0;
+    input.scaleStats = input.shapeStats;
+
+    PerfModel model;
+    MConfig config;
+    config.accelerator = AcceleratorKind::Multicore;
+    auto report = model.evaluate(input, xeonPhi7120Spec(), config);
+    EXPECT_GE(report.seconds, 0.0);
+    EXPECT_TRUE(std::isfinite(report.seconds));
+    EXPECT_TRUE(std::isfinite(report.joules));
+}
+
+TEST(EdgeCaseTest, PerfModelNullProfileIsPanic)
+{
+    RunInput input;
+    PerfModel model;
+    MConfig config;
+    config.accelerator = AcceleratorKind::Gpu;
+    EXPECT_THROW(model.evaluate(input, gtx750TiSpec(), config),
+                 PanicError);
+}
+
+TEST(EdgeCaseTest, ExtremeConfigsStayFinite)
+{
+    setLogVerbose(false);
+    Graph g = generateUniformRandom(128, 512, 3);
+    auto workload = makeWorkload("PR");
+    BenchmarkCase bench =
+        makeCase(*workload, g, "tiny", measureGraph(g));
+    Oracle oracle;
+
+    // Absurd but type-valid configurations.
+    MConfig huge;
+    huge.accelerator = AcceleratorKind::Multicore;
+    huge.cores = 100000;
+    huge.threadsPerCore = 1000;
+    huge.simdWidth = 10000;
+    huge.chunkSize = 1000000;
+    huge.blocktimeMs = 1e9;
+    EXPECT_TRUE(std::isfinite(
+        oracle.seconds(bench, primaryPair(), huge)));
+
+    MConfig tiny;
+    tiny.accelerator = AcceleratorKind::Gpu;
+    tiny.gpuGlobalThreads = 1;
+    tiny.gpuLocalThreads = 1;
+    EXPECT_TRUE(std::isfinite(
+        oracle.seconds(bench, primaryPair(), tiny)));
+    setLogVerbose(true);
+}
+
+TEST(EdgeCaseTest, ChunkerPreservesWeightsThroughHaloRemap)
+{
+    Graph g = generateUniformRandom(200, 800, 9);
+    GraphChunker chunker(g, g.footprintBytes() / 3);
+    ASSERT_GE(chunker.numChunks(), 2u);
+
+    GraphChunk chunk = chunker.chunk(0);
+    const Graph &sub = chunk.subgraph;
+    for (VertexId local = 0; local < chunk.haloBegin; ++local) {
+        VertexId global_src = chunk.localToGlobal[local];
+        auto local_w = sub.edgeWeights(local);
+        auto local_n = sub.neighbors(local);
+        for (std::size_t e = 0; e < local_n.size(); ++e) {
+            VertexId global_dst = chunk.localToGlobal[local_n[e]];
+            // Find the matching global edge weight.
+            auto gn = g.neighbors(global_src);
+            auto gw = g.edgeWeights(global_src);
+            bool found = false;
+            for (std::size_t k = 0; k < gn.size(); ++k) {
+                if (gn[k] == global_dst &&
+                    std::fabs(gw[k] - local_w[e]) < 1e-6) {
+                    found = true;
+                    break;
+                }
+            }
+            EXPECT_TRUE(found);
+        }
+    }
+}
+
+TEST(EdgeCaseTest, StrongerGpuIsNeverSlowerAtSameConfig)
+{
+    setLogVerbose(false);
+    Oracle oracle;
+    auto workload = makeWorkload("SSSP-BF");
+    BenchmarkCase bench =
+        makeCase(*workload, datasetByShortName("CAGE"));
+
+    MConfig config;
+    config.accelerator = AcceleratorKind::Gpu;
+    config.gpuGlobalThreads = 4096;
+    config.gpuLocalThreads = 128;
+
+    AcceleratorPair weak = {gtx750TiSpec(), xeonPhi7120Spec()};
+    AcceleratorPair strong = {gtx970Spec(), xeonPhi7120Spec()};
+    EXPECT_LE(oracle.seconds(bench, strong, config),
+              oracle.seconds(bench, weak, config));
+    setLogVerbose(true);
+}
+
+TEST(EdgeCaseTest, WorkloadNamesRejectEmptyAndCase)
+{
+    EXPECT_THROW(makeWorkload(""), FatalError);
+    EXPECT_THROW(makeWorkload("pr"), FatalError); // case-sensitive
+}
+
+} // namespace
+} // namespace heteromap

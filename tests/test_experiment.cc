@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for the shared experiment harness and the file-level I/O
+ * helpers that the benches and examples rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/experiment.hh"
+#include "graph/generators.hh"
+#include "graph/io.hh"
+#include "util/logging.hh"
+#include "workloads/registry.hh"
+
+namespace heteromap {
+namespace {
+
+class ExperimentTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setLogVerbose(false); }
+    void TearDown() override { setLogVerbose(true); }
+};
+
+TEST_F(ExperimentTest, PinnedPairUsesSmallestMemoryByDefault)
+{
+    AcceleratorPair pair = pinnedPair(primaryPair());
+    // 750Ti has 2 GB, Phi 16 GB -> both pinned to 2 GB.
+    EXPECT_EQ(pair.gpu.memBytes, 2ULL << 30);
+    EXPECT_EQ(pair.multicore.memBytes, 2ULL << 30);
+}
+
+TEST_F(ExperimentTest, PinnedPairRespectsExplicitSizeAndCaps)
+{
+    AcceleratorPair pair = pinnedPair(primaryPair(), 8ULL << 30);
+    // The GPU cannot exceed its own maximum (4 GB).
+    EXPECT_EQ(pair.gpu.memBytes, 4ULL << 30);
+    EXPECT_EQ(pair.multicore.memBytes, 8ULL << 30);
+}
+
+TEST_F(ExperimentTest, GridSearchSideOnlyVisitsRequestedSide)
+{
+    MSearchSpace space(primaryPair());
+    auto count_gpu = [](const MConfig &c) {
+        return c.accelerator == AcceleratorKind::Gpu ? 1.0 : 1e9;
+    };
+    TuneResult gpu = gridSearchSide(space, count_gpu,
+                                    AcceleratorKind::Gpu);
+    EXPECT_EQ(gpu.best.accelerator, AcceleratorKind::Gpu);
+    EXPECT_DOUBLE_EQ(gpu.bestScore, 1.0);
+
+    TuneResult mc = gridSearchSide(space, count_gpu,
+                                   AcceleratorKind::Multicore);
+    EXPECT_EQ(mc.best.accelerator, AcceleratorKind::Multicore);
+    EXPECT_DOUBLE_EQ(mc.bestScore, 1e9);
+}
+
+TEST_F(ExperimentTest, TrainedHeteroMapIsDeployable)
+{
+    Oracle oracle;
+    AcceleratorPair pair = pinnedPair(primaryPair());
+    HeteroMap framework =
+        trainedHeteroMap(pair, oracle, PredictorKind::Deep16,
+                         /*synthetic_benchmarks=*/4);
+    auto workload = makeWorkload("BFS");
+    BenchmarkCase bench =
+        makeCase(*workload, datasetByShortName("CO"));
+    Deployment deployment = framework.deploy(bench);
+    EXPECT_GT(deployment.report.seconds, 0.0);
+    EXPECT_EQ(framework.predictor().name(), "Deep.16");
+}
+
+TEST_F(ExperimentTest, AccuracyMetricBounds)
+{
+    EXPECT_DOUBLE_EQ(accuracyVsIdeal(0.0, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(accuracyVsIdeal(1.0, 1.0), 1.0);
+    // Faster-than-ideal (shouldn't happen, but clamp) stays <= 1.
+    EXPECT_DOUBLE_EQ(accuracyVsIdeal(0.5, 1.0), 1.0);
+}
+
+TEST_F(ExperimentTest, EdgeListFileRoundTrip)
+{
+    Graph g = generateUniformRandom(40, 120, 17);
+    const std::string path = "test_io_roundtrip.edges";
+    saveEdgeListFile(g, path);
+    Graph back = loadEdgeListFile(path);
+    EXPECT_EQ(back.numVertices(), g.numVertices());
+    EXPECT_EQ(back.numEdges(), g.numEdges());
+    std::remove(path.c_str());
+}
+
+TEST_F(ExperimentTest, LoadMissingFileIsFatal)
+{
+    EXPECT_THROW(loadEdgeListFile("/nonexistent/path/graph.edges"),
+                 FatalError);
+}
+
+TEST_F(ExperimentTest, OracleParamsChangeScores)
+{
+    auto workload = makeWorkload("PR");
+    BenchmarkCase bench =
+        makeCase(*workload, datasetByShortName("CO"));
+    AcceleratorPair pair = pinnedPair(primaryPair());
+
+    MConfig config;
+    config.accelerator = AcceleratorKind::Gpu;
+    config.gpuGlobalThreads = 2048;
+    config.gpuLocalThreads = 128;
+
+    Oracle stock;
+    PerfModelParams harsh;
+    harsh.gpuDivergenceCoef = 5.0;
+    Oracle divergent(harsh);
+    EXPECT_GT(divergent.seconds(bench, pair, config),
+              stock.seconds(bench, pair, config));
+}
+
+} // namespace
+} // namespace heteromap

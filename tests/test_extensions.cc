@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Tests for the extension predictors (table lookup / kNN, learned
+ * CART trees and forests) and for trained-model serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "model/cart.hh"
+#include "model/dataset.hh"
+#include "model/linear_regression.hh"
+#include "model/mlp.hh"
+#include "model/poly_regression.hh"
+#include "model/table_lookup.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace heteromap {
+namespace {
+
+/** Step-function corpus: ideal territory for trees and kNN. */
+TrainingSet
+stepCorpus(std::size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    TrainingSet out;
+    for (std::size_t i = 0; i < n; ++i) {
+        FeatureVector x;
+        x.b.b1 = rng.nextDouble();
+        x.b.b4 = rng.nextDouble();
+        x.i.i4 = rng.nextDouble();
+        NormalizedMVector y;
+        // Crisp decision boundary + a dependent knob.
+        y.m[0] = (x.b.b4 > 0.5 || x.i.i4 > 0.7) ? 1.0 : 0.0;
+        y.m[1] = y.m[0] > 0.5 ? 0.9 : 0.2;
+        out.push_back({x, y});
+    }
+    return out;
+}
+
+TEST(TableLookupTest, ExactHitReturnsStoredSolution)
+{
+    auto corpus = stepCorpus(50, 3);
+    TableLookupPredictor table(3);
+    table.train(corpus);
+    EXPECT_EQ(table.size(), 50u);
+
+    // Querying a training point returns its label verbatim.
+    auto y = table.predict(corpus[7].x);
+    EXPECT_EQ(y.m, corpus[7].y.m);
+}
+
+TEST(TableLookupTest, NearestNeighborGeneralizesStepFunction)
+{
+    auto corpus = stepCorpus(400, 5);
+    TableLookupPredictor table(3);
+    table.train(corpus);
+
+    FeatureVector deep_multicore;
+    deep_multicore.b.b4 = 0.95;
+    deep_multicore.i.i4 = 0.95;
+    EXPECT_GT(table.predict(deep_multicore).m[0], 0.6);
+
+    FeatureVector deep_gpu;
+    deep_gpu.b.b1 = 0.95;
+    deep_gpu.b.b4 = 0.05;
+    deep_gpu.i.i4 = 0.05;
+    EXPECT_LT(table.predict(deep_gpu).m[0], 0.4);
+}
+
+TEST(TableLookupTest, PredictBeforeTrainIsPanic)
+{
+    TableLookupPredictor table;
+    EXPECT_THROW(table.predict(FeatureVector{}), PanicError);
+}
+
+TEST(TableLookupTest, KOneIsPureNearest)
+{
+    auto corpus = stepCorpus(100, 7);
+    TableLookupPredictor table(1);
+    table.train(corpus);
+    // Every prediction equals some stored label exactly.
+    FeatureVector probe;
+    probe.b.b1 = 0.33;
+    probe.b.b4 = 0.66;
+    auto y = table.predict(probe);
+    bool matches_one = false;
+    for (const auto &sample : corpus)
+        matches_one |= (y.m == sample.y.m);
+    EXPECT_TRUE(matches_one);
+}
+
+TEST(CartTest, LearnsStepFunctionExactly)
+{
+    auto corpus = stepCorpus(600, 11);
+    CartTree tree;
+    tree.train(corpus);
+    EXPECT_GT(tree.nodeCount(), 3u);
+    EXPECT_GT(tree.depth(), 1u);
+    EXPECT_LT(meanSquaredError(tree, corpus), 0.002);
+}
+
+TEST(CartTest, DepthLimitIsRespected)
+{
+    auto corpus = stepCorpus(600, 13);
+    CartOptions options;
+    options.maxDepth = 2;
+    CartTree tree(options);
+    tree.train(corpus);
+    EXPECT_LE(tree.depth(), 3u); // depth counts nodes, limit splits
+}
+
+TEST(CartTest, PureLeafStopsSplitting)
+{
+    // Constant targets: the tree must stay a single leaf.
+    TrainingSet corpus;
+    Rng rng(17);
+    for (int i = 0; i < 100; ++i) {
+        FeatureVector x;
+        x.b.b1 = rng.nextDouble();
+        NormalizedMVector y;
+        y.m[0] = 0.5;
+        corpus.push_back({x, y});
+    }
+    CartTree tree;
+    tree.train(corpus);
+    EXPECT_EQ(tree.nodeCount(), 1u);
+    EXPECT_NEAR(tree.predict(corpus[0].x).m[0], 0.5, 1e-12);
+}
+
+TEST(CartTest, PredictBeforeTrainIsPanic)
+{
+    CartTree tree;
+    EXPECT_THROW(tree.predict(FeatureVector{}), PanicError);
+}
+
+TEST(CartForestTest, ForestAtLeastMatchesSingleTreeOnHeldOut)
+{
+    auto corpus = stepCorpus(800, 19);
+    auto [train, valid] = splitTrainingSet(corpus, 0.75);
+
+    CartTree tree;
+    tree.train(train);
+    CartForest forest(12);
+    forest.train(train);
+    EXPECT_LE(meanSquaredError(forest, valid),
+              meanSquaredError(tree, valid) * 1.5);
+    EXPECT_NE(forest.name().find("12 trees"), std::string::npos);
+}
+
+TEST(CartForestTest, DeterministicInSeed)
+{
+    auto corpus = stepCorpus(200, 23);
+    CartForest a(4, {}, 99);
+    CartForest b(4, {}, 99);
+    a.train(corpus);
+    b.train(corpus);
+    FeatureVector probe;
+    probe.b.b4 = 0.7;
+    EXPECT_EQ(a.predict(probe).m, b.predict(probe).m);
+}
+
+TEST(SerializationTest, LinearRegressionRoundTrip)
+{
+    auto corpus = stepCorpus(300, 29);
+    LinearRegression model;
+    model.train(corpus);
+
+    std::stringstream buffer;
+    model.save(buffer);
+    LinearRegression back = LinearRegression::load(buffer);
+    for (const auto &sample : corpus) {
+        auto a = model.predict(sample.x);
+        auto b = back.predict(sample.x);
+        for (std::size_t m = 0; m < kNumOutputs; ++m)
+            EXPECT_DOUBLE_EQ(a.m[m], b.m[m]);
+    }
+}
+
+TEST(SerializationTest, PolyRegressionRoundTrip)
+{
+    auto corpus = stepCorpus(300, 31);
+    PolyRegression model(3, 0.1);
+    model.train(corpus);
+
+    std::stringstream buffer;
+    model.save(buffer);
+    PolyRegression back = PolyRegression::load(buffer);
+    auto a = model.predict(corpus[0].x);
+    auto b = back.predict(corpus[0].x);
+    for (std::size_t m = 0; m < kNumOutputs; ++m)
+        EXPECT_DOUBLE_EQ(a.m[m], b.m[m]);
+}
+
+TEST(SerializationTest, MlpRoundTrip)
+{
+    auto corpus = stepCorpus(200, 37);
+    MlpOptions options;
+    options.epochs = 20;
+    Mlp model(16, options);
+    model.train(corpus);
+
+    std::stringstream buffer;
+    model.save(buffer);
+    Mlp back = Mlp::load(buffer);
+    EXPECT_EQ(back.hiddenWidth(), 16u);
+    for (int i = 0; i < 10; ++i) {
+        auto a = model.predict(corpus[i].x);
+        auto b = back.predict(corpus[i].x);
+        for (std::size_t m = 0; m < kNumOutputs; ++m)
+            EXPECT_NEAR(a.m[m], b.m[m], 1e-12);
+    }
+}
+
+TEST(SerializationTest, CorruptStreamsAreFatal)
+{
+    std::stringstream garbage("not-a-model v9 17");
+    EXPECT_THROW(LinearRegression::load(garbage), FatalError);
+    std::stringstream truncated("mlp v1 16 3\n2 2 0.5");
+    EXPECT_THROW(Mlp::load(truncated), FatalError);
+    std::stringstream wrong_shape("linear-regression v1 0.001\n2 2 "
+                                  "1 2 3 4\n");
+    EXPECT_THROW(LinearRegression::load(wrong_shape), FatalError);
+}
+
+TEST(SerializationTest, MatrixRoundTripPreservesPrecision)
+{
+    Matrix m = Matrix::fromRows({{1.0 / 3.0, 2e-17}, {-5e16, 0.0}});
+    std::stringstream buffer;
+    saveMatrix(buffer, m);
+    Matrix back = loadMatrix(buffer);
+    ASSERT_EQ(back.rows(), 2u);
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < 2; ++c)
+            EXPECT_DOUBLE_EQ(back.at(r, c), m.at(r, c));
+}
+
+} // namespace
+} // namespace heteromap

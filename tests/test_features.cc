@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests for the feature layer, anchored on the I-variable values the
+ * paper quotes in Fig. 4 and the SSSP-BF B discretization of Fig. 6.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "features/feature_vector.hh"
+#include "features/ivars.hh"
+#include "graph/datasets.hh"
+#include "workloads/registry.hh"
+
+namespace heteromap {
+namespace {
+
+TEST(IVarsTest, UsaCalMatchesPaperAnchors)
+{
+    // Fig. 4 / Sec. III-B: USA-Cal = [0.1, 0.1, 0.0, 0.8].
+    IVariables i = extractIVariables(datasetByShortName("CA"));
+    EXPECT_DOUBLE_EQ(i.i1, 0.1);
+    EXPECT_DOUBLE_EQ(i.i2, 0.1);
+    EXPECT_DOUBLE_EQ(i.i3, 0.0);
+    EXPECT_DOUBLE_EQ(i.i4, 0.8);
+}
+
+TEST(IVarsTest, FriendsterSizeAnchors)
+{
+    // Sec. III-B: I1, I2 = 0.8 for Friendster.
+    IVariables i = extractIVariables(datasetByShortName("Frnd"));
+    EXPECT_DOUBLE_EQ(i.i1, 0.8);
+    EXPECT_NEAR(i.i2, 0.8, 0.21); // linear ratio lands at 0.8-1.0
+    EXPECT_DOUBLE_EQ(i.i4, 0.0);  // low diameter
+}
+
+TEST(IVarsTest, TwitterHasMaximalDegree)
+{
+    IVariables i = extractIVariables(datasetByShortName("Twtr"));
+    EXPECT_DOUBLE_EQ(i.i3, 1.0);
+    EXPECT_DOUBLE_EQ(i.i4, 0.0);
+}
+
+TEST(IVarsTest, RggHasMaximalDiameter)
+{
+    IVariables i = extractIVariables(datasetByShortName("Rgg"));
+    EXPECT_DOUBLE_EQ(i.i4, 1.0);
+}
+
+TEST(IVarsTest, KronHasMaximalVertexCount)
+{
+    IVariables i = extractIVariables(datasetByShortName("Kron"));
+    EXPECT_DOUBLE_EQ(i.i1, 1.0);
+}
+
+TEST(IVarsTest, LowDiameterGraphsGetZeroI4)
+{
+    for (const char *name : {"FB", "LJ", "Twtr", "Frnd", "CO", "CAGE",
+                             "Kron"}) {
+        IVariables i = extractIVariables(datasetByShortName(name));
+        EXPECT_DOUBLE_EQ(i.i4, 0.0) << name;
+    }
+}
+
+TEST(IVarsTest, AllValuesOnGrid)
+{
+    for (const auto &dataset : evaluationDatasets()) {
+        IVariables i = extractIVariables(dataset);
+        for (double v : i.asArray()) {
+            EXPECT_GE(v, 0.0);
+            EXPECT_LE(v, 1.0);
+            EXPECT_NEAR(v * 10.0, std::round(v * 10.0), 1e-9);
+        }
+    }
+}
+
+TEST(IVarsTest, DecadeScoreShape)
+{
+    EXPECT_DOUBLE_EQ(decadeScore(100.0, 100.0), 1.0);
+    EXPECT_DOUBLE_EQ(decadeScore(1.0, 100.0), 0.0);
+    EXPECT_NEAR(decadeScore(10.0, 100.0), 0.5, 1e-12);
+    EXPECT_DOUBLE_EQ(decadeScore(0.0, 100.0), 0.0);
+    EXPECT_DOUBLE_EQ(decadeScore(1000.0, 100.0), 1.0); // clamped
+}
+
+TEST(IVarsTest, LinearFloorScoreShape)
+{
+    EXPECT_DOUBLE_EQ(linearFloorScore(0.0, 10.0), 0.0);
+    EXPECT_DOUBLE_EQ(linearFloorScore(0.001, 10.0), 0.1); // floor
+    EXPECT_DOUBLE_EQ(linearFloorScore(5.0, 10.0), 0.5);
+    EXPECT_DOUBLE_EQ(linearFloorScore(20.0, 10.0), 1.0); // clamped
+}
+
+TEST(IVarsTest, AvgDegreeTermMatchesPaperExample)
+{
+    // Sec. IV worked example: CA resolves to Avg.Deg = 1, M5-7 = 0.9.
+    IVariables ca = extractIVariables(datasetByShortName("CA"));
+    EXPECT_DOUBLE_EQ(ca.avgDegreeTerm(), 1.0);
+    EXPECT_DOUBLE_EQ(ca.avgDegreeDiameterTerm(), 0.9);
+}
+
+TEST(BVarsTest, SsspBfMatchesFigureSix)
+{
+    auto workload = makeWorkload("SSSP-BF");
+    BVariables b = workload->bVariables();
+    EXPECT_DOUBLE_EQ(b.b1, 1.0);
+    EXPECT_DOUBLE_EQ(b.b2, 0.0);
+    EXPECT_DOUBLE_EQ(b.b6, 0.0);
+    EXPECT_DOUBLE_EQ(b.b7, 0.8);
+    EXPECT_DOUBLE_EQ(b.b8, 0.0);
+    EXPECT_DOUBLE_EQ(b.b9, 0.5);
+    EXPECT_DOUBLE_EQ(b.b10, 0.5);
+    EXPECT_DOUBLE_EQ(b.b11, 0.2);
+    EXPECT_DOUBLE_EQ(b.b12, 0.2);
+    EXPECT_DOUBLE_EQ(b.b13, 0.2);
+}
+
+TEST(BVarsTest, PhaseMixSumsToOneForAllBenchmarks)
+{
+    for (const auto &workload : allWorkloads()) {
+        BVariables b = workload->bVariables();
+        EXPECT_NEAR(b.phaseSum(), 1.0, 1e-9) << workload->name();
+        EXPECT_TRUE(b.validate().empty()) << workload->name();
+    }
+}
+
+TEST(BVarsTest, FigureFiveCheckmarks)
+{
+    // Spot-check the Fig. 5 pattern: BFS is pure pareto-division,
+    // DFS is pure push-pop, DFS/CONN have indirect accesses, all
+    // benchmarks have read-write shared data.
+    EXPECT_DOUBLE_EQ(makeWorkload("BFS")->bVariables().b3, 1.0);
+    EXPECT_DOUBLE_EQ(makeWorkload("DFS")->bVariables().b4, 1.0);
+    EXPECT_GT(makeWorkload("DFS")->bVariables().b8, 0.0);
+    EXPECT_GT(makeWorkload("CONN")->bVariables().b8, 0.0);
+    for (const auto &workload : allWorkloads())
+        EXPECT_GT(workload->bVariables().b10, 0.0)
+            << workload->name();
+    // FP benchmarks: PR, PR-DP, COMM.
+    EXPECT_GT(makeWorkload("PR")->bVariables().b6, 0.5);
+    EXPECT_GT(makeWorkload("PR-DP")->bVariables().b6, 0.5);
+    EXPECT_GT(makeWorkload("COMM")->bVariables().b6, 0.5);
+}
+
+TEST(FeatureVectorTest, FlattenRoundTrips)
+{
+    FeatureVector fv;
+    fv.b.b1 = 0.3;
+    fv.b.b13 = 0.7;
+    fv.i.i1 = 0.5;
+    fv.i.i4 = 0.9;
+
+    auto flat = fv.asArray();
+    EXPECT_EQ(flat.size(), kNumFeatures);
+    EXPECT_DOUBLE_EQ(flat[0], 0.3);
+    EXPECT_DOUBLE_EQ(flat[12], 0.7);
+    EXPECT_DOUBLE_EQ(flat[13], 0.5);
+    EXPECT_DOUBLE_EQ(flat[16], 0.9);
+
+    FeatureVector back = featureVectorFromArray(flat);
+    EXPECT_EQ(back, fv);
+}
+
+TEST(FeatureVectorTest, VectorFormMatchesArrayForm)
+{
+    FeatureVector fv;
+    fv.b.b5 = 0.4;
+    auto vec = fv.asVector();
+    auto arr = fv.asArray();
+    ASSERT_EQ(vec.size(), arr.size());
+    for (std::size_t i = 0; i < vec.size(); ++i)
+        EXPECT_DOUBLE_EQ(vec[i], arr[i]);
+}
+
+} // namespace
+} // namespace heteromap

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for the synthetic graph generators, including the structural
+ * regimes the Table I proxies rely on (diameter, degree skew,
+ * density) and the dataset registry itself.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/datasets.hh"
+#include "graph/generators.hh"
+#include "graph/props.hh"
+#include "util/logging.hh"
+
+namespace heteromap {
+namespace {
+
+TEST(GeneratorTest, UniformRandomRespectsSize)
+{
+    Graph g = generateUniformRandom(1000, 5000, 1);
+    EXPECT_EQ(g.numVertices(), 1000u);
+    // Symmetrized and deduplicated: between E and 2E arcs.
+    EXPECT_GT(g.numEdges(), 5000u);
+    EXPECT_LE(g.numEdges(), 10000u);
+    EXPECT_TRUE(g.hasWeights());
+}
+
+TEST(GeneratorTest, UniformRandomDeterministicInSeed)
+{
+    Graph a = generateUniformRandom(100, 400, 7);
+    Graph b = generateUniformRandom(100, 400, 7);
+    EXPECT_EQ(a.rawNeighbors(), b.rawNeighbors());
+    Graph c = generateUniformRandom(100, 400, 8);
+    EXPECT_NE(a.rawNeighbors(), c.rawNeighbors());
+}
+
+TEST(GeneratorTest, RmatIsSkewed)
+{
+    Graph g = generateRmat(12, 8.0, 2);
+    GraphStats stats = measureGraph(g, 0);
+    // Power-law-ish: max degree far above average.
+    EXPECT_GT(static_cast<double>(stats.maxDegree),
+              8.0 * stats.avgDegree);
+}
+
+TEST(GeneratorTest, RmatRejectsBadProbabilities)
+{
+    EXPECT_THROW(generateRmat(10, 8.0, 1, 0.6, 0.3, 0.3), PanicError);
+}
+
+TEST(GeneratorTest, RoadGridHasHighDiameterAndLowDegree)
+{
+    Graph g = generateRoadGrid(40, 30, 3);
+    GraphStats stats = measureGraph(g);
+    EXPECT_EQ(stats.numVertices, 1200u);
+    EXPECT_LE(stats.maxDegree, 8u);
+    EXPECT_GE(stats.diameter, 40u); // near width + height
+    EXPECT_EQ(countComponents(g), 1u);
+}
+
+TEST(GeneratorTest, RandomGeometricIsLocal)
+{
+    Graph g = generateRandomGeometric(2000, 0.05, 4);
+    GraphStats stats = measureGraph(g);
+    // ~ n * pi * r^2 expected degree.
+    EXPECT_GT(stats.avgDegree, 5.0);
+    EXPECT_LT(stats.avgDegree, 35.0);
+    EXPECT_GE(stats.diameter, 10u);
+}
+
+TEST(GeneratorTest, DenseErDensity)
+{
+    Graph g = generateDenseEr(100, 0.5, 5);
+    // Expect about p * n * (n-1) arcs after symmetrization.
+    double expected = 0.5 * 100.0 * 99.0;
+    EXPECT_NEAR(static_cast<double>(g.numEdges()), expected,
+                expected * 0.15);
+}
+
+TEST(GeneratorTest, PreferentialAttachmentIsSkewedAndConnected)
+{
+    Graph g = generatePreferentialAttachment(2000, 4, 6);
+    GraphStats stats = measureGraph(g, 2);
+    EXPECT_GT(static_cast<double>(stats.maxDegree),
+              4.0 * stats.avgDegree);
+    EXPECT_EQ(countComponents(g), 1u);
+    EXPECT_LE(stats.diameter, 12u);
+}
+
+TEST(GeneratorTest, MeshIsNearRegularWithLowDiameter)
+{
+    Graph g = generateMesh(4096, 9, 7);
+    GraphStats stats = measureGraph(g, 2);
+    EXPECT_NEAR(stats.avgDegree, 9.0, 3.0);
+    EXPECT_LE(stats.maxDegree, 32u);
+    EXPECT_LE(stats.diameter, 16u);
+    EXPECT_EQ(countComponents(g), 1u);
+}
+
+TEST(GeneratorTest, FixturesHaveExpectedShape)
+{
+    EXPECT_EQ(generatePath(10).numEdges(), 18u);
+    EXPECT_EQ(generateCycle(10).numEdges(), 20u);
+    EXPECT_EQ(generateStar(10).numEdges(), 18u);
+    EXPECT_EQ(generateComplete(5).numEdges(), 20u);
+}
+
+TEST(DatasetTest, RegistryHasNineEntriesInPaperOrder)
+{
+    const auto &datasets = evaluationDatasets();
+    ASSERT_EQ(datasets.size(), 9u);
+    EXPECT_EQ(datasets[0].shortName(), "CA");
+    EXPECT_EQ(datasets[3].shortName(), "Twtr");
+    EXPECT_EQ(datasets[8].shortName(), "Kron");
+}
+
+TEST(DatasetTest, NominalStatsMatchTableOne)
+{
+    const Dataset &ca = datasetByShortName("CA");
+    EXPECT_EQ(ca.nominal().numVertices, 1'900'000u);
+    EXPECT_EQ(ca.nominal().numEdges, 4'700'000u);
+    EXPECT_EQ(ca.nominal().maxDegree, 12u);
+    EXPECT_EQ(ca.nominal().diameter, 850u);
+
+    const Dataset &twtr = datasetByShortName("Twtr");
+    EXPECT_EQ(twtr.nominal().maxDegree, 3'000'000u);
+}
+
+TEST(DatasetTest, UnknownShortNameIsFatal)
+{
+    EXPECT_THROW(datasetByShortName("nope"), FatalError);
+}
+
+TEST(DatasetTest, ProxyIsCachedAcrossCalls)
+{
+    const Dataset &co = datasetByShortName("CO");
+    const Graph &first = co.proxy();
+    const Graph &second = co.proxy();
+    EXPECT_EQ(&first, &second);
+    EXPECT_EQ(first.numVertices(), 562u);
+}
+
+TEST(DatasetTest, ProxyFamiliesPreserveStructuralRegime)
+{
+    // Road proxy: high diameter, tiny degree.
+    const auto &ca = datasetByShortName("CA").proxyStats();
+    EXPECT_GE(ca.diameter, 100u);
+    EXPECT_LE(ca.maxDegree, 10u);
+
+    // Social proxy: heavy degree skew.
+    const auto &twtr = datasetByShortName("Twtr").proxyStats();
+    EXPECT_GT(static_cast<double>(twtr.maxDegree),
+              10.0 * twtr.avgDegree);
+
+    // Connectome proxy: dense.
+    const auto &co = datasetByShortName("CO").proxyStats();
+    EXPECT_GT(co.avgDegree, 100.0);
+
+    // Geometric proxy: high diameter, moderate degree.
+    const auto &rgg = datasetByShortName("Rgg").proxyStats();
+    EXPECT_GE(rgg.diameter, 50u);
+}
+
+TEST(DatasetTest, LiteratureMaximaComeFromTableOne)
+{
+    LiteratureMaxima maxima = literatureMaxima();
+    EXPECT_DOUBLE_EQ(maxima.maxDiameter, 2622.0);
+    EXPECT_DOUBLE_EQ(maxima.maxDegree, 3e6);
+}
+
+} // namespace
+} // namespace heteromap

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * End-to-end integration tests: the full offline-train / online-deploy
+ * pipeline on real benchmark-input combinations, the paper's headline
+ * qualitative results, and the streaming chunker driving a workload.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "core/heteromap.hh"
+#include "core/training.hh"
+#include "graph/chunker.hh"
+#include "graph/datasets.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+#include "workloads/registry.hh"
+
+namespace heteromap {
+namespace {
+
+/**
+ * Expensive shared state: one trained framework reused by every test
+ * in this suite. ctest runs each test in its own process, so the
+ * fixture is built on demand and sized to stay fast.
+ */
+class IntegrationTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        setLogVerbose(false);
+        oracle_ = std::make_unique<Oracle>();
+
+        TrainingOptions options;
+        options.syntheticBenchmarks = 16;
+        options.syntheticIterations = 1;
+        TrainingPipeline pipeline(primaryPair(), *oracle_, options);
+        corpus_ = pipeline.run();
+    }
+
+    void TearDown() override { setLogVerbose(true); }
+
+    BenchmarkCase
+    caseOf(const char *workload, const char *input) const
+    {
+        auto w = makeWorkload(workload);
+        return makeCase(*w, datasetByShortName(input));
+    }
+
+    std::unique_ptr<Oracle> oracle_;
+    TrainingSet corpus_;
+};
+
+TEST_F(IntegrationTest, Figure1Shape_RoadVsDenseAcceleratorFlip)
+{
+    // Fig. 1: SSSP on the sparse road network strongly favors the
+    // multicore; on the dense CAGE-style graph the GPU wins.
+    BenchmarkCase road = caseOf("SSSP-Delta", "CA");
+    BenchmarkCase dense = caseOf("SSSP-BF", "CAGE");
+
+    auto road_base = computeBaselines(road, primaryPair(), *oracle_,
+                                      GridGranularity::Coarse);
+    auto dense_base = computeBaselines(dense, primaryPair(), *oracle_,
+                                       GridGranularity::Coarse);
+
+    EXPECT_LT(road_base.multicoreSeconds, road_base.gpuSeconds);
+    EXPECT_LT(dense_base.gpuSeconds, dense_base.multicoreSeconds);
+}
+
+TEST_F(IntegrationTest, TrainedDeepModelTracksTheIdealChoice)
+{
+    HeteroMap framework(primaryPair(),
+                        makePredictor(PredictorKind::Deep64),
+                        *oracle_);
+    framework.trainOffline(corpus_);
+
+    // Across a mixed set of combinations the trained model must land
+    // within a reasonable factor of the per-case ideal on geomean.
+    const std::pair<const char *, const char *> combos[] = {
+        {"SSSP-BF", "CAGE"}, {"SSSP-Delta", "CA"}, {"PR", "CO"},
+        {"BFS", "FB"},       {"CONN", "CAGE"},
+    };
+    std::vector<double> ratios;
+    for (const auto &[w, d] : combos) {
+        BenchmarkCase bench = caseOf(w, d);
+        Deployment deployment = framework.deploy(bench);
+        auto base = computeBaselines(bench, primaryPair(), *oracle_,
+                                     GridGranularity::Coarse);
+        ratios.push_back(deployment.report.seconds /
+                         base.idealSeconds);
+    }
+    EXPECT_LT(geomean(ratios), 2.5);
+}
+
+TEST_F(IntegrationTest, DecisionTreeDeploysWithoutTraining)
+{
+    HeteroMap framework(primaryPair(),
+                        makePredictor(PredictorKind::DecisionTree),
+                        *oracle_);
+    BenchmarkCase bench = caseOf("SSSP-BF", "CA");
+    Deployment deployment = framework.deploy(bench);
+    // Fig. 7: SSSP-BF lands on the GPU.
+    EXPECT_EQ(deployment.config.accelerator, AcceleratorKind::Gpu);
+    EXPECT_GT(deployment.report.seconds, 0.0);
+}
+
+TEST_F(IntegrationTest, HeterogeneousSetupBeatsSingleAccelerator)
+{
+    // The paper's core claim: picking per-combination beats any
+    // fixed single accelerator across a workload mix.
+    const std::pair<const char *, const char *> combos[] = {
+        {"SSSP-BF", "CAGE"}, {"SSSP-Delta", "CA"}, {"PR", "CO"},
+        {"DFS", "CA"},       {"BFS", "CAGE"},
+    };
+    std::vector<double> gpu_only;
+    std::vector<double> mc_only;
+    std::vector<double> ideal;
+    for (const auto &[w, d] : combos) {
+        BenchmarkCase bench = caseOf(w, d);
+        auto base = computeBaselines(bench, primaryPair(), *oracle_,
+                                     GridGranularity::Coarse);
+        gpu_only.push_back(base.gpuSeconds);
+        mc_only.push_back(base.multicoreSeconds);
+        ideal.push_back(base.idealSeconds);
+    }
+    EXPECT_LT(geomean(ideal), geomean(gpu_only));
+    EXPECT_LT(geomean(ideal), geomean(mc_only));
+}
+
+TEST_F(IntegrationTest, EnergyObjectiveSelectsFrugalConfigs)
+{
+    BenchmarkCase bench = caseOf("PR", "CO");
+    MSearchSpace space(primaryPair(), GridGranularity::Coarse);
+
+    auto time_best =
+        gridSearch(space, oracle_->timeObjective(bench, primaryPair()));
+    auto energy_best = gridSearch(
+        space, oracle_->energyObjective(bench, primaryPair()));
+
+    double time_joules =
+        oracle_->run(bench, primaryPair(), time_best.best).joules;
+    double energy_joules =
+        oracle_->run(bench, primaryPair(), energy_best.best).joules;
+    EXPECT_LE(energy_joules, time_joules + 1e-12);
+}
+
+TEST_F(IntegrationTest, ChunkedExecutionMatchesWholeGraphResults)
+{
+    // Stream a graph through the chunker and run BFS per chunk,
+    // stitching levels across chunks — the Stinger-style processing
+    // mode of Sec. II. The per-chunk runs must agree with the global
+    // run on intra-chunk structure.
+    const Dataset &ca = datasetByShortName("CA");
+    const Graph &g = ca.proxy();
+    GraphChunker chunker(g, g.footprintBytes() / 3);
+    EXPECT_GE(chunker.numChunks(), 2u);
+
+    uint64_t chunk_edges = 0;
+    for (std::size_t i = 0; i < chunker.numChunks(); ++i) {
+        GraphChunk chunk = chunker.chunk(i);
+        chunk_edges += chunk.subgraph.numEdges();
+        // Each chunk is a runnable graph for any workload.
+        auto out =
+            makeWorkload("CONN")->runProfiled(chunk.subgraph).first;
+        EXPECT_EQ(out.vertexValues.size(),
+                  chunk.subgraph.numVertices());
+    }
+    EXPECT_EQ(chunk_edges, g.numEdges());
+}
+
+TEST_F(IntegrationTest, AllLearnersSurviveTrainDeployRoundTrip)
+{
+    BenchmarkCase bench = caseOf("COMM", "FB");
+    for (PredictorKind kind : allPredictorKinds()) {
+        HeteroMap framework(primaryPair(), makePredictor(kind),
+                            *oracle_);
+        framework.trainOffline(corpus_);
+        Deployment deployment = framework.deploy(bench);
+        EXPECT_GT(deployment.report.seconds, 0.0)
+            << framework.predictor().name();
+        EXPECT_GT(deployment.report.joules, 0.0)
+            << framework.predictor().name();
+    }
+}
+
+} // namespace
+} // namespace heteromap

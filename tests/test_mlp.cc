@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the feed-forward deep-learning predictor (Fig. 10):
+ * convergence on separable rules, determinism, the Deep.16..128
+ * capacity ladder, and output sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/dataset.hh"
+#include "model/mlp.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace heteromap {
+namespace {
+
+/** Non-linear labelled corpus: XOR-ish accelerator rule. */
+TrainingSet
+xorCorpus(std::size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    TrainingSet out;
+    for (std::size_t i = 0; i < n; ++i) {
+        FeatureVector x;
+        x.b.b1 = rng.nextBool() ? 1.0 : 0.0;
+        x.b.b10 = rng.nextBool() ? 1.0 : 0.0;
+        x.i.i1 = rng.nextDouble();
+        NormalizedMVector y;
+        // XOR of parallelism and sharing decides the accelerator.
+        y.m[0] = (x.b.b1 != x.b.b10) ? 1.0 : 0.0;
+        y.m[1] = x.i.i1 * 0.8;
+        out.push_back({x, y});
+    }
+    return out;
+}
+
+TEST(MlpTest, NameFollowsHiddenWidth)
+{
+    EXPECT_EQ(Mlp(16).name(), "Deep.16");
+    EXPECT_EQ(Mlp(128).name(), "Deep.128");
+    EXPECT_EQ(Mlp(128).hiddenWidth(), 128u);
+}
+
+TEST(MlpTest, UntrainedOutputsAreInRange)
+{
+    Mlp mlp(16);
+    FeatureVector x;
+    x.b.b1 = 0.7;
+    auto y = mlp.predict(x);
+    for (double v : y.m) {
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 1.0);
+    }
+}
+
+TEST(MlpTest, LearnsXorRule)
+{
+    auto corpus = xorCorpus(400, 51);
+    MlpOptions options;
+    options.epochs = 150;
+    Mlp mlp(32, options);
+    mlp.train(corpus);
+    EXPECT_LT(mlp.finalLoss(), 0.02);
+
+    // Spot-check the four XOR corners on m[0].
+    auto probe = [&](double b1, double b10) {
+        FeatureVector x;
+        x.b.b1 = b1;
+        x.b.b10 = b10;
+        return mlp.predict(x).m[0];
+    };
+    EXPECT_GT(probe(1.0, 0.0), 0.7);
+    EXPECT_GT(probe(0.0, 1.0), 0.7);
+    EXPECT_LT(probe(0.0, 0.0), 0.3);
+    EXPECT_LT(probe(1.0, 1.0), 0.3);
+}
+
+TEST(MlpTest, TrainingReducesError)
+{
+    auto corpus = xorCorpus(300, 53);
+    Mlp mlp(32);
+    double before = meanSquaredError(mlp, corpus);
+    mlp.train(corpus);
+    double after = meanSquaredError(mlp, corpus);
+    EXPECT_LT(after, before * 0.5);
+}
+
+TEST(MlpTest, DeterministicTraining)
+{
+    auto corpus = xorCorpus(200, 57);
+    Mlp a(16);
+    Mlp b(16);
+    a.train(corpus);
+    b.train(corpus);
+    FeatureVector x;
+    x.b.b1 = 0.4;
+    x.b.b10 = 0.6;
+    EXPECT_EQ(a.predict(x).m, b.predict(x).m);
+}
+
+TEST(MlpTest, CapacityLadderImprovesFit)
+{
+    // The paper's Deep.16 -> Deep.128 accuracy progression: larger
+    // hidden layers fit the non-linear corpus at least as well.
+    auto corpus = xorCorpus(500, 59);
+    MlpOptions options;
+    options.epochs = 60;
+    Mlp small(4, options);
+    Mlp large(64, options);
+    small.train(corpus);
+    large.train(corpus);
+    EXPECT_LE(meanSquaredError(large, corpus),
+              meanSquaredError(small, corpus) * 1.2);
+}
+
+TEST(MlpTest, TrainOnEmptyCorpusIsPanic)
+{
+    Mlp mlp(8);
+    EXPECT_THROW(mlp.train({}), PanicError);
+}
+
+TEST(MlpTest, GeneralizesToHeldOutSamples)
+{
+    auto corpus = xorCorpus(600, 61);
+    auto [train, valid] = splitTrainingSet(corpus, 0.7);
+    MlpOptions options;
+    options.epochs = 150;
+    Mlp mlp(32, options);
+    mlp.train(train);
+    EXPECT_LT(meanSquaredError(mlp, valid), 0.03);
+}
+
+} // namespace
+} // namespace heteromap

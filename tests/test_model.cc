@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Tests for the linear algebra layer, the normalized M encoding, the
+ * regression predictors, the adaptive-library baseline, and the
+ * Section IV decision-tree heuristic (including the paper's worked
+ * Fig. 7 example).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "features/ivars.hh"
+#include "graph/datasets.hh"
+#include "model/adaptive_library.hh"
+#include "model/dataset.hh"
+#include "model/decision_tree.hh"
+#include "model/linear_regression.hh"
+#include "model/matrix.hh"
+#include "model/poly_regression.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "workloads/registry.hh"
+
+namespace heteromap {
+namespace {
+
+TEST(MatrixTest, MultiplyAndTranspose)
+{
+    Matrix a = Matrix::fromRows({{1, 2}, {3, 4}});
+    Matrix b = Matrix::fromRows({{5, 6}, {7, 8}});
+    Matrix c = a.multiply(b);
+    EXPECT_DOUBLE_EQ(c.at(0, 0), 19.0);
+    EXPECT_DOUBLE_EQ(c.at(1, 1), 50.0);
+
+    Matrix t = a.transpose();
+    EXPECT_DOUBLE_EQ(t.at(0, 1), 3.0);
+}
+
+TEST(MatrixTest, ShapeMismatchIsPanic)
+{
+    Matrix a(2, 3);
+    Matrix b(2, 3);
+    EXPECT_THROW(a.multiply(b), PanicError);
+    EXPECT_THROW(a.at(5, 0), PanicError);
+}
+
+TEST(MatrixTest, ApplyMatchesMultiply)
+{
+    Matrix a = Matrix::fromRows({{1, 2, 3}, {4, 5, 6}});
+    auto y = a.apply({1.0, 0.0, -1.0});
+    EXPECT_DOUBLE_EQ(y[0], -2.0);
+    EXPECT_DOUBLE_EQ(y[1], -2.0);
+}
+
+TEST(MatrixTest, CholeskySolvesSpdSystem)
+{
+    // A = M^T M + I is SPD for any M.
+    Matrix m = Matrix::fromRows({{2, 1}, {1, 3}, {0, 1}});
+    Matrix a = m.transpose().multiply(m);
+    Matrix x_true = Matrix::fromRows({{1.0}, {-2.0}});
+    Matrix b = a.multiply(x_true);
+    Matrix x = choleskySolve(a, b, 0.0);
+    EXPECT_NEAR(x.at(0, 0), 1.0, 1e-9);
+    EXPECT_NEAR(x.at(1, 0), -2.0, 1e-9);
+}
+
+TEST(MatrixTest, CholeskyRejectsIndefinite)
+{
+    Matrix a = Matrix::fromRows({{0, 0}, {0, 0}});
+    Matrix b(2, 1);
+    EXPECT_THROW(choleskySolve(a, b, 0.0), FatalError);
+    // A ridge rescues it.
+    EXPECT_NO_THROW(choleskySolve(a, b, 1e-3));
+}
+
+TEST(MatrixTest, IdentityAndNorm)
+{
+    Matrix i = Matrix::identity(3);
+    EXPECT_DOUBLE_EQ(i.frobeniusNorm(), std::sqrt(3.0));
+    Matrix doubled = i.scaled(2.0).add(i);
+    EXPECT_DOUBLE_EQ(doubled.at(1, 1), 3.0);
+}
+
+TEST(EncodingTest, DeployNormalizeRoundTrip)
+{
+    AcceleratorPair pair = primaryPair();
+    NormalizedMVector y;
+    y.m[0] = 1.0; // multicore
+    y.m[1] = 0.5;
+    y.m[2] = 1.0;
+    y.m[8] = 0.75; // dynamic
+    y.m[9] = 0.5;
+
+    MConfig config = deployNormalized(y, pair);
+    EXPECT_EQ(config.accelerator, AcceleratorKind::Multicore);
+    EXPECT_EQ(config.cores, 31u); // round(0.5 * 61)
+    EXPECT_EQ(config.threadsPerCore, 4u);
+    EXPECT_EQ(config.schedule, SchedulePolicy::Dynamic);
+    EXPECT_EQ(config.simdWidth, 8u);
+
+    NormalizedMVector back = normalizeConfig(config, pair);
+    EXPECT_NEAR(back.m[1], 0.5, 0.02);
+    EXPECT_DOUBLE_EQ(back.m[0], 1.0);
+    EXPECT_DOUBLE_EQ(back.m[8], 0.75);
+}
+
+TEST(EncodingTest, MinimumFloorsApplied)
+{
+    AcceleratorPair pair = primaryPair();
+    NormalizedMVector zeros; // all 0 -> GPU with k floors
+    MConfig config = deployNormalized(zeros, pair);
+    EXPECT_EQ(config.accelerator, AcceleratorKind::Gpu);
+    EXPECT_GE(config.gpuGlobalThreads, 1u); // k = 1 thread
+    EXPECT_GE(config.gpuLocalThreads, 1u);
+    EXPECT_GE(config.cores, 1u); // k = 1 core
+}
+
+TEST(EncodingTest, CeilingAppliedAboveMaxima)
+{
+    AcceleratorPair pair = primaryPair();
+    NormalizedMVector ones;
+    for (double &v : ones.m)
+        v = 1.0;
+    MConfig config = deployNormalized(ones, pair);
+    EXPECT_EQ(config.cores, pair.multicore.cores);
+    EXPECT_EQ(config.gpuGlobalThreads, pair.gpu.maxGlobalThreads);
+    EXPECT_EQ(config.gpuLocalThreads, pair.gpu.maxLocalThreads);
+}
+
+/** Synthetic linear-ish corpus for regression sanity checks. */
+TrainingSet
+linearCorpus(std::size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    TrainingSet out;
+    for (std::size_t i = 0; i < n; ++i) {
+        FeatureVector x;
+        x.b.b1 = rng.nextDouble();
+        x.b.b6 = rng.nextDouble();
+        x.b.b10 = rng.nextDouble();
+        x.i.i1 = rng.nextDouble();
+        NormalizedMVector y;
+        // A linear rule the models should recover.
+        y.m[0] = 0.3 * x.b.b1 + 0.5 * x.b.b6;
+        y.m[1] = 0.5 * x.i.i1 + 0.4 * x.b.b10;
+        y.m[18] = 0.5 * x.b.b1 + 0.2;
+        out.push_back({x, y});
+    }
+    return out;
+}
+
+TEST(LinearRegressionTest, RecoversLinearRule)
+{
+    auto corpus = linearCorpus(400, 31);
+    LinearRegression model;
+    model.train(corpus);
+    EXPECT_LT(meanSquaredError(model, corpus), 1e-6);
+    EXPECT_EQ(model.name(), "Linear Regression");
+}
+
+TEST(LinearRegressionTest, PredictBeforeTrainIsPanic)
+{
+    LinearRegression model;
+    FeatureVector x;
+    EXPECT_THROW(model.predict(x), PanicError);
+}
+
+TEST(PolyRegressionTest, FitsNonlinearRuleBetterThanLinear)
+{
+    Rng rng(37);
+    TrainingSet corpus;
+    for (int i = 0; i < 600; ++i) {
+        FeatureVector x;
+        x.b.b1 = rng.nextDouble();
+        x.i.i1 = rng.nextDouble();
+        NormalizedMVector y;
+        // Strongly non-linear target.
+        y.m[0] = x.b.b1 * x.b.b1 * x.i.i1;
+        corpus.push_back({x, y});
+    }
+    LinearRegression linear;
+    linear.train(corpus);
+    PolyRegression poly(3);
+    poly.train(corpus);
+    EXPECT_LT(meanSquaredError(poly, corpus),
+              0.5 * meanSquaredError(linear, corpus));
+}
+
+TEST(PolyRegressionTest, ExpansionSizeFormula)
+{
+    PolyRegression poly(7);
+    EXPECT_EQ(poly.expandedSize(), 1u + 17u * 7u + 17u * 16u / 2u);
+    FeatureVector x;
+    EXPECT_EQ(poly.expand(x).size(), poly.expandedSize());
+}
+
+TEST(PolyRegressionTest, SeventhOrderIsDefaultPaperModel)
+{
+    PolyRegression poly;
+    EXPECT_NE(poly.name().find("order 7"), std::string::npos);
+}
+
+TEST(AdaptiveLibraryTest, UsesOnlyDataMovementFeatures)
+{
+    auto corpus = linearCorpus(300, 41);
+    AdaptiveLibrary model;
+    model.train(corpus);
+
+    // Changing a feature outside {b1, b9, b10, b11} cannot change the
+    // prediction (the Rinnegan-style model is blind to it).
+    FeatureVector a;
+    a.b.b1 = 0.5;
+    FeatureVector b = a;
+    b.b.b6 = 0.9;
+    b.i.i4 = 1.0;
+    EXPECT_EQ(model.predict(a).m, model.predict(b).m);
+
+    // But it does respond to data movement inputs.
+    FeatureVector c = a;
+    c.b.b10 = 0.9;
+    EXPECT_NE(model.predict(a).m, model.predict(c).m);
+}
+
+TEST(DatasetHelpersTest, SplitAndShuffle)
+{
+    auto corpus = linearCorpus(100, 43);
+    auto [train, valid] = splitTrainingSet(corpus, 0.8);
+    EXPECT_EQ(train.size(), 80u);
+    EXPECT_EQ(valid.size(), 20u);
+
+    auto shuffled = corpus;
+    shuffleTrainingSet(shuffled, 7);
+    EXPECT_EQ(shuffled.size(), corpus.size());
+    bool any_moved = false;
+    for (std::size_t i = 0; i < corpus.size(); ++i)
+        any_moved |= !(shuffled[i].x == corpus[i].x);
+    EXPECT_TRUE(any_moved);
+
+    Matrix x = featureMatrix(corpus);
+    Matrix y = targetMatrix(corpus);
+    EXPECT_EQ(x.rows(), 100u);
+    EXPECT_EQ(x.cols(), kNumFeatures);
+    EXPECT_EQ(y.cols(), kNumOutputs);
+}
+
+class DecisionTreeTest : public ::testing::Test
+{
+  protected:
+    DecisionTreeHeuristic tree_;
+
+    static FeatureVector
+    featuresFor(const char *workload, const char *input)
+    {
+        FeatureVector f;
+        f.b = makeWorkload(workload)->bVariables();
+        f.i = extractIVariables(datasetByShortName(input));
+        return f;
+    }
+};
+
+TEST_F(DecisionTreeTest, Figure7WorkedExample)
+{
+    // Fig. 7: SSSP-BF on USA-Cal -> GPU with M19 = 0.1, M20 = 1;
+    // SSSP-Delta on USA-Cal -> multicore with M2 ~ 7 cores, M3 = max,
+    // M5-7 = 0.9 (very loose placement).
+    FeatureVector bf = featuresFor("SSSP-BF", "CA");
+    EXPECT_EQ(tree_.chooseAccelerator(bf), AcceleratorKind::Gpu);
+    auto y_bf = tree_.predict(bf);
+    EXPECT_DOUBLE_EQ(y_bf.m[18], 0.1); // M19 from I1
+    EXPECT_DOUBLE_EQ(y_bf.m[19], 1.0); // M20 from Avg.Deg
+
+    FeatureVector delta = featuresFor("SSSP-Delta", "CA");
+    EXPECT_EQ(tree_.chooseAccelerator(delta),
+              AcceleratorKind::Multicore);
+    auto y_delta = tree_.predict(delta);
+    EXPECT_DOUBLE_EQ(y_delta.m[4], 0.9); // M5-7 loose placement
+
+    MConfig deployed = deployNormalized(y_delta, primaryPair());
+    EXPECT_NEAR(deployed.cores, 7.0, 1.0);        // "7 cores"
+    EXPECT_EQ(deployed.threadsPerCore, 4u);       // "maximum 4"
+}
+
+TEST_F(DecisionTreeTest, ParallelWorkloadsChooseGpu)
+{
+    for (const char *w : {"SSSP-BF", "BFS"}) {
+        FeatureVector f = featuresFor(w, "CAGE");
+        EXPECT_EQ(tree_.chooseAccelerator(f), AcceleratorKind::Gpu)
+            << w;
+    }
+}
+
+TEST_F(DecisionTreeTest, PushPopAndFpWorkloadsChooseMulticore)
+{
+    EXPECT_EQ(tree_.chooseAccelerator(featuresFor("DFS", "CO")),
+              AcceleratorKind::Multicore);
+    EXPECT_EQ(tree_.chooseAccelerator(featuresFor("SSSP-Delta", "LJ")),
+              AcceleratorKind::Multicore);
+    // Large graphs with FP run on the multicore (Sec. IV).
+    EXPECT_EQ(tree_.chooseAccelerator(featuresFor("PR", "Frnd")),
+              AcceleratorKind::Multicore);
+}
+
+TEST_F(DecisionTreeTest, TrainIsANoOp)
+{
+    FeatureVector f = featuresFor("PR", "LJ");
+    auto before = tree_.predict(f);
+    tree_.train({});
+    auto after = tree_.predict(f);
+    EXPECT_EQ(before.m, after.m);
+}
+
+TEST_F(DecisionTreeTest, AllOutputsNormalized)
+{
+    for (const auto &workload : workloadNames()) {
+        for (const auto &dataset : evaluationDatasets()) {
+            FeatureVector f;
+            f.b = makeWorkload(workload)->bVariables();
+            f.i = extractIVariables(dataset);
+            auto y = tree_.predict(f);
+            for (double v : y.m) {
+                EXPECT_GE(v, 0.0);
+                EXPECT_LE(v, 1.0);
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace heteromap

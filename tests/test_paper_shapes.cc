@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Regression tests pinning the paper-shape results the calibrated
+ * model reproduces (EXPERIMENTS.md). Each assertion uses a decisive
+ * margin from the winner matrix so ordinary refactoring noise cannot
+ * flip it; if one of these fails, the hardware model's calibration
+ * has materially changed and EXPERIMENTS.md must be revisited.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+#include "workloads/registry.hh"
+
+namespace heteromap {
+namespace {
+
+/** Tuned GPU/multicore ratio for one combination (>1 = GPU wins). */
+class PaperShapes : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite() { setLogVerbose(false); }
+    static void TearDownTestSuite() { setLogVerbose(true); }
+
+    static double
+    phiOverGpu(const char *workload, const char *input,
+               AcceleratorPair pair = pinnedPair(primaryPair()))
+    {
+        Oracle oracle;
+        auto w = makeWorkload(workload);
+        BenchmarkCase bench = makeCase(*w, datasetByShortName(input));
+        CaseBaselines base = computeBaselines(
+            bench, pair, oracle, GridGranularity::Coarse);
+        return base.multicoreSeconds / base.gpuSeconds;
+    }
+};
+
+TEST_F(PaperShapes, GpuWinsSsspBfOnSocialGraphs)
+{
+    // Fig. 11: SSSP-BF is the canonical GPU-biased benchmark.
+    EXPECT_GT(phiOverGpu("SSSP-BF", "LJ"), 1.2);
+    EXPECT_GT(phiOverGpu("SSSP-BF", "Twtr"), 1.2);
+    EXPECT_GT(phiOverGpu("SSSP-BF", "Frnd"), 1.2);
+}
+
+TEST_F(PaperShapes, MulticoreWinsSsspDeltaOnMostInputs)
+{
+    // Fig. 11: Delta-stepping's push-pop/reduction mix favors the Phi.
+    EXPECT_LT(phiOverGpu("SSSP-Delta", "CA"), 0.85);
+    EXPECT_LT(phiOverGpu("SSSP-Delta", "FB"), 0.85);
+    EXPECT_LT(phiOverGpu("SSSP-Delta", "LJ"), 0.9);
+}
+
+TEST_F(PaperShapes, SsspDeltaFriendsterExceptionGoesGpu)
+{
+    // Sec. VII-B: "notable exceptions ... Frnd ... perform better on
+    // the GPU because they are large and require more threads".
+    EXPECT_GT(phiOverGpu("SSSP-Delta", "Frnd"), 1.1);
+}
+
+TEST_F(PaperShapes, MulticoreWinsFpBenchmarks)
+{
+    // Sec. VII-B: PR, PR-DP require FP capabilities -> Xeon Phi.
+    EXPECT_LT(phiOverGpu("PR", "LJ"), 0.85);
+    EXPECT_LT(phiOverGpu("PR-DP", "LJ"), 0.85);
+    EXPECT_LT(phiOverGpu("PR-DP", "CO"), 0.5);
+}
+
+TEST_F(PaperShapes, DenseConnectomeFavorsTheMulticoreCache)
+{
+    // CO fits the Phi's 32 MB cache, never the GPU's 2 MB.
+    EXPECT_LT(phiOverGpu("TRI", "CO"), 1.0);
+    EXPECT_LT(phiOverGpu("COMM", "CO"), 0.85);
+    EXPECT_LT(phiOverGpu("DFS", "CO"), 0.85);
+}
+
+TEST_F(PaperShapes, LargeGraphExceptionsShiftTriAndCommToGpu)
+{
+    EXPECT_GT(phiOverGpu("TRI", "Frnd"), 1.2);
+    EXPECT_GT(phiOverGpu("COMM", "Frnd"), 1.2);
+}
+
+TEST_F(PaperShapes, StrongerGpuAmplifiesGpuWins)
+{
+    // Fig. 14: TRI-LJ flips to the GTX-970.
+    AcceleratorPair strong =
+        pinnedPair({gtx970Spec(), xeonPhi7120Spec()});
+    EXPECT_GT(phiOverGpu("TRI", "LJ", strong), 1.5);
+    // And SSSP-BF's margin grows.
+    EXPECT_GT(phiOverGpu("SSSP-BF", "LJ", strong),
+              phiOverGpu("SSSP-BF", "LJ"));
+}
+
+TEST_F(PaperShapes, IdealBeatsBothSingleAcceleratorsOnGeomean)
+{
+    // The headline: selection across accelerators beats either alone
+    // by a wide margin (paper: 31% over GPU-only on the primary pair).
+    Oracle oracle;
+    AcceleratorPair pair = pinnedPair(primaryPair());
+    std::vector<double> gpu_ratio, mc_ratio;
+    const std::pair<const char *, const char *> combos[] = {
+        {"SSSP-BF", "LJ"},  {"SSSP-Delta", "CA"}, {"PR", "CO"},
+        {"TRI", "Frnd"},    {"COMM", "FB"},       {"CONN", "CAGE"},
+        {"BFS", "Frnd"},    {"PR-DP", "Twtr"},
+    };
+    for (const auto &[w, d] : combos) {
+        auto workload = makeWorkload(w);
+        BenchmarkCase bench =
+            makeCase(*workload, datasetByShortName(d));
+        CaseBaselines base = computeBaselines(
+            bench, pair, oracle, GridGranularity::Coarse);
+        gpu_ratio.push_back(base.gpuSeconds / base.idealSeconds);
+        mc_ratio.push_back(base.multicoreSeconds / base.idealSeconds);
+    }
+    EXPECT_GT(geomean(gpu_ratio), 1.15);
+    EXPECT_GT(geomean(mc_ratio), 1.10);
+}
+
+} // namespace
+} // namespace heteromap

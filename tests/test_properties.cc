@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Property-based suites (parameterized gtest): invariants that must
+ * hold across sweeps of graphs, workloads, thread counts, and model
+ * inputs rather than at hand-picked points.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/perf_model.hh"
+#include "arch/presets.hh"
+#include "core/oracle.hh"
+#include "features/ivars.hh"
+#include "graph/generators.hh"
+#include "graph/props.hh"
+#include "model/decision_tree.hh"
+#include "model/predictor.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+#include "workloads/reference.hh"
+#include "workloads/registry.hh"
+#include "workloads/synthetic.hh"
+
+namespace heteromap {
+namespace {
+
+// ---------------------------------------------------------------
+// Property: every workload's outputs are valid on every graph family.
+// ---------------------------------------------------------------
+
+struct WorkloadGraphParam {
+    const char *workload;
+    const char *family;
+};
+
+class WorkloadOnFamily
+    : public ::testing::TestWithParam<WorkloadGraphParam>
+{
+  protected:
+    static Graph
+    familyGraph(const std::string &family)
+    {
+        if (family == "road")
+            return generateRoadGrid(16, 12, 3);
+        if (family == "social")
+            return generateRmat(9, 6.0, 4);
+        if (family == "dense")
+            return generateDenseEr(80, 0.4, 5);
+        if (family == "geometric")
+            return generateRandomGeometric(400, 0.07, 6);
+        if (family == "mesh")
+            return generateMesh(256, 7, 7);
+        HM_FATAL("unknown family");
+    }
+};
+
+TEST_P(WorkloadOnFamily, OutputsWellFormedAndProfileNonTrivial)
+{
+    auto param = GetParam();
+    Graph g = familyGraph(param.family);
+    auto workload = makeWorkload(param.workload);
+    auto [out, profile] = workload->runProfiled(g);
+
+    ASSERT_EQ(out.vertexValues.size(), g.numVertices());
+    for (double v : out.vertexValues) {
+        EXPECT_FALSE(std::isnan(v));
+        EXPECT_GE(v, 0.0);
+    }
+    EXPECT_GE(out.scalar, 0.0);
+
+    EXPECT_FALSE(profile.phases.empty());
+    EXPECT_GT(profile.totalWorkUnits(), 0.0);
+    for (const auto &phase : profile.phases) {
+        EXPECT_EQ(phase.bucketCost.size(), kNumBuckets);
+        double bucket_sum = 0.0;
+        for (double c : phase.bucketCost) {
+            EXPECT_GE(c, 0.0);
+            bucket_sum += c;
+        }
+        // Bucket histogram accounts for all recorded work units.
+        EXPECT_NEAR(bucket_sum, phase.totalWorkUnits(), 1e-6);
+        EXPECT_GE(phase.maxItemCost, 0.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, WorkloadOnFamily,
+    ::testing::Values(
+        WorkloadGraphParam{"SSSP-BF", "road"},
+        WorkloadGraphParam{"SSSP-BF", "social"},
+        WorkloadGraphParam{"SSSP-Delta", "road"},
+        WorkloadGraphParam{"SSSP-Delta", "dense"},
+        WorkloadGraphParam{"BFS", "geometric"},
+        WorkloadGraphParam{"BFS", "social"},
+        WorkloadGraphParam{"DFS", "road"},
+        WorkloadGraphParam{"DFS", "mesh"},
+        WorkloadGraphParam{"PR", "social"},
+        WorkloadGraphParam{"PR", "dense"},
+        WorkloadGraphParam{"PR-DP", "mesh"},
+        WorkloadGraphParam{"PR-DP", "road"},
+        WorkloadGraphParam{"TRI", "dense"},
+        WorkloadGraphParam{"TRI", "geometric"},
+        WorkloadGraphParam{"COMM", "social"},
+        WorkloadGraphParam{"COMM", "mesh"},
+        WorkloadGraphParam{"CONN", "road"},
+        WorkloadGraphParam{"CONN", "geometric"}),
+    [](const auto &info) {
+        std::string name = info.param.workload;
+        name += "_";
+        name += info.param.family;
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+// ---------------------------------------------------------------
+// Property: SSSP equals Dijkstra on random weighted graphs.
+// ---------------------------------------------------------------
+
+class SsspRandomGraph : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(SsspRandomGraph, BothVariantsMatchDijkstra)
+{
+    uint64_t seed = GetParam();
+    Rng rng(seed);
+    VertexId n = 50 + static_cast<VertexId>(rng.nextBounded(250));
+    EdgeId e = n * (1 + rng.nextBounded(8));
+    Graph g = generateUniformRandom(n, e, seed * 31 + 1);
+
+    auto ref = referenceDijkstra(g, 0);
+    auto bf = makeWorkload("SSSP-BF")->runProfiled(g).first;
+    auto delta = makeWorkload("SSSP-Delta")->runProfiled(g).first;
+    for (VertexId v = 0; v < n; ++v) {
+        double expected = ref[v] > INT64_MAX / 8
+                              ? kUnreachable
+                              : static_cast<double>(ref[v]);
+        EXPECT_DOUBLE_EQ(bf.vertexValues[v], expected)
+            << "BF seed=" << seed << " v=" << v;
+        EXPECT_DOUBLE_EQ(delta.vertexValues[v], expected)
+            << "Delta seed=" << seed << " v=" << v;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SsspRandomGraph,
+                         ::testing::Range<uint64_t>(1, 13));
+
+// ---------------------------------------------------------------
+// Property: the perf model is well-behaved over the config space.
+// ---------------------------------------------------------------
+
+class PerfModelProperty : public ::testing::TestWithParam<int>
+{
+  protected:
+    static const BenchmarkCase &
+    bench()
+    {
+        static const BenchmarkCase instance = [] {
+            setLogVerbose(false);
+            Graph g = generateRmat(10, 8.0, 17);
+            GraphStats stats = measureGraph(g);
+            auto w = makeWorkload("PR");
+            return makeCase(*w, g, "rmat10", stats);
+        }();
+        return instance;
+    }
+};
+
+TEST_P(PerfModelProperty, RandomConfigsProduceFiniteOrderedResults)
+{
+    Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 3);
+    MSearchSpace space(primaryPair());
+    Oracle oracle;
+
+    for (int i = 0; i < 40; ++i) {
+        MConfig config = space.randomConfig(rng);
+        auto report = oracle.run(bench(), primaryPair(), config);
+        EXPECT_TRUE(std::isfinite(report.seconds));
+        EXPECT_GT(report.seconds, 0.0);
+        EXPECT_TRUE(std::isfinite(report.joules));
+        EXPECT_GT(report.joules, 0.0);
+        EXPECT_GE(report.utilization, 0.0);
+        EXPECT_LE(report.utilization, 1.0);
+        EXPECT_GE(report.memoryChunks, 1u);
+        // Energy identity: joules = watts * seconds.
+        EXPECT_NEAR(report.joules, report.watts * report.seconds,
+                    report.joules * 1e-9);
+        // Phase breakdown adds up (with region/barrier terms and the
+        // memory slowdown) to the total.
+        double phase_sum =
+            report.regionSeconds + report.barrierSeconds;
+        for (const auto &p : report.phases)
+            phase_sum += p.seconds();
+        EXPECT_GE(report.seconds + 1e-15, phase_sum);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweeps, PerfModelProperty,
+                         ::testing::Range(0, 6));
+
+// ---------------------------------------------------------------
+// Property: normalized encode/decode is stable (deploy o normalize
+// o deploy is idempotent) across random M vectors.
+// ---------------------------------------------------------------
+
+class EncodingProperty : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(EncodingProperty, DeployNormalizeDeployIsIdempotent)
+{
+    Rng rng(GetParam());
+    AcceleratorPair pair = primaryPair();
+    for (int i = 0; i < 50; ++i) {
+        NormalizedMVector y;
+        for (double &v : y.m)
+            v = rng.nextDouble();
+        MConfig once = deployNormalized(y, pair);
+        MConfig twice =
+            deployNormalized(normalizeConfig(once, pair), pair);
+        EXPECT_EQ(once, twice);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EncodingProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------
+// Property: I-variable extraction is monotone in each raw input.
+// ---------------------------------------------------------------
+
+TEST(IVarsMonotonicity, GrowingInputsNeverLowerScores)
+{
+    GraphStats base;
+    base.numVertices = 1'000'000;
+    base.numEdges = 10'000'000;
+    base.maxDegree = 1'000;
+    base.diameter = 100;
+
+    IVariables prev = extractIVariables(base);
+    for (double scale : {2.0, 8.0, 32.0, 128.0}) {
+        GraphStats grown = base;
+        grown.numVertices = static_cast<uint64_t>(
+            static_cast<double>(base.numVertices) * scale);
+        grown.numEdges = static_cast<uint64_t>(
+            static_cast<double>(base.numEdges) * scale);
+        grown.maxDegree = static_cast<uint64_t>(
+            static_cast<double>(base.maxDegree) * scale);
+        grown.diameter = static_cast<uint64_t>(
+            static_cast<double>(base.diameter) * scale);
+        IVariables next = extractIVariables(grown);
+        EXPECT_GE(next.i1, prev.i1);
+        EXPECT_GE(next.i2, prev.i2);
+        EXPECT_GE(next.i3, prev.i3);
+        EXPECT_GE(next.i4, prev.i4);
+        prev = next;
+    }
+}
+
+// ---------------------------------------------------------------
+// Property: the decision tree is total and stable over random valid
+// feature vectors.
+// ---------------------------------------------------------------
+
+class DecisionTreeProperty : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(DecisionTreeProperty, TotalAndDeterministic)
+{
+    Rng rng(GetParam() * 101 + 7);
+    DecisionTreeHeuristic tree;
+    for (int i = 0; i < 100; ++i) {
+        FeatureVector f;
+        auto bs = sampleSyntheticBVectors(1, rng.next());
+        f.b = bs[0];
+        f.i.i1 = discretize01(rng.nextDouble());
+        f.i.i2 = discretize01(rng.nextDouble());
+        f.i.i3 = discretize01(rng.nextDouble());
+        f.i.i4 = discretize01(rng.nextDouble());
+
+        auto y1 = tree.predict(f);
+        auto y2 = tree.predict(f);
+        EXPECT_EQ(y1.m, y2.m);
+        for (double v : y1.m) {
+            EXPECT_GE(v, 0.0);
+            EXPECT_LE(v, 1.0);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecisionTreeProperty,
+                         ::testing::Values(1, 2, 3, 4));
+
+} // namespace
+} // namespace heteromap

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for the search space and the three tuners (grid, random,
+ * annealing) on analytic objectives with known minima, plus tuning of
+ * a real profiled case through the oracle.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/oracle.hh"
+#include "graph/datasets.hh"
+#include "tuner/annealing.hh"
+#include "tuner/grid_search.hh"
+#include "tuner/random_search.hh"
+#include "util/logging.hh"
+#include "workloads/registry.hh"
+
+namespace heteromap {
+namespace {
+
+class TunerTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setLogVerbose(false); }
+    void TearDown() override { setLogVerbose(true); }
+
+    MSearchSpace
+    space(GridGranularity g = GridGranularity::Coarse) const
+    {
+        return MSearchSpace(primaryPair(), g);
+    }
+
+    /** Analytic objective: prefers the multicore at ~32 cores. */
+    static double
+    bowl(const MConfig &c)
+    {
+        if (c.accelerator == AcceleratorKind::Gpu)
+            return 100.0 + static_cast<double>(c.gpuGlobalThreads);
+        double d = static_cast<double>(c.cores) - 32.0;
+        return 1.0 + d * d;
+    }
+};
+
+TEST_F(TunerTest, EnumerateCoversBothAccelerators)
+{
+    auto candidates = space().enumerate();
+    EXPECT_GT(candidates.size(), 100u);
+    bool has_gpu = false;
+    bool has_mc = false;
+    for (const auto &c : candidates) {
+        has_gpu |= c.accelerator == AcceleratorKind::Gpu;
+        has_mc |= c.accelerator == AcceleratorKind::Multicore;
+        // All candidates respect hardware bounds.
+        EXPECT_LE(c.cores, primaryPair().multicore.cores);
+        EXPECT_LE(c.gpuLocalThreads, primaryPair().gpu.maxLocalThreads);
+        EXPECT_GE(c.cores, 1u);
+    }
+    EXPECT_TRUE(has_gpu);
+    EXPECT_TRUE(has_mc);
+}
+
+TEST_F(TunerTest, FineGridIsDenserThanCoarse)
+{
+    EXPECT_GT(space(GridGranularity::Fine).enumerate().size(),
+              2 * space(GridGranularity::Coarse).enumerate().size());
+}
+
+TEST_F(TunerTest, GridSearchFindsTheBowlMinimum)
+{
+    auto result = gridSearch(space(GridGranularity::Fine), bowl);
+    EXPECT_EQ(result.best.accelerator, AcceleratorKind::Multicore);
+    EXPECT_NEAR(result.best.cores, 32.0, 12.0);
+    EXPECT_GT(result.evaluations, 0u);
+}
+
+TEST_F(TunerTest, RandomSearchApproachesTheMinimum)
+{
+    auto result = randomSearch(space(), bowl, 800, 3);
+    EXPECT_EQ(result.best.accelerator, AcceleratorKind::Multicore);
+    EXPECT_LT(result.bestScore, 100.0);
+    EXPECT_EQ(result.evaluations, 800u);
+}
+
+TEST_F(TunerTest, AnnealingBeatsOrMatchesRandomAtSameBudget)
+{
+    AnnealOptions options;
+    options.iterations = 250;
+    options.restarts = 2;
+    auto annealed = simulatedAnnealing(space(), bowl, options);
+    auto random = randomSearch(space(), bowl,
+                               annealed.evaluations, 5);
+    EXPECT_LE(annealed.bestScore, random.bestScore * 1.5);
+    EXPECT_EQ(annealed.best.accelerator, AcceleratorKind::Multicore);
+}
+
+TEST_F(TunerTest, RandomConfigsAreValid)
+{
+    Rng rng(7);
+    auto s = space();
+    for (int i = 0; i < 500; ++i) {
+        MConfig c = s.randomConfig(rng);
+        if (c.accelerator == AcceleratorKind::Gpu) {
+            EXPECT_GE(c.gpuGlobalThreads, 1u);
+            EXPECT_LE(c.gpuGlobalThreads,
+                      primaryPair().gpu.maxGlobalThreads);
+        } else {
+            EXPECT_GE(c.cores, 1u);
+            EXPECT_LE(c.cores, primaryPair().multicore.cores);
+            EXPECT_LE(c.threadsPerCore,
+                      primaryPair().multicore.threadsPerCore);
+        }
+    }
+}
+
+TEST_F(TunerTest, NeighborsStayValidAndEventuallyCrossSides)
+{
+    Rng rng(9);
+    auto s = space();
+    MConfig current = s.randomConfig(rng);
+    bool crossed = false;
+    for (int i = 0; i < 400; ++i) {
+        MConfig next = s.neighbor(current, rng);
+        if (next.accelerator != current.accelerator)
+            crossed = true;
+        current = next;
+        EXPECT_GE(current.cores, 1u);
+        EXPECT_GE(current.gpuGlobalThreads, 1u);
+    }
+    EXPECT_TRUE(crossed);
+}
+
+TEST_F(TunerTest, TuningARealCaseBeatsADefaultConfig)
+{
+    Oracle oracle;
+    auto workload = makeWorkload("PR");
+    BenchmarkCase bench =
+        makeCase(*workload, datasetByShortName("CO"));
+
+    auto objective = oracle.timeObjective(bench, primaryPair());
+    auto tuned = gridSearch(space(), objective);
+
+    MConfig naive;
+    naive.accelerator = AcceleratorKind::Multicore;
+    naive.cores = 1;
+    naive.threadsPerCore = 1;
+    EXPECT_LT(tuned.bestScore, objective(naive));
+
+    // Energy tuning optimizes a different objective and never does
+    // worse on energy than the time-tuned choice.
+    auto energy_obj = oracle.energyObjective(bench, primaryPair());
+    auto energy_tuned = gridSearch(space(), energy_obj);
+    EXPECT_LE(energy_tuned.bestScore,
+              energy_obj(tuned.best) + 1e-12);
+}
+
+} // namespace
+} // namespace heteromap

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Unit tests for the util layer: logging, RNG, statistics helpers,
+ * and the table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+#include "util/timer.hh"
+
+namespace heteromap {
+namespace {
+
+class SilenceLogs : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setLogVerbose(false); }
+    void TearDown() override { setLogVerbose(true); }
+};
+
+TEST(LoggingTest, FatalThrowsFatalError)
+{
+    EXPECT_THROW(HM_FATAL("user error ", 42), FatalError);
+}
+
+TEST(LoggingTest, PanicThrowsPanicError)
+{
+    EXPECT_THROW(HM_PANIC("bug"), PanicError);
+}
+
+TEST(LoggingTest, AssertPassesOnTrue)
+{
+    EXPECT_NO_THROW(HM_ASSERT(1 + 1 == 2, "fine"));
+}
+
+TEST(LoggingTest, AssertThrowsOnFalse)
+{
+    EXPECT_THROW(HM_ASSERT(false, "broken"), PanicError);
+}
+
+TEST(LoggingTest, MessageCarriesLocationAndText)
+{
+    try {
+        HM_FATAL("distinctive-text");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("distinctive-text"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("test_util.cc"),
+                  std::string::npos);
+    }
+}
+
+TEST(RngTest, DeterministicForSameSeed)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, BoundedStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        uint64_t x = rng.nextBounded(17);
+        EXPECT_LT(x, 17u);
+    }
+}
+
+TEST(RngTest, BoundedCoversRange)
+{
+    Rng rng(7);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(rng.nextBounded(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, RangeInclusive)
+{
+    Rng rng(9);
+    bool hit_lo = false;
+    bool hit_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        int64_t x = rng.nextRange(-3, 3);
+        EXPECT_GE(x, -3);
+        EXPECT_LE(x, 3);
+        hit_lo |= (x == -3);
+        hit_hi |= (x == 3);
+    }
+    EXPECT_TRUE(hit_lo);
+    EXPECT_TRUE(hit_hi);
+}
+
+TEST(RngTest, DoubleIsInHalfOpenUnitInterval)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        double x = rng.nextDouble();
+        EXPECT_GE(x, 0.0);
+        EXPECT_LT(x, 1.0);
+    }
+}
+
+TEST(RngTest, DoubleMeanApproximatesHalf)
+{
+    Rng rng(13);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextDouble();
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMomentsAreSane)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    double sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double x = rng.nextGaussian();
+        sum += x;
+        sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.05);
+    EXPECT_NEAR(sq / n, 1.0, 0.1);
+}
+
+TEST(RngTest, DiscreteRespectsWeights)
+{
+    Rng rng(19);
+    std::vector<double> weights = {1.0, 0.0, 3.0};
+    int counts[3] = {0, 0, 0};
+    for (int i = 0; i < 8000; ++i)
+        ++counts[rng.nextDiscrete(weights)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.4);
+}
+
+TEST(RngTest, DiscreteRejectsAllZeroWeights)
+{
+    Rng rng(21);
+    std::vector<double> weights = {0.0, 0.0};
+    EXPECT_THROW(rng.nextDiscrete(weights), PanicError);
+}
+
+TEST(RngTest, ShufflePreservesElements)
+{
+    Rng rng(23);
+    std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+    auto original = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, SplitStreamsAreIndependent)
+{
+    Rng parent(29);
+    Rng child = parent.split();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (parent.next() == child.next());
+    EXPECT_LT(same, 4);
+}
+
+TEST(StatsTest, MeanAndGeomean)
+{
+    EXPECT_DOUBLE_EQ(mean({2.0, 4.0}), 3.0);
+    EXPECT_NEAR(geomean({1.0, 100.0}), 10.0, 1e-9);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(StatsTest, GeomeanRejectsNonPositive)
+{
+    EXPECT_THROW(geomean({1.0, 0.0}), PanicError);
+}
+
+TEST(StatsTest, StddevOfConstantIsZero)
+{
+    EXPECT_DOUBLE_EQ(stddev({5.0, 5.0, 5.0}), 0.0);
+}
+
+TEST(StatsTest, QuantileInterpolates)
+{
+    std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+}
+
+TEST(StatsTest, MinMaxFatalOnEmpty)
+{
+    EXPECT_THROW(minOf({}), FatalError);
+    EXPECT_THROW(maxOf({}), FatalError);
+}
+
+TEST(StatsTest, Discretize01SnapsToGrid)
+{
+    EXPECT_DOUBLE_EQ(discretize01(0.44), 0.4);
+    EXPECT_DOUBLE_EQ(discretize01(0.45), 0.5);
+    EXPECT_DOUBLE_EQ(discretize01(-1.0), 0.0);
+    EXPECT_DOUBLE_EQ(discretize01(2.0), 1.0);
+    EXPECT_DOUBLE_EQ(discretize01(0.076), 0.1);
+}
+
+TEST(StatsTest, LogNormalizeEndpoints)
+{
+    EXPECT_DOUBLE_EQ(logNormalize(0.0, 100.0), 0.0);
+    EXPECT_DOUBLE_EQ(logNormalize(100.0, 100.0), 1.0);
+    EXPECT_GT(logNormalize(10.0, 100.0), 10.0 / 100.0);
+}
+
+TEST(StatsTest, KahanSumIsAccurate)
+{
+    std::vector<double> xs(10000, 0.1);
+    EXPECT_NEAR(kahanSum(xs), 1000.0, 1e-9);
+}
+
+TEST(StatsTest, RelDiffSymmetric)
+{
+    EXPECT_DOUBLE_EQ(relDiff(1.0, 2.0), relDiff(2.0, 1.0));
+    EXPECT_DOUBLE_EQ(relDiff(3.0, 3.0), 0.0);
+}
+
+TEST(TableTest, PrintsAlignedColumns)
+{
+    TextTable table({"name", "value"});
+    table.addRow({"alpha", "1"});
+    table.addRow({"b", "22"});
+    std::ostringstream oss;
+    table.print(oss);
+    std::string text = oss.str();
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("---"), std::string::npos);
+    EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(TableTest, RejectsArityMismatch)
+{
+    TextTable table({"a", "b"});
+    EXPECT_THROW(table.addRow({"only-one"}), PanicError);
+}
+
+TEST(TableTest, CsvHasNoPadding)
+{
+    TextTable table({"a", "b"});
+    table.addRow({"x", "y"});
+    std::ostringstream oss;
+    table.printCsv(oss);
+    EXPECT_EQ(oss.str(), "a,b\nx,y\n");
+}
+
+TEST(TableTest, NumberFormatting)
+{
+    EXPECT_EQ(formatNumber(3.14159, 2), "3.14");
+    EXPECT_EQ(formatPercent(0.315, 1), "31.5%");
+    EXPECT_EQ(formatCount(1234567), "1,234,567");
+    EXPECT_EQ(formatCount(42), "42");
+}
+
+TEST(TimerTest, MeasuresElapsedTime)
+{
+    Timer timer;
+    timer.start();
+    double sink = 0.0;
+    for (int i = 0; i < 100000; ++i)
+        sink += std::sqrt(static_cast<double>(i));
+    EXPECT_GT(timer.elapsedMicros(), 0.0);
+    EXPECT_GE(timer.elapsedMillis(), 0.0);
+    EXPECT_GE(sink, 0.0);
+}
+
+} // namespace
+} // namespace heteromap

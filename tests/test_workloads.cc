@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Correctness tests for the nine graph benchmarks against independent
+ * reference implementations, plus profile-shape checks (the counters
+ * the performance models consume must reflect each algorithm's
+ * documented behaviour).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/builder.hh"
+#include "graph/generators.hh"
+#include "graph/props.hh"
+#include "util/logging.hh"
+#include "workloads/registry.hh"
+#include "workloads/reference.hh"
+
+namespace heteromap {
+namespace {
+
+/** Shared small test graphs. */
+class WorkloadTest : public ::testing::Test
+{
+  protected:
+    static Graph
+    weightedGraph()
+    {
+        return generateUniformRandom(300, 1500, 5);
+    }
+
+    static Graph
+    roadGraph()
+    {
+        return generateRoadGrid(20, 15, 6);
+    }
+};
+
+TEST_F(WorkloadTest, SsspBfMatchesDijkstra)
+{
+    Graph g = weightedGraph();
+    auto [out, profile] = makeWorkload("SSSP-BF")->runProfiled(g);
+    auto ref = referenceDijkstra(g, 0);
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        if (out.vertexValues[v] >= kUnreachable) {
+            EXPECT_GT(ref[v], INT64_MAX / 8) << "vertex " << v;
+        } else {
+            EXPECT_DOUBLE_EQ(out.vertexValues[v],
+                             static_cast<double>(ref[v]))
+                << "vertex " << v;
+        }
+    }
+    EXPECT_GT(profile.iterations, 0u);
+}
+
+TEST_F(WorkloadTest, SsspDeltaMatchesDijkstra)
+{
+    Graph g = weightedGraph();
+    auto [out, profile] = makeWorkload("SSSP-Delta")->runProfiled(g);
+    auto ref = referenceDijkstra(g, 0);
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        if (out.vertexValues[v] >= kUnreachable) {
+            EXPECT_GT(ref[v], INT64_MAX / 8);
+        } else {
+            EXPECT_DOUBLE_EQ(out.vertexValues[v],
+                             static_cast<double>(ref[v]));
+        }
+    }
+    // Delta-stepping must exercise its push-pop and reduction phases.
+    EXPECT_NE(profile.findPhase("bucket-pop"), nullptr);
+    EXPECT_NE(profile.findPhase("bucket-select"), nullptr);
+}
+
+TEST_F(WorkloadTest, SsspVariantsAgreeOnRoadNetwork)
+{
+    Graph g = roadGraph();
+    auto bf = makeWorkload("SSSP-BF")->runProfiled(g).first;
+    auto delta = makeWorkload("SSSP-Delta")->runProfiled(g).first;
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        EXPECT_DOUBLE_EQ(bf.vertexValues[v], delta.vertexValues[v]);
+}
+
+TEST_F(WorkloadTest, BfsMatchesReferenceHops)
+{
+    Graph g = weightedGraph();
+    auto [out, profile] = makeWorkload("BFS")->runProfiled(g);
+    auto ref = bfsHops(g, 0);
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        if (ref[v] == UINT32_MAX)
+            EXPECT_GE(out.vertexValues[v], kUnreachable);
+        else
+            EXPECT_DOUBLE_EQ(out.vertexValues[v],
+                             static_cast<double>(ref[v]));
+    }
+    EXPECT_NE(profile.findPhase("frontier"), nullptr);
+    EXPECT_EQ(profile.findPhase("frontier")->kind,
+              PhaseKind::ParetoDynamic);
+}
+
+TEST_F(WorkloadTest, DfsReachesExactlyTheComponent)
+{
+    Graph g = roadGraph();
+    auto [out, profile] = makeWorkload("DFS")->runProfiled(g);
+    auto ref = bfsHops(g, 0);
+    uint64_t reachable = 0;
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        bool dfs_reached = out.vertexValues[v] < kUnreachable;
+        bool bfs_reached = ref[v] != UINT32_MAX;
+        EXPECT_EQ(dfs_reached, bfs_reached) << "vertex " << v;
+        reachable += bfs_reached;
+    }
+    EXPECT_DOUBLE_EQ(out.scalar, static_cast<double>(reachable));
+    EXPECT_EQ(profile.findPhase("stack-pop")->kind,
+              PhaseKind::PushPop);
+}
+
+TEST_F(WorkloadTest, PageRankMatchesReference)
+{
+    Graph g = weightedGraph();
+    auto out = makeWorkload("PR")->runProfiled(g).first;
+    auto ref = referencePageRank(g);
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        EXPECT_NEAR(out.vertexValues[v], ref[v], 1e-9);
+}
+
+TEST_F(WorkloadTest, PageRankSumsToOne)
+{
+    Graph g = generatePreferentialAttachment(500, 3, 9);
+    auto out = makeWorkload("PR")->runProfiled(g).first;
+    double sum = 0.0;
+    for (double r : out.vertexValues)
+        sum += r;
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST_F(WorkloadTest, PageRankDpAgreesWithPullVariant)
+{
+    Graph g = weightedGraph();
+    auto pull = makeWorkload("PR")->runProfiled(g).first;
+    auto push = makeWorkload("PR-DP")->runProfiled(g).first;
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        EXPECT_NEAR(pull.vertexValues[v], push.vertexValues[v], 1e-9);
+}
+
+TEST_F(WorkloadTest, PageRankDpHasFarMoreAtomics)
+{
+    Graph g = weightedGraph();
+    auto pull = makeWorkload("PR")->runProfiled(g).second;
+    auto push = makeWorkload("PR-DP")->runProfiled(g).second;
+    EXPECT_GT(push.totalAtomics(), 5.0 * pull.totalAtomics());
+}
+
+TEST_F(WorkloadTest, TriangleCountMatchesBruteForce)
+{
+    Graph g = generateUniformRandom(60, 400, 11);
+    auto out = makeWorkload("TRI")->runProfiled(g).first;
+    EXPECT_DOUBLE_EQ(out.scalar,
+                     static_cast<double>(referenceTriangles(g)));
+}
+
+TEST_F(WorkloadTest, TriangleCountOnKnownShapes)
+{
+    EXPECT_DOUBLE_EQ(
+        makeWorkload("TRI")->runProfiled(generateComplete(5))
+            .first.scalar,
+        10.0); // C(5,3)
+    EXPECT_DOUBLE_EQ(
+        makeWorkload("TRI")->runProfiled(generateCycle(8))
+            .first.scalar,
+        0.0);
+    EXPECT_DOUBLE_EQ(
+        makeWorkload("TRI")->runProfiled(generateStar(6))
+            .first.scalar,
+        0.0);
+}
+
+TEST_F(WorkloadTest, CommunityDetectionFindsPlantedClusters)
+{
+    // Two dense cliques joined by one bridge edge.
+    GraphBuilder builder(20);
+    for (VertexId u = 0; u < 10; ++u)
+        for (VertexId v = u + 1; v < 10; ++v)
+            builder.addEdge(u, v, 4.0f);
+    for (VertexId u = 10; u < 20; ++u)
+        for (VertexId v = u + 1; v < 20; ++v)
+            builder.addEdge(u, v, 4.0f);
+    builder.addEdge(0, 10, 0.1f);
+    Graph g = builder.symmetrize().build();
+
+    auto out = makeWorkload("COMM")->runProfiled(g).first;
+    std::set<double> left(out.vertexValues.begin(),
+                          out.vertexValues.begin() + 10);
+    std::set<double> right(out.vertexValues.begin() + 10,
+                           out.vertexValues.end());
+    EXPECT_EQ(left.size(), 1u);
+    EXPECT_EQ(right.size(), 1u);
+    EXPECT_NE(*left.begin(), *right.begin());
+}
+
+TEST_F(WorkloadTest, ConnectedComponentsMatchReference)
+{
+    GraphBuilder builder(50);
+    // Three components: a path, a cycle, and isolated vertices.
+    for (VertexId v = 0; v < 14; ++v)
+        builder.addEdge(v, v + 1);
+    for (VertexId v = 20; v < 30; ++v)
+        builder.addEdge(v, v == 29 ? 20 : v + 1);
+    Graph g = builder.symmetrize().build();
+
+    auto out = makeWorkload("CONN")->runProfiled(g).first;
+    auto ref = referenceComponents(g);
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        EXPECT_DOUBLE_EQ(out.vertexValues[v],
+                         static_cast<double>(ref[v]));
+    EXPECT_DOUBLE_EQ(out.scalar,
+                     static_cast<double>(countComponents(g)));
+}
+
+TEST_F(WorkloadTest, ConnCompOnRandomGraphAgainstBfsLabels)
+{
+    Graph g = generateUniformRandom(400, 600, 13);
+    auto out = makeWorkload("CONN")->runProfiled(g).first;
+    auto ref = referenceComponents(g);
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        EXPECT_DOUBLE_EQ(out.vertexValues[v],
+                         static_cast<double>(ref[v]));
+}
+
+TEST_F(WorkloadTest, RegistryRoundTrip)
+{
+    EXPECT_EQ(workloadNames().size(), 9u);
+    for (const auto &name : workloadNames())
+        EXPECT_EQ(makeWorkload(name)->name(), name);
+    EXPECT_THROW(makeWorkload("BOGUS"), FatalError);
+}
+
+TEST_F(WorkloadTest, RoadGraphNeedsManyMoreIterationsThanSocial)
+{
+    // The input-dependence that drives the whole paper: iteration
+    // counts follow the graph diameter.
+    Graph road = generateRoadGrid(40, 40, 14);
+    Graph social = generatePreferentialAttachment(1600, 6, 14);
+    auto road_prof = makeWorkload("SSSP-BF")->runProfiled(road).second;
+    auto social_prof =
+        makeWorkload("SSSP-BF")->runProfiled(social).second;
+    EXPECT_GT(road_prof.iterations, 4 * social_prof.iterations);
+}
+
+TEST_F(WorkloadTest, ProfilesExposeDocumentedPhaseKinds)
+{
+    Graph g = weightedGraph();
+    auto prof = makeWorkload("PR")->runProfiled(g).second;
+    EXPECT_EQ(prof.findPhase("gather")->kind,
+              PhaseKind::VertexDivision);
+    EXPECT_EQ(prof.findPhase("error-reduce")->kind,
+              PhaseKind::Reduction);
+    EXPECT_GT(prof.findPhase("gather")->fpOps, 0.0);
+    EXPECT_GT(prof.barriers, 0u);
+}
+
+TEST_F(WorkloadTest, FpHeavyWorkloadsMeasureFpHeavy)
+{
+    // Measured profiles must reflect the static B6 classification.
+    Graph g = weightedGraph();
+    auto pr = makeWorkload("PR")->runProfiled(g).second;
+    auto bfs = makeWorkload("BFS")->runProfiled(g).second;
+    auto fp_ops = [](const WorkloadProfile &prof) {
+        double total = 0.0;
+        for (const auto &phase : prof.phases)
+            total += phase.fpOps;
+        return total;
+    };
+    double pr_fp_share =
+        pr.totalOps() > 0.0 ? fp_ops(pr) / pr.totalOps() : 0.0;
+    double bfs_fp_share =
+        bfs.totalOps() > 0.0 ? fp_ops(bfs) / bfs.totalOps() : 0.0;
+    EXPECT_GT(pr_fp_share, 0.4);
+    EXPECT_LT(bfs_fp_share, 0.05);
+}
+
+TEST_F(WorkloadTest, OutputsAreDeterministic)
+{
+    Graph g = weightedGraph();
+    for (const auto &name : workloadNames()) {
+        auto a = makeWorkload(name)->runProfiled(g).first;
+        auto b = makeWorkload(name)->runProfiled(g).first;
+        EXPECT_EQ(a.vertexValues, b.vertexValues) << name;
+        EXPECT_DOUBLE_EQ(a.scalar, b.scalar) << name;
+    }
+}
+
+} // namespace
+} // namespace heteromap
