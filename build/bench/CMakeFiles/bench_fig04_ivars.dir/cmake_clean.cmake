@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_ivars.dir/bench_fig04_ivars.cc.o"
+  "CMakeFiles/bench_fig04_ivars.dir/bench_fig04_ivars.cc.o.d"
+  "bench_fig04_ivars"
+  "bench_fig04_ivars.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_ivars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_bvars.dir/bench_fig05_bvars.cc.o"
+  "CMakeFiles/bench_fig05_bvars.dir/bench_fig05_bvars.cc.o.d"
+  "bench_fig05_bvars"
+  "bench_fig05_bvars.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_bvars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

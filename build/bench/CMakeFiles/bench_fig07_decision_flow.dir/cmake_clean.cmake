@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_decision_flow.dir/bench_fig07_decision_flow.cc.o"
+  "CMakeFiles/bench_fig07_decision_flow.dir/bench_fig07_decision_flow.cc.o.d"
+  "bench_fig07_decision_flow"
+  "bench_fig07_decision_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_decision_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_scheduler_750.dir/bench_fig11_scheduler_750.cc.o"
+  "CMakeFiles/bench_fig11_scheduler_750.dir/bench_fig11_scheduler_750.cc.o.d"
+  "bench_fig11_scheduler_750"
+  "bench_fig11_scheduler_750.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_scheduler_750.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig14_scheduler_970.cc" "bench/CMakeFiles/bench_fig14_scheduler_970.dir/bench_fig14_scheduler_970.cc.o" "gcc" "bench/CMakeFiles/bench_fig14_scheduler_970.dir/bench_fig14_scheduler_970.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/heteromap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heteromap_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heteromap_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heteromap_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heteromap_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heteromap_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heteromap_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heteromap_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heteromap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_scheduler_970.dir/bench_fig14_scheduler_970.cc.o"
+  "CMakeFiles/bench_fig14_scheduler_970.dir/bench_fig14_scheduler_970.cc.o.d"
+  "bench_fig14_scheduler_970"
+  "bench_fig14_scheduler_970.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_scheduler_970.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_cpu40.dir/bench_fig15_cpu40.cc.o"
+  "CMakeFiles/bench_fig15_cpu40.dir/bench_fig15_cpu40.cc.o.d"
+  "bench_fig15_cpu40"
+  "bench_fig15_cpu40.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_cpu40.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_phase_mapping.dir/bench_phase_mapping.cc.o"
+  "CMakeFiles/bench_phase_mapping.dir/bench_phase_mapping.cc.o.d"
+  "bench_phase_mapping"
+  "bench_phase_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_phase_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

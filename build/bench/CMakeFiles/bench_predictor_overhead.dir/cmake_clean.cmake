@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_predictor_overhead.dir/bench_predictor_overhead.cc.o"
+  "CMakeFiles/bench_predictor_overhead.dir/bench_predictor_overhead.cc.o.d"
+  "bench_predictor_overhead"
+  "bench_predictor_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_predictor_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

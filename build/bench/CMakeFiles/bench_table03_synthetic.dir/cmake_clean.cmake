@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table03_synthetic.dir/bench_table03_synthetic.cc.o"
+  "CMakeFiles/bench_table03_synthetic.dir/bench_table03_synthetic.cc.o.d"
+  "bench_table03_synthetic"
+  "bench_table03_synthetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table03_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table04_learners.dir/bench_table04_learners.cc.o"
+  "CMakeFiles/bench_table04_learners.dir/bench_table04_learners.cc.o.d"
+  "bench_table04_learners"
+  "bench_table04_learners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table04_learners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

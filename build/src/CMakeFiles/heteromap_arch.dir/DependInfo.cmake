@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/accel_spec.cc" "src/CMakeFiles/heteromap_arch.dir/arch/accel_spec.cc.o" "gcc" "src/CMakeFiles/heteromap_arch.dir/arch/accel_spec.cc.o.d"
+  "/root/repo/src/arch/cache_model.cc" "src/CMakeFiles/heteromap_arch.dir/arch/cache_model.cc.o" "gcc" "src/CMakeFiles/heteromap_arch.dir/arch/cache_model.cc.o.d"
+  "/root/repo/src/arch/energy_model.cc" "src/CMakeFiles/heteromap_arch.dir/arch/energy_model.cc.o" "gcc" "src/CMakeFiles/heteromap_arch.dir/arch/energy_model.cc.o.d"
+  "/root/repo/src/arch/mconfig.cc" "src/CMakeFiles/heteromap_arch.dir/arch/mconfig.cc.o" "gcc" "src/CMakeFiles/heteromap_arch.dir/arch/mconfig.cc.o.d"
+  "/root/repo/src/arch/memory_model.cc" "src/CMakeFiles/heteromap_arch.dir/arch/memory_model.cc.o" "gcc" "src/CMakeFiles/heteromap_arch.dir/arch/memory_model.cc.o.d"
+  "/root/repo/src/arch/memory_size_model.cc" "src/CMakeFiles/heteromap_arch.dir/arch/memory_size_model.cc.o" "gcc" "src/CMakeFiles/heteromap_arch.dir/arch/memory_size_model.cc.o.d"
+  "/root/repo/src/arch/perf_model.cc" "src/CMakeFiles/heteromap_arch.dir/arch/perf_model.cc.o" "gcc" "src/CMakeFiles/heteromap_arch.dir/arch/perf_model.cc.o.d"
+  "/root/repo/src/arch/presets.cc" "src/CMakeFiles/heteromap_arch.dir/arch/presets.cc.o" "gcc" "src/CMakeFiles/heteromap_arch.dir/arch/presets.cc.o.d"
+  "/root/repo/src/arch/sync_model.cc" "src/CMakeFiles/heteromap_arch.dir/arch/sync_model.cc.o" "gcc" "src/CMakeFiles/heteromap_arch.dir/arch/sync_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/heteromap_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heteromap_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heteromap_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heteromap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heteromap_arch.dir/arch/accel_spec.cc.o"
+  "CMakeFiles/heteromap_arch.dir/arch/accel_spec.cc.o.d"
+  "CMakeFiles/heteromap_arch.dir/arch/cache_model.cc.o"
+  "CMakeFiles/heteromap_arch.dir/arch/cache_model.cc.o.d"
+  "CMakeFiles/heteromap_arch.dir/arch/energy_model.cc.o"
+  "CMakeFiles/heteromap_arch.dir/arch/energy_model.cc.o.d"
+  "CMakeFiles/heteromap_arch.dir/arch/mconfig.cc.o"
+  "CMakeFiles/heteromap_arch.dir/arch/mconfig.cc.o.d"
+  "CMakeFiles/heteromap_arch.dir/arch/memory_model.cc.o"
+  "CMakeFiles/heteromap_arch.dir/arch/memory_model.cc.o.d"
+  "CMakeFiles/heteromap_arch.dir/arch/memory_size_model.cc.o"
+  "CMakeFiles/heteromap_arch.dir/arch/memory_size_model.cc.o.d"
+  "CMakeFiles/heteromap_arch.dir/arch/perf_model.cc.o"
+  "CMakeFiles/heteromap_arch.dir/arch/perf_model.cc.o.d"
+  "CMakeFiles/heteromap_arch.dir/arch/presets.cc.o"
+  "CMakeFiles/heteromap_arch.dir/arch/presets.cc.o.d"
+  "CMakeFiles/heteromap_arch.dir/arch/sync_model.cc.o"
+  "CMakeFiles/heteromap_arch.dir/arch/sync_model.cc.o.d"
+  "libheteromap_arch.a"
+  "libheteromap_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heteromap_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

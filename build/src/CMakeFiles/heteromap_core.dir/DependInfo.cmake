@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/database.cc" "src/CMakeFiles/heteromap_core.dir/core/database.cc.o" "gcc" "src/CMakeFiles/heteromap_core.dir/core/database.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/heteromap_core.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/heteromap_core.dir/core/experiment.cc.o.d"
+  "/root/repo/src/core/heteromap.cc" "src/CMakeFiles/heteromap_core.dir/core/heteromap.cc.o" "gcc" "src/CMakeFiles/heteromap_core.dir/core/heteromap.cc.o.d"
+  "/root/repo/src/core/oracle.cc" "src/CMakeFiles/heteromap_core.dir/core/oracle.cc.o" "gcc" "src/CMakeFiles/heteromap_core.dir/core/oracle.cc.o.d"
+  "/root/repo/src/core/phase_mapping.cc" "src/CMakeFiles/heteromap_core.dir/core/phase_mapping.cc.o" "gcc" "src/CMakeFiles/heteromap_core.dir/core/phase_mapping.cc.o.d"
+  "/root/repo/src/core/training.cc" "src/CMakeFiles/heteromap_core.dir/core/training.cc.o" "gcc" "src/CMakeFiles/heteromap_core.dir/core/training.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/heteromap_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heteromap_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heteromap_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heteromap_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heteromap_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heteromap_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heteromap_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heteromap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

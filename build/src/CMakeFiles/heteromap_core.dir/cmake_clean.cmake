@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heteromap_core.dir/core/database.cc.o"
+  "CMakeFiles/heteromap_core.dir/core/database.cc.o.d"
+  "CMakeFiles/heteromap_core.dir/core/experiment.cc.o"
+  "CMakeFiles/heteromap_core.dir/core/experiment.cc.o.d"
+  "CMakeFiles/heteromap_core.dir/core/heteromap.cc.o"
+  "CMakeFiles/heteromap_core.dir/core/heteromap.cc.o.d"
+  "CMakeFiles/heteromap_core.dir/core/oracle.cc.o"
+  "CMakeFiles/heteromap_core.dir/core/oracle.cc.o.d"
+  "CMakeFiles/heteromap_core.dir/core/phase_mapping.cc.o"
+  "CMakeFiles/heteromap_core.dir/core/phase_mapping.cc.o.d"
+  "CMakeFiles/heteromap_core.dir/core/training.cc.o"
+  "CMakeFiles/heteromap_core.dir/core/training.cc.o.d"
+  "libheteromap_core.a"
+  "libheteromap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heteromap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

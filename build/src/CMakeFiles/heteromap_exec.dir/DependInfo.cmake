@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/executor.cc" "src/CMakeFiles/heteromap_exec.dir/exec/executor.cc.o" "gcc" "src/CMakeFiles/heteromap_exec.dir/exec/executor.cc.o.d"
+  "/root/repo/src/exec/profile.cc" "src/CMakeFiles/heteromap_exec.dir/exec/profile.cc.o" "gcc" "src/CMakeFiles/heteromap_exec.dir/exec/profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/heteromap_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heteromap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heteromap_exec.dir/exec/executor.cc.o"
+  "CMakeFiles/heteromap_exec.dir/exec/executor.cc.o.d"
+  "CMakeFiles/heteromap_exec.dir/exec/profile.cc.o"
+  "CMakeFiles/heteromap_exec.dir/exec/profile.cc.o.d"
+  "libheteromap_exec.a"
+  "libheteromap_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heteromap_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

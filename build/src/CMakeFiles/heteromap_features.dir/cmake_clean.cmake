@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heteromap_features.dir/features/bvars.cc.o"
+  "CMakeFiles/heteromap_features.dir/features/bvars.cc.o.d"
+  "CMakeFiles/heteromap_features.dir/features/feature_vector.cc.o"
+  "CMakeFiles/heteromap_features.dir/features/feature_vector.cc.o.d"
+  "CMakeFiles/heteromap_features.dir/features/ivars.cc.o"
+  "CMakeFiles/heteromap_features.dir/features/ivars.cc.o.d"
+  "libheteromap_features.a"
+  "libheteromap_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heteromap_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heteromap_graph.dir/graph/builder.cc.o"
+  "CMakeFiles/heteromap_graph.dir/graph/builder.cc.o.d"
+  "CMakeFiles/heteromap_graph.dir/graph/chunker.cc.o"
+  "CMakeFiles/heteromap_graph.dir/graph/chunker.cc.o.d"
+  "CMakeFiles/heteromap_graph.dir/graph/datasets.cc.o"
+  "CMakeFiles/heteromap_graph.dir/graph/datasets.cc.o.d"
+  "CMakeFiles/heteromap_graph.dir/graph/generators.cc.o"
+  "CMakeFiles/heteromap_graph.dir/graph/generators.cc.o.d"
+  "CMakeFiles/heteromap_graph.dir/graph/graph.cc.o"
+  "CMakeFiles/heteromap_graph.dir/graph/graph.cc.o.d"
+  "CMakeFiles/heteromap_graph.dir/graph/io.cc.o"
+  "CMakeFiles/heteromap_graph.dir/graph/io.cc.o.d"
+  "CMakeFiles/heteromap_graph.dir/graph/props.cc.o"
+  "CMakeFiles/heteromap_graph.dir/graph/props.cc.o.d"
+  "libheteromap_graph.a"
+  "libheteromap_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heteromap_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/adaptive_library.cc" "src/CMakeFiles/heteromap_model.dir/model/adaptive_library.cc.o" "gcc" "src/CMakeFiles/heteromap_model.dir/model/adaptive_library.cc.o.d"
+  "/root/repo/src/model/cart.cc" "src/CMakeFiles/heteromap_model.dir/model/cart.cc.o" "gcc" "src/CMakeFiles/heteromap_model.dir/model/cart.cc.o.d"
+  "/root/repo/src/model/dataset.cc" "src/CMakeFiles/heteromap_model.dir/model/dataset.cc.o" "gcc" "src/CMakeFiles/heteromap_model.dir/model/dataset.cc.o.d"
+  "/root/repo/src/model/decision_tree.cc" "src/CMakeFiles/heteromap_model.dir/model/decision_tree.cc.o" "gcc" "src/CMakeFiles/heteromap_model.dir/model/decision_tree.cc.o.d"
+  "/root/repo/src/model/linear_regression.cc" "src/CMakeFiles/heteromap_model.dir/model/linear_regression.cc.o" "gcc" "src/CMakeFiles/heteromap_model.dir/model/linear_regression.cc.o.d"
+  "/root/repo/src/model/matrix.cc" "src/CMakeFiles/heteromap_model.dir/model/matrix.cc.o" "gcc" "src/CMakeFiles/heteromap_model.dir/model/matrix.cc.o.d"
+  "/root/repo/src/model/mlp.cc" "src/CMakeFiles/heteromap_model.dir/model/mlp.cc.o" "gcc" "src/CMakeFiles/heteromap_model.dir/model/mlp.cc.o.d"
+  "/root/repo/src/model/poly_regression.cc" "src/CMakeFiles/heteromap_model.dir/model/poly_regression.cc.o" "gcc" "src/CMakeFiles/heteromap_model.dir/model/poly_regression.cc.o.d"
+  "/root/repo/src/model/predictor.cc" "src/CMakeFiles/heteromap_model.dir/model/predictor.cc.o" "gcc" "src/CMakeFiles/heteromap_model.dir/model/predictor.cc.o.d"
+  "/root/repo/src/model/table_lookup.cc" "src/CMakeFiles/heteromap_model.dir/model/table_lookup.cc.o" "gcc" "src/CMakeFiles/heteromap_model.dir/model/table_lookup.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/heteromap_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heteromap_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heteromap_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heteromap_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heteromap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heteromap_model.dir/model/adaptive_library.cc.o"
+  "CMakeFiles/heteromap_model.dir/model/adaptive_library.cc.o.d"
+  "CMakeFiles/heteromap_model.dir/model/cart.cc.o"
+  "CMakeFiles/heteromap_model.dir/model/cart.cc.o.d"
+  "CMakeFiles/heteromap_model.dir/model/dataset.cc.o"
+  "CMakeFiles/heteromap_model.dir/model/dataset.cc.o.d"
+  "CMakeFiles/heteromap_model.dir/model/decision_tree.cc.o"
+  "CMakeFiles/heteromap_model.dir/model/decision_tree.cc.o.d"
+  "CMakeFiles/heteromap_model.dir/model/linear_regression.cc.o"
+  "CMakeFiles/heteromap_model.dir/model/linear_regression.cc.o.d"
+  "CMakeFiles/heteromap_model.dir/model/matrix.cc.o"
+  "CMakeFiles/heteromap_model.dir/model/matrix.cc.o.d"
+  "CMakeFiles/heteromap_model.dir/model/mlp.cc.o"
+  "CMakeFiles/heteromap_model.dir/model/mlp.cc.o.d"
+  "CMakeFiles/heteromap_model.dir/model/poly_regression.cc.o"
+  "CMakeFiles/heteromap_model.dir/model/poly_regression.cc.o.d"
+  "CMakeFiles/heteromap_model.dir/model/predictor.cc.o"
+  "CMakeFiles/heteromap_model.dir/model/predictor.cc.o.d"
+  "CMakeFiles/heteromap_model.dir/model/table_lookup.cc.o"
+  "CMakeFiles/heteromap_model.dir/model/table_lookup.cc.o.d"
+  "libheteromap_model.a"
+  "libheteromap_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heteromap_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libheteromap_model.a"
+)

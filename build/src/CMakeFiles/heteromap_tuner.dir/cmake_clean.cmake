@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heteromap_tuner.dir/tuner/annealing.cc.o"
+  "CMakeFiles/heteromap_tuner.dir/tuner/annealing.cc.o.d"
+  "CMakeFiles/heteromap_tuner.dir/tuner/grid_search.cc.o"
+  "CMakeFiles/heteromap_tuner.dir/tuner/grid_search.cc.o.d"
+  "CMakeFiles/heteromap_tuner.dir/tuner/random_search.cc.o"
+  "CMakeFiles/heteromap_tuner.dir/tuner/random_search.cc.o.d"
+  "CMakeFiles/heteromap_tuner.dir/tuner/search_space.cc.o"
+  "CMakeFiles/heteromap_tuner.dir/tuner/search_space.cc.o.d"
+  "libheteromap_tuner.a"
+  "libheteromap_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heteromap_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

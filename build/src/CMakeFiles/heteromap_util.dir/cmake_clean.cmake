@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heteromap_util.dir/util/logging.cc.o"
+  "CMakeFiles/heteromap_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/heteromap_util.dir/util/rng.cc.o"
+  "CMakeFiles/heteromap_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/heteromap_util.dir/util/stats.cc.o"
+  "CMakeFiles/heteromap_util.dir/util/stats.cc.o.d"
+  "CMakeFiles/heteromap_util.dir/util/table.cc.o"
+  "CMakeFiles/heteromap_util.dir/util/table.cc.o.d"
+  "CMakeFiles/heteromap_util.dir/util/timer.cc.o"
+  "CMakeFiles/heteromap_util.dir/util/timer.cc.o.d"
+  "libheteromap_util.a"
+  "libheteromap_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heteromap_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

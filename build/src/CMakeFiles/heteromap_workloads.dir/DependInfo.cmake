@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/betweenness.cc" "src/CMakeFiles/heteromap_workloads.dir/workloads/betweenness.cc.o" "gcc" "src/CMakeFiles/heteromap_workloads.dir/workloads/betweenness.cc.o.d"
+  "/root/repo/src/workloads/bfs.cc" "src/CMakeFiles/heteromap_workloads.dir/workloads/bfs.cc.o" "gcc" "src/CMakeFiles/heteromap_workloads.dir/workloads/bfs.cc.o.d"
+  "/root/repo/src/workloads/comm_detect.cc" "src/CMakeFiles/heteromap_workloads.dir/workloads/comm_detect.cc.o" "gcc" "src/CMakeFiles/heteromap_workloads.dir/workloads/comm_detect.cc.o.d"
+  "/root/repo/src/workloads/conn_comp.cc" "src/CMakeFiles/heteromap_workloads.dir/workloads/conn_comp.cc.o" "gcc" "src/CMakeFiles/heteromap_workloads.dir/workloads/conn_comp.cc.o.d"
+  "/root/repo/src/workloads/dfs.cc" "src/CMakeFiles/heteromap_workloads.dir/workloads/dfs.cc.o" "gcc" "src/CMakeFiles/heteromap_workloads.dir/workloads/dfs.cc.o.d"
+  "/root/repo/src/workloads/pagerank.cc" "src/CMakeFiles/heteromap_workloads.dir/workloads/pagerank.cc.o" "gcc" "src/CMakeFiles/heteromap_workloads.dir/workloads/pagerank.cc.o.d"
+  "/root/repo/src/workloads/pagerank_dp.cc" "src/CMakeFiles/heteromap_workloads.dir/workloads/pagerank_dp.cc.o" "gcc" "src/CMakeFiles/heteromap_workloads.dir/workloads/pagerank_dp.cc.o.d"
+  "/root/repo/src/workloads/reference.cc" "src/CMakeFiles/heteromap_workloads.dir/workloads/reference.cc.o" "gcc" "src/CMakeFiles/heteromap_workloads.dir/workloads/reference.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/CMakeFiles/heteromap_workloads.dir/workloads/registry.cc.o" "gcc" "src/CMakeFiles/heteromap_workloads.dir/workloads/registry.cc.o.d"
+  "/root/repo/src/workloads/sssp_bf.cc" "src/CMakeFiles/heteromap_workloads.dir/workloads/sssp_bf.cc.o" "gcc" "src/CMakeFiles/heteromap_workloads.dir/workloads/sssp_bf.cc.o.d"
+  "/root/repo/src/workloads/sssp_delta.cc" "src/CMakeFiles/heteromap_workloads.dir/workloads/sssp_delta.cc.o" "gcc" "src/CMakeFiles/heteromap_workloads.dir/workloads/sssp_delta.cc.o.d"
+  "/root/repo/src/workloads/synthetic.cc" "src/CMakeFiles/heteromap_workloads.dir/workloads/synthetic.cc.o" "gcc" "src/CMakeFiles/heteromap_workloads.dir/workloads/synthetic.cc.o.d"
+  "/root/repo/src/workloads/tri_count.cc" "src/CMakeFiles/heteromap_workloads.dir/workloads/tri_count.cc.o" "gcc" "src/CMakeFiles/heteromap_workloads.dir/workloads/tri_count.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/heteromap_workloads.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/heteromap_workloads.dir/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/heteromap_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heteromap_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heteromap_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heteromap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heteromap_workloads.dir/workloads/betweenness.cc.o"
+  "CMakeFiles/heteromap_workloads.dir/workloads/betweenness.cc.o.d"
+  "CMakeFiles/heteromap_workloads.dir/workloads/bfs.cc.o"
+  "CMakeFiles/heteromap_workloads.dir/workloads/bfs.cc.o.d"
+  "CMakeFiles/heteromap_workloads.dir/workloads/comm_detect.cc.o"
+  "CMakeFiles/heteromap_workloads.dir/workloads/comm_detect.cc.o.d"
+  "CMakeFiles/heteromap_workloads.dir/workloads/conn_comp.cc.o"
+  "CMakeFiles/heteromap_workloads.dir/workloads/conn_comp.cc.o.d"
+  "CMakeFiles/heteromap_workloads.dir/workloads/dfs.cc.o"
+  "CMakeFiles/heteromap_workloads.dir/workloads/dfs.cc.o.d"
+  "CMakeFiles/heteromap_workloads.dir/workloads/pagerank.cc.o"
+  "CMakeFiles/heteromap_workloads.dir/workloads/pagerank.cc.o.d"
+  "CMakeFiles/heteromap_workloads.dir/workloads/pagerank_dp.cc.o"
+  "CMakeFiles/heteromap_workloads.dir/workloads/pagerank_dp.cc.o.d"
+  "CMakeFiles/heteromap_workloads.dir/workloads/reference.cc.o"
+  "CMakeFiles/heteromap_workloads.dir/workloads/reference.cc.o.d"
+  "CMakeFiles/heteromap_workloads.dir/workloads/registry.cc.o"
+  "CMakeFiles/heteromap_workloads.dir/workloads/registry.cc.o.d"
+  "CMakeFiles/heteromap_workloads.dir/workloads/sssp_bf.cc.o"
+  "CMakeFiles/heteromap_workloads.dir/workloads/sssp_bf.cc.o.d"
+  "CMakeFiles/heteromap_workloads.dir/workloads/sssp_delta.cc.o"
+  "CMakeFiles/heteromap_workloads.dir/workloads/sssp_delta.cc.o.d"
+  "CMakeFiles/heteromap_workloads.dir/workloads/synthetic.cc.o"
+  "CMakeFiles/heteromap_workloads.dir/workloads/synthetic.cc.o.d"
+  "CMakeFiles/heteromap_workloads.dir/workloads/tri_count.cc.o"
+  "CMakeFiles/heteromap_workloads.dir/workloads/tri_count.cc.o.d"
+  "CMakeFiles/heteromap_workloads.dir/workloads/workload.cc.o"
+  "CMakeFiles/heteromap_workloads.dir/workloads/workload.cc.o.d"
+  "libheteromap_workloads.a"
+  "libheteromap_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heteromap_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chunker.dir/test_chunker.cc.o"
+  "CMakeFiles/test_chunker.dir/test_chunker.cc.o.d"
+  "test_chunker"
+  "test_chunker.pdb"
+  "test_chunker[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chunker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

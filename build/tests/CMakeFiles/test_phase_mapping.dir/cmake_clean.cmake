@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phase_mapping.dir/test_phase_mapping.cc.o"
+  "CMakeFiles/test_phase_mapping.dir/test_phase_mapping.cc.o.d"
+  "test_phase_mapping"
+  "test_phase_mapping.pdb"
+  "test_phase_mapping[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phase_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
