@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Fault-injection layer implementation.
+ */
+
+#include "arch/fault_model.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace heteromap {
+
+namespace {
+
+/** Severity ceiling: never derate a resource below 5% capacity. */
+constexpr double kMaxSeverity = 0.95;
+
+/** Throttle ramp progress in [0, 1] at @p clock. */
+double
+rampProgress(const FaultSpec &spec, const FaultClock &clock)
+{
+    if (spec.rampDeployments == 0)
+        return 1.0;
+    const double elapsed = static_cast<double>(
+        clock.deployment - spec.startDeployment + 1);
+    return std::min(1.0,
+                    elapsed / static_cast<double>(spec.rampDeployments));
+}
+
+} // namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::AcceleratorUnavailable: return "unavailable";
+      case FaultKind::ThermalThrottle:        return "thermal-throttle";
+      case FaultKind::BandwidthDegrade:       return "bandwidth-degrade";
+      case FaultKind::TransientStall:         return "transient-stall";
+    }
+    return "?";
+}
+
+bool
+FaultSpec::activeAt(const FaultClock &clock) const
+{
+    if (clock.deployment < startDeployment ||
+        clock.deployment >= endDeployment) {
+        return false;
+    }
+    return clock.seconds >= startSeconds && clock.seconds < endSeconds;
+}
+
+std::string
+FaultSpec::toString() const
+{
+    std::ostringstream oss;
+    oss << faultKindName(kind) << " on " << acceleratorKindName(target)
+        << " @deploy[" << startDeployment << ", ";
+    if (endDeployment == kForeverDeployments)
+        oss << "inf";
+    else
+        oss << endDeployment;
+    oss << ")";
+    if (startSeconds > 0.0 || endSeconds != kForeverSeconds) {
+        oss << " @time[" << startSeconds << "s, ";
+        if (endSeconds == kForeverSeconds)
+            oss << "inf";
+        else
+            oss << endSeconds << "s";
+        oss << ")";
+    }
+    if (kind == FaultKind::ThermalThrottle ||
+        kind == FaultKind::BandwidthDegrade) {
+        oss << " severity=" << severity;
+    }
+    if (kind == FaultKind::ThermalThrottle && rampDeployments > 0)
+        oss << " ramp=" << rampDeployments;
+    if (kind == FaultKind::TransientStall)
+        oss << " stall=" << stallSeconds << "s";
+    return oss.str();
+}
+
+bool
+FaultEffect::healthy() const
+{
+    return !unavailable && frequencyScale >= 1.0 &&
+           bandwidthScale >= 1.0 && stallSeconds <= 0.0;
+}
+
+void
+FaultEffect::compose(const FaultEffect &other)
+{
+    unavailable = unavailable || other.unavailable;
+    frequencyScale *= other.frequencyScale;
+    bandwidthScale *= other.bandwidthScale;
+    stallSeconds += other.stallSeconds;
+}
+
+void
+FaultSchedule::add(FaultSpec spec)
+{
+    faults_.push_back(std::move(spec));
+}
+
+FaultSchedule
+FaultSchedule::random(uint64_t seed, unsigned num_faults,
+                      uint64_t horizon_deployments)
+{
+    Rng rng(seed);
+    FaultSchedule schedule;
+    const uint64_t horizon = std::max<uint64_t>(1, horizon_deployments);
+    for (unsigned i = 0; i < num_faults; ++i) {
+        FaultSpec spec;
+        spec.kind = static_cast<FaultKind>(rng.nextBounded(4));
+        spec.target = rng.nextBool() ? AcceleratorKind::Gpu
+                                     : AcceleratorKind::Multicore;
+        spec.startDeployment = rng.nextBounded(horizon);
+        const uint64_t span = 1 + rng.nextBounded(
+            std::max<uint64_t>(1, horizon - spec.startDeployment));
+        spec.endDeployment = spec.startDeployment + span;
+        spec.severity = rng.nextDouble(0.2, 0.8);
+        spec.rampDeployments = rng.nextBounded(4);
+        spec.stallSeconds = rng.nextDouble(0.1, 2.0);
+        schedule.add(spec);
+    }
+    return schedule;
+}
+
+std::vector<FaultSpec>
+FaultSchedule::activeAt(AcceleratorKind side,
+                        const FaultClock &clock) const
+{
+    std::vector<FaultSpec> active;
+    for (const auto &spec : faults_) {
+        if (spec.target == side && spec.activeAt(clock))
+            active.push_back(spec);
+    }
+    return active;
+}
+
+FaultEffect
+FaultSchedule::effectAt(AcceleratorKind side,
+                        const FaultClock &clock) const
+{
+    FaultEffect effect;
+    for (const auto &spec : faults_) {
+        if (spec.target != side || !spec.activeAt(clock))
+            continue;
+        FaultEffect one;
+        const double strength =
+            clamp(spec.severity, 0.0, kMaxSeverity);
+        switch (spec.kind) {
+          case FaultKind::AcceleratorUnavailable:
+            one.unavailable = true;
+            break;
+          case FaultKind::ThermalThrottle:
+            one.frequencyScale =
+                1.0 - strength * rampProgress(spec, clock);
+            break;
+          case FaultKind::BandwidthDegrade:
+            one.bandwidthScale = 1.0 - strength;
+            break;
+          case FaultKind::TransientStall:
+            one.stallSeconds = std::max(0.0, spec.stallSeconds);
+            break;
+        }
+        effect.compose(one);
+    }
+    // Composition of derates never undercuts the per-fault floor.
+    effect.frequencyScale =
+        std::max(effect.frequencyScale, 1.0 - kMaxSeverity);
+    effect.bandwidthScale =
+        std::max(effect.bandwidthScale, 1.0 - kMaxSeverity);
+    return effect;
+}
+
+bool
+FaultSchedule::available(AcceleratorKind side,
+                         const FaultClock &clock) const
+{
+    for (const auto &spec : faults_) {
+        if (spec.kind == FaultKind::AcceleratorUnavailable &&
+            spec.target == side && spec.activeAt(clock)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+FaultInjector::FaultInjector(FaultSchedule schedule)
+    : schedule_(std::move(schedule))
+{
+}
+
+bool
+FaultInjector::available(AcceleratorKind side,
+                         const FaultClock &clock) const
+{
+    return schedule_.available(side, clock);
+}
+
+FaultEffect
+FaultInjector::perturb(ExecutionReport &report, AcceleratorKind side,
+                       const FaultClock &clock) const
+{
+    const FaultEffect effect = schedule_.effectAt(side, clock);
+    if (effect.healthy())
+        return effect;
+
+    // report.seconds folds in the memory-size streaming multiplier on
+    // top of the per-phase sums, so the perturbation is applied as a
+    // ratio: stretch the components, rescale the total by the stretch,
+    // then add the serial stall.
+    double before = report.regionSeconds + report.barrierSeconds;
+    for (const auto &pb : report.phases)
+        before += pb.seconds();
+
+    const double freq = std::max(1.0 - kMaxSeverity,
+                                 effect.frequencyScale);
+    const double bw = std::max(1.0 - kMaxSeverity,
+                               effect.bandwidthScale);
+    for (auto &pb : report.phases) {
+        pb.computeSeconds /= freq;
+        pb.atomicSeconds /= freq;
+        pb.scheduleSeconds /= freq;
+        pb.bandwidthSeconds /= bw;
+    }
+    report.regionSeconds /= freq;
+    report.barrierSeconds /= freq;
+
+    double after = report.regionSeconds + report.barrierSeconds;
+    for (const auto &pb : report.phases)
+        after += pb.seconds();
+
+    if (before > 0.0)
+        report.seconds *= after / before;
+    report.seconds += effect.stallSeconds;
+
+    // Board power persists through derates (idle + leakage dominate a
+    // throttled chip), so stretched time charges more energy.
+    report.joules = report.watts * report.seconds;
+    return effect;
+}
+
+} // namespace heteromap

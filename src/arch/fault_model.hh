@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Fault-injection layer for the analytical accelerator models.
+ * Deterministic, seeded fault scenarios perturb the calibrated
+ * PerfModel/MemoryModel/EnergyModel *outputs* — accelerator outage,
+ * thermal throttling (a frequency-derate ramp), memory-bandwidth
+ * degradation, and transient stalls — so the supervised deployment
+ * loop (core/supervisor.hh) can be exercised against unhealthy
+ * hardware without touching the models themselves. Every fault active
+ * at a given point contributes a multiplicative or additive
+ * FaultEffect; effects compose, and the composed effect is applied to
+ * a healthy ExecutionReport.
+ */
+
+#ifndef HETEROMAP_ARCH_FAULT_MODEL_HH
+#define HETEROMAP_ARCH_FAULT_MODEL_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "arch/mconfig.hh"
+#include "arch/perf_model.hh"
+
+namespace heteromap {
+
+/** The modelled hardware fault classes. */
+enum class FaultKind {
+    AcceleratorUnavailable, //!< device lost: nothing can run on it
+    ThermalThrottle,        //!< frequency derate, ramping per deployment
+    BandwidthDegrade,       //!< memory bandwidth fraction lost
+    TransientStall,         //!< additive serial stall (reset, ECC scrub)
+};
+
+/** @return e.g. "thermal-throttle". */
+const char *faultKindName(FaultKind kind);
+
+/** Point in a supervised run at which fault windows are evaluated. */
+struct FaultClock {
+    uint64_t deployment = 0; //!< 0-based deployment index
+    double seconds = 0.0;    //!< cumulative modelled time (incl. backoff)
+};
+
+/**
+ * One fault scenario with an activation window. Windows may be
+ * expressed in deployment indices ([startDeployment, endDeployment))
+ * and/or modelled seconds ([startSeconds, endSeconds)); the fault is
+ * active only while every bound holds, so schedules can say "fault at
+ * deployment N" or "fault at modelled time T" interchangeably.
+ */
+struct FaultSpec {
+    static constexpr uint64_t kForeverDeployments =
+        std::numeric_limits<uint64_t>::max();
+    static constexpr double kForeverSeconds =
+        std::numeric_limits<double>::infinity();
+
+    FaultKind kind = FaultKind::TransientStall;
+    AcceleratorKind target = AcceleratorKind::Gpu;
+
+    uint64_t startDeployment = 0;
+    uint64_t endDeployment = kForeverDeployments; //!< exclusive
+    double startSeconds = 0.0;
+    double endSeconds = kForeverSeconds;          //!< exclusive
+
+    /**
+     * Fraction of the affected resource lost at full strength, in
+     * [0, 0.95]: frequency for ThermalThrottle, bandwidth for
+     * BandwidthDegrade. Ignored by the other kinds.
+     */
+    double severity = 0.5;
+
+    /** Deployments for ThermalThrottle to ramp to full severity. */
+    uint64_t rampDeployments = 0;
+
+    /** Serial seconds added per run by TransientStall. */
+    double stallSeconds = 0.0;
+
+    /** @return true when the activation window covers @p clock. */
+    bool activeAt(const FaultClock &clock) const;
+
+    /** One-line description for logs and tables. */
+    std::string toString() const;
+};
+
+/** Composed perturbation applied to a healthy ExecutionReport. */
+struct FaultEffect {
+    bool unavailable = false;
+    double frequencyScale = 1.0; //!< remaining core clock, (0, 1]
+    double bandwidthScale = 1.0; //!< remaining memory bandwidth, (0, 1]
+    double stallSeconds = 0.0;   //!< additive serial stall
+
+    /** @return true when the effect leaves the report untouched. */
+    bool healthy() const;
+
+    /** Fold @p other in: scales multiply, stalls add, outages OR. */
+    void compose(const FaultEffect &other);
+};
+
+/** A deterministic set of fault scenarios for one supervised run. */
+class FaultSchedule
+{
+  public:
+    FaultSchedule() = default;
+
+    /** Append one scenario. */
+    void add(FaultSpec spec);
+
+    /**
+     * Deterministic pseudo-random scenario: @p num_faults specs with
+     * windows inside [0, horizon_deployments), kinds, targets, and
+     * severities all drawn from a seeded Rng. Identical seeds replay
+     * identical schedules.
+     */
+    static FaultSchedule random(uint64_t seed, unsigned num_faults,
+                                uint64_t horizon_deployments);
+
+    const std::vector<FaultSpec> &faults() const { return faults_; }
+    bool empty() const { return faults_.empty(); }
+    std::size_t size() const { return faults_.size(); }
+
+    /** Faults targeting @p side whose windows cover @p clock. */
+    std::vector<FaultSpec> activeAt(AcceleratorKind side,
+                                    const FaultClock &clock) const;
+
+    /** Composed effect on @p side at @p clock. */
+    FaultEffect effectAt(AcceleratorKind side,
+                         const FaultClock &clock) const;
+
+    /** False while an AcceleratorUnavailable fault covers @p clock. */
+    bool available(AcceleratorKind side, const FaultClock &clock) const;
+
+  private:
+    std::vector<FaultSpec> faults_;
+};
+
+/** Applies a schedule's active faults to healthy model outputs. */
+class FaultInjector
+{
+  public:
+    /** Default-constructed injector models a healthy system. */
+    FaultInjector() = default;
+    explicit FaultInjector(FaultSchedule schedule);
+
+    const FaultSchedule &schedule() const { return schedule_; }
+
+    /** @see FaultSchedule::available */
+    bool available(AcceleratorKind side, const FaultClock &clock) const;
+
+    /**
+     * Perturb a healthy modelled @p report in place: throttling
+     * stretches the core-clocked components (compute, atomics,
+     * scheduling, region/barrier crossings), bandwidth degradation
+     * stretches the bandwidth components, stalls add serial seconds,
+     * and energy is recharged over the stretched runtime. @return the
+     * composed effect that was applied.
+     */
+    FaultEffect perturb(ExecutionReport &report, AcceleratorKind side,
+                        const FaultClock &clock) const;
+
+  private:
+    FaultSchedule schedule_;
+};
+
+} // namespace heteromap
+
+#endif // HETEROMAP_ARCH_FAULT_MODEL_HH

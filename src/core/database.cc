@@ -92,14 +92,16 @@ ProfilerDatabase::save(std::ostream &os) const
     }
 }
 
-ProfilerDatabase
-ProfilerDatabase::load(std::istream &is)
+Result<ProfilerDatabase>
+ProfilerDatabase::tryLoad(std::istream &is)
 {
     ProfilerDatabase db;
     std::string line;
     std::size_t line_no = 0;
     while (std::getline(is, line)) {
         ++line_no;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
         if (line.empty() || line[0] == '#')
             continue;
         std::istringstream ls(line);
@@ -109,17 +111,25 @@ ProfilerDatabase::load(std::istream &is)
         std::string arrow;
         ls >> arrow;
         if (ls.fail() || arrow != "->")
-            HM_FATAL("profiler database line ", line_no,
-                     ": malformed entry");
+            return makeError(ErrorCode::Parse, line_no,
+                             "profiler database line ", line_no,
+                             ": malformed entry");
         NormalizedMVector best;
         for (double &v : best.m)
             ls >> v;
         if (ls.fail())
-            HM_FATAL("profiler database line ", line_no,
-                     ": truncated M vector");
+            return makeError(ErrorCode::Parse, line_no,
+                             "profiler database line ", line_no,
+                             ": truncated M vector");
         db.insert(featureVectorFromArray(flat), best);
     }
     return db;
+}
+
+ProfilerDatabase
+ProfilerDatabase::load(std::istream &is)
+{
+    return tryLoad(is).orThrow();
 }
 
 } // namespace heteromap

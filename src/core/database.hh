@@ -16,6 +16,7 @@
 #include <string>
 
 #include "model/predictor.hh"
+#include "util/errors.hh"
 
 namespace heteromap {
 
@@ -48,7 +49,11 @@ class ProfilerDatabase
     /** Serialize as "key17 -> m20" text lines. */
     void save(std::ostream &os) const;
 
-    /** Parse the save() format; fatal on malformed input. */
+    /** Parse the save() format; malformed input is a recoverable
+     * line-numbered Error rather than a process teardown. */
+    static Result<ProfilerDatabase> tryLoad(std::istream &is);
+
+    /** Throwing wrapper around tryLoad (throws FatalError). */
     static ProfilerDatabase load(std::istream &is);
 
   private:

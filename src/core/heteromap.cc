@@ -69,6 +69,13 @@ HeteroMap::trainOffline(const TrainingSet &corpus)
 Deployment
 HeteroMap::deploy(const BenchmarkCase &bench) const
 {
+    return deploy(bench, DeployConstraints{});
+}
+
+Deployment
+HeteroMap::deploy(const BenchmarkCase &bench,
+                  const DeployConstraints &constraints) const
+{
     Deployment out;
 
     // The inference latency is real wall-clock time — the paper adds
@@ -76,6 +83,14 @@ HeteroMap::deploy(const BenchmarkCase &bench) const
     Timer timer;
     timer.start();
     out.predicted = predictor_->predict(bench.features);
+    if (constraints.forceAccelerator) {
+        // Mask the other accelerator out of the M1 choice; the
+        // intra-accelerator knobs remain the predictor's.
+        out.predicted.m[0] =
+            *constraints.forceAccelerator == AcceleratorKind::Multicore
+                ? 1.0
+                : 0.0;
+    }
     out.config = deployNormalized(out.predicted, pair_);
     out.overheadMs = timer.elapsedMillis();
 

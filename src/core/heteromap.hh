@@ -11,6 +11,7 @@
 #define HETEROMAP_CORE_HETEROMAP_HH
 
 #include <memory>
+#include <optional>
 
 #include "core/oracle.hh"
 #include "model/predictor.hh"
@@ -50,6 +51,17 @@ struct Deployment {
     }
 };
 
+/**
+ * Constraints applied to one online prediction. Used by the
+ * supervised deployment loop (core/supervisor.hh) to mask a faulty
+ * accelerator out of the M1 choice while keeping the predictor's
+ * intra-accelerator knobs.
+ */
+struct DeployConstraints {
+    /** When set, M1 is forced to this accelerator. */
+    std::optional<AcceleratorKind> forceAccelerator;
+};
+
 /** Trained predictor bound to a multi-accelerator pair. */
 class HeteroMap
 {
@@ -68,8 +80,13 @@ class HeteroMap
     /** Predict, deploy, and report one benchmark-input combination. */
     Deployment deploy(const BenchmarkCase &bench) const;
 
+    /** Deploy under @p constraints (e.g. with one accelerator masked). */
+    Deployment deploy(const BenchmarkCase &bench,
+                      const DeployConstraints &constraints) const;
+
     const Predictor &predictor() const { return *predictor_; }
     const AcceleratorPair &pair() const { return pair_; }
+    const Oracle &oracle() const { return oracle_; }
 
   private:
     AcceleratorPair pair_;

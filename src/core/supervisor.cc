@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Supervised deployment loop implementation.
+ */
+
+#include "core/supervisor.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace heteromap {
+
+namespace {
+
+/** Escalation order of the degradation ladder. */
+constexpr FallbackAction kLadder[] = {
+    FallbackAction::Initial,
+    FallbackAction::MaskPredict,
+    FallbackAction::SwitchAccelerator,
+    FallbackAction::ShrinkConfig,
+    FallbackAction::RetryBackoff,
+};
+
+AcceleratorKind
+otherSide(AcceleratorKind side)
+{
+    return side == AcceleratorKind::Gpu ? AcceleratorKind::Multicore
+                                        : AcceleratorKind::Gpu;
+}
+
+/** Modelled cost multiplier of a side's composed fault effect. */
+double
+effectScore(const FaultEffect &effect)
+{
+    if (effect.unavailable)
+        return std::numeric_limits<double>::infinity();
+    return 1.0 / effect.frequencyScale / effect.bandwidthScale +
+           effect.stallSeconds;
+}
+
+} // namespace
+
+const char *
+fallbackActionName(FallbackAction action)
+{
+    switch (action) {
+      case FallbackAction::Initial:           return "initial";
+      case FallbackAction::MaskPredict:       return "mask-predict";
+      case FallbackAction::SwitchAccelerator: return "switch-accelerator";
+      case FallbackAction::ShrinkConfig:      return "shrink-config";
+      case FallbackAction::RetryBackoff:      return "retry-backoff";
+    }
+    return "?";
+}
+
+std::string
+DeploymentOutcome::toString() const
+{
+    std::ostringstream oss;
+    oss << "deployment " << deploymentIndex << ": "
+        << (completed ? (withinTolerance ? "ok" : "degraded")
+                      : "failed")
+        << ", " << attempts.size() << " attempt(s), " << faultsSeen
+        << " fault(s), backoff=" << totalBackoffMs << "ms\n";
+    for (const auto &a : attempts) {
+        oss << "  " << fallbackActionName(a.action) << " on "
+            << acceleratorKindName(a.config.accelerator) << ": ";
+        if (!a.ran) {
+            oss << "accelerator unavailable";
+        } else {
+            oss << "predicted=" << a.predictedSeconds * 1e3
+                << "ms observed=" << a.observedSeconds * 1e3 << "ms"
+                << (a.mispredict ? " MISPREDICT" : "");
+        }
+        for (FaultKind kind : a.faults)
+            oss << " [" << faultKindName(kind) << "]";
+        if (a.backoffMs > 0.0)
+            oss << " (after " << a.backoffMs << "ms backoff)";
+        oss << "\n";
+    }
+    if (!completed)
+        oss << "  " << failure.toString() << "\n";
+    return oss.str();
+}
+
+Supervisor::Supervisor(const HeteroMap &framework, FaultInjector injector,
+                       SupervisorOptions options)
+    : framework_(framework), injector_(std::move(injector)),
+      options_(options)
+{
+    HM_ASSERT(options_.maxAttempts > 0,
+              "supervisor needs at least one attempt");
+    HM_ASSERT(options_.mispredictTolerance >= 0.0,
+              "mispredict tolerance must be non-negative");
+}
+
+AcceleratorKind
+Supervisor::healthierSide() const
+{
+    const double gpu_score =
+        effectScore(injector_.schedule().effectAt(AcceleratorKind::Gpu,
+                                                  clock_));
+    const double mc_score = effectScore(injector_.schedule().effectAt(
+        AcceleratorKind::Multicore, clock_));
+    // Ties (both healthy or equally degraded) fall back to the
+    // multicore: the conservative general-purpose host.
+    return gpu_score < mc_score ? AcceleratorKind::Gpu
+                                : AcceleratorKind::Multicore;
+}
+
+MConfig
+Supervisor::conservativeConfig(AcceleratorKind side) const
+{
+    const AcceleratorPair &pair = framework_.pair();
+    MConfig config;
+    config.accelerator = side;
+    if (side == AcceleratorKind::Multicore) {
+        // Full cores, no SMT oversubscription, dynamic scheduling:
+        // robust to imbalance even if not the tuned optimum.
+        config.cores = std::max(1u, pair.multicore.cores);
+        config.threadsPerCore = 1;
+        config.simdWidth = std::max(1u, pair.multicore.simdWidth);
+        config.schedule = SchedulePolicy::Dynamic;
+    } else {
+        config.gpuGlobalThreads =
+            std::max(1u, pair.gpu.maxGlobalThreads / 2);
+        config.gpuLocalThreads =
+            std::max(1u, std::min(128u, pair.gpu.maxLocalThreads));
+    }
+    return config;
+}
+
+MConfig
+Supervisor::shrinkConfig(MConfig config) const
+{
+    const double f = std::clamp(options_.shrinkFactor, 0.1, 1.0);
+    auto shrink = [f](unsigned value) {
+        return std::max(1u, static_cast<unsigned>(
+                                std::floor(value * f)));
+    };
+    if (config.accelerator == AcceleratorKind::Multicore) {
+        config.cores = shrink(config.cores);
+        config.threadsPerCore = shrink(config.threadsPerCore);
+        config.simdWidth = shrink(config.simdWidth);
+    } else {
+        config.gpuGlobalThreads = shrink(config.gpuGlobalThreads);
+        config.gpuLocalThreads = shrink(config.gpuLocalThreads);
+    }
+    return config;
+}
+
+DeploymentOutcome
+Supervisor::deploy(const BenchmarkCase &bench)
+{
+    DeploymentOutcome out;
+    out.deploymentIndex = clock_.deployment;
+
+    const AcceleratorPair &pair = framework_.pair();
+    const Oracle &oracle = framework_.oracle();
+
+    double next_backoff_ms = options_.backoffBaseMs;
+    double best_observed = std::numeric_limits<double>::infinity();
+    Deployment best;
+    Deployment candidate;
+    AcceleratorKind failed_side = AcceleratorKind::Gpu;
+    bool accepted = false;
+
+    for (unsigned attempt_no = 0;
+         attempt_no < options_.maxAttempts && !accepted; ++attempt_no) {
+        DeploymentAttempt attempt;
+        attempt.action = kLadder[std::min<std::size_t>(attempt_no, 4)];
+
+        switch (attempt.action) {
+          case FallbackAction::Initial:
+            candidate = framework_.deploy(bench);
+            break;
+          case FallbackAction::MaskPredict: {
+            DeployConstraints constraints;
+            constraints.forceAccelerator = otherSide(failed_side);
+            candidate = framework_.deploy(bench, constraints);
+            break;
+          }
+          case FallbackAction::SwitchAccelerator:
+            candidate.config = conservativeConfig(healthierSide());
+            candidate.predicted =
+                normalizeConfig(candidate.config, pair);
+            candidate.overheadMs = 0.0;
+            candidate.report =
+                oracle.run(bench, pair, candidate.config);
+            break;
+          case FallbackAction::ShrinkConfig:
+            candidate.config = shrinkConfig(candidate.config);
+            candidate.predicted =
+                normalizeConfig(candidate.config, pair);
+            candidate.report =
+                oracle.run(bench, pair, candidate.config);
+            break;
+          case FallbackAction::RetryBackoff:
+            // Advance the modelled clock so transient faults can
+            // expire before the retry.
+            attempt.backoffMs = next_backoff_ms;
+            out.totalBackoffMs += next_backoff_ms;
+            clock_.seconds += next_backoff_ms * 1e-3;
+            next_backoff_ms *= options_.backoffFactor;
+            break;
+        }
+
+        const AcceleratorKind side = candidate.config.accelerator;
+        attempt.config = candidate.config;
+        attempt.predictedSeconds = candidate.report.seconds;
+        for (const auto &spec :
+             injector_.schedule().activeAt(side, clock_)) {
+            attempt.faults.push_back(spec.kind);
+        }
+        out.faultsSeen += static_cast<unsigned>(attempt.faults.size());
+
+        if (!injector_.available(side, clock_)) {
+            // The device is gone: the attempt never runs. Classified
+            // as a mispredict so the ladder escalates.
+            attempt.ran = false;
+            attempt.mispredict = true;
+            failed_side = side;
+        } else {
+            ExecutionReport observed = candidate.report;
+            injector_.perturb(observed, side, clock_);
+            attempt.ran = true;
+            attempt.observedSeconds = observed.seconds;
+            attempt.mispredict =
+                observed.seconds >
+                attempt.predictedSeconds *
+                    (1.0 + options_.mispredictTolerance);
+            // The system paid for the attempt regardless of outcome.
+            clock_.seconds += observed.seconds;
+
+            if (observed.seconds < best_observed) {
+                best_observed = observed.seconds;
+                best = candidate;
+                best.report = observed;
+            }
+            if (!attempt.mispredict) {
+                out.completed = true;
+                out.withinTolerance = true;
+                out.deployment = candidate;
+                out.deployment.report = observed;
+                accepted = true;
+            } else {
+                failed_side = side;
+            }
+        }
+
+        if (attempt.action != FallbackAction::Initial)
+            out.fallbackPath.push_back(attempt.action);
+        out.attempts.push_back(std::move(attempt));
+    }
+
+    if (!accepted) {
+        if (std::isfinite(best_observed)) {
+            // Retries exhausted: degrade gracefully to the best
+            // configuration that actually completed.
+            out.completed = true;
+            out.withinTolerance = false;
+            out.deployment = best;
+            out.failure = makeError(
+                ErrorCode::Exhausted, 0, "attempts exhausted for ",
+                bench.label(), "; kept best observed config");
+        } else {
+            out.completed = false;
+            out.failure = HM_RECOVERABLE(
+                ErrorCode::Unavailable, "no accelerator available for ",
+                bench.label(), " within ", options_.maxAttempts,
+                " attempts");
+        }
+    }
+
+    ++clock_.deployment;
+    return out;
+}
+
+} // namespace heteromap

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Supervised deployment loop. Wraps HeteroMap::deploy() with
+ * mispredict detection against a (possibly faulty) modelled system
+ * and a graceful degradation ladder:
+ *
+ *   1. MaskPredict       — re-predict with the misbehaving accelerator
+ *                          masked out of the M1 choice,
+ *   2. SwitchAccelerator — conservative configuration on whichever
+ *                          accelerator currently looks healthiest,
+ *   3. ShrinkConfig      — shrink the intra-accelerator configuration
+ *                          (cores / threads / SIMD, GPU work sizes),
+ *   4. RetryBackoff      — retry under exponential backoff so
+ *                          transient faults can expire.
+ *
+ * Attempts are bounded; a run that exhausts its attempts degrades to
+ * the best observed configuration instead of panicking, and every
+ * deployment emits a structured DeploymentOutcome rather than a bare
+ * Deployment.
+ */
+
+#ifndef HETEROMAP_CORE_SUPERVISOR_HH
+#define HETEROMAP_CORE_SUPERVISOR_HH
+
+#include <vector>
+
+#include "arch/fault_model.hh"
+#include "core/heteromap.hh"
+#include "util/errors.hh"
+
+namespace heteromap {
+
+/** Tunables of the supervised deployment loop. */
+struct SupervisorOptions {
+    /**
+     * Relative slowdown of observed vs. predicted completion beyond
+     * which an attempt is classified as a mispredict (0.25 = observed
+     * more than 25% slower than the healthy-model prediction).
+     */
+    double mispredictTolerance = 0.25;
+
+    /** Total deployment attempts before degrading to best-effort. */
+    unsigned maxAttempts = 6;
+
+    /** First RetryBackoff delay (modelled milliseconds). */
+    double backoffBaseMs = 1.0;
+
+    /** Multiplier between consecutive backoff delays. */
+    double backoffFactor = 2.0;
+
+    /** Multiplier on intra-accelerator knobs per ShrinkConfig rung. */
+    double shrinkFactor = 0.5;
+};
+
+/** Degradation-ladder rungs, in escalation order. */
+enum class FallbackAction {
+    Initial,           //!< trust the predictor as-is
+    MaskPredict,       //!< re-predict with the faulty side masked
+    SwitchAccelerator, //!< conservative config on the healthier side
+    ShrinkConfig,      //!< shrink the intra-accelerator configuration
+    RetryBackoff,      //!< same config again after exponential backoff
+};
+
+/** @return e.g. "mask-predict". */
+const char *fallbackActionName(FallbackAction action);
+
+/** One attempt within a supervised deployment. */
+struct DeploymentAttempt {
+    FallbackAction action = FallbackAction::Initial;
+    MConfig config;
+    double predictedSeconds = 0.0; //!< healthy-model completion
+    double observedSeconds = 0.0;  //!< fault-perturbed completion
+    double backoffMs = 0.0;        //!< backoff charged before running
+    bool ran = false;              //!< false when the side was offline
+    bool mispredict = false;
+    std::vector<FaultKind> faults; //!< faults active on the tried side
+};
+
+/** Structured result of one supervised deployment. */
+struct DeploymentOutcome {
+    /** True when some attempt completed (even a degraded one). */
+    bool completed = false;
+
+    /** True when the accepted attempt passed the mispredict check. */
+    bool withinTolerance = false;
+
+    /** The accepted deployment; its report is the *observed* run. */
+    Deployment deployment;
+
+    std::vector<DeploymentAttempt> attempts;
+
+    /** Ladder rungs taken after the initial attempt. */
+    std::vector<FallbackAction> fallbackPath;
+
+    /** Total active faults observed across all attempts. */
+    unsigned faultsSeen = 0;
+
+    double totalBackoffMs = 0.0;
+    uint64_t deploymentIndex = 0;
+
+    /** Recoverable description of why nothing completed. */
+    Error failure{ErrorCode::Exhausted, "", 0};
+
+    /** Multi-line diagnostic dump. */
+    std::string toString() const;
+};
+
+/**
+ * The supervised deployment loop: owns the fault clock (deployment
+ * index + cumulative modelled seconds) that drives FaultSchedule
+ * windows, and never lets a modelled fault escape as an exception.
+ */
+class Supervisor
+{
+  public:
+    /**
+     * @param framework Trained (or analytical) HeteroMap runtime.
+     * @param injector  Fault scenario; default = healthy system.
+     * @param options   Loop tunables.
+     */
+    explicit Supervisor(const HeteroMap &framework,
+                        FaultInjector injector = {},
+                        SupervisorOptions options = {});
+
+    /** Supervise one deployment and advance the fault clock. */
+    DeploymentOutcome deploy(const BenchmarkCase &bench);
+
+    const FaultClock &clock() const { return clock_; }
+    const FaultInjector &injector() const { return injector_; }
+    const SupervisorOptions &options() const { return options_; }
+    uint64_t deploymentsRun() const { return clock_.deployment; }
+
+  private:
+    const HeteroMap &framework_;
+    FaultInjector injector_;
+    SupervisorOptions options_;
+    FaultClock clock_;
+
+    /** Full-width but cautious configuration on @p side. */
+    MConfig conservativeConfig(AcceleratorKind side) const;
+
+    /** One ladder step down in intra-accelerator concurrency. */
+    MConfig shrinkConfig(MConfig config) const;
+
+    /** Side whose composed fault effect currently costs least. */
+    AcceleratorKind healthierSide() const;
+};
+
+} // namespace heteromap
+
+#endif // HETEROMAP_CORE_SUPERVISOR_HH

@@ -68,8 +68,10 @@ Executor::parallelFor(const std::string &name, PhaseKind kind,
 
         double units = cost.workUnits();
         phase.maxItemCost = std::max(phase.maxItemCost, units);
+        // 128-bit intermediate: idx * kNumBuckets overflows uint64_t
+        // once num_items exceeds 2^64 / kNumBuckets (~3.6e16 items).
         std::size_t bucket = static_cast<std::size_t>(
-            (idx * kNumBuckets) / num_items);
+            (static_cast<__uint128_t>(idx) * kNumBuckets) / num_items);
         phase.bucketCost[bucket] += units;
     }
 }

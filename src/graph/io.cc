@@ -14,6 +14,19 @@
 
 namespace heteromap {
 
+namespace {
+
+/** Line-numbered recoverable parse/range error. */
+template <typename... Args>
+Error
+lineError(ErrorCode code, std::size_t line_no, Args &&...args)
+{
+    return makeError(code, line_no, "edge list line ", line_no, ": ",
+                     std::forward<Args>(args)...);
+}
+
+} // namespace
+
 void
 writeEdgeList(const Graph &graph, std::ostream &os)
 {
@@ -29,17 +42,20 @@ writeEdgeList(const Graph &graph, std::ostream &os)
     }
 }
 
-Graph
-readEdgeList(std::istream &is)
+Result<Graph>
+tryReadEdgeList(std::istream &is)
 {
     std::string line;
-    VertexId num_vertices = 0;
+    long long num_vertices = 0;
     bool have_header = false;
     std::unique_ptr<GraphBuilder> builder;
     std::size_t line_no = 0;
 
     while (std::getline(is, line)) {
         ++line_no;
+        // Tolerate CRLF line endings from Windows-authored files.
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
         if (line.empty() || line[0] == '#')
             continue;
         std::istringstream ls(line);
@@ -47,28 +63,53 @@ readEdgeList(std::istream &is)
             std::string tag;
             ls >> tag >> num_vertices;
             if (ls.fail() || tag != "vertices")
-                HM_FATAL("edge list line ", line_no,
-                         ": expected 'vertices <count>' header");
+                return lineError(ErrorCode::Parse, line_no,
+                                 "expected 'vertices <count>' header");
+            if (num_vertices < 0 ||
+                num_vertices >= static_cast<long long>(kInvalidVertex)) {
+                return lineError(ErrorCode::OutOfRange, line_no,
+                                 "vertex count ", num_vertices,
+                                 " outside [0, ", kInvalidVertex, ")");
+            }
             have_header = true;
-            builder = std::make_unique<GraphBuilder>(num_vertices);
+            builder = std::make_unique<GraphBuilder>(
+                static_cast<VertexId>(num_vertices));
             continue;
         }
-        VertexId src = 0;
-        VertexId dst = 0;
+        // Signed reads so "-1 3" is rejected instead of wrapping into
+        // a huge unsigned vertex id.
+        long long src = 0;
+        long long dst = 0;
         float weight = 1.0f;
         ls >> src >> dst;
         if (ls.fail())
-            HM_FATAL("edge list line ", line_no, ": malformed edge");
+            return lineError(ErrorCode::Parse, line_no,
+                             "malformed edge");
         ls >> weight;
         if (ls.fail())
             weight = 1.0f;
-        if (src >= num_vertices || dst >= num_vertices)
-            HM_FATAL("edge list line ", line_no, ": vertex out of range");
-        builder->addEdge(src, dst, weight);
+        if (src < 0 || dst < 0 || src >= num_vertices ||
+            dst >= num_vertices) {
+            return lineError(ErrorCode::OutOfRange, line_no,
+                             "vertex id (", src, ", ", dst,
+                             ") outside declared count ", num_vertices);
+        }
+        if (weight < 0.0f)
+            return lineError(ErrorCode::OutOfRange, line_no,
+                             "negative edge weight ", weight);
+        builder->addEdge(static_cast<VertexId>(src),
+                         static_cast<VertexId>(dst), weight);
     }
     if (!have_header)
-        HM_FATAL("edge list missing 'vertices' header");
+        return makeError(ErrorCode::Parse, 0,
+                         "edge list missing 'vertices' header");
     return builder->build();
+}
+
+Graph
+readEdgeList(std::istream &is)
+{
+    return tryReadEdgeList(is).orThrow();
 }
 
 void
@@ -80,13 +121,20 @@ saveEdgeListFile(const Graph &graph, const std::string &path)
     writeEdgeList(graph, os);
 }
 
-Graph
-loadEdgeListFile(const std::string &path)
+Result<Graph>
+tryLoadEdgeListFile(const std::string &path)
 {
     std::ifstream is(path);
     if (!is)
-        HM_FATAL("cannot open '", path, "' for reading");
-    return readEdgeList(is);
+        return makeError(ErrorCode::Io, 0, "cannot open '", path,
+                         "' for reading");
+    return tryReadEdgeList(is);
+}
+
+Graph
+loadEdgeListFile(const std::string &path)
+{
+    return tryLoadEdgeListFile(path).orThrow();
 }
 
 } // namespace heteromap

@@ -3,6 +3,8 @@
  * Graph serialization: a human-readable weighted edge-list text format
  * (one "src dst weight" triple per line, '#' comments, header line with
  * the vertex count) and round-trip loading through GraphBuilder.
+ * Parsing is available both as recoverable-Result variants (try*) and
+ * as throwing wrappers for callers that prefer exceptions.
  */
 
 #ifndef HETEROMAP_GRAPH_IO_HH
@@ -12,6 +14,7 @@
 #include <string>
 
 #include "graph/graph.hh"
+#include "util/errors.hh"
 
 namespace heteromap {
 
@@ -20,12 +23,20 @@ void writeEdgeList(const Graph &graph, std::ostream &os);
 
 /**
  * Parse an edge-list stream produced by writeEdgeList (or hand-written
- * in the same format). Throws FatalError on malformed input.
+ * in the same format). CRLF line endings are tolerated; malformed
+ * lines, vertex ids outside the declared count, and negative weights
+ * yield a line-numbered recoverable Error.
  */
+Result<Graph> tryReadEdgeList(std::istream &is);
+
+/** Throwing wrapper around tryReadEdgeList (throws FatalError). */
 Graph readEdgeList(std::istream &is);
 
 /** Convenience file wrappers around the stream functions. */
 void saveEdgeListFile(const Graph &graph, const std::string &path);
+
+/** Load a graph from @p path; errors are recoverable. */
+Result<Graph> tryLoadEdgeListFile(const std::string &path);
 
 /** Load a graph from @p path; throws FatalError if unreadable. */
 Graph loadEdgeListFile(const std::string &path);

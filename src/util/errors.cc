@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Recoverable-error rendering helpers.
+ */
+
+#include "util/errors.hh"
+
+namespace heteromap {
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Io:          return "io";
+      case ErrorCode::Parse:       return "parse";
+      case ErrorCode::OutOfRange:  return "out-of-range";
+      case ErrorCode::Unavailable: return "unavailable";
+      case ErrorCode::Exhausted:   return "exhausted";
+    }
+    return "?";
+}
+
+std::string
+Error::toString() const
+{
+    std::string out = std::string(errorCodeName(code)) + " error";
+    if (line > 0)
+        out += " (line " + std::to_string(line) + ")";
+    out += ": " + message;
+    return out;
+}
+
+} // namespace heteromap

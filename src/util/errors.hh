@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Recoverable-error tier. Result<T> is an expected-style carrier of
+ * either a value or a structured Error, so subsystems (graph I/O, the
+ * profiler database, the deployment supervisor) can report failures
+ * without tearing down the process the way fatal()/panic() do. The
+ * HM_RECOVERABLE macro builds an Error with call-site context and a
+ * warn-level log record, mirroring HM_FATAL without the throw.
+ */
+
+#ifndef HETEROMAP_UTIL_ERRORS_HH
+#define HETEROMAP_UTIL_ERRORS_HH
+
+#include <sstream>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/logging.hh"
+
+namespace heteromap {
+
+/** Category of a recoverable failure. */
+enum class ErrorCode {
+    Io,          //!< a file or stream could not be opened or read
+    Parse,       //!< malformed textual input
+    OutOfRange,  //!< a value outside its declared domain
+    Unavailable, //!< a required resource is (currently) offline
+    Exhausted,   //!< bounded retries or attempts ran out
+};
+
+/** @return e.g. "parse" for ErrorCode::Parse. */
+const char *errorCodeName(ErrorCode code);
+
+/** A recoverable failure the caller may inspect, report, or retry. */
+struct Error {
+    ErrorCode code = ErrorCode::Io;
+    std::string message;
+    std::size_t line = 0; //!< 1-based input line; 0 = not line-oriented
+
+    /** "parse error (line 7): malformed edge" style rendering. */
+    std::string toString() const;
+};
+
+/** Build an Error tagged with a 1-based input line (0 = none). */
+template <typename... Args>
+Error
+makeError(ErrorCode code, std::size_t line, Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return Error{code, oss.str(), line};
+}
+
+/** HM_RECOVERABLE backend: build an Error and log it at warn level. */
+template <typename... Args>
+Error
+recoverableAt(ErrorCode code, const char *file, int src_line,
+              Args &&...args)
+{
+    Error err = makeError(code, 0, std::forward<Args>(args)...);
+    warn(errorCodeName(code), " error: ", err.message, " [", file, ":",
+         src_line, "]");
+    return err;
+}
+
+/**
+ * Value-or-Error carrier. Implicitly constructible from either side;
+ * accessing the wrong side is a panic (an internal bug), while
+ * orThrow() converts an error into the legacy FatalError pathway for
+ * callers that still want exceptional behavior.
+ */
+template <typename T>
+class [[nodiscard]] Result
+{
+  public:
+    Result(T value) : state_(std::in_place_index<0>, std::move(value)) {}
+    Result(Error error)
+        : state_(std::in_place_index<1>, std::move(error))
+    {
+    }
+
+    /** @return true when a value is held. */
+    bool ok() const { return state_.index() == 0; }
+    explicit operator bool() const { return ok(); }
+
+    const T &
+    value() const &
+    {
+        HM_ASSERT(ok(), "Result::value() on error: ", error().toString());
+        return std::get<0>(state_);
+    }
+
+    T &&
+    value() &&
+    {
+        HM_ASSERT(ok(), "Result::value() on error: ", error().toString());
+        return std::move(std::get<0>(state_));
+    }
+
+    const Error &
+    error() const
+    {
+        HM_ASSERT(!ok(), "Result::error() on a success value");
+        return std::get<1>(state_);
+    }
+
+    /** @return the held value, or @p fallback when this is an error. */
+    T
+    valueOr(T fallback) const &
+    {
+        return ok() ? std::get<0>(state_) : std::move(fallback);
+    }
+
+    /** Unwrap, converting an error into a thrown FatalError. */
+    T
+    orThrow() &&
+    {
+        if (!ok())
+            throw FatalError(error().toString());
+        return std::move(std::get<0>(state_));
+    }
+
+  private:
+    std::variant<T, Error> state_;
+};
+
+} // namespace heteromap
+
+/** Build (and warn-log) a recoverable Error with call-site context. */
+#define HM_RECOVERABLE(code, ...)                                         \
+    ::heteromap::recoverableAt(code, __FILE__, __LINE__, __VA_ARGS__)
+
+#endif // HETEROMAP_UTIL_ERRORS_HH

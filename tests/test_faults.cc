@@ -1,0 +1,444 @@
+/**
+ * @file
+ * Tests for the fault-injection layer and the supervised deployment
+ * loop: per-kind fault effects, activation windows, the thermal ramp,
+ * deterministic seeded schedules, mispredict detection, the full
+ * degradation ladder (mask -> switch accelerator -> shrink config ->
+ * retry-with-backoff), retry exhaustion, and deterministic replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arch/fault_model.hh"
+#include "core/experiment.hh"
+#include "core/oracle.hh"
+#include "core/supervisor.hh"
+#include "util/logging.hh"
+#include "workloads/registry.hh"
+
+namespace heteromap {
+namespace {
+
+class FaultTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setLogVerbose(false); }
+    void TearDown() override { setLogVerbose(true); }
+
+    Oracle oracle_;
+
+    BenchmarkCase
+    smallCase() const
+    {
+        auto workload = makeWorkload("PR");
+        return makeCase(*workload, datasetByShortName("CO"));
+    }
+
+    HeteroMap
+    framework() const
+    {
+        return HeteroMap(pinnedPair(primaryPair()),
+                         makePredictor(PredictorKind::DecisionTree),
+                         oracle_);
+    }
+
+    /** A one-phase report with known components. */
+    static ExecutionReport
+    syntheticReport()
+    {
+        ExecutionReport report;
+        PhaseBreakdown pb;
+        pb.name = "phase";
+        pb.computeSeconds = 1.0;
+        pb.bandwidthSeconds = 0.5;
+        pb.latencySeconds = 0.2;
+        pb.atomicSeconds = 0.1;
+        pb.scheduleSeconds = 0.1;
+        report.phases.push_back(pb);
+        report.regionSeconds = 0.1;
+        report.barrierSeconds = 0.1;
+        // max(1.0, 0.5) + 0.2 + 0.1 + 0.1 = 1.4, plus crossings.
+        report.seconds = 1.6;
+        report.watts = 10.0;
+        report.joules = report.watts * report.seconds;
+        return report;
+    }
+
+    static FaultSpec
+    stallBoth(AcceleratorKind side, double stall_seconds,
+              double end_seconds = FaultSpec::kForeverSeconds)
+    {
+        FaultSpec spec;
+        spec.kind = FaultKind::TransientStall;
+        spec.target = side;
+        spec.stallSeconds = stall_seconds;
+        spec.endSeconds = end_seconds;
+        return spec;
+    }
+};
+
+TEST_F(FaultTest, SpecWindowsGateActivation)
+{
+    FaultSpec spec;
+    spec.startDeployment = 2;
+    spec.endDeployment = 5;
+    spec.startSeconds = 1.0;
+    spec.endSeconds = 10.0;
+
+    EXPECT_FALSE(spec.activeAt({1, 5.0}));  // before deployment window
+    EXPECT_FALSE(spec.activeAt({5, 5.0}));  // past deployment window
+    EXPECT_FALSE(spec.activeAt({3, 0.5}));  // before time window
+    EXPECT_FALSE(spec.activeAt({3, 10.0})); // past time window
+    EXPECT_TRUE(spec.activeAt({2, 1.0}));
+    EXPECT_TRUE(spec.activeAt({4, 9.9}));
+}
+
+TEST_F(FaultTest, EffectsCompose)
+{
+    FaultEffect a;
+    a.frequencyScale = 0.5;
+    a.stallSeconds = 1.0;
+    FaultEffect b;
+    b.bandwidthScale = 0.5;
+    b.stallSeconds = 2.0;
+    b.unavailable = true;
+
+    a.compose(b);
+    EXPECT_TRUE(a.unavailable);
+    EXPECT_DOUBLE_EQ(a.frequencyScale, 0.5);
+    EXPECT_DOUBLE_EQ(a.bandwidthScale, 0.5);
+    EXPECT_DOUBLE_EQ(a.stallSeconds, 3.0);
+    EXPECT_FALSE(a.healthy());
+    EXPECT_TRUE(FaultEffect{}.healthy());
+}
+
+TEST_F(FaultTest, ThermalThrottleRampsToFullSeverity)
+{
+    FaultSchedule schedule;
+    FaultSpec spec;
+    spec.kind = FaultKind::ThermalThrottle;
+    spec.target = AcceleratorKind::Gpu;
+    spec.startDeployment = 4;
+    spec.severity = 0.6;
+    spec.rampDeployments = 3;
+    schedule.add(spec);
+
+    EXPECT_DOUBLE_EQ(
+        schedule.effectAt(AcceleratorKind::Gpu, {3, 0.0}).frequencyScale,
+        1.0);
+    double prev = 1.0;
+    for (uint64_t d = 4; d < 7; ++d) {
+        double scale = schedule.effectAt(AcceleratorKind::Gpu, {d, 0.0})
+                           .frequencyScale;
+        EXPECT_LT(scale, prev);
+        prev = scale;
+    }
+    // Fully ramped at start + ramp - 1 and steady afterwards.
+    EXPECT_NEAR(prev, 0.4, 1e-12);
+    EXPECT_NEAR(
+        schedule.effectAt(AcceleratorKind::Gpu, {20, 0.0}).frequencyScale,
+        0.4, 1e-12);
+    // The multicore is untouched.
+    EXPECT_TRUE(schedule.effectAt(AcceleratorKind::Multicore, {20, 0.0})
+                    .healthy());
+}
+
+TEST_F(FaultTest, ThrottlePerturbStretchesCoreClockedComponents)
+{
+    FaultSchedule schedule;
+    FaultSpec spec;
+    spec.kind = FaultKind::ThermalThrottle;
+    spec.target = AcceleratorKind::Gpu;
+    spec.severity = 0.5;
+    schedule.add(spec);
+    FaultInjector injector(schedule);
+
+    ExecutionReport report = syntheticReport();
+    FaultEffect effect =
+        injector.perturb(report, AcceleratorKind::Gpu, {0, 0.0});
+    EXPECT_DOUBLE_EQ(effect.frequencyScale, 0.5);
+    const PhaseBreakdown &pb = report.phases[0];
+    EXPECT_DOUBLE_EQ(pb.computeSeconds, 2.0);
+    EXPECT_DOUBLE_EQ(pb.atomicSeconds, 0.2);
+    EXPECT_DOUBLE_EQ(pb.scheduleSeconds, 0.2);
+    EXPECT_DOUBLE_EQ(pb.bandwidthSeconds, 0.5); // bandwidth untouched
+    EXPECT_DOUBLE_EQ(pb.latencySeconds, 0.2);   // DRAM latency untouched
+    // New total: 0.2 + 0.2 + (2.0 + 0.2 + 0.2 + 0.2) = 3.0.
+    EXPECT_NEAR(report.seconds, 3.0, 1e-12);
+    EXPECT_NEAR(report.joules, 30.0, 1e-12);
+}
+
+TEST_F(FaultTest, BandwidthAndStallPerturbations)
+{
+    FaultSchedule schedule;
+    FaultSpec bw;
+    bw.kind = FaultKind::BandwidthDegrade;
+    bw.target = AcceleratorKind::Multicore;
+    bw.severity = 0.75;
+    schedule.add(bw);
+    schedule.add(stallBoth(AcceleratorKind::Multicore, 2.5));
+    FaultInjector injector(schedule);
+
+    ExecutionReport report = syntheticReport();
+    injector.perturb(report, AcceleratorKind::Multicore, {0, 0.0});
+    // Bandwidth 0.5 -> 2.0 now dominates compute in the overlap rule:
+    // 0.1 + 0.1 + (max(1.0, 2.0) + 0.2 + 0.1 + 0.1) = 2.6, + stall.
+    EXPECT_DOUBLE_EQ(report.phases[0].bandwidthSeconds, 2.0);
+    EXPECT_NEAR(report.seconds, 2.6 + 2.5, 1e-12);
+
+    // A healthy side's report is untouched.
+    ExecutionReport clean = syntheticReport();
+    FaultEffect none =
+        injector.perturb(clean, AcceleratorKind::Gpu, {0, 0.0});
+    EXPECT_TRUE(none.healthy());
+    EXPECT_DOUBLE_EQ(clean.seconds, 1.6);
+}
+
+TEST_F(FaultTest, UnavailabilityGatesTheSide)
+{
+    FaultSchedule schedule;
+    FaultSpec spec;
+    spec.kind = FaultKind::AcceleratorUnavailable;
+    spec.target = AcceleratorKind::Gpu;
+    spec.startDeployment = 1;
+    spec.endDeployment = 3;
+    schedule.add(spec);
+
+    EXPECT_TRUE(schedule.available(AcceleratorKind::Gpu, {0, 0.0}));
+    EXPECT_FALSE(schedule.available(AcceleratorKind::Gpu, {1, 0.0}));
+    EXPECT_FALSE(schedule.available(AcceleratorKind::Gpu, {2, 0.0}));
+    EXPECT_TRUE(schedule.available(AcceleratorKind::Gpu, {3, 0.0}));
+    EXPECT_TRUE(schedule.available(AcceleratorKind::Multicore, {2, 0.0}));
+}
+
+TEST_F(FaultTest, RandomSchedulesReplayBySeed)
+{
+    FaultSchedule a = FaultSchedule::random(42, 5, 100);
+    FaultSchedule b = FaultSchedule::random(42, 5, 100);
+    FaultSchedule c = FaultSchedule::random(43, 5, 100);
+
+    ASSERT_EQ(a.size(), 5u);
+    ASSERT_EQ(b.size(), 5u);
+    bool differs_from_c = false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.faults()[i].toString(), b.faults()[i].toString());
+        if (a.faults()[i].toString() != c.faults()[i].toString())
+            differs_from_c = true;
+    }
+    EXPECT_TRUE(differs_from_c);
+}
+
+TEST_F(FaultTest, HealthySupervisorAcceptsFirstAttempt)
+{
+    BenchmarkCase bench = smallCase();
+    HeteroMap hm = framework();
+    Supervisor supervisor(hm);
+
+    Deployment plain = hm.deploy(bench);
+    DeploymentOutcome outcome = supervisor.deploy(bench);
+
+    EXPECT_TRUE(outcome.completed);
+    EXPECT_TRUE(outcome.withinTolerance);
+    ASSERT_EQ(outcome.attempts.size(), 1u);
+    EXPECT_EQ(outcome.attempts[0].action, FallbackAction::Initial);
+    EXPECT_TRUE(outcome.fallbackPath.empty());
+    EXPECT_EQ(outcome.faultsSeen, 0u);
+    EXPECT_DOUBLE_EQ(outcome.deployment.report.seconds,
+                     plain.report.seconds);
+    EXPECT_EQ(outcome.deployment.config, plain.config);
+    EXPECT_EQ(supervisor.deploymentsRun(), 1u);
+}
+
+TEST_F(FaultTest, OutageMidRunFallsBackEveryDeployment)
+{
+    BenchmarkCase bench = smallCase();
+    HeteroMap hm = framework();
+    const AcceleratorKind predicted_side =
+        hm.deploy(bench).config.accelerator;
+    const AcceleratorKind other =
+        predicted_side == AcceleratorKind::Gpu
+            ? AcceleratorKind::Multicore
+            : AcceleratorKind::Gpu;
+
+    // The predicted accelerator disappears for deployments [2, 6).
+    FaultSchedule schedule;
+    FaultSpec outage;
+    outage.kind = FaultKind::AcceleratorUnavailable;
+    outage.target = predicted_side;
+    outage.startDeployment = 2;
+    outage.endDeployment = 6;
+    schedule.add(outage);
+
+    Supervisor supervisor(hm, FaultInjector(schedule));
+    for (uint64_t d = 0; d < 8; ++d) {
+        DeploymentOutcome outcome;
+        ASSERT_NO_THROW(outcome = supervisor.deploy(bench))
+            << "deployment " << d;
+        EXPECT_TRUE(outcome.completed) << "deployment " << d;
+        if (d >= 2 && d < 6) {
+            // The initial attempt could not run; MaskPredict moved the
+            // deployment to the healthy accelerator.
+            EXPECT_FALSE(outcome.attempts[0].ran);
+            ASSERT_GE(outcome.attempts.size(), 2u);
+            EXPECT_EQ(outcome.fallbackPath.front(),
+                      FallbackAction::MaskPredict);
+            EXPECT_EQ(outcome.deployment.config.accelerator, other);
+        } else {
+            EXPECT_EQ(outcome.attempts.size(), 1u);
+            EXPECT_TRUE(outcome.fallbackPath.empty());
+            EXPECT_EQ(outcome.deployment.config.accelerator,
+                      predicted_side);
+        }
+    }
+}
+
+TEST_F(FaultTest, PersistentFaultWalksFullLadderAndExhausts)
+{
+    BenchmarkCase bench = smallCase();
+    HeteroMap hm = framework();
+
+    // Unexpirable stalls on both sides: every attempt mispredicts.
+    FaultSchedule schedule;
+    schedule.add(stallBoth(AcceleratorKind::Gpu, 1e6));
+    schedule.add(stallBoth(AcceleratorKind::Multicore, 1e6));
+
+    SupervisorOptions options;
+    options.maxAttempts = 6;
+    options.backoffBaseMs = 2.0;
+    options.backoffFactor = 3.0;
+    Supervisor supervisor(hm, FaultInjector(schedule), options);
+    DeploymentOutcome outcome = supervisor.deploy(bench);
+
+    // Full degradation ladder, in order, then bounded retries.
+    ASSERT_EQ(outcome.attempts.size(), 6u);
+    EXPECT_EQ(outcome.attempts[0].action, FallbackAction::Initial);
+    EXPECT_EQ(outcome.attempts[1].action, FallbackAction::MaskPredict);
+    EXPECT_EQ(outcome.attempts[2].action,
+              FallbackAction::SwitchAccelerator);
+    EXPECT_EQ(outcome.attempts[3].action, FallbackAction::ShrinkConfig);
+    EXPECT_EQ(outcome.attempts[4].action, FallbackAction::RetryBackoff);
+    EXPECT_EQ(outcome.attempts[5].action, FallbackAction::RetryBackoff);
+
+    for (const auto &attempt : outcome.attempts) {
+        EXPECT_TRUE(attempt.ran);
+        EXPECT_TRUE(attempt.mispredict);
+        EXPECT_FALSE(attempt.faults.empty());
+    }
+
+    // ShrinkConfig actually shrank the intra-accelerator choices.
+    EXPECT_LT(outcome.attempts[3].config.activeThreads(),
+              outcome.attempts[2].config.activeThreads());
+
+    // Exponential backoff between retries.
+    EXPECT_DOUBLE_EQ(outcome.attempts[4].backoffMs, 2.0);
+    EXPECT_DOUBLE_EQ(outcome.attempts[5].backoffMs, 6.0);
+    EXPECT_DOUBLE_EQ(outcome.totalBackoffMs, 8.0);
+
+    // Exhaustion degrades to best-effort instead of panicking.
+    EXPECT_TRUE(outcome.completed);
+    EXPECT_FALSE(outcome.withinTolerance);
+    EXPECT_EQ(outcome.failure.code, ErrorCode::Exhausted);
+    EXPECT_GT(outcome.deployment.report.seconds, 1e6);
+}
+
+TEST_F(FaultTest, TransientStallExpiresDuringBackoffRetries)
+{
+    BenchmarkCase bench = smallCase();
+    HeteroMap hm = framework();
+    const double healthy = hm.deploy(bench).report.seconds;
+    // The scenario below assumes proxy-scale modelled times; if the
+    // model ever drifts to seconds-scale this guard fails loudly.
+    ASSERT_LT(healthy, 0.5);
+
+    // A 5-second stall on both sides that expires by modelled time
+    // while the supervisor is still walking the ladder: attempts 0-3
+    // each pay ~5s, so the window closes before the first retry.
+    const double stall = 5.0;
+    const double expiry = 18.0;
+    FaultSchedule schedule;
+    schedule.add(stallBoth(AcceleratorKind::Gpu, stall, expiry));
+    schedule.add(stallBoth(AcceleratorKind::Multicore, stall, expiry));
+
+    Supervisor supervisor(hm, FaultInjector(schedule));
+    DeploymentOutcome outcome = supervisor.deploy(bench);
+
+    EXPECT_TRUE(outcome.completed);
+    EXPECT_TRUE(outcome.withinTolerance);
+    ASSERT_EQ(outcome.attempts.size(), 5u);
+    EXPECT_EQ(outcome.attempts.back().action,
+              FallbackAction::RetryBackoff);
+    EXPECT_GT(outcome.attempts.back().backoffMs, 0.0);
+    EXPECT_FALSE(outcome.attempts.back().mispredict);
+    // The four earlier rungs all saw the stall.
+    for (std::size_t i = 0; i + 1 < outcome.attempts.size(); ++i) {
+        EXPECT_TRUE(outcome.attempts[i].mispredict);
+        EXPECT_GT(outcome.attempts[i].observedSeconds, stall);
+    }
+    // Ladder order is preserved on the way down.
+    ASSERT_EQ(outcome.fallbackPath.size(), 4u);
+    EXPECT_EQ(outcome.fallbackPath[0], FallbackAction::MaskPredict);
+    EXPECT_EQ(outcome.fallbackPath[1],
+              FallbackAction::SwitchAccelerator);
+    EXPECT_EQ(outcome.fallbackPath[2], FallbackAction::ShrinkConfig);
+    EXPECT_EQ(outcome.fallbackPath[3], FallbackAction::RetryBackoff);
+}
+
+TEST_F(FaultTest, SupervisedRunsReplayDeterministically)
+{
+    BenchmarkCase bench = smallCase();
+    HeteroMap hm = framework();
+    FaultSchedule schedule = FaultSchedule::random(7, 6, 20);
+
+    auto run = [&]() {
+        std::vector<std::string> trace;
+        Supervisor supervisor(hm, FaultInjector(schedule));
+        for (int d = 0; d < 10; ++d) {
+            DeploymentOutcome outcome = supervisor.deploy(bench);
+            std::ostringstream oss;
+            oss << outcome.deploymentIndex << "|" << outcome.completed
+                << "|" << outcome.faultsSeen;
+            for (const auto &a : outcome.attempts) {
+                oss << "|" << fallbackActionName(a.action) << ":"
+                    << a.ran << ":" << a.observedSeconds;
+            }
+            trace.push_back(oss.str());
+        }
+        return trace;
+    };
+
+    EXPECT_EQ(run(), run());
+}
+
+TEST_F(FaultTest, BothSidesDownIsARecoverableFailure)
+{
+    BenchmarkCase bench = smallCase();
+    HeteroMap hm = framework();
+
+    FaultSchedule schedule;
+    for (AcceleratorKind side :
+         {AcceleratorKind::Gpu, AcceleratorKind::Multicore}) {
+        FaultSpec outage;
+        outage.kind = FaultKind::AcceleratorUnavailable;
+        outage.target = side;
+        schedule.add(outage);
+    }
+
+    SupervisorOptions options;
+    options.maxAttempts = 3;
+    Supervisor supervisor(hm, FaultInjector(schedule), options);
+    DeploymentOutcome outcome;
+    ASSERT_NO_THROW(outcome = supervisor.deploy(bench));
+    EXPECT_FALSE(outcome.completed);
+    EXPECT_EQ(outcome.failure.code, ErrorCode::Unavailable);
+    for (const auto &attempt : outcome.attempts)
+        EXPECT_FALSE(attempt.ran);
+    EXPECT_FALSE(outcome.toString().empty());
+}
+
+} // namespace
+} // namespace heteromap

@@ -210,5 +210,52 @@ TEST(IoTest, MissingWeightDefaultsToOne)
     EXPECT_FLOAT_EQ(g.edgeWeight(0), 1.0f);
 }
 
+TEST(IoTest, ToleratesCrlfLineEndings)
+{
+    std::stringstream buffer("vertices 2\r\n0 1 2.5\r\n");
+    Graph g = readEdgeList(buffer);
+    EXPECT_EQ(g.numVertices(), 2u);
+    EXPECT_EQ(g.numEdges(), 1u);
+    EXPECT_FLOAT_EQ(g.edgeWeight(0), 2.5f);
+}
+
+TEST(IoTest, RecoverableOutOfRangeCarriesLineNumber)
+{
+    std::stringstream buffer("vertices 2\n0 1 1.0\n0 7 1.0\n");
+    Result<Graph> result = tryReadEdgeList(buffer);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code, ErrorCode::OutOfRange);
+    EXPECT_EQ(result.error().line, 3u);
+}
+
+TEST(IoTest, RejectsNegativeVertexIds)
+{
+    std::stringstream buffer("vertices 4\n-1 2 1.0\n");
+    Result<Graph> result = tryReadEdgeList(buffer);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code, ErrorCode::OutOfRange);
+    EXPECT_EQ(result.error().line, 2u);
+}
+
+TEST(IoTest, RejectsNegativeWeights)
+{
+    std::stringstream buffer("vertices 2\n0 1 -3.5\n");
+    Result<Graph> result = tryReadEdgeList(buffer);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code, ErrorCode::OutOfRange);
+    EXPECT_EQ(result.error().line, 2u);
+    // The throwing wrapper maps the same failure to FatalError.
+    std::stringstream again("vertices 2\n0 1 -3.5\n");
+    EXPECT_THROW(readEdgeList(again), FatalError);
+}
+
+TEST(IoTest, MissingFileIsARecoverableIoError)
+{
+    Result<Graph> result =
+        tryLoadEdgeListFile("/nonexistent/heteromap-no-such-file");
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code, ErrorCode::Io);
+}
+
 } // namespace
 } // namespace heteromap

@@ -10,6 +10,7 @@
 #include <set>
 #include <sstream>
 
+#include "util/errors.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 #include "util/stats.hh"
@@ -277,6 +278,42 @@ TEST(TableTest, NumberFormatting)
     EXPECT_EQ(formatPercent(0.315, 1), "31.5%");
     EXPECT_EQ(formatCount(1234567), "1,234,567");
     EXPECT_EQ(formatCount(42), "42");
+}
+
+TEST(ResultTest, CarriesValueOrError)
+{
+    Result<int> good = 42;
+    ASSERT_TRUE(good.ok());
+    EXPECT_EQ(good.value(), 42);
+    EXPECT_EQ(good.valueOr(7), 42);
+
+    Result<int> bad =
+        makeError(ErrorCode::Parse, 3, "malformed something");
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().code, ErrorCode::Parse);
+    EXPECT_EQ(bad.error().line, 3u);
+    EXPECT_EQ(bad.valueOr(7), 7);
+    EXPECT_EQ(bad.error().toString(),
+              "parse error (line 3): malformed something");
+}
+
+TEST(ResultTest, OrThrowBridgesToFatalError)
+{
+    EXPECT_EQ(Result<int>(5).orThrow(), 5);
+    Result<int> bad = makeError(ErrorCode::Io, 0, "disk on fire");
+    EXPECT_THROW(std::move(bad).orThrow(), FatalError);
+}
+
+TEST(ResultTest, RecoverableMacroTagsCallSite)
+{
+    setLogVerbose(false);
+    Error err = HM_RECOVERABLE(ErrorCode::Unavailable, "gpu ", 1,
+                               " offline");
+    setLogVerbose(true);
+    EXPECT_EQ(err.code, ErrorCode::Unavailable);
+    EXPECT_EQ(err.message, "gpu 1 offline");
+    EXPECT_EQ(err.line, 0u);
+    EXPECT_STREQ(errorCodeName(ErrorCode::Exhausted), "exhausted");
 }
 
 TEST(TimerTest, MeasuresElapsedTime)
