@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Offline training sweep throughput: cases/sec of the labelling
+ * pipeline (Sec. V, Fig. 8 step 1) as the work-stealing pool widens,
+ * against the serial baseline. The sweep is the wall-clock bottleneck
+ * on the way to a Table III-scale corpus, and the cases are
+ * independent, so near-linear scaling is the expectation.
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+
+#include "core/training.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+#include "util/thread_pool.hh"
+#include "util/timer.hh"
+
+using namespace heteromap;
+
+int
+main()
+{
+    setLogVerbose(false);
+    Oracle oracle;
+
+    TrainingOptions options;
+    options.syntheticBenchmarks = 12;
+    options.syntheticIterations = 1;
+    options.tuner = TunerKind::Grid;
+
+    // Default (Table III) corpus, shared by every configuration so
+    // the graph generation cost is paid once, outside the timings.
+    const std::vector<TrainingGraph> corpus =
+        defaultTrainingGraphs(options.seed);
+    const std::size_t cases = options.syntheticBenchmarks * corpus.size();
+
+    std::cout << "Training sweep throughput: " << cases << " cases ("
+              << options.syntheticBenchmarks << " B vectors x "
+              << corpus.size() << " training graphs), grid tuner\n\n";
+
+    TextTable table({"Threads", "Seconds", "Cases/sec", "Speedup",
+                     "Identical"});
+
+    double serial_seconds = 0.0;
+    std::string serial_bytes;
+    const std::size_t hw = ThreadPool::defaultThreadCount();
+    std::vector<std::size_t> widths{1, 2, 4, 8};
+    if (std::find(widths.begin(), widths.end(), hw) == widths.end())
+        widths.push_back(hw);
+    for (std::size_t threads : widths) {
+        options.threads = threads;
+        TrainingPipeline pipeline(primaryPair(), oracle, options);
+
+        Timer timer;
+        timer.start();
+        TrainingSet corpus_set = pipeline.run(corpus);
+        double seconds = timer.elapsedSeconds();
+
+        std::ostringstream oss;
+        pipeline.database().save(oss);
+        if (threads == 1) {
+            serial_seconds = seconds;
+            serial_bytes = oss.str();
+        }
+
+        table.addRow({
+            std::to_string(threads) + (threads == hw ? " (hw)" : ""),
+            formatNumber(seconds, 2),
+            formatNumber(static_cast<double>(corpus_set.size()) /
+                             seconds, 1),
+            formatNumber(serial_seconds / seconds, 2) + "x",
+            oss.str() == serial_bytes ? "yes" : "NO",
+        });
+    }
+    table.print(std::cout);
+
+    std::cout << "\nParallel output is merged in deterministic case "
+                 "order; 'Identical' compares the profiler database "
+                 "bytes against the serial run.\n";
+    return 0;
+}

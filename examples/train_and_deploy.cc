@@ -35,6 +35,7 @@ main()
     TrainingOptions options;
     options.syntheticBenchmarks = 24;
     options.syntheticIterations = 1;
+    options.threads = 0; // fan the sweep across all hardware threads
     TrainingPipeline pipeline(pair, oracle, options);
 
     Timer timer;

@@ -32,6 +32,13 @@ ProfilerDatabase::insert(const FeatureVector &features,
     entries_[keyOf(features)] = Entry{features, best};
 }
 
+void
+ProfilerDatabase::merge(const ProfilerDatabase &other)
+{
+    for (const auto &[key, entry] : other.entries_)
+        entries_[key] = entry;
+}
+
 std::optional<NormalizedMVector>
 ProfilerDatabase::lookup(const FeatureVector &features) const
 {

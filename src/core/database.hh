@@ -30,6 +30,14 @@ class ProfilerDatabase
     void insert(const FeatureVector &features,
                 const NormalizedMVector &best);
 
+    /**
+     * Merge-on-join: fold @p other's entries into this store
+     * (@p other wins key collisions). Parallel producers each fill a
+     * private database and the owner merges them after joining, so
+     * the store itself needs no locking.
+     */
+    void merge(const ProfilerDatabase &other);
+
     /** Exact lookup on the discretized key. */
     std::optional<NormalizedMVector>
     lookup(const FeatureVector &features) const;

@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "core/training.hh"
+#include "tuner/grid_search.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
 #include "workloads/registry.hh"
@@ -58,21 +59,7 @@ TuneResult
 gridSearchSide(const MSearchSpace &space, const TuneObjective &objective,
                AcceleratorKind side)
 {
-    TuneResult result;
-    bool first = true;
-    for (const MConfig &candidate : space.enumerate()) {
-        if (candidate.accelerator != side)
-            continue;
-        double score = objective(candidate);
-        ++result.evaluations;
-        if (first || score < result.bestScore) {
-            result.best = candidate;
-            result.bestScore = score;
-            first = false;
-        }
-    }
-    HM_ASSERT(!first, "no candidates on the requested accelerator side");
-    return result;
+    return gridSearchSide(space.enumerate(), objective, side);
 }
 
 CaseBaselines
@@ -82,11 +69,14 @@ computeBaselines(const BenchmarkCase &bench, const AcceleratorPair &pair,
     MSearchSpace space(pair, granularity);
     TuneObjective objective = oracle.timeObjective(bench, pair);
 
+    // Enumerate once; both per-side sweeps share the list.
+    const std::vector<MConfig> candidates = space.enumerate();
+
     CaseBaselines out;
     TuneResult gpu =
-        gridSearchSide(space, objective, AcceleratorKind::Gpu);
+        gridSearchSide(candidates, objective, AcceleratorKind::Gpu);
     TuneResult multicore =
-        gridSearchSide(space, objective, AcceleratorKind::Multicore);
+        gridSearchSide(candidates, objective, AcceleratorKind::Multicore);
     out.gpuBest = gpu.best;
     out.gpuSeconds = gpu.bestScore;
     out.multicoreBest = multicore.best;

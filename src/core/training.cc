@@ -12,8 +12,10 @@
 #include "graph/generators.hh"
 #include "tuner/annealing.hh"
 #include "tuner/grid_search.hh"
+#include "tuner/objective_cache.hh"
 #include "tuner/random_search.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 #include "workloads/synthetic.hh"
 
 namespace heteromap {
@@ -109,7 +111,7 @@ canonicalAnchor()
 
 /** Best config on one side, tie-broken toward the canonical anchor. */
 MConfig
-tuneSideCanonical(const MSearchSpace &space,
+tuneSideCanonical(const std::vector<MConfig> &candidates,
                   const TuneObjective &objective, AcceleratorKind side,
                   const AcceleratorPair &pair, double *best_score)
 {
@@ -117,7 +119,7 @@ tuneSideCanonical(const MSearchSpace &space,
     double best = 0.0;
     bool first = true;
     std::vector<std::pair<MConfig, double>> scored;
-    for (const MConfig &candidate : space.enumerate()) {
+    for (const MConfig &candidate : candidates) {
         if (candidate.accelerator != side)
             continue;
         double score = objective(candidate);
@@ -155,13 +157,9 @@ tuneSideCanonical(const MSearchSpace &space,
 } // namespace
 
 TuneResult
-TrainingPipeline::tuneCase(const BenchmarkCase &bench)
+TrainingPipeline::tuneCase(const MSearchSpace &space,
+                           const TuneObjective &objective) const
 {
-    MSearchSpace space(pair_, options_.granularity);
-    TuneObjective objective =
-        options_.energyObjective
-            ? oracle_.energyObjective(bench, pair_)
-            : oracle_.timeObjective(bench, pair_);
     switch (options_.tuner) {
       case TunerKind::Grid:
         return gridSearch(space, objective);
@@ -170,7 +168,11 @@ TrainingPipeline::tuneCase(const BenchmarkCase &bench)
                             options_.searchIterations, options_.seed);
       case TunerKind::Anneal: {
         AnnealOptions anneal;
-        anneal.iterations = options_.searchIterations;
+        // searchIterations is the case's total objective budget for
+        // Random and Anneal alike: divide it across the restarts
+        // rather than granting each restart the full budget.
+        anneal.iterations = std::max<std::size_t>(
+            1, options_.searchIterations / anneal.restarts);
         anneal.seed = options_.seed;
         return simulatedAnnealing(space, objective, anneal);
       }
@@ -181,75 +183,110 @@ TrainingPipeline::tuneCase(const BenchmarkCase &bench)
 TrainingSet
 TrainingPipeline::run(const std::vector<TrainingGraph> &graphs)
 {
+    // The default corpus is cached per pipeline, derived from *this*
+    // pipeline's seed. (A function-local static here would freeze the
+    // first pipeline's seed into every later pipeline's corpus.)
+    if (graphs.empty() && defaultCorpus_.empty())
+        defaultCorpus_ = defaultTrainingGraphs(options_.seed);
     const std::vector<TrainingGraph> &corpus =
-        graphs.empty()
-            ? *[this] {
-                  static const std::vector<TrainingGraph> defaults =
-                      defaultTrainingGraphs(options_.seed);
-                  return &defaults;
-              }()
-            : graphs;
+        graphs.empty() ? defaultCorpus_ : graphs;
 
     auto b_vectors = sampleSyntheticBVectors(
         options_.syntheticBenchmarks, options_.seed);
 
-    TrainingSet samples;
-    samples.reserve(b_vectors.size() * corpus.size());
-    evaluations_ = 0;
+    // Enumerate the M grid once per run (i.e. once per granularity);
+    // every case and both per-side tuning passes share the read-only
+    // candidate list.
+    const MSearchSpace space(pair_, options_.granularity);
+    const std::vector<MConfig> candidates = space.enumerate();
 
-    std::size_t case_index = 0;
-    for (const auto &b : b_vectors) {
-        for (const auto &tg : corpus) {
-            // Frontier-style phases chain through as many narrow
-            // levels as the (nominal) diameter implies, teaching the
-            // learners the high-diameter starvation effect.
-            const auto frontier_rounds = static_cast<unsigned>(
-                std::clamp<uint64_t>(tg.scaleStats.diameter / 4, 1,
-                                     96));
-            SyntheticWorkload workload(b, options_.seed + case_index,
-                                       options_.syntheticIterations,
-                                       frontier_rounds);
-            BenchmarkCase bench = makeCase(workload, tg.graph, tg.name,
-                                           tg.stats, tg.scaleStats);
+    struct CaseResult {
+        FeatureVector x;
+        NormalizedMVector y;
+        std::size_t evaluations = 0;
+    };
+    const std::size_t num_cases = b_vectors.size() * corpus.size();
+    std::vector<CaseResult> results(num_cases);
 
-            NormalizedMVector y;
-            if (options_.tuner == TunerKind::Grid) {
-                // Tune each side independently so the label carries
-                // the best knobs for *both* accelerators; M1 records
-                // the winner. A single global search would leave the
-                // losing side's knobs at meaningless defaults.
-                MSearchSpace space(pair_, options_.granularity);
-                TuneObjective objective =
-                    options_.energyObjective
-                        ? oracle_.energyObjective(bench, pair_)
-                        : oracle_.timeObjective(bench, pair_);
-                double gpu_score = 0.0;
-                double mc_score = 0.0;
-                MConfig gpu_best = tuneSideCanonical(
-                    space, objective, AcceleratorKind::Gpu, pair_,
-                    &gpu_score);
-                MConfig mc_best = tuneSideCanonical(
-                    space, objective, AcceleratorKind::Multicore,
-                    pair_, &mc_score);
-                evaluations_ += space.enumerate().size();
+    // Each (B-vector, training-graph) case is independent: workers
+    // only read shared state and write their own results slot, and
+    // the merge below walks slots in case order, so the output is
+    // byte-identical for any thread count.
+    auto run_case = [&](std::size_t case_index) {
+        const BVariables &b = b_vectors[case_index / corpus.size()];
+        const TrainingGraph &tg = corpus[case_index % corpus.size()];
 
-                y = normalizeConfig(mc_best, pair_);
-                NormalizedMVector y_gpu =
-                    normalizeConfig(gpu_best, pair_);
-                y.m[18] = y_gpu.m[18];
-                y.m[19] = y_gpu.m[19];
-                y.m[0] = gpu_score <= mc_score ? 0.0 : 1.0;
-            } else {
-                TuneResult tuned = tuneCase(bench);
-                evaluations_ += tuned.evaluations;
-                y = normalizeConfig(tuned.best, pair_);
-            }
+        // Frontier-style phases chain through as many narrow
+        // levels as the (nominal) diameter implies, teaching the
+        // learners the high-diameter starvation effect.
+        const auto frontier_rounds = static_cast<unsigned>(
+            std::clamp<uint64_t>(tg.scaleStats.diameter / 4, 1, 96));
+        // Seeded per (B, graph) case, not per B vector, so no two
+        // cases share a synthetic access pattern.
+        SyntheticWorkload workload(b, options_.seed + case_index,
+                                   options_.syntheticIterations,
+                                   frontier_rounds);
+        BenchmarkCase bench = makeCase(workload, tg.graph, tg.name,
+                                       tg.stats, tg.scaleStats);
 
-            database_.insert(bench.features, y);
-            samples.push_back({bench.features, y});
+        // The memo cache keys on (config, case): one cache per case,
+        // owned by the worker tuning it. Score and tie-break passes
+        // hit the oracle once per distinct configuration, and
+        // invocations() is the exact evaluation count.
+        ObjectiveCache cache(options_.energyObjective
+                                 ? oracle_.energyObjective(bench, pair_)
+                                 : oracle_.timeObjective(bench, pair_));
+        TuneObjective objective = cache.asObjective();
+
+        NormalizedMVector y;
+        if (options_.tuner == TunerKind::Grid) {
+            // Tune each side independently so the label carries
+            // the best knobs for *both* accelerators; M1 records
+            // the winner. A single global search would leave the
+            // losing side's knobs at meaningless defaults.
+            double gpu_score = 0.0;
+            double mc_score = 0.0;
+            MConfig gpu_best = tuneSideCanonical(
+                candidates, objective, AcceleratorKind::Gpu, pair_,
+                &gpu_score);
+            MConfig mc_best = tuneSideCanonical(
+                candidates, objective, AcceleratorKind::Multicore,
+                pair_, &mc_score);
+
+            y = normalizeConfig(mc_best, pair_);
+            NormalizedMVector y_gpu = normalizeConfig(gpu_best, pair_);
+            y.m[18] = y_gpu.m[18];
+            y.m[19] = y_gpu.m[19];
+            y.m[0] = gpu_score <= mc_score ? 0.0 : 1.0;
+        } else {
+            TuneResult tuned = tuneCase(space, objective);
+            y = normalizeConfig(tuned.best, pair_);
         }
-        ++case_index;
+        results[case_index] = {bench.features, y, cache.invocations()};
+    };
+
+    const std::size_t threads = options_.threads == 0
+                                    ? ThreadPool::defaultThreadCount()
+                                    : options_.threads;
+    if (threads > 1 && num_cases > 1) {
+        ThreadPool pool(std::min(threads, num_cases));
+        pool.parallelFor(num_cases, run_case);
+    } else {
+        for (std::size_t i = 0; i < num_cases; ++i)
+            run_case(i);
     }
+
+    // Merge on join, in deterministic case order.
+    TrainingSet samples;
+    samples.reserve(num_cases);
+    evaluations_ = 0;
+    ProfilerDatabase fresh;
+    for (const CaseResult &result : results) {
+        fresh.insert(result.x, result.y);
+        samples.push_back({result.x, result.y});
+        evaluations_ += result.evaluations;
+    }
+    database_.merge(fresh);
     inform("training pipeline: ", samples.size(), " samples, ",
            evaluations_, " tuner evaluations");
     return samples;

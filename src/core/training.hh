@@ -34,6 +34,13 @@ struct TrainingOptions {
     std::size_t searchIterations = 400;   //!< for Random/Anneal
     bool energyObjective = false;         //!< train for energy instead
     uint64_t seed = 2026;
+
+    /**
+     * Worker threads for the sweep; 0 = hardware concurrency. Cases
+     * fan out over a work-stealing pool and merge back in case order,
+     * so any thread count produces byte-identical output to 1.
+     */
+    std::size_t threads = 1;
 };
 
 /** A named synthetic training graph. */
@@ -70,7 +77,11 @@ class TrainingPipeline
     /** The (B, I) -> M store filled by run(). */
     const ProfilerDatabase &database() const { return database_; }
 
-    /** Tuner evaluations spent in the last run(). */
+    /**
+     * Distinct objective evaluations (actual oracle invocations)
+     * spent in the last run(), as counted by the per-case memo
+     * caches — repeats served from the cache are not charged.
+     */
     std::size_t evaluations() const { return evaluations_; }
 
   private:
@@ -79,8 +90,10 @@ class TrainingPipeline
     TrainingOptions options_;
     ProfilerDatabase database_;
     std::size_t evaluations_ = 0;
+    std::vector<TrainingGraph> defaultCorpus_; //!< lazy, this seed's
 
-    TuneResult tuneCase(const BenchmarkCase &bench);
+    TuneResult tuneCase(const MSearchSpace &space,
+                        const TuneObjective &objective) const;
 };
 
 } // namespace heteromap

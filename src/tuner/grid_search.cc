@@ -12,9 +12,16 @@ namespace heteromap {
 TuneResult
 gridSearch(const MSearchSpace &space, const TuneObjective &objective)
 {
+    return gridSearch(space.enumerate(), objective);
+}
+
+TuneResult
+gridSearch(const std::vector<MConfig> &candidates,
+           const TuneObjective &objective)
+{
     TuneResult result;
     bool first = true;
-    for (const MConfig &candidate : space.enumerate()) {
+    for (const MConfig &candidate : candidates) {
         double score = objective(candidate);
         ++result.evaluations;
         if (first || score < result.bestScore) {
@@ -24,6 +31,27 @@ gridSearch(const MSearchSpace &space, const TuneObjective &objective)
         }
     }
     HM_ASSERT(!first, "grid search over an empty space");
+    return result;
+}
+
+TuneResult
+gridSearchSide(const std::vector<MConfig> &candidates,
+               const TuneObjective &objective, AcceleratorKind side)
+{
+    TuneResult result;
+    bool first = true;
+    for (const MConfig &candidate : candidates) {
+        if (candidate.accelerator != side)
+            continue;
+        double score = objective(candidate);
+        ++result.evaluations;
+        if (first || score < result.bestScore) {
+            result.best = candidate;
+            result.bestScore = score;
+            first = false;
+        }
+    }
+    HM_ASSERT(!first, "no candidates on the requested accelerator side");
     return result;
 }
 

@@ -3,6 +3,9 @@
  * Exhaustive grid search over an MSearchSpace — the "ideal"
  * configuration finder the paper compares HeteroMap against
  * ("manually optimizes by running all possible configurations").
+ * The candidate-list overloads let callers enumerate the grid once
+ * and share the (read-only) list across several passes — the
+ * training sweep's per-side tunes and its parallel workers.
  */
 
 #ifndef HETEROMAP_TUNER_GRID_SEARCH_HH
@@ -15,6 +18,15 @@ namespace heteromap {
 /** Evaluate every grid candidate; return the objective minimizer. */
 TuneResult gridSearch(const MSearchSpace &space,
                       const TuneObjective &objective);
+
+/** Same, over a pre-enumerated candidate list. */
+TuneResult gridSearch(const std::vector<MConfig> &candidates,
+                      const TuneObjective &objective);
+
+/** Minimizer among candidates on one accelerator side only. */
+TuneResult gridSearchSide(const std::vector<MConfig> &candidates,
+                          const TuneObjective &objective,
+                          AcceleratorKind side);
 
 } // namespace heteromap
 

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Objective-cache implementation.
+ */
+
+#include "tuner/objective_cache.hh"
+
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace heteromap {
+
+ObjectiveCache::ObjectiveCache(TuneObjective inner)
+    : inner_(std::move(inner))
+{
+    HM_ASSERT(inner_ != nullptr, "objective cache needs an objective");
+}
+
+ObjectiveCache::Key
+ObjectiveCache::keyOf(const MConfig &c)
+{
+    return Key{c.accelerator,     c.cores,
+               c.threadsPerCore,  c.blocktimeMs,
+               c.placementSpread, c.affinityMovable,
+               c.schedule,        c.simdWidth,
+               c.chunkSize,       c.nestedParallelism,
+               c.maxActiveLevels, c.spinCount,
+               c.activeWaitPolicy, c.procBindClose,
+               c.dynamicTeams,    c.stackSizeKb,
+               c.gpuGlobalThreads, c.gpuLocalThreads};
+}
+
+double
+ObjectiveCache::operator()(const MConfig &config)
+{
+    const Key key = keyOf(config);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+        ++hits_;
+        return it->second;
+    }
+    // Evaluate before inserting so a throwing objective leaves no
+    // stale entry behind.
+    double value = inner_(config);
+    ++invocations_;
+    cache_.emplace(key, value);
+    return value;
+}
+
+TuneObjective
+ObjectiveCache::asObjective()
+{
+    return [this](const MConfig &config) { return (*this)(config); };
+}
+
+} // namespace heteromap

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Memoizing wrapper around a TuneObjective. A tuning pass for one
+ * benchmark case may score the same MConfig several times (per-side
+ * grid passes, annealing revisits, near-tie re-ranking); the cache
+ * evaluates the underlying oracle once per distinct configuration and
+ * serves repeats from memory. invocations() counts actual oracle
+ * calls, which makes tuner-evaluation accounting exact.
+ */
+
+#ifndef HETEROMAP_TUNER_OBJECTIVE_CACHE_HH
+#define HETEROMAP_TUNER_OBJECTIVE_CACHE_HH
+
+#include <map>
+#include <tuple>
+
+#include "tuner/search_space.hh"
+
+namespace heteromap {
+
+/**
+ * Per-case objective memo. Not thread-safe: intended to be owned by
+ * the single worker tuning one case, which is how the training sweep
+ * keys the cache on (config, case) — one cache instance per case.
+ */
+class ObjectiveCache
+{
+  public:
+    explicit ObjectiveCache(TuneObjective inner);
+
+    /** Score @p config, consulting the memo first. */
+    double operator()(const MConfig &config);
+
+    /** A TuneObjective view of this cache (captures `this`). */
+    TuneObjective asObjective();
+
+    /** Distinct configurations evaluated (actual oracle calls). */
+    std::size_t invocations() const { return invocations_; }
+
+    /** Calls served from the memo. */
+    std::size_t hits() const { return hits_; }
+
+    /** Entries currently memoized (== invocations()). */
+    std::size_t size() const { return cache_.size(); }
+
+  private:
+    /** Strict-weak-orderable image of every MConfig member. */
+    using Key = std::tuple<AcceleratorKind, unsigned, unsigned, double,
+                           double, double, SchedulePolicy, unsigned,
+                           unsigned, bool, unsigned, unsigned, bool,
+                           bool, bool, unsigned, unsigned, unsigned>;
+
+    static Key keyOf(const MConfig &config);
+
+    TuneObjective inner_;
+    std::map<Key, double> cache_;
+    std::size_t invocations_ = 0;
+    std::size_t hits_ = 0;
+};
+
+} // namespace heteromap
+
+#endif // HETEROMAP_TUNER_OBJECTIVE_CACHE_HH

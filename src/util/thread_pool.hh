@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Small work-stealing thread pool. Each worker owns a deque; it pops
+ * its own tasks from the front and steals from the back of a sibling
+ * when it runs dry, so coarse, unevenly sized tasks (e.g. the offline
+ * training sweep's tuning cases) balance without a central queue
+ * becoming a point of contention. Exceptions thrown by tasks are
+ * captured and rethrown from wait(); destruction drains every queued
+ * task before joining.
+ */
+
+#ifndef HETEROMAP_UTIL_THREAD_POOL_HH
+#define HETEROMAP_UTIL_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace heteromap {
+
+/** Fixed-size work-stealing pool of worker threads. */
+class ThreadPool
+{
+  public:
+    using Task = std::function<void()>;
+
+    /** @param threads Worker count; 0 picks defaultThreadCount(). */
+    explicit ThreadPool(std::size_t threads = 0);
+
+    /** Drains all queued tasks, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    std::size_t threadCount() const { return workers_.size(); }
+
+    /** Enqueue @p task for execution on some worker. */
+    void submit(Task task);
+
+    /**
+     * Block until every submitted task has finished. The first
+     * exception any task threw since the last wait() is rethrown
+     * here (the pool stays usable afterwards).
+     */
+    void wait();
+
+    /**
+     * Run body(0) .. body(count - 1) across the pool and wait().
+     * Iterations must not depend on each other; any iteration's
+     * exception propagates out of this call.
+     */
+    void parallelFor(std::size_t count,
+                     const std::function<void(std::size_t)> &body);
+
+    /** max(1, hardware concurrency) — the threads == 0 resolution. */
+    static std::size_t defaultThreadCount();
+
+  private:
+    /** One worker's state: its deque and the lock guarding it. */
+    struct Worker {
+        std::deque<Task> queue;
+        std::mutex mutex;
+    };
+
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::thread> threads_;
+
+    std::mutex idle_mutex_;            //!< sleep/wake of idle workers
+    std::condition_variable idle_cv_;
+    std::mutex done_mutex_;            //!< wait() rendezvous
+    std::condition_variable done_cv_;
+
+    std::atomic<std::size_t> queued_{0};  //!< tasks sitting in queues
+    std::atomic<std::size_t> pending_{0}; //!< queued + running tasks
+    std::atomic<bool> stop_{false};
+    std::atomic<std::size_t> next_{0};    //!< round-robin submit cursor
+
+    std::mutex exception_mutex_;
+    std::exception_ptr first_exception_;
+
+    void workerLoop(std::size_t self);
+    bool tryPop(std::size_t self, Task &task);
+    void runTask(Task &task);
+};
+
+} // namespace heteromap
+
+#endif // HETEROMAP_UTIL_THREAD_POOL_HH
