@@ -14,7 +14,7 @@
 
 #include "core/heteromap.hh"
 #include "graph/generators.hh"
-#include "graph/props.hh"
+#include "graph/stats_cache.hh"
 #include "model/decision_tree.hh"
 #include "util/logging.hh"
 #include "workloads/registry.hh"
@@ -29,7 +29,7 @@ main()
     // 1. An input graph: a small social-network-like R-MAT instance.
     Graph graph = generateRmat(/*scale=*/12, /*edge_factor=*/10.0,
                                /*seed=*/42);
-    GraphStats stats = measureGraph(graph);
+    GraphStats stats = globalStatsCache().measure(graph);
     std::cout << "input graph: " << stats.toString() << "\n";
 
     // 2. A benchmark: PageRank, profiled on the graph. makeCase runs

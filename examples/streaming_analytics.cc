@@ -6,6 +6,12 @@
  * demonstrating that the predictor adapts as chunk characteristics
  * drift (dense head chunks vs sparse tail chunks of a skewed graph).
  *
+ * Chunk measurement goes through the global GraphStats cache: the
+ * first epoch over the stream measures each chunk cold, and every
+ * later epoch re-cuts structurally identical chunks whose stats hit
+ * the cache — the steady-state streaming loop pays (almost) nothing
+ * for property collection.
+ *
  * Run: ./streaming_analytics
  */
 
@@ -14,9 +20,10 @@
 #include "core/heteromap.hh"
 #include "graph/chunker.hh"
 #include "graph/generators.hh"
-#include "graph/props.hh"
+#include "graph/stats_cache.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
+#include "util/timer.hh"
 #include "workloads/registry.hh"
 
 using namespace heteromap;
@@ -29,8 +36,9 @@ main()
     // A skewed social graph: hubs live at low vertex ids, so the
     // leading chunks are dense and the trailing ones sparse.
     Graph graph = generateRmat(14, 12.0, 7);
-    std::cout << "full graph: " << measureGraph(graph).toString()
-              << " (" << (graph.footprintBytes() >> 10) << " KB)\n";
+    std::cout << "full graph: "
+              << globalStatsCache().measure(graph).toString() << " ("
+              << (graph.footprintBytes() >> 10) << " KB)\n";
 
     // Chunk to a quarter of the graph's footprint, as if the device
     // memory could not hold it whole.
@@ -43,31 +51,57 @@ main()
                         makePredictor(PredictorKind::DecisionTree),
                         oracle);
     auto workload = makeWorkload("CONN");
+    MeasureOptions chunk_measure;
+    chunk_measure.sweeps = 2;
 
+    GraphStatsCache &cache = globalStatsCache();
+    constexpr int kEpochs = 3;
     TextTable table({"chunk", "#V", "#E", "avg deg", "choice",
                      "modelled ms"});
-    double total_ms = 0.0;
-    for (std::size_t i = 0; i < chunker.numChunks(); ++i) {
-        GraphChunk chunk = chunker.chunk(i);
-        GraphStats stats = measureGraph(chunk.subgraph, 2);
 
-        BenchmarkCase bench =
-            makeCase(*workload, chunk.subgraph,
-                     "chunk" + std::to_string(i), stats);
-        Deployment deployment = framework.deploy(bench);
-        total_ms += deployment.totalSeconds() * 1e3;
+    for (int epoch = 0; epoch < kEpochs; ++epoch) {
+        const uint64_t hits_before = cache.hits();
+        Timer measure_timer;
+        double measure_ms = 0.0;
+        double total_ms = 0.0;
 
-        table.addRow({
-            std::to_string(i),
-            formatCount(stats.numVertices),
-            formatCount(stats.numEdges),
-            formatNumber(stats.avgDegree, 1),
-            acceleratorKindName(deployment.config.accelerator),
-            formatNumber(deployment.report.seconds * 1e3, 4),
-        });
+        for (std::size_t i = 0; i < chunker.numChunks(); ++i) {
+            GraphChunk chunk = chunker.chunk(i);
+            // Memoized: epoch 0 measures cold; later epochs re-cut
+            // the same chunk content and hit the cache.
+            measure_timer.start();
+            GraphStats stats =
+                cache.measure(chunk.subgraph, chunk_measure);
+            measure_ms += measure_timer.elapsedMillis();
+
+            BenchmarkCase bench =
+                makeCase(*workload, chunk.subgraph,
+                         "chunk" + std::to_string(i), stats);
+            Deployment deployment = framework.deploy(bench);
+            total_ms += deployment.totalSeconds() * 1e3;
+
+            if (epoch == 0) {
+                table.addRow({
+                    std::to_string(i),
+                    formatCount(stats.numVertices),
+                    formatCount(stats.numEdges),
+                    formatNumber(stats.avgDegree, 1),
+                    acceleratorKindName(
+                        deployment.config.accelerator),
+                    formatNumber(deployment.report.seconds * 1e3, 4),
+                });
+            }
+        }
+
+        if (epoch == 0) {
+            table.print(std::cout);
+            std::cout << "\n";
+        }
+        std::cout << "epoch " << epoch << ": streamed completion "
+                  << formatNumber(total_ms, 3) << " ms, measurement "
+                  << formatNumber(measure_ms, 3) << " ms ("
+                  << (cache.hits() - hits_before) << "/"
+                  << chunker.numChunks() << " chunk stats cached)\n";
     }
-    table.print(std::cout);
-    std::cout << "\ntotal streamed completion: "
-              << formatNumber(total_ms, 3) << " ms\n";
     return 0;
 }

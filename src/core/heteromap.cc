@@ -5,6 +5,7 @@
 
 #include "core/heteromap.hh"
 
+#include "graph/stats_cache.hh"
 #include "model/adaptive_library.hh"
 #include "model/decision_tree.hh"
 #include "model/linear_regression.hh"
@@ -70,6 +71,24 @@ Deployment
 HeteroMap::deploy(const BenchmarkCase &bench) const
 {
     return deploy(bench, DeployConstraints{});
+}
+
+Deployment
+HeteroMap::predict(const Workload &workload, const Graph &graph,
+                   const std::string &input_name,
+                   const MeasureOptions &measure) const
+{
+    // Measurement is real framework time the paper's overhead column
+    // would see; time it and charge it to the deployment.
+    Timer timer;
+    timer.start();
+    GraphStats stats = globalStatsCache().measure(graph, measure);
+    const double measure_ms = timer.elapsedMillis();
+
+    BenchmarkCase bench = makeCase(workload, graph, input_name, stats);
+    Deployment out = deploy(bench);
+    out.overheadMs += measure_ms;
+    return out;
 }
 
 Deployment

@@ -14,6 +14,7 @@
 #include <optional>
 
 #include "core/oracle.hh"
+#include "graph/props.hh"
 #include "model/predictor.hh"
 
 namespace heteromap {
@@ -79,6 +80,19 @@ class HeteroMap
 
     /** Predict, deploy, and report one benchmark-input combination. */
     Deployment deploy(const BenchmarkCase &bench) const;
+
+    /**
+     * One-call online path from a raw graph: measure it through the
+     * global GraphStats cache (graph/stats_cache.hh), featurize,
+     * predict, and deploy. The measurement latency — near zero when
+     * the graph was deployed before and its stats are still cached —
+     * is charged to the returned overheadMs on top of the inference
+     * latency, keeping the Table IV overhead accounting honest for
+     * the full runtime path.
+     */
+    Deployment predict(const Workload &workload, const Graph &graph,
+                       const std::string &input_name,
+                       const MeasureOptions &measure = {}) const;
 
     /** Deploy under @p constraints (e.g. with one accelerator masked). */
     Deployment deploy(const BenchmarkCase &bench,

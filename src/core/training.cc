@@ -10,6 +10,7 @@
 
 #include "core/experiment.hh"
 #include "graph/generators.hh"
+#include "graph/stats_cache.hh"
 #include "tuner/annealing.hh"
 #include "tuner/grid_search.hh"
 #include "tuner/objective_cache.hh"
@@ -58,7 +59,10 @@ defaultTrainingGraphs(uint64_t seed)
     std::vector<TrainingGraph> out;
     out.reserve(raw.size() * std::size(scales));
     for (auto &[name, graph] : raw) {
-        GraphStats stats = measureGraph(graph);
+        // Memoized: pipelines rebuilt with the same seed regenerate
+        // byte-identical corpus graphs, so every run after the first
+        // skips the measurement sweeps entirely.
+        GraphStats stats = globalStatsCache().measure(graph);
         for (const Scale &scale : scales) {
             GraphStats nominal = stats;
             nominal.numVertices = static_cast<uint64_t>(

@@ -8,6 +8,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "graph/stats_cache.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
 
@@ -78,6 +79,13 @@ IVariables
 extractIVariables(const GraphStats &stats)
 {
     return extractIVariables(stats, literatureMaxima());
+}
+
+IVariables
+extractIVariables(const Graph &graph)
+{
+    return extractIVariables(globalStatsCache().measure(graph),
+                             literatureMaxima());
 }
 
 IVariables

@@ -61,6 +61,14 @@ IVariables extractIVariables(const GraphStats &stats,
 /** Convenience overload using the Table I literature maxima. */
 IVariables extractIVariables(const GraphStats &stats);
 
+/**
+ * Measure @p graph through the global GraphStats cache
+ * (graph/stats_cache.hh), then extract against the Table I maxima —
+ * the one-call online featurization path. Repeat extractions of a
+ * structurally identical graph skip the measurement sweeps.
+ */
+IVariables extractIVariables(const Graph &graph);
+
 /** Extract from a Dataset's *nominal* (paper-reported) stats. */
 IVariables extractIVariables(const Dataset &dataset);
 

@@ -12,6 +12,7 @@
 #include <optional>
 
 #include "graph/generators.hh"
+#include "graph/stats_cache.hh"
 #include "util/logging.hh"
 
 namespace heteromap {
@@ -83,7 +84,11 @@ Dataset::proxy() const
     Entry &entry = entryAt(index_);
     std::call_once(entry.once, [&entry] {
         entry.graph = entry.make();
-        entry.stats = measureGraph(*entry.graph);
+        // Through the global memo cache: the per-entry once_flag
+        // already makes this a one-shot per process, but routing it
+        // through the cache lets any other caller measuring the same
+        // proxy content (tests, benches, online paths) hit for free.
+        entry.stats = globalStatsCache().measure(*entry.graph);
     });
     return *entry.graph;
 }

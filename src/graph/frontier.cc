@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Flat-frontier BFS implementation.
+ */
+
+#include "graph/frontier.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+
+namespace heteromap {
+
+namespace {
+
+/** Direction-switch thresholds (Beamer-style alpha/beta). */
+constexpr uint64_t kBottomUpEdgeDivisor = 14;  //!< go bottom-up
+constexpr uint64_t kTopDownSizeDivisor = 24;   //!< go back top-down
+
+/** Words needed for @p n one-bit slots. */
+std::size_t
+wordCount(std::size_t n)
+{
+    return (n + 63) / 64;
+}
+
+/**
+ * Atomically claim bit @p v; @return true for the winning claimer.
+ * Relaxed order suffices: the pool's wait() barrier orders levels,
+ * and within a level a claim only guards first-discovery.
+ */
+bool
+claimBit(std::vector<uint64_t> &bits, VertexId v)
+{
+    std::atomic_ref<uint64_t> word(bits[v >> 6]);
+    const uint64_t mask = uint64_t{1} << (v & 63);
+    return (word.fetch_or(mask, std::memory_order_relaxed) & mask) == 0;
+}
+
+bool
+testBit(const std::vector<uint64_t> &bits, VertexId v)
+{
+    return (bits[v >> 6] >> (v & 63)) & 1u;
+}
+
+} // namespace
+
+void
+FrontierScratch::prepare(VertexId num_vertices)
+{
+    const std::size_t words = wordCount(num_vertices);
+    visited.resize(words);
+    curBits.resize(words);
+    nextBits.resize(words);
+    frontier.reserve(num_vertices);
+    next.reserve(num_vertices);
+}
+
+void
+FrontierScratch::clearVisited()
+{
+    std::fill(visited.begin(), visited.end(), 0);
+}
+
+void
+forEachChunk(std::size_t count, ThreadPool *pool,
+             const std::function<void(std::size_t, std::size_t,
+                                      std::size_t)> &fn)
+{
+    if (count == 0)
+        return;
+    const std::size_t chunks = (count + kFrontierChunk - 1) / kFrontierChunk;
+    if (pool == nullptr || chunks < 2) {
+        for (std::size_t c = 0; c < chunks; ++c)
+            fn(c, c * kFrontierChunk,
+               std::min(count, (c + 1) * kFrontierChunk));
+        return;
+    }
+    pool->parallelFor(chunks, [&](std::size_t c) {
+        fn(c, c * kFrontierChunk,
+           std::min(count, (c + 1) * kFrontierChunk));
+    });
+}
+
+namespace {
+
+/**
+ * One top-down level: expand scratch.frontier into scratch.next via
+ * per-chunk discovery buffers concatenated in chunk order.
+ * @return sum of out-degrees of the next frontier (the bottom-up
+ * switch signal; an integer sum, so reduction order is moot).
+ */
+uint64_t
+topDownStep(const Graph &graph, FrontierScratch &scratch,
+            uint32_t *hops, uint32_t next_level, ThreadPool *pool)
+{
+    const std::size_t chunks =
+        (scratch.frontier.size() + kFrontierChunk - 1) / kFrontierChunk;
+    if (scratch.chunkOut.size() < chunks)
+        scratch.chunkOut.resize(chunks);
+
+    forEachChunk(scratch.frontier.size(), pool,
+                 [&](std::size_t c, std::size_t begin, std::size_t end) {
+                     auto &out = scratch.chunkOut[c];
+                     out.clear();
+                     for (std::size_t i = begin; i < end; ++i) {
+                         for (VertexId u :
+                              graph.neighbors(scratch.frontier[i])) {
+                             if (claimBit(scratch.visited, u)) {
+                                 if (hops != nullptr)
+                                     hops[u] = next_level;
+                                 out.push_back(u);
+                             }
+                         }
+                     }
+                 });
+
+    scratch.next.clear();
+    uint64_t next_edges = 0;
+    for (std::size_t c = 0; c < chunks; ++c) {
+        for (VertexId u : scratch.chunkOut[c]) {
+            scratch.next.push_back(u);
+            next_edges += graph.degree(u);
+        }
+    }
+    return next_edges;
+}
+
+/**
+ * One bottom-up level: every unvisited vertex joins the next frontier
+ * when any of its (symmetric) neighbors sits in the current one.
+ * Chunks own whole bitmap words, so visited/nextBits updates need no
+ * atomics. Fills scratch.next in ascending vertex order.
+ * @return sum of out-degrees of the next frontier.
+ */
+uint64_t
+bottomUpStep(const Graph &graph, FrontierScratch &scratch,
+             uint32_t *hops, uint32_t next_level, ThreadPool *pool)
+{
+    const VertexId num_vertices = graph.numVertices();
+    std::fill(scratch.nextBits.begin(), scratch.nextBits.end(), 0);
+
+    forEachChunk(
+        num_vertices, pool,
+        [&](std::size_t, std::size_t begin, std::size_t end) {
+            for (std::size_t w = begin / 64; w * 64 < end; ++w) {
+                uint64_t unvisited = ~scratch.visited[w];
+                if (w == scratch.visited.size() - 1 &&
+                    num_vertices % 64 != 0) {
+                    // Mask the tail bits beyond the vertex range.
+                    unvisited &=
+                        (uint64_t{1} << (num_vertices % 64)) - 1;
+                }
+                while (unvisited != 0) {
+                    const auto v = static_cast<VertexId>(
+                        w * 64 +
+                        static_cast<unsigned>(
+                            std::countr_zero(unvisited)));
+                    unvisited &= unvisited - 1;
+                    for (VertexId u : graph.neighbors(v)) {
+                        if (!testBit(scratch.curBits, u))
+                            continue;
+                        const uint64_t mask = uint64_t{1} << (v & 63);
+                        scratch.visited[w] |= mask;
+                        scratch.nextBits[w] |= mask;
+                        if (hops != nullptr)
+                            hops[v] = next_level;
+                        break;
+                    }
+                }
+            }
+        });
+
+    // Materialize in ascending vertex order (deterministic by
+    // construction) and pick up the switch signal.
+    scratch.next.clear();
+    uint64_t next_edges = 0;
+    for (std::size_t w = 0; w < scratch.nextBits.size(); ++w) {
+        uint64_t word = scratch.nextBits[w];
+        while (word != 0) {
+            const auto v = static_cast<VertexId>(
+                w * 64 +
+                static_cast<unsigned>(std::countr_zero(word)));
+            word &= word - 1;
+            scratch.next.push_back(v);
+            next_edges += graph.degree(v);
+        }
+    }
+    return next_edges;
+}
+
+} // namespace
+
+BfsResult
+flatBfs(const Graph &graph, VertexId source, FrontierScratch &scratch,
+        uint32_t *hops, const BfsOptions &options)
+{
+    const VertexId num_vertices = graph.numVertices();
+    HM_ASSERT(source < num_vertices, "BFS source out of range");
+    scratch.prepare(num_vertices);
+    const bool claimed = claimBit(scratch.visited, source);
+    HM_ASSERT(claimed, "flatBfs source already visited");
+    if (hops != nullptr)
+        hops[source] = 0;
+
+    BfsResult result;
+    result.farthest = source;
+    result.reached = 1;
+
+    scratch.frontier.assign(1, source);
+    uint64_t frontier_edges = graph.degree(source);
+    bool bottom_up = false;
+    uint32_t level = 0;
+
+    while (!scratch.frontier.empty()) {
+        // Direction choice depends only on deterministic counts, so
+        // every thread count walks the identical level sequence.
+        if (!bottom_up && options.allowBottomUp &&
+            frontier_edges > graph.numEdges() / kBottomUpEdgeDivisor) {
+            bottom_up = true;
+        } else if (bottom_up && scratch.frontier.size() <
+                                    num_vertices / kTopDownSizeDivisor) {
+            bottom_up = false;
+        }
+
+        // Fan out only when the level carries real work; thresholds
+        // cannot affect results, only the schedule.
+        const std::size_t work =
+            bottom_up ? num_vertices
+                      : scratch.frontier.size() + frontier_edges;
+        ThreadPool *pool = work >= kParallelGrain ? options.pool : nullptr;
+
+        if (bottom_up) {
+            std::fill(scratch.curBits.begin(), scratch.curBits.end(), 0);
+            for (VertexId v : scratch.frontier)
+                scratch.curBits[v >> 6] |= uint64_t{1} << (v & 63);
+            frontier_edges =
+                bottomUpStep(graph, scratch, hops, level + 1, pool);
+        } else {
+            frontier_edges =
+                topDownStep(graph, scratch, hops, level + 1, pool);
+        }
+
+        std::swap(scratch.frontier, scratch.next);
+        if (scratch.frontier.empty())
+            break;
+        ++level;
+        result.reached += scratch.frontier.size();
+        result.farthest = *std::min_element(scratch.frontier.begin(),
+                                            scratch.frontier.end());
+    }
+    result.depth = level;
+    return result;
+}
+
+} // namespace heteromap

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Shared flat-frontier BFS machinery: swap-buffer frontiers over a
+ * visited bitmap with an optional direction-optimizing (top-down /
+ * bottom-up) switch and optional fan-out over a ThreadPool. Every
+ * graph-measurement sweep (hop distances, diameter double sweeps,
+ * component flood fills) runs on this substrate instead of growing
+ * its own deque-based traversal.
+ *
+ * Determinism contract: a traversal's observable outputs (hop levels,
+ * farthest vertex, reached count) are byte-identical for any thread
+ * count. Work is split into fixed-size chunks whose partial results
+ * are combined in chunk-index order, so the schedule can vary but the
+ * reduction order cannot; hop levels themselves are unique per vertex
+ * in a level-synchronous BFS, and the "farthest" vertex is defined as
+ * the minimum-id member of the deepest level — an order-free min.
+ */
+
+#ifndef HETEROMAP_GRAPH_FRONTIER_HH
+#define HETEROMAP_GRAPH_FRONTIER_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.hh"
+
+namespace heteromap {
+
+class ThreadPool;
+
+/**
+ * Fixed chunk geometry for every parallel sweep. The chunk size is a
+ * multiple of 64 so a bitmap word never straddles two chunks (letting
+ * bottom-up steps touch their word range without atomics), and it is
+ * a constant — never derived from the thread count — because the
+ * chunk decomposition defines the deterministic reduction order.
+ */
+inline constexpr std::size_t kFrontierChunk = 2048;
+
+/** Minimum per-level work (vertices or edges) worth fanning out. */
+inline constexpr std::size_t kParallelGrain = 16384;
+
+/**
+ * Run fn(chunk_index, begin, end) over [0, count) in kFrontierChunk
+ * slices — on @p pool when given, inline otherwise. The caller must
+ * make chunks independent; combining any per-chunk partials in chunk
+ * order is what keeps results thread-count-invariant.
+ */
+void forEachChunk(std::size_t count, ThreadPool *pool,
+                  const std::function<void(std::size_t, std::size_t,
+                                           std::size_t)> &fn);
+
+/**
+ * Reusable traversal buffers. prepare() sizes them for a vertex
+ * count (zero-filling only newly grown storage); clearVisited()
+ * resets the visited bitmap so the same scratch can serve many BFS
+ * runs without reallocating. flatBfs() deliberately does NOT clear
+ * the bitmap itself: component counting seeds successive traversals
+ * into the same bitmap to skip already-flooded regions.
+ */
+struct FrontierScratch {
+    std::vector<uint64_t> visited;  //!< one bit per vertex
+    std::vector<uint64_t> curBits;  //!< current frontier (bottom-up)
+    std::vector<uint64_t> nextBits; //!< next frontier (bottom-up)
+    std::vector<VertexId> frontier; //!< current frontier, flat array
+    std::vector<VertexId> next;     //!< next frontier, flat array
+    /** Per-chunk discovery buffers for top-down steps. */
+    std::vector<std::vector<VertexId>> chunkOut;
+
+    /** Size buffers for @p num_vertices (keeps existing capacity). */
+    void prepare(VertexId num_vertices);
+
+    /** Zero the visited bitmap. */
+    void clearVisited();
+
+    /** @return true when @p v is marked visited. */
+    bool
+    isVisited(VertexId v) const
+    {
+        return (visited[v >> 6] >> (v & 63)) & 1u;
+    }
+};
+
+/** Knobs for one flatBfs() run. */
+struct BfsOptions {
+    /**
+     * Permit bottom-up levels. Only valid when the adjacency is
+     * symmetric (u in N(v) iff v in N(u)): a bottom-up step asks
+     * "does unvisited v have a parent in the frontier" by scanning
+     * v's *out*-neighbors, which is its in-neighborhood only under
+     * symmetry. Callers assert this (see hasSymmetricAdjacency).
+     */
+    bool allowBottomUp = false;
+
+    /** Fan traversal levels over this pool (nullptr = serial). */
+    ThreadPool *pool = nullptr;
+};
+
+/** Outputs of one flatBfs() run. */
+struct BfsResult {
+    /**
+     * Minimum-id vertex of the deepest BFS level (the source itself
+     * when nothing else is reachable) — the double-sweep diameter
+     * probe's next start, tracked inside the traversal instead of by
+     * an extra O(V) scan over the hop array.
+     */
+    VertexId farthest = kInvalidVertex;
+    uint32_t depth = 0;    //!< eccentricity of the source (hop levels)
+    uint64_t reached = 0;  //!< vertices visited by this run
+};
+
+/**
+ * Level-synchronous BFS from @p source over out-arcs. Marks every
+ * reached vertex in scratch.visited (which must be prepared, and
+ * cleared unless the caller wants to flood around prior runs); the
+ * source must not already be visited. When @p hops is non-null it
+ * must point at numVertices() entries pre-filled with UINT32_MAX;
+ * reached vertices get their hop level. Direction optimization
+ * switches to bottom-up on wide frontiers when options.allowBottomUp
+ * is set and back to top-down when the frontier narrows.
+ */
+BfsResult flatBfs(const Graph &graph, VertexId source,
+                  FrontierScratch &scratch, uint32_t *hops,
+                  const BfsOptions &options = {});
+
+} // namespace heteromap
+
+#endif // HETEROMAP_GRAPH_FRONTIER_HH

@@ -1,17 +1,22 @@
 /**
  * @file
- * Graph property measurement implementation.
+ * Graph property measurement implementation. All sweeps share the
+ * flat-frontier machinery (graph/frontier.hh) and the fixed-chunk
+ * reduction discipline that makes results thread-count-invariant.
  */
 
 #include "graph/props.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
-#include <deque>
+#include <mutex>
 #include <sstream>
 
+#include "graph/frontier.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
+#include "util/thread_pool.hh"
 
 namespace heteromap {
 
@@ -30,107 +35,209 @@ bfsHops(const Graph &graph, VertexId source)
 {
     HM_ASSERT(source < graph.numVertices(), "BFS source out of range");
     std::vector<uint32_t> hops(graph.numVertices(), UINT32_MAX);
-    std::deque<VertexId> frontier{source};
-    hops[source] = 0;
-    while (!frontier.empty()) {
-        VertexId v = frontier.front();
-        frontier.pop_front();
-        for (VertexId u : graph.neighbors(v)) {
-            if (hops[u] == UINT32_MAX) {
-                hops[u] = hops[v] + 1;
-                frontier.push_back(u);
-            }
-        }
-    }
+    FrontierScratch scratch;
+    scratch.prepare(graph.numVertices());
+    scratch.clearVisited();
+    // Serial and top-down only: the public contract follows out-arcs
+    // and cannot assume the symmetry bottom-up steps require.
+    flatBfs(graph, source, scratch, hops.data());
     return hops;
+}
+
+bool
+hasSymmetricAdjacency(const Graph &graph, ThreadPool *pool)
+{
+    std::atomic<bool> asymmetric{false};
+    const auto num_vertices =
+        static_cast<std::size_t>(graph.numVertices());
+    forEachChunk(
+        num_vertices,
+        num_vertices >= kParallelGrain ? pool : nullptr,
+        [&](std::size_t, std::size_t begin, std::size_t end) {
+            if (asymmetric.load(std::memory_order_relaxed))
+                return;
+            for (std::size_t i = begin; i < end; ++i) {
+                const auto v = static_cast<VertexId>(i);
+                for (VertexId u : graph.neighbors(v)) {
+                    auto back = graph.neighbors(u);
+                    if (!std::binary_search(back.begin(), back.end(),
+                                            v)) {
+                        asymmetric.store(true,
+                                         std::memory_order_relaxed);
+                        return;
+                    }
+                }
+            }
+        });
+    return !asymmetric.load();
 }
 
 namespace {
 
-/** @return (farthest reachable vertex, its hop distance) from source. */
-std::pair<VertexId, uint32_t>
-farthestFrom(const Graph &graph, VertexId source)
+/**
+ * Serializes parallel sections that borrow the process-wide shared
+ * pool: ThreadPool::parallelFor's completion barrier is pool-global,
+ * so two concurrent measurements must not interleave on one pool.
+ */
+std::mutex &
+sharedPoolMutex()
 {
-    auto hops = bfsHops(graph, source);
-    VertexId best = source;
-    uint32_t best_hops = 0;
-    for (VertexId v = 0; v < graph.numVertices(); ++v) {
-        if (hops[v] != UINT32_MAX && hops[v] > best_hops) {
-            best = v;
-            best_hops = hops[v];
-        }
-    }
-    return {best, best_hops};
+    static std::mutex mutex;
+    return mutex;
 }
 
-} // namespace
-
 uint64_t
-approximateDiameter(const Graph &graph, unsigned sweeps, uint64_t seed)
+diameterSweeps(const Graph &graph, unsigned sweeps, uint64_t seed,
+               ThreadPool *pool)
 {
     if (graph.numVertices() < 2 || graph.numEdges() == 0)
         return 0;
+    // Bottom-up levels are only sound on symmetric adjacency; check
+    // once (an O(E log d) early-exit pass) and amortize it over the
+    // 2 * sweeps O(E) traversals it can accelerate.
+    BfsOptions options;
+    options.allowBottomUp = hasSymmetricAdjacency(graph, pool);
+    options.pool = pool;
+
     Rng rng(seed);
+    FrontierScratch scratch;
     uint64_t best = 0;
     for (unsigned i = 0; i < std::max(1u, sweeps); ++i) {
         auto start =
             static_cast<VertexId>(rng.nextBounded(graph.numVertices()));
         // Double sweep: farthest vertex from a random start, then the
         // eccentricity of that vertex, which is exact on trees and a
-        // tight lower bound in general.
-        auto [mid, _] = farthestFrom(graph, start);
-        auto [end, dist] = farthestFrom(graph, mid);
-        (void)end;
-        best = std::max<uint64_t>(best, dist);
+        // tight lower bound in general. The farthest vertex falls out
+        // of the traversal itself (min id of the deepest level, the
+        // same vertex the old O(V) argmax scan produced).
+        scratch.clearVisited();
+        BfsResult first = flatBfs(graph, start, scratch, nullptr,
+                                  options);
+        scratch.clearVisited();
+        BfsResult second = flatBfs(graph, first.farthest, scratch,
+                                   nullptr, options);
+        best = std::max<uint64_t>(best, second.depth);
     }
     return best;
+}
+
+/**
+ * Fused single pass over the vertices: maximum degree and the degree
+ * variance accumulator together, reduced per fixed chunk and combined
+ * in chunk order so the floating-point sum is identical for any
+ * thread count.
+ */
+void
+degreeSweep(const Graph &graph, GraphStats &stats, ThreadPool *pool)
+{
+    const auto num_vertices =
+        static_cast<std::size_t>(graph.numVertices());
+    if (num_vertices == 0)
+        return;
+
+    const std::size_t chunks =
+        (num_vertices + kFrontierChunk - 1) / kFrontierChunk;
+    std::vector<uint64_t> chunk_max(chunks, 0);
+    std::vector<double> chunk_var(chunks, 0.0);
+    const double avg = stats.avgDegree;
+
+    forEachChunk(num_vertices,
+                 num_vertices >= kParallelGrain ? pool : nullptr,
+                 [&](std::size_t c, std::size_t begin, std::size_t end) {
+                     uint64_t max_degree = 0;
+                     double var = 0.0;
+                     for (std::size_t i = begin; i < end; ++i) {
+                         const EdgeId degree =
+                             graph.degree(static_cast<VertexId>(i));
+                         max_degree = std::max<uint64_t>(max_degree,
+                                                         degree);
+                         const double d =
+                             static_cast<double>(degree) - avg;
+                         var += d * d;
+                     }
+                     chunk_max[c] = max_degree;
+                     chunk_var[c] = var;
+                 });
+
+    double var = 0.0;
+    for (std::size_t c = 0; c < chunks; ++c) {
+        stats.maxDegree = std::max(stats.maxDegree, chunk_max[c]);
+        var += chunk_var[c];
+    }
+    stats.degreeStddev =
+        std::sqrt(var / static_cast<double>(num_vertices));
+}
+
+GraphStats
+measureWith(const Graph &graph, const MeasureOptions &options,
+            ThreadPool *pool)
+{
+    GraphStats stats;
+    stats.numVertices = graph.numVertices();
+    stats.numEdges = graph.numEdges();
+    stats.avgDegree = graph.avgDegree();
+    stats.footprintBytes = graph.footprintBytes();
+    degreeSweep(graph, stats, pool);
+    if (options.sweeps > 0)
+        stats.diameter =
+            diameterSweeps(graph, options.sweeps, options.seed, pool);
+    return stats;
+}
+
+} // namespace
+
+GraphStats
+measureGraph(const Graph &graph, const MeasureOptions &options)
+{
+    // threads only picks the schedule; measureWith's output is
+    // byte-identical for every resolution below.
+    if (options.threads == 1)
+        return measureWith(graph, options, nullptr);
+    if (options.threads == 0) {
+        ThreadPool &shared = ThreadPool::shared();
+        if (shared.threadCount() <= 1)
+            return measureWith(graph, options, nullptr);
+        std::lock_guard<std::mutex> lock(sharedPoolMutex());
+        return measureWith(graph, options, &shared);
+    }
+    ThreadPool pool(options.threads);
+    return measureWith(graph, options, &pool);
 }
 
 GraphStats
 measureGraph(const Graph &graph, unsigned sweeps, uint64_t seed)
 {
-    GraphStats stats;
-    stats.numVertices = graph.numVertices();
-    stats.numEdges = graph.numEdges();
-    stats.maxDegree = graph.maxDegree();
-    stats.avgDegree = graph.avgDegree();
-    stats.footprintBytes = graph.footprintBytes();
+    MeasureOptions options;
+    options.sweeps = sweeps;
+    options.seed = seed;
+    return measureGraph(graph, options);
+}
 
-    double var = 0.0;
-    for (VertexId v = 0; v < graph.numVertices(); ++v) {
-        double d = static_cast<double>(graph.degree(v)) - stats.avgDegree;
-        var += d * d;
-    }
-    if (graph.numVertices() > 0)
-        var /= static_cast<double>(graph.numVertices());
-    stats.degreeStddev = std::sqrt(var);
-
-    if (sweeps > 0)
-        stats.diameter = approximateDiameter(graph, sweeps, seed);
-    return stats;
+uint64_t
+approximateDiameter(const Graph &graph, unsigned sweeps, uint64_t seed)
+{
+    ThreadPool &shared = ThreadPool::shared();
+    if (shared.threadCount() <= 1)
+        return diameterSweeps(graph, sweeps, seed, nullptr);
+    std::lock_guard<std::mutex> lock(sharedPoolMutex());
+    return diameterSweeps(graph, sweeps, seed, &shared);
 }
 
 uint64_t
 countComponents(const Graph &graph)
 {
-    std::vector<bool> seen(graph.numVertices(), false);
+    FrontierScratch scratch;
+    scratch.prepare(graph.numVertices());
+    scratch.clearVisited();
     uint64_t components = 0;
+    // Successive flood fills share one visited bitmap: flatBfs skips
+    // nothing itself, the seed scan below simply never re-seeds a
+    // vertex an earlier component already claimed.
     for (VertexId v = 0; v < graph.numVertices(); ++v) {
-        if (seen[v])
+        if (scratch.isVisited(v))
             continue;
         ++components;
-        std::deque<VertexId> frontier{v};
-        seen[v] = true;
-        while (!frontier.empty()) {
-            VertexId w = frontier.front();
-            frontier.pop_front();
-            for (VertexId u : graph.neighbors(w)) {
-                if (!seen[u]) {
-                    seen[u] = true;
-                    frontier.push_back(u);
-                }
-            }
-        }
+        flatBfs(graph, v, scratch, nullptr);
     }
     return components;
 }

@@ -4,6 +4,11 @@
  * paper's I variables (vertex count, edge density, maximum degree,
  * diameter) plus auxiliary statistics the performance model consumes
  * (degree variance for divergence, component structure).
+ *
+ * Measurement runs on the flat-frontier substrate (graph/frontier.hh)
+ * and is deterministic by contract: GraphStats is byte-identical for
+ * any MeasureOptions::threads value, because every sweep reduces
+ * fixed-size chunk partials in chunk-index order.
  */
 
 #ifndef HETEROMAP_GRAPH_PROPS_HH
@@ -16,6 +21,8 @@
 #include "graph/graph.hh"
 
 namespace heteromap {
+
+class ThreadPool;
 
 /**
  * Summary of an input graph. When describing one of the paper's real
@@ -36,6 +43,23 @@ struct GraphStats {
     std::string toString() const;
 };
 
+/** Knobs for one measureGraph() run. */
+struct MeasureOptions {
+    /** Double-sweep BFS probes for the diameter; 0 skips it. */
+    unsigned sweeps = 4;
+
+    /** Seed for the probe start vertices. */
+    uint64_t seed = 1;
+
+    /**
+     * Sweep fan-out: 0 uses the process-wide shared pool
+     * (ThreadPool::shared()), 1 runs serial inline, N spins up a
+     * private N-thread pool. The result is byte-identical for every
+     * value — threads only change wall-clock time.
+     */
+    std::size_t threads = 0;
+};
+
 /**
  * Measure @p graph. The diameter is approximated with @p sweeps
  * double-sweep BFS probes (exact on trees/paths, a lower bound in
@@ -44,9 +68,13 @@ struct GraphStats {
 GraphStats measureGraph(const Graph &graph, unsigned sweeps = 4,
                         uint64_t seed = 1);
 
+/** Measure @p graph under explicit options (see MeasureOptions). */
+GraphStats measureGraph(const Graph &graph,
+                        const MeasureOptions &options);
+
 /**
  * Single-source hop distances by BFS. Unreachable vertices get
- * UINT32_MAX. Exposed for tests and the diameter estimator.
+ * UINT32_MAX. Exposed for tests and workload references.
  */
 std::vector<uint32_t> bfsHops(const Graph &graph, VertexId source);
 
@@ -59,6 +87,17 @@ uint64_t approximateDiameter(const Graph &graph, unsigned sweeps,
 
 /** @return number of connected components (treating arcs as undirected). */
 uint64_t countComponents(const Graph &graph);
+
+/**
+ * @return true when the adjacency is symmetric (u in N(v) iff v in
+ * N(u)), the precondition for bottom-up BFS levels. One early-exit
+ * O(E log d) pass, fanned over @p pool when given. Assumes sorted
+ * adjacency lists (the GraphBuilder invariant); an unsorted list can
+ * only yield a false negative, which merely disables the bottom-up
+ * fast path, never wrong traversal results.
+ */
+bool hasSymmetricAdjacency(const Graph &graph,
+                           ThreadPool *pool = nullptr);
 
 } // namespace heteromap
 

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * GraphStats memo cache implementation.
+ */
+
+#include "graph/stats_cache.hh"
+
+#include "util/logging.hh"
+
+namespace heteromap {
+
+namespace {
+
+/** splitmix64 finalizer: the per-element mixing step. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Order-sensitive strided hash over @p data: every stride-th element
+ * plus the last one, where the stride caps the work at
+ * kFingerprintSamples elements. @p seed decorrelates the two arrays'
+ * hashes so their 128 combined bits are independent.
+ */
+template <typename T>
+uint64_t
+hashSampled(const T *data, std::size_t count, uint64_t seed)
+{
+    uint64_t h = mix64(seed ^ count);
+    if (count == 0)
+        return h;
+    const std::size_t stride =
+        count <= kFingerprintSamples ? 1 : count / kFingerprintSamples;
+    for (std::size_t i = 0; i < count; i += stride)
+        h = mix64(h ^ static_cast<uint64_t>(data[i]));
+    return mix64(h ^ static_cast<uint64_t>(data[count - 1]));
+}
+
+} // namespace
+
+GraphFingerprint
+fingerprintGraph(const Graph &graph)
+{
+    GraphFingerprint fp;
+    fp.numVertices = graph.numVertices();
+    fp.numEdges = graph.numEdges();
+    fp.footprintBytes = graph.footprintBytes();
+    const auto &offsets = graph.offsets();
+    const auto &neighbors = graph.rawNeighbors();
+    fp.offsetsHash =
+        hashSampled(offsets.data(), offsets.size(), 0x0ff5e75ull);
+    fp.neighborsHash =
+        hashSampled(neighbors.data(), neighbors.size(), 0xad7ace2ull);
+    return fp;
+}
+
+std::size_t
+GraphStatsCache::KeyHash::operator()(const Key &key) const
+{
+    uint64_t h = mix64(key.fingerprint.numVertices);
+    h = mix64(h ^ key.fingerprint.numEdges);
+    h = mix64(h ^ key.fingerprint.footprintBytes);
+    h = mix64(h ^ key.fingerprint.offsetsHash);
+    h = mix64(h ^ key.fingerprint.neighborsHash);
+    h = mix64(h ^ key.sweeps);
+    h = mix64(h ^ key.seed);
+    return static_cast<std::size_t>(h);
+}
+
+GraphStatsCache::Key
+GraphStatsCache::makeKey(const Graph &graph,
+                         const MeasureOptions &options)
+{
+    // threads is deliberately NOT part of the key: the determinism
+    // contract makes every thread count produce identical stats.
+    return {fingerprintGraph(graph), options.sweeps, options.seed};
+}
+
+GraphStatsCache::GraphStatsCache(std::size_t capacity)
+    : capacity_(capacity)
+{
+    HM_ASSERT(capacity > 0, "stats cache needs a positive capacity");
+}
+
+GraphStats
+GraphStatsCache::measure(const Graph &graph,
+                         const MeasureOptions &options)
+{
+    const Key key = makeKey(graph, options);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto found = index_.find(key);
+        if (found != index_.end()) {
+            ++hits_;
+            lru_.splice(lru_.begin(), lru_, found->second);
+            return found->second->second;
+        }
+        ++misses_;
+    }
+
+    // Measure outside the lock: the graph sweep is the expensive
+    // part, and racing misses converge on identical stats anyway.
+    const GraphStats stats = measureGraph(graph, options);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto found = index_.find(key);
+    if (found != index_.end()) {
+        // A racing miss inserted first; keep its entry.
+        lru_.splice(lru_.begin(), lru_, found->second);
+        return found->second->second;
+    }
+    lru_.emplace_front(key, stats);
+    index_.emplace(key, lru_.begin());
+    while (lru_.size() > capacity_) {
+        index_.erase(lru_.back().first);
+        lru_.pop_back();
+        ++evictions_;
+    }
+    return stats;
+}
+
+std::optional<GraphStats>
+GraphStatsCache::peek(const Graph &graph,
+                      const MeasureOptions &options) const
+{
+    const Key key = makeKey(graph, options);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto found = index_.find(key);
+    if (found == index_.end())
+        return std::nullopt;
+    return found->second->second;
+}
+
+void
+GraphStatsCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    index_.clear();
+    lru_.clear();
+}
+
+uint64_t
+GraphStatsCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+uint64_t
+GraphStatsCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+uint64_t
+GraphStatsCache::evictions() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return evictions_;
+}
+
+std::size_t
+GraphStatsCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lru_.size();
+}
+
+GraphStatsCache &
+globalStatsCache()
+{
+    static GraphStatsCache cache;
+    return cache;
+}
+
+} // namespace heteromap

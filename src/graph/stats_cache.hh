@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Memoized GraphStats: a thread-safe, bounded LRU cache keyed by a
+ * cheap structural fingerprint of the CSR arrays, so repeat
+ * deployments of a known graph skip measurement (the dominant online
+ * cost for large inputs) entirely.
+ *
+ * The fingerprint is content-based, not identity-based: two Graph
+ * objects holding the same CSR arrays — a copy, or the same chunk
+ * re-cut from a stream — hit the same entry. It hashes the vertex
+ * and edge counts, the byte footprint, and strided samples of the
+ * offset and neighbor arrays (capped at kFingerprintSamples elements
+ * per array, so fingerprinting stays O(1)-ish however large the
+ * graph). Graphs small enough to fall under the cap are covered
+ * exactly; above it the fingerprint is probabilistic — two graphs
+ * that agree on counts and on every sampled element collide, which
+ * for a performance predictor means serving the structurally-twin
+ * graph's stats, not a correctness failure.
+ *
+ * Measurement parameters (sweeps, seed) are part of the cache key:
+ * the same graph measured at different diameter-probe budgets yields
+ * different stats and must not share an entry.
+ */
+
+#ifndef HETEROMAP_GRAPH_STATS_CACHE_HH
+#define HETEROMAP_GRAPH_STATS_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "graph/props.hh"
+
+namespace heteromap {
+
+/** Content fingerprint of a graph's CSR structure. */
+struct GraphFingerprint {
+    uint64_t numVertices = 0;
+    uint64_t numEdges = 0;
+    uint64_t footprintBytes = 0;
+    uint64_t offsetsHash = 0;
+    uint64_t neighborsHash = 0;
+
+    bool operator==(const GraphFingerprint &) const = default;
+};
+
+/** Elements sampled per CSR array when fingerprinting. */
+inline constexpr std::size_t kFingerprintSamples = 4096;
+
+/** Fingerprint @p graph (see the file comment for the scheme). */
+GraphFingerprint fingerprintGraph(const Graph &graph);
+
+/** Bounded, thread-safe LRU memo cache for measureGraph results. */
+class GraphStatsCache
+{
+  public:
+    /** Default entry bound for the global cache. */
+    static constexpr std::size_t kDefaultCapacity = 64;
+
+    explicit GraphStatsCache(std::size_t capacity = kDefaultCapacity);
+
+    /**
+     * Memoized measureGraph: fingerprint @p graph, return the cached
+     * stats on a hit, otherwise measure under @p options and cache
+     * the result. Safe to call concurrently; a miss measures outside
+     * the lock (two racing misses on one graph both measure — the
+     * results are identical by the determinism contract, and one
+     * insert wins).
+     */
+    GraphStats measure(const Graph &graph,
+                       const MeasureOptions &options = {});
+
+    /** Cache probe without measuring (does not touch LRU order). */
+    std::optional<GraphStats> peek(const Graph &graph,
+                                   const MeasureOptions &options = {}) const;
+
+    /** Drop every entry (counters survive). */
+    void clear();
+
+    std::size_t capacity() const { return capacity_; }
+
+    /** @name Counters (monotonic over the cache lifetime). @{ */
+    uint64_t hits() const;
+    uint64_t misses() const;
+    uint64_t evictions() const;
+    std::size_t size() const;
+    /** @} */
+
+  private:
+    /** Full key: structure plus measurement parameters. */
+    struct Key {
+        GraphFingerprint fingerprint;
+        unsigned sweeps = 0;
+        uint64_t seed = 0;
+
+        bool operator==(const Key &) const = default;
+    };
+
+    struct KeyHash {
+        std::size_t operator()(const Key &key) const;
+    };
+
+    using LruList = std::list<std::pair<Key, GraphStats>>;
+
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    LruList lru_;  //!< front = most recent
+    std::unordered_map<Key, LruList::iterator, KeyHash> index_;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t evictions_ = 0;
+
+    static Key makeKey(const Graph &graph, const MeasureOptions &options);
+};
+
+/**
+ * The process-wide cache every online path shares: HeteroMap's
+ * predict entry point, the training sweep's corpus measurement, the
+ * dataset registry, and the streaming-chunk example.
+ */
+GraphStatsCache &globalStatsCache();
+
+} // namespace heteromap
+
+#endif // HETEROMAP_GRAPH_STATS_CACHE_HH

@@ -1,0 +1,389 @@
+/**
+ * @file
+ * Unit tests for the parallel graph-measurement substrate: flat
+ * frontiers, direction-optimized BFS, the thread-count determinism
+ * contract of measureGraph, and the memoized GraphStats cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "graph/builder.hh"
+#include "graph/frontier.hh"
+#include "graph/generators.hh"
+#include "graph/props.hh"
+#include "graph/stats_cache.hh"
+#include "util/thread_pool.hh"
+
+namespace heteromap {
+namespace {
+
+/** Byte-level GraphStats equality (the determinism contract). */
+::testing::AssertionResult
+statsBitEqual(const GraphStats &a, const GraphStats &b)
+{
+    static_assert(sizeof(GraphStats) == 7 * sizeof(uint64_t),
+                  "GraphStats gained padding or fields; revisit memcmp");
+    if (std::memcmp(&a, &b, sizeof(GraphStats)) == 0)
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+        << "stats differ: " << a.toString() << " vs " << b.toString()
+        << " (stddev " << a.degreeStddev << " vs " << b.degreeStddev
+        << ")";
+}
+
+/** A graph with two path components plus isolated vertices. */
+Graph
+disconnectedGraph()
+{
+    GraphBuilder builder(64);
+    for (VertexId v = 0; v < 9; ++v)
+        builder.addEdge(v, v + 1);
+    for (VertexId v = 20; v < 29; ++v)
+        builder.addEdge(v, v + 1);
+    return builder.symmetrize().build();
+}
+
+/** A directed (asymmetric) chain: 0 -> 1 -> ... -> n-1. */
+Graph
+directedChain(VertexId n)
+{
+    GraphBuilder builder(n);
+    for (VertexId v = 0; v + 1 < n; ++v)
+        builder.addEdge(v, v + 1);
+    return builder.build();
+}
+
+// ---------------------------------------------------------------
+// Determinism: byte-identical GraphStats for any thread count.
+// ---------------------------------------------------------------
+
+class PropsMeasureDeterminism
+    : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(PropsMeasureDeterminism, UniformKroneckerAndDisconnected)
+{
+    // Sized so the degree sweep and mid-BFS levels clear the
+    // kParallelGrain threshold and genuinely fan out.
+    const Graph graphs[] = {
+        generateUniformRandom(20000, 120000, 7),
+        generateRmat(15, 8.0, 9),
+        disconnectedGraph(),
+        directedChain(600),
+    };
+    for (const Graph &g : graphs) {
+        MeasureOptions serial;
+        serial.threads = 1;
+        MeasureOptions fanned;
+        fanned.threads = GetParam();
+        EXPECT_TRUE(statsBitEqual(measureGraph(g, serial),
+                                  measureGraph(g, fanned)));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, PropsMeasureDeterminism,
+                         ::testing::Values(1, 2, 8));
+
+TEST(PropsMeasureDeterminism, SharedPoolMatchesSerial)
+{
+    Graph g = generateRmat(11, 10.0, 3);
+    MeasureOptions serial;
+    serial.threads = 1;
+    MeasureOptions shared; // threads = 0: shared pool
+    EXPECT_TRUE(statsBitEqual(measureGraph(g, serial),
+                              measureGraph(g, shared)));
+}
+
+TEST(PropsMeasureDeterminism, MatchesLegacyOverload)
+{
+    Graph g = generateUniformRandom(2000, 16000, 5);
+    MeasureOptions options;
+    options.sweeps = 4;
+    options.seed = 1;
+    EXPECT_TRUE(statsBitEqual(measureGraph(g), measureGraph(g, options)));
+}
+
+// ---------------------------------------------------------------
+// Flat BFS: hop correctness, bottom-up levels, farthest tracking.
+// ---------------------------------------------------------------
+
+TEST(PropsFlatBfs, BottomUpHopsMatchTopDown)
+{
+    // Dense enough that the direction switch actually fires.
+    const Graph graphs[] = {
+        generateDenseEr(500, 0.3, 11),
+        generateRmat(10, 16.0, 13),
+    };
+    ThreadPool pool(2);
+    for (const Graph &g : graphs) {
+        ASSERT_TRUE(hasSymmetricAdjacency(g));
+        for (VertexId source : {VertexId{0}, g.numVertices() / 2}) {
+            auto expected = bfsHops(g, source); // serial, top-down
+
+            std::vector<uint32_t> hops(g.numVertices(), UINT32_MAX);
+            FrontierScratch scratch;
+            scratch.prepare(g.numVertices());
+            scratch.clearVisited();
+            BfsOptions options;
+            options.allowBottomUp = true;
+            options.pool = &pool;
+            flatBfs(g, source, scratch, hops.data(), options);
+            EXPECT_EQ(hops, expected);
+        }
+    }
+}
+
+TEST(PropsFlatBfs, FarthestIsMinIdOfDeepestLevel)
+{
+    // Star of paths: 0 joined to four arms; two arms tie for the
+    // deepest level, and the min-id tip must win.
+    GraphBuilder builder(10);
+    builder.addEdge(0, 1); // arm A: 1
+    builder.addEdge(0, 2); // arm B: 2 - 3
+    builder.addEdge(2, 3);
+    builder.addEdge(0, 4); // arm C: 4 - 5 - 6
+    builder.addEdge(4, 5);
+    builder.addEdge(5, 6);
+    builder.addEdge(0, 7); // arm D: 7 - 8 - 9
+    builder.addEdge(7, 8);
+    builder.addEdge(8, 9);
+    Graph g = builder.symmetrize().build();
+
+    FrontierScratch scratch;
+    scratch.prepare(g.numVertices());
+    scratch.clearVisited();
+    BfsResult result = flatBfs(g, 0, scratch, nullptr);
+    EXPECT_EQ(result.depth, 3u);
+    EXPECT_EQ(result.farthest, 6u); // deepest level {6, 9}: min wins
+    EXPECT_EQ(result.reached, 10u);
+
+    scratch.clearVisited();
+    BfsResult from_three = flatBfs(g, 3, scratch, nullptr);
+    EXPECT_EQ(from_three.depth, 5u);
+    EXPECT_EQ(from_three.farthest, 6u); // hop-5 level {6, 9}
+}
+
+TEST(PropsFlatBfs, IsolatedSourceReachesOnlyItself)
+{
+    Graph g = disconnectedGraph();
+    FrontierScratch scratch;
+    scratch.prepare(g.numVertices());
+    scratch.clearVisited();
+    BfsResult result = flatBfs(g, 60, scratch, nullptr);
+    EXPECT_EQ(result.depth, 0u);
+    EXPECT_EQ(result.farthest, 60u);
+    EXPECT_EQ(result.reached, 1u);
+}
+
+TEST(PropsFlatBfs, VisitedBitmapPersistsAcrossRuns)
+{
+    Graph g = disconnectedGraph();
+    FrontierScratch scratch;
+    scratch.prepare(g.numVertices());
+    scratch.clearVisited();
+    flatBfs(g, 0, scratch, nullptr);
+    EXPECT_TRUE(scratch.isVisited(9));
+    EXPECT_FALSE(scratch.isVisited(20));
+    // Without clearVisited, the next flood claims only its component.
+    BfsResult second = flatBfs(g, 20, scratch, nullptr);
+    EXPECT_EQ(second.reached, 10u);
+}
+
+TEST(PropsSymmetry, DetectsSymmetricAndDirectedAdjacency)
+{
+    EXPECT_TRUE(hasSymmetricAdjacency(generateCycle(16)));
+    EXPECT_TRUE(hasSymmetricAdjacency(disconnectedGraph()));
+    EXPECT_FALSE(hasSymmetricAdjacency(directedChain(8)));
+    EXPECT_TRUE(hasSymmetricAdjacency(Graph{}));
+
+    ThreadPool pool(2);
+    Graph big = generateRmat(12, 8.0, 21);
+    EXPECT_EQ(hasSymmetricAdjacency(big, &pool),
+              hasSymmetricAdjacency(big));
+}
+
+TEST(PropsRegression, ComponentAndDiameterSemanticsUnchanged)
+{
+    EXPECT_EQ(countComponents(disconnectedGraph()), 46u); // 2 + 44
+    EXPECT_EQ(approximateDiameter(generatePath(33), 4, 1), 32u);
+    EXPECT_EQ(approximateDiameter(generateComplete(8), 4, 1), 1u);
+    // Directed chain: hops follow out-arcs only, as before.
+    auto hops = bfsHops(directedChain(5), 2);
+    EXPECT_EQ(hops[4], 2u);
+    EXPECT_EQ(hops[0], UINT32_MAX);
+}
+
+// ---------------------------------------------------------------
+// Fingerprints and the memo cache.
+// ---------------------------------------------------------------
+
+TEST(PropsFingerprint, SameCountsDifferentStructureDiffer)
+{
+    // Path and star on 4 vertices: identical V and arc counts.
+    GraphBuilder path_builder(4);
+    path_builder.addEdge(0, 1);
+    path_builder.addEdge(1, 2);
+    path_builder.addEdge(2, 3);
+    Graph path = path_builder.symmetrize().build();
+
+    GraphBuilder star_builder(4);
+    star_builder.addEdge(0, 1);
+    star_builder.addEdge(0, 2);
+    star_builder.addEdge(0, 3);
+    Graph star = star_builder.symmetrize().build();
+
+    ASSERT_EQ(path.numVertices(), star.numVertices());
+    ASSERT_EQ(path.numEdges(), star.numEdges());
+    EXPECT_FALSE(fingerprintGraph(path) == fingerprintGraph(star));
+}
+
+TEST(PropsFingerprint, SingleEdgeChangeChangesFingerprint)
+{
+    Graph base = generateUniformRandom(200, 800, 3);
+    GraphBuilder builder(base.numVertices());
+    for (VertexId v = 0; v < base.numVertices(); ++v)
+        for (VertexId u : base.neighbors(v))
+            builder.addEdge(v, u);
+    // Redirect one arc; counts stay identical.
+    Graph tweaked = [&] {
+        GraphBuilder other(base.numVertices());
+        bool flipped = false;
+        for (VertexId v = 0; v < base.numVertices(); ++v) {
+            for (VertexId u : base.neighbors(v)) {
+                VertexId target = u;
+                if (!flipped) {
+                    target = (u + 1) % base.numVertices();
+                    flipped = true;
+                }
+                other.addEdge(v, target);
+            }
+        }
+        return other.build();
+    }();
+    ASSERT_EQ(base.numEdges(), tweaked.numEdges());
+    EXPECT_FALSE(fingerprintGraph(base) == fingerprintGraph(tweaked));
+}
+
+TEST(PropsFingerprint, ContentBasedAcrossCopies)
+{
+    Graph g = generateRmat(8, 6.0, 17);
+    Graph copy = g;
+    EXPECT_TRUE(fingerprintGraph(g) == fingerprintGraph(copy));
+}
+
+TEST(PropsStatsCache, HitMissAndValueCorrectness)
+{
+    GraphStatsCache cache(8);
+    Graph g = generateUniformRandom(1000, 6000, 5);
+
+    GraphStats cold = cache.measure(g);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_TRUE(statsBitEqual(cold, measureGraph(g)));
+
+    GraphStats warm = cache.measure(g);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_TRUE(statsBitEqual(cold, warm));
+
+    // A structural copy hits: the key is content, not identity.
+    Graph copy = g;
+    cache.measure(copy);
+    EXPECT_EQ(cache.hits(), 2u);
+}
+
+TEST(PropsStatsCache, CollisionSafetyServesEachGraphItsOwnStats)
+{
+    GraphStatsCache cache(8);
+    Graph path = generatePath(4);
+    GraphBuilder star_builder(4);
+    star_builder.addEdge(0, 1);
+    star_builder.addEdge(0, 2);
+    star_builder.addEdge(0, 3);
+    Graph star = star_builder.symmetrize().build();
+    ASSERT_EQ(path.numVertices(), star.numVertices());
+    ASSERT_EQ(path.numEdges(), star.numEdges());
+
+    EXPECT_EQ(cache.measure(path).maxDegree, 2u);
+    EXPECT_EQ(cache.measure(star).maxDegree, 3u);
+    EXPECT_EQ(cache.measure(path).diameter, 3u);
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(PropsStatsCache, MeasurementParametersArePartOfTheKey)
+{
+    GraphStatsCache cache(8);
+    Graph g = generateCycle(64);
+    MeasureOptions with_sweeps;
+    MeasureOptions no_sweeps;
+    no_sweeps.sweeps = 0;
+
+    EXPECT_EQ(cache.measure(g, with_sweeps).diameter, 32u);
+    EXPECT_EQ(cache.measure(g, no_sweeps).diameter, 0u);
+    EXPECT_EQ(cache.misses(), 2u);
+
+    MeasureOptions other_seed;
+    other_seed.seed = 99;
+    cache.measure(g, other_seed);
+    EXPECT_EQ(cache.misses(), 3u);
+}
+
+TEST(PropsStatsCache, LruEvictionAtCapacity)
+{
+    GraphStatsCache cache(2);
+    Graph g1 = generateCycle(10);
+    Graph g2 = generateCycle(12);
+    Graph g3 = generateCycle(14);
+
+    cache.measure(g1);
+    cache.measure(g2);
+    EXPECT_EQ(cache.evictions(), 0u);
+    cache.measure(g1); // refresh g1: g2 becomes LRU
+    cache.measure(g3); // evicts g2
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_EQ(cache.size(), 2u);
+
+    EXPECT_TRUE(cache.peek(g1).has_value());
+    EXPECT_FALSE(cache.peek(g2).has_value());
+    EXPECT_TRUE(cache.peek(g3).has_value());
+
+    cache.measure(g2); // miss again after eviction
+    EXPECT_EQ(cache.misses(), 4u);
+}
+
+TEST(PropsStatsCache, ConcurrentMissesConverge)
+{
+    GraphStatsCache cache(8);
+    Graph g = generateRmat(10, 8.0, 29);
+    const GraphStats expected = measureGraph(g);
+
+    // Collect in workers, assert on the main thread.
+    std::vector<GraphStats> results(8);
+    ThreadPool pool(4);
+    pool.parallelFor(8, [&](std::size_t i) {
+        MeasureOptions serial_inner;
+        serial_inner.threads = 1; // no nested pools inside workers
+        results[i] = cache.measure(g, serial_inner);
+    });
+    for (const GraphStats &stats : results)
+        EXPECT_TRUE(statsBitEqual(stats, expected));
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.hits() + cache.misses(), 8u);
+}
+
+TEST(PropsStatsCache, GlobalCacheIsWiredAndMemoizes)
+{
+    GraphStatsCache &cache = globalStatsCache();
+    Graph g = generateUniformRandom(500, 3000, 23);
+    const uint64_t hits_before = cache.hits();
+    GraphStats first = cache.measure(g);
+    GraphStats second = cache.measure(g);
+    EXPECT_TRUE(statsBitEqual(first, second));
+    EXPECT_GE(cache.hits(), hits_before + 1);
+}
+
+} // namespace
+} // namespace heteromap

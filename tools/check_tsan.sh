@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Race-check the parallel subsystems under ThreadSanitizer: the
+# offline training sweep (util/thread_pool fan-out) and the graph
+# measurement substrate (flat-frontier BFS + stats cache). Run from
+# the repo root; uses a separate build tree so the normal build and
+# the tier-1 ctest run stay fast.
+#
+#   tools/check_tsan.sh [build-dir]   (default: build-tsan)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . -DHETEROMAP_SANITIZE=thread
+cmake --build "$BUILD_DIR" -j --target test_training test_props
+ctest --test-dir "$BUILD_DIR" --output-on-failure -R "Training|Props"
+echo "TSan check passed: training sweep + measurement substrate clean"
