@@ -21,6 +21,7 @@
 #include "util/logging.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
+#include "util/telemetry.hh"
 
 using namespace heteromap;
 
@@ -53,8 +54,10 @@ evaluate(const PerfModelParams &params)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    telemetry::TelemetryFileWriter telemetry_out(
+        telemetry::consumeTelemetryOutFlag(argc, argv));
     setLogVerbose(false);
     std::cout << "Ablation 1: performance-model mechanisms "
                  "(primary pair, 81 combinations)\n\n";

@@ -16,6 +16,7 @@
 #include "graph/datasets.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
+#include "util/telemetry.hh"
 #include "workloads/registry.hh"
 
 using namespace heteromap;
@@ -70,8 +71,10 @@ sweep(const Oracle &oracle, const AcceleratorPair &pair,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    telemetry::TelemetryFileWriter telemetry_out(
+        telemetry::consumeTelemetryOutFlag(argc, argv));
     setLogVerbose(false);
     std::cout << "Fig. 1: input variations across accelerators "
                  "(Delta-stepping SSSP)\n";

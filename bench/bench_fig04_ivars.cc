@@ -11,12 +11,15 @@
 #include "features/ivars.hh"
 #include "graph/datasets.hh"
 #include "util/table.hh"
+#include "util/telemetry.hh"
 
 using namespace heteromap;
 
 int
-main()
+main(int argc, char **argv)
 {
+    telemetry::TelemetryFileWriter telemetry_out(
+        telemetry::consumeTelemetryOutFlag(argc, argv));
     std::cout << "Fig. 4: Input (I) model variables (0.1 grid, from "
                  "nominal Table I characteristics)\n\n";
 

@@ -9,13 +9,16 @@
 #include <iostream>
 
 #include "util/table.hh"
+#include "util/telemetry.hh"
 #include "workloads/registry.hh"
 
 using namespace heteromap;
 
 int
-main()
+main(int argc, char **argv)
 {
+    telemetry::TelemetryFileWriter telemetry_out(
+        telemetry::consumeTelemetryOutFlag(argc, argv));
     std::cout << "Fig. 5: Benchmark (B) model variables\n\n";
 
     std::vector<std::string> headers{"Benchmark"};

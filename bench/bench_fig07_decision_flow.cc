@@ -13,6 +13,7 @@
 #include "model/decision_tree.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
+#include "util/telemetry.hh"
 #include "workloads/registry.hh"
 
 using namespace heteromap;
@@ -57,8 +58,10 @@ flow(const Oracle &oracle, const AcceleratorPair &pair,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    telemetry::TelemetryFileWriter telemetry_out(
+        telemetry::consumeTelemetryOutFlag(argc, argv));
     setLogVerbose(false);
     std::cout << "Fig. 7: decision-tree heuristic flow on USA-Cal\n";
     Oracle oracle;

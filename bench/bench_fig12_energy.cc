@@ -23,13 +23,16 @@
 #include "util/logging.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
+#include "util/telemetry.hh"
 #include "workloads/registry.hh"
 
 using namespace heteromap;
 
 int
-main()
+main(int argc, char **argv)
 {
+    telemetry::TelemetryFileWriter telemetry_out(
+        telemetry::consumeTelemetryOutFlag(argc, argv));
     setLogVerbose(false);
     std::cout << "Fig. 12: energy benefits (per-combination "
                  "normalized; lower is better)\n\n";

@@ -14,12 +14,15 @@
 #include "util/logging.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
+#include "util/telemetry.hh"
 
 using namespace heteromap;
 
 int
-main()
+main(int argc, char **argv)
 {
+    telemetry::TelemetryFileWriter telemetry_out(
+        telemetry::consumeTelemetryOutFlag(argc, argv));
     setLogVerbose(false);
     std::cout << "Fig. 14: scheduler comparison, GTX-970 + Xeon Phi "
                  "(normalized to the GPU; higher is worse)\n\n";

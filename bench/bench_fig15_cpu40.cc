@@ -14,6 +14,7 @@
 #include "util/logging.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
+#include "util/telemetry.hh"
 #include "workloads/registry.hh"
 
 using namespace heteromap;
@@ -67,8 +68,10 @@ compare(const Oracle &oracle, AcceleratorPair pair,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    telemetry::TelemetryFileWriter telemetry_out(
+        telemetry::consumeTelemetryOutFlag(argc, argv));
     setLogVerbose(false);
     std::cout << "Fig. 15: 40-core CPU vs GPUs (normalized to the "
                  "GPU; higher is worse)\n";

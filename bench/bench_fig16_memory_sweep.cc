@@ -19,6 +19,7 @@
 #include "util/logging.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
+#include "util/telemetry.hh"
 
 using namespace heteromap;
 
@@ -84,8 +85,10 @@ sweep(const Oracle &oracle, const AcceleratorPair &base_pair,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    telemetry::TelemetryFileWriter telemetry_out(
+        telemetry::consumeTelemetryOutFlag(argc, argv));
     setLogVerbose(false);
     std::cout << "Fig. 16: geomean memory-size variations (normalized "
                  "to the worst corner; lower is better)\n";

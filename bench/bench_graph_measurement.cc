@@ -20,6 +20,7 @@
 #include "graph/stats_cache.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
+#include "util/telemetry.hh"
 #include "util/thread_pool.hh"
 #include "util/timer.hh"
 #include "workloads/registry.hh"
@@ -48,8 +49,10 @@ timeMs(int reps, Fn &&fn)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    telemetry::TelemetryFileWriter telemetry_out(
+        telemetry::consumeTelemetryOutFlag(argc, argv));
     setLogVerbose(false);
 
     struct Input {

@@ -13,6 +13,7 @@
 #include "graph/generators.hh"
 #include "model/decision_tree.hh"
 #include "util/logging.hh"
+#include "util/telemetry.hh"
 #include "workloads/registry.hh"
 
 using namespace heteromap;
@@ -105,4 +106,17 @@ BM_PerfModelEvaluate(benchmark::State &bs)
 }
 BENCHMARK(BM_PerfModelEvaluate);
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so the shared --telemetry-out flag can be
+// consumed before google-benchmark rejects unknown arguments.
+int
+main(int argc, char **argv)
+{
+    telemetry::TelemetryFileWriter telemetry_out(
+        telemetry::consumeTelemetryOutFlag(argc, argv));
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -10,12 +10,15 @@
 
 #include "graph/datasets.hh"
 #include "util/table.hh"
+#include "util/telemetry.hh"
 
 using namespace heteromap;
 
 int
-main()
+main(int argc, char **argv)
 {
+    telemetry::TelemetryFileWriter telemetry_out(
+        telemetry::consumeTelemetryOutFlag(argc, argv));
     std::cout << "Table I: Input Datasets (nominal = paper values, "
                  "proxy = executed graph)\n\n";
 

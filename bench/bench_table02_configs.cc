@@ -8,12 +8,15 @@
 
 #include "arch/presets.hh"
 #include "util/table.hh"
+#include "util/telemetry.hh"
 
 using namespace heteromap;
 
 int
-main()
+main(int argc, char **argv)
 {
+    telemetry::TelemetryFileWriter telemetry_out(
+        telemetry::consumeTelemetryOutFlag(argc, argv));
     std::cout << "Table II: Accelerator Configurations\n\n";
 
     TextTable table({"Parameter", "GTX-750Ti", "GTX-970",

@@ -11,13 +11,16 @@
 #include "core/training.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
+#include "util/telemetry.hh"
 #include "workloads/synthetic.hh"
 
 using namespace heteromap;
 
 int
-main()
+main(int argc, char **argv)
 {
+    telemetry::TelemetryFileWriter telemetry_out(
+        telemetry::consumeTelemetryOutFlag(argc, argv));
     setLogVerbose(false);
     std::cout << "Table III: Synthetic Training Inputs (scaled; paper "
                  "used 16-65M vertices / 16-2B edges)\n\n";

@@ -23,13 +23,16 @@
 #include "util/logging.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
+#include "util/telemetry.hh"
 #include "util/timer.hh"
 
 using namespace heteromap;
 
 int
-main()
+main(int argc, char **argv)
 {
+    telemetry::TelemetryFileWriter telemetry_out(
+        telemetry::consumeTelemetryOutFlag(argc, argv));
     setLogVerbose(false);
     std::cout << "Table IV: Learning Model Strategies (primary pair, "
                  "speedup over the GTX-750Ti baseline)\n\n";

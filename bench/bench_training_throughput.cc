@@ -14,14 +14,17 @@
 #include "core/training.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
+#include "util/telemetry.hh"
 #include "util/thread_pool.hh"
 #include "util/timer.hh"
 
 using namespace heteromap;
 
 int
-main()
+main(int argc, char **argv)
 {
+    telemetry::TelemetryFileWriter telemetry_out(
+        telemetry::consumeTelemetryOutFlag(argc, argv));
     setLogVerbose(false);
     Oracle oracle;
 

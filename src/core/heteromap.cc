@@ -12,7 +12,9 @@
 #include "model/mlp.hh"
 #include "model/poly_regression.hh"
 #include "util/logging.hh"
+#include "util/telemetry.hh"
 #include "util/timer.hh"
+#include "util/trace.hh"
 
 namespace heteromap {
 
@@ -78,16 +80,35 @@ HeteroMap::predict(const Workload &workload, const Graph &graph,
                    const std::string &input_name,
                    const MeasureOptions &measure) const
 {
-    // Measurement is real framework time the paper's overhead column
-    // would see; time it and charge it to the deployment.
+    // The full online path is real framework time the paper's
+    // overhead column would see. Each stage is timed with lapMillis()
+    // — one clock read per stage boundary — so the per-stage
+    // "predict.stage.*" histograms partition overheadMs exactly:
+    // their sums add up to the reported total, no instant counted
+    // twice or dropped.
+    HM_SPAN("predict");
+    HM_COUNTER_INC("predict.calls");
     Timer timer;
     timer.start();
-    GraphStats stats = globalStatsCache().measure(graph, measure);
-    const double measure_ms = timer.elapsedMillis();
 
-    BenchmarkCase bench = makeCase(workload, graph, input_name, stats);
+    const GraphStats stats = [&] {
+        HM_SPAN("predict.measure");
+        return globalStatsCache().measure(graph, measure);
+    }();
+    const double measure_ms = timer.lapMillis();
+    HM_HISTOGRAM_RECORD_MS("predict.stage.measure_ms", measure_ms);
+
+    BenchmarkCase bench = [&] {
+        HM_SPAN("predict.featurize");
+        return makeCase(workload, graph, input_name, stats);
+    }();
+    const double featurize_ms = timer.lapMillis();
+    HM_HISTOGRAM_RECORD_MS("predict.stage.featurize_ms", featurize_ms);
+
+    // deploy() times the inference stage itself and records it as
+    // "predict.stage.infer_ms"; its overheadMs is that stage's value.
     Deployment out = deploy(bench);
-    out.overheadMs += measure_ms;
+    out.overheadMs += measure_ms + featurize_ms;
     return out;
 }
 
@@ -96,24 +117,32 @@ HeteroMap::deploy(const BenchmarkCase &bench,
                   const DeployConstraints &constraints) const
 {
     Deployment out;
+    HM_COUNTER_INC("deploy.calls");
 
     // The inference latency is real wall-clock time — the paper adds
     // the framework's runtime overhead to the completion time.
     Timer timer;
     timer.start();
-    out.predicted = predictor_->predict(bench.features);
-    if (constraints.forceAccelerator) {
-        // Mask the other accelerator out of the M1 choice; the
-        // intra-accelerator knobs remain the predictor's.
-        out.predicted.m[0] =
-            *constraints.forceAccelerator == AcceleratorKind::Multicore
-                ? 1.0
-                : 0.0;
+    {
+        HM_SPAN("predict.infer");
+        out.predicted = predictor_->predict(bench.features);
+        if (constraints.forceAccelerator) {
+            // Mask the other accelerator out of the M1 choice; the
+            // intra-accelerator knobs remain the predictor's.
+            out.predicted.m[0] = *constraints.forceAccelerator ==
+                                         AcceleratorKind::Multicore
+                                     ? 1.0
+                                     : 0.0;
+        }
+        out.config = deployNormalized(out.predicted, pair_);
     }
-    out.config = deployNormalized(out.predicted, pair_);
-    out.overheadMs = timer.elapsedMillis();
+    out.overheadMs = timer.lapMillis();
+    HM_HISTOGRAM_RECORD_MS("predict.stage.infer_ms", out.overheadMs);
 
-    out.report = oracle_.run(bench, pair_, out.config);
+    {
+        HM_SPAN("deploy.oracle");
+        out.report = oracle_.run(bench, pair_, out.config);
+    }
     return out;
 }
 

@@ -11,6 +11,8 @@
 #include <sstream>
 
 #include "util/logging.hh"
+#include "util/telemetry.hh"
+#include "util/trace.hh"
 
 namespace heteromap {
 
@@ -156,6 +158,8 @@ Supervisor::shrinkConfig(MConfig config) const
 DeploymentOutcome
 Supervisor::deploy(const BenchmarkCase &bench)
 {
+    HM_SPAN("supervise.deploy");
+    HM_COUNTER_INC("supervisor.deployments");
     DeploymentOutcome out;
     out.deploymentIndex = clock_.deployment;
 
@@ -252,8 +256,14 @@ Supervisor::deploy(const BenchmarkCase &bench)
             }
         }
 
-        if (attempt.action != FallbackAction::Initial)
+        if (attempt.mispredict)
+            HM_COUNTER_INC("supervisor.mispredicts");
+        if (attempt.action != FallbackAction::Initial) {
+            HM_COUNTER_INC("supervisor.degradation_steps");
             out.fallbackPath.push_back(attempt.action);
+        }
+        HM_COUNTER_ADD("supervisor.faults_seen",
+                       uint64_t(attempt.faults.size()));
         out.attempts.push_back(std::move(attempt));
     }
 

@@ -16,7 +16,9 @@
 #include "tuner/objective_cache.hh"
 #include "tuner/random_search.hh"
 #include "util/logging.hh"
+#include "util/telemetry.hh"
 #include "util/thread_pool.hh"
+#include "util/trace.hh"
 #include "workloads/synthetic.hh"
 
 namespace heteromap {
@@ -187,6 +189,8 @@ TrainingPipeline::tuneCase(const MSearchSpace &space,
 TrainingSet
 TrainingPipeline::run(const std::vector<TrainingGraph> &graphs)
 {
+    HM_SPAN("train.run");
+    HM_COUNTER_INC("train.runs");
     // The default corpus is cached per pipeline, derived from *this*
     // pipeline's seed. (A function-local static here would freeze the
     // first pipeline's seed into every later pipeline's corpus.)
@@ -217,6 +221,9 @@ TrainingPipeline::run(const std::vector<TrainingGraph> &graphs)
     // the merge below walks slots in case order, so the output is
     // byte-identical for any thread count.
     auto run_case = [&](std::size_t case_index) {
+        // Per-case span: in a parallel sweep these land on the pool
+        // workers' trace tracks, making load imbalance visible.
+        HM_SPAN("train.case");
         const BVariables &b = b_vectors[case_index / corpus.size()];
         const TrainingGraph &tg = corpus[case_index % corpus.size()];
 
@@ -267,6 +274,7 @@ TrainingPipeline::run(const std::vector<TrainingGraph> &graphs)
             y = normalizeConfig(tuned.best, pair_);
         }
         results[case_index] = {bench.features, y, cache.invocations()};
+        HM_COUNTER_INC("train.cases");
     };
 
     const std::size_t threads = options_.threads == 0

@@ -81,8 +81,21 @@ GraphStatsCache::makeKey(const Graph &graph,
     return {fingerprintGraph(graph), options.sweeps, options.seed};
 }
 
-GraphStatsCache::GraphStatsCache(std::size_t capacity)
-    : capacity_(capacity)
+GraphStatsCache::GraphStatsCache(std::size_t capacity,
+                                 const char *metrics_prefix)
+    : capacity_(capacity),
+      hits_(metrics_prefix != nullptr
+                ? &telemetry::registry().counter(
+                      std::string(metrics_prefix) + ".hits")
+                : &ownedHits_),
+      misses_(metrics_prefix != nullptr
+                  ? &telemetry::registry().counter(
+                        std::string(metrics_prefix) + ".misses")
+                  : &ownedMisses_),
+      evictions_(metrics_prefix != nullptr
+                     ? &telemetry::registry().counter(
+                           std::string(metrics_prefix) + ".evictions")
+                     : &ownedEvictions_)
 {
     HM_ASSERT(capacity > 0, "stats cache needs a positive capacity");
 }
@@ -96,11 +109,11 @@ GraphStatsCache::measure(const Graph &graph,
         std::lock_guard<std::mutex> lock(mutex_);
         auto found = index_.find(key);
         if (found != index_.end()) {
-            ++hits_;
+            hits_->add(1);
             lru_.splice(lru_.begin(), lru_, found->second);
             return found->second->second;
         }
-        ++misses_;
+        misses_->add(1);
     }
 
     // Measure outside the lock: the graph sweep is the expensive
@@ -119,7 +132,7 @@ GraphStatsCache::measure(const Graph &graph,
     while (lru_.size() > capacity_) {
         index_.erase(lru_.back().first);
         lru_.pop_back();
-        ++evictions_;
+        evictions_->add(1);
     }
     return stats;
 }
@@ -147,22 +160,19 @@ GraphStatsCache::clear()
 uint64_t
 GraphStatsCache::hits() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return hits_;
+    return hits_->value();
 }
 
 uint64_t
 GraphStatsCache::misses() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return misses_;
+    return misses_->value();
 }
 
 uint64_t
 GraphStatsCache::evictions() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return evictions_;
+    return evictions_->value();
 }
 
 std::size_t
@@ -175,7 +185,11 @@ GraphStatsCache::size() const
 GraphStatsCache &
 globalStatsCache()
 {
-    static GraphStatsCache cache;
+    // The global cache is the one whose counters back the
+    // "stats_cache.*" registry metrics; private caches stay
+    // unregistered so tests don't pollute the process snapshot.
+    static GraphStatsCache cache(GraphStatsCache::kDefaultCapacity,
+                                 "stats_cache");
     return cache;
 }
 

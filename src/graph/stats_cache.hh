@@ -33,6 +33,7 @@
 #include <utility>
 
 #include "graph/props.hh"
+#include "util/telemetry.hh"
 
 namespace heteromap {
 
@@ -60,7 +61,18 @@ class GraphStatsCache
     /** Default entry bound for the global cache. */
     static constexpr std::size_t kDefaultCapacity = 64;
 
-    explicit GraphStatsCache(std::size_t capacity = kDefaultCapacity);
+    /**
+     * @param capacity       Entry bound (LRU evicts beyond it).
+     * @param metrics_prefix When non-null, the hit/miss/eviction
+     *        counters are the shared telemetry-registry counters
+     *        "<prefix>.hits" / ".misses" / ".evictions", so a
+     *        /metrics-style snapshot and the accessors below read
+     *        the *same* atomics and always agree. When null (the
+     *        default, used by private test caches) the counters are
+     *        cache-owned and unregistered.
+     */
+    explicit GraphStatsCache(std::size_t capacity = kDefaultCapacity,
+                             const char *metrics_prefix = nullptr);
 
     /**
      * Memoized measureGraph: fingerprint @p graph, return the cached
@@ -109,9 +121,12 @@ class GraphStatsCache
     mutable std::mutex mutex_;
     LruList lru_;  //!< front = most recent
     std::unordered_map<Key, LruList::iterator, KeyHash> index_;
-    uint64_t hits_ = 0;
-    uint64_t misses_ = 0;
-    uint64_t evictions_ = 0;
+
+    /** Backing store when no metrics prefix registers the counters. */
+    telemetry::Counter ownedHits_, ownedMisses_, ownedEvictions_;
+    telemetry::Counter *hits_;
+    telemetry::Counter *misses_;
+    telemetry::Counter *evictions_;
 
     static Key makeKey(const Graph &graph, const MeasureOptions &options);
 };

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "util/logging.hh"
+#include "util/telemetry.hh"
 
 namespace heteromap {
 
@@ -38,12 +39,14 @@ ObjectiveCache::operator()(const MConfig &config)
     auto it = cache_.find(key);
     if (it != cache_.end()) {
         ++hits_;
+        HM_COUNTER_INC("objective_cache.hits");
         return it->second;
     }
     // Evaluate before inserting so a throwing objective leaves no
     // stale entry behind.
     double value = inner_(config);
     ++invocations_;
+    HM_COUNTER_INC("objective_cache.evaluations");
     cache_.emplace(key, value);
     return value;
 }

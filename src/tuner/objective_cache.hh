@@ -6,6 +6,13 @@
  * evaluates the underlying oracle once per distinct configuration and
  * serves repeats from memory. invocations() counts actual oracle
  * calls, which makes tuner-evaluation accounting exact.
+ *
+ * Every instance also mirrors its activity into the process-wide
+ * telemetry counters "objective_cache.evaluations" (actual oracle
+ * calls) and "objective_cache.hits" (memo serves): the registry view
+ * aggregates across all per-case caches, so after a training sweep
+ * the evaluations counter delta equals the pipeline's evaluations()
+ * sum exactly.
  */
 
 #ifndef HETEROMAP_TUNER_OBJECTIVE_CACHE_HH

@@ -1,18 +1,43 @@
 /**
  * @file
  * Implementation of the logging helpers.
+ *
+ * Every record is emitted through one mutex-guarded sink, so
+ * messages from concurrent threads (e.g. ThreadPool workers
+ * inform()ing mid-sweep) come out whole instead of interleaving
+ * mid-line on stderr. Tests can swap the sink to capture records.
  */
 
 #include "util/logging.hh"
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
+#include <utility>
+
+#include "util/telemetry.hh"
 
 namespace heteromap {
 
 namespace {
 
 std::atomic<bool> verboseFlag{true};
+
+/** Guards both the active sink pointer and each record's emission. */
+std::mutex &
+sinkMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+/** Active custom sink; nullptr means the default stderr sink. */
+LogSink &
+activeSink()
+{
+    static LogSink sink;
+    return sink;
+}
 
 const char *
 levelTag(LogLevel level)
@@ -24,6 +49,18 @@ levelTag(LogLevel level)
       case LogLevel::Panic:  return "panic";
     }
     return "?";
+}
+
+/** Hand one whole record to the sink, under the logging mutex. */
+void
+emitRecord(LogLevel level, const std::string &msg)
+{
+    std::lock_guard<std::mutex> lock(sinkMutex());
+    if (activeSink() != nullptr) {
+        activeSink()(level, msg);
+        return;
+    }
+    std::fprintf(stderr, "%s: %s\n", levelTag(level), msg.c_str());
 }
 
 } // namespace
@@ -40,6 +77,15 @@ logVerbose()
     return verboseFlag.load(std::memory_order_relaxed);
 }
 
+LogSink
+setLogSink(LogSink sink)
+{
+    std::lock_guard<std::mutex> lock(sinkMutex());
+    LogSink previous = std::move(activeSink());
+    activeSink() = std::move(sink);
+    return previous;
+}
+
 namespace detail {
 
 void
@@ -47,7 +93,7 @@ logAndDie(LogLevel level, const char *file, int line, const std::string &msg)
 {
     std::string full = std::string(levelTag(level)) + ": " + msg + " [" +
                        file + ":" + std::to_string(line) + "]";
-    std::fprintf(stderr, "%s\n", full.c_str());
+    emitRecord(level, msg + " [" + file + ":" + std::to_string(line) + "]");
     if (level == LogLevel::Panic)
         throw PanicError(full);
     throw FatalError(full);
@@ -56,9 +102,13 @@ logAndDie(LogLevel level, const char *file, int line, const std::string &msg)
 void
 logMessage(LogLevel level, const std::string &msg)
 {
+    if (level == LogLevel::Warn)
+        HM_COUNTER_INC("log.warn");
+    else
+        HM_COUNTER_INC("log.inform");
     if (!logVerbose())
         return;
-    std::fprintf(stderr, "%s: %s\n", levelTag(level), msg.c_str());
+    emitRecord(level, msg);
 }
 
 } // namespace detail

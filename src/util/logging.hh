@@ -8,6 +8,7 @@
 #ifndef HETEROMAP_UTIL_LOGGING_HH
 #define HETEROMAP_UTIL_LOGGING_HH
 
+#include <functional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -59,6 +60,44 @@ void setLogVerbose(bool verbose);
 
 /** @return true when inform()/warn() output is enabled. */
 bool logVerbose();
+
+/**
+ * A pluggable destination for log records. Receives the severity and
+ * the fully formatted message body (no trailing newline). Invoked
+ * under the logging mutex, so records never interleave and the sink
+ * needs no synchronization of its own; keep it quick and never log
+ * from inside it.
+ */
+using LogSink = std::function<void(LogLevel, const std::string &)>;
+
+/**
+ * Install @p sink as the log destination (nullptr restores the
+ * default stderr sink) and return the previous sink (nullptr when
+ * stderr was active). Tests use this to capture records instead of
+ * silencing them.
+ */
+LogSink setLogSink(LogSink sink);
+
+/**
+ * RAII sink capture: installs @p sink on construction and restores
+ * the previous sink on destruction.
+ */
+class ScopedLogSink
+{
+  public:
+    explicit ScopedLogSink(LogSink sink)
+        : previous_(setLogSink(std::move(sink)))
+    {
+    }
+
+    ~ScopedLogSink() { setLogSink(std::move(previous_)); }
+
+    ScopedLogSink(const ScopedLogSink &) = delete;
+    ScopedLogSink &operator=(const ScopedLogSink &) = delete;
+
+  private:
+    LogSink previous_;
+};
 
 /**
  * Report an unrecoverable internal error (a HeteroMap bug) and abort.

@@ -6,6 +6,8 @@
 #include "util/thread_pool.hh"
 
 #include "util/logging.hh"
+#include "util/telemetry.hh"
+#include "util/timer.hh"
 
 namespace heteromap {
 
@@ -64,7 +66,7 @@ ThreadPool::submit(Task task)
     // predicate cannot miss the increment.
     {
         std::lock_guard<std::mutex> lock(idle_mutex_);
-        queued_.fetch_add(1);
+        HM_GAUGE_SET("pool.queue_depth", double(queued_.fetch_add(1) + 1));
     }
     idle_cv_.notify_one();
 }
@@ -80,7 +82,8 @@ ThreadPool::tryPop(std::size_t self, Task &task)
         if (!own.queue.empty()) {
             task = std::move(own.queue.front());
             own.queue.pop_front();
-            queued_.fetch_sub(1);
+            HM_GAUGE_SET("pool.queue_depth",
+                         double(queued_.fetch_sub(1) - 1));
             return true;
         }
     }
@@ -90,7 +93,9 @@ ThreadPool::tryPop(std::size_t self, Task &task)
         if (!victim.queue.empty()) {
             task = std::move(victim.queue.back());
             victim.queue.pop_back();
-            queued_.fetch_sub(1);
+            HM_GAUGE_SET("pool.queue_depth",
+                         double(queued_.fetch_sub(1) - 1));
+            HM_COUNTER_INC("pool.steals");
             return true;
         }
     }
@@ -100,6 +105,7 @@ ThreadPool::tryPop(std::size_t self, Task &task)
 void
 ThreadPool::runTask(Task &task)
 {
+    HM_COUNTER_INC("pool.tasks");
     try {
         task();
     } catch (...) {
@@ -126,9 +132,13 @@ ThreadPool::workerLoop(std::size_t self)
         std::unique_lock<std::mutex> lock(idle_mutex_);
         if (stop_.load() && queued_.load() == 0)
             return;
+        Timer idle;
+        idle.start();
         idle_cv_.wait(lock, [this] {
             return stop_.load() || queued_.load() > 0;
         });
+        HM_HISTOGRAM_RECORD_MS("pool.worker_idle_ms",
+                               idle.elapsedMillis());
         if (stop_.load() && queued_.load() == 0)
             return;
     }

@@ -7,6 +7,11 @@
  * becoming a point of contention. Exceptions thrown by tasks are
  * captured and rethrown from wait(); destruction drains every queued
  * task before joining.
+ *
+ * The pool reports itself through the telemetry registry
+ * (util/telemetry.hh): "pool.tasks" and "pool.steals" counters, a
+ * "pool.queue_depth" gauge, and a "pool.worker_idle_ms" histogram of
+ * how long workers sit parked between tasks.
  */
 
 #ifndef HETEROMAP_UTIL_THREAD_POOL_HH

@@ -33,6 +33,25 @@ class Timer
     /** @return elapsed milliseconds since start(). */
     double elapsedMillis() const { return elapsedSeconds() * 1e3; }
 
+    /**
+     * @return elapsed milliseconds since start()/the last lap, and
+     * restart the stopwatch from the *same* clock read, so
+     * consecutive laps partition the elapsed time exactly: no
+     * instant is counted twice or dropped between stages. This is
+     * what lets HeteroMap::predict's per-stage timings sum to its
+     * reported overheadMs to the bit.
+     */
+    double
+    lapMillis()
+    {
+        const Clock::time_point now = Clock::now();
+        const double ms =
+            std::chrono::duration<double, std::milli>(now - begin_)
+                .count();
+        begin_ = now;
+        return ms;
+    }
+
     /** @return elapsed microseconds since start(). */
     double elapsedMicros() const { return elapsedSeconds() * 1e6; }
 

@@ -9,6 +9,9 @@
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "util/errors.hh"
 #include "util/logging.hh"
@@ -326,6 +329,107 @@ TEST(TimerTest, MeasuresElapsedTime)
     EXPECT_GT(timer.elapsedMicros(), 0.0);
     EXPECT_GE(timer.elapsedMillis(), 0.0);
     EXPECT_GE(sink, 0.0);
+}
+
+TEST(TimerTest, LapsPartitionElapsedTimeExactly)
+{
+    // lapMillis() restarts from the same clock read it returns, so
+    // consecutive laps tile the timeline with no gap or overlap —
+    // the property the predict path relies on for its per-stage
+    // overhead accounting.
+    Timer total;
+    total.start();
+    Timer lapper;
+    lapper.start();
+
+    double sink = 0.0;
+    double lap_sum = 0.0;
+    for (int lap = 0; lap < 3; ++lap) {
+        for (int i = 0; i < 50000; ++i)
+            sink += std::sqrt(static_cast<double>(i + lap));
+        const double ms = lapper.lapMillis();
+        EXPECT_GE(ms, 0.0);
+        lap_sum += ms;
+    }
+    // The laps cover at least the interval they were measured over
+    // (total was started first, so it bounds from above).
+    EXPECT_GT(lap_sum, 0.0);
+    EXPECT_LE(lap_sum, total.elapsedMillis());
+    EXPECT_GE(sink, 0.0);
+}
+
+TEST(TimerTest, LapRestartsTheTimer)
+{
+    Timer timer;
+    timer.start();
+    double sink = 0.0;
+    for (int i = 0; i < 100000; ++i)
+        sink += std::sqrt(static_cast<double>(i));
+    const double first = timer.lapMillis();
+    const double second = timer.elapsedMillis();
+    EXPECT_GT(first, 0.0);
+    // The second reading restarted from the lap, not from start().
+    EXPECT_LT(second, first + 1.0);
+    EXPECT_GE(sink, 0.0);
+}
+
+TEST(LoggingTest, ScopedSinkCapturesRecords)
+{
+    std::vector<std::pair<LogLevel, std::string>> captured;
+    {
+        ScopedLogSink scoped([&](LogLevel level,
+                                 const std::string &message) {
+            captured.emplace_back(level, message);
+        });
+        warn("sink sees ", 42);
+        inform("and this too");
+    }
+    // Restored after scope exit: this goes to stderr, not captured.
+    setLogVerbose(false);
+    inform("not captured");
+    setLogVerbose(true);
+
+    ASSERT_EQ(captured.size(), 2u);
+    EXPECT_EQ(captured[0].first, LogLevel::Warn);
+    EXPECT_EQ(captured[0].second, "sink sees 42");
+    EXPECT_EQ(captured[1].first, LogLevel::Inform);
+    EXPECT_EQ(captured[1].second, "and this too");
+}
+
+TEST(LoggingTest, ConcurrentWritersProduceIntactRecords)
+{
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 200;
+    std::vector<std::string> records;
+    {
+        ScopedLogSink scoped(
+            [&](LogLevel, const std::string &message) {
+                // The sink runs under the logging mutex, so plain
+                // vector access here is safe and each record arrives
+                // whole, never interleaved with another thread's.
+                records.push_back(message);
+            });
+        std::vector<std::thread> threads;
+        threads.reserve(kThreads);
+        for (int t = 0; t < kThreads; ++t) {
+            threads.emplace_back([t] {
+                for (int i = 0; i < kPerThread; ++i)
+                    warn("thread ", t, " record ", i, " end");
+            });
+        }
+        for (std::thread &thread : threads)
+            thread.join();
+    }
+
+    ASSERT_EQ(records.size(),
+              std::size_t(kThreads) * std::size_t(kPerThread));
+    std::set<std::string> unique(records.begin(), records.end());
+    EXPECT_EQ(unique.size(), records.size());
+    for (const std::string &record : records) {
+        EXPECT_EQ(record.compare(0, 7, "thread "), 0) << record;
+        EXPECT_EQ(record.compare(record.size() - 4, 4, " end"), 0)
+            << record;
+    }
 }
 
 } // namespace

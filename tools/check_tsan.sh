@@ -1,18 +1,33 @@
 #!/usr/bin/env bash
 # Race-check the parallel subsystems under ThreadSanitizer: the
-# offline training sweep (util/thread_pool fan-out) and the graph
-# measurement substrate (flat-frontier BFS + stats cache). Run from
+# offline training sweep (util/thread_pool fan-out), the graph
+# measurement substrate (flat-frontier BFS + stats cache), and the
+# telemetry layer (lock-free metrics + trace ring buffers). Run from
 # the repo root; uses a separate build tree so the normal build and
 # the tier-1 ctest run stay fast.
 #
-#   tools/check_tsan.sh [build-dir]   (default: build-tsan)
+#   tools/check_tsan.sh [-R <ctest-regex>] [build-dir]
+#
+# -R narrows (or widens) the test selection; the default regex covers
+# the three parallel subsystems. E.g. race-check only the telemetry
+# layer with: tools/check_tsan.sh -R Telemetry
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+REGEX="Training|Props|Telemetry"
+while getopts "R:" opt; do
+    case "$opt" in
+      R) REGEX="$OPTARG" ;;
+      *) echo "usage: $0 [-R <ctest-regex>] [build-dir]" >&2
+         exit 2 ;;
+    esac
+done
+shift $((OPTIND - 1))
 BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DHETEROMAP_SANITIZE=thread
-cmake --build "$BUILD_DIR" -j --target test_training test_props
-ctest --test-dir "$BUILD_DIR" --output-on-failure -R "Training|Props"
-echo "TSan check passed: training sweep + measurement substrate clean"
+cmake --build "$BUILD_DIR" -j \
+    --target test_training test_props test_telemetry telemetry_tour
+ctest --test-dir "$BUILD_DIR" --output-on-failure -R "$REGEX"
+echo "TSan check passed for '$REGEX'"
