@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Serving load benchmark: drives the src/serve/ PredictionService
+ * with closed-loop (fixed client count, submit -> wait -> repeat) or
+ * open-loop (fixed arrival rate, no client backpressure) traffic and
+ * reports throughput and the p50/p95/p99 request latency, plus the
+ * micro-batching and stats-cache amortization counters that explain
+ * them.
+ *
+ * Run: ./bench_serving_load [--requests N] [--workers W]
+ *                           [--clients C] [--queue CAP]
+ *                           [--open RATE_RPS] [--reject]
+ *                           [--telemetry-out out.json]
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "arch/presets.hh"
+#include "core/experiment.hh"
+#include "graph/generators.hh"
+#include "serve/model_registry.hh"
+#include "serve/prediction_service.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+#include "util/telemetry.hh"
+#include "util/timer.hh"
+#include "workloads/registry.hh"
+
+using namespace heteromap;
+using namespace heteromap::serve;
+
+namespace {
+
+struct LoadOptions {
+    std::size_t requests = 200;
+    std::size_t workers = 2;
+    std::size_t clients = 4;   //!< closed-loop client threads
+    std::size_t queue = 0;     //!< 0 keeps the service default
+    double openRateRps = 0.0;  //!< > 0 switches to open loop
+    bool reject = false;
+};
+
+LoadOptions
+parseArgs(int argc, char **argv)
+{
+    LoadOptions options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << "bench_serving_load: " << arg
+                          << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--requests")
+            options.requests = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--workers")
+            options.workers = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--clients")
+            options.clients = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--queue")
+            options.queue = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--open")
+            options.openRateRps = std::strtod(next(), nullptr);
+        else if (arg == "--reject")
+            options.reject = true;
+        else {
+            std::cerr << "bench_serving_load: unknown flag " << arg
+                      << "\n";
+            std::exit(2);
+        }
+    }
+    options.requests = std::max<std::size_t>(1, options.requests);
+    options.clients = std::max<std::size_t>(1, options.clients);
+    return options;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setLogVerbose(false);
+    telemetry::TelemetryFileWriter telemetry_writer(
+        telemetry::consumeTelemetryOutFlag(argc, argv));
+    const LoadOptions load = parseArgs(argc, argv);
+
+    Oracle oracle;
+    AcceleratorPair pair = pinnedPair(primaryPair());
+    ModelRegistry registry(pair, oracle);
+    registry.publish(PredictorKind::DecisionTree,
+                     makePredictor(PredictorKind::DecisionTree));
+
+    // A small catalogue of traffic: two workloads, three graphs, so
+    // batching has both coalescible and distinct requests to chew on.
+    std::vector<std::shared_ptr<const Workload>> workloads;
+    workloads.emplace_back(makeWorkload("PR"));
+    workloads.emplace_back(makeWorkload("BFS"));
+    std::vector<std::shared_ptr<const Graph>> graphs = {
+        std::make_shared<const Graph>(generateMesh(1024, 4, 1)),
+        std::make_shared<const Graph>(
+            generatePreferentialAttachment(1024, 4, 7)),
+        std::make_shared<const Graph>(
+            generateRoadGrid(32, 32, 3)),
+    };
+    const char *graph_names[] = {"mesh", "social", "road"};
+
+    auto requestAt = [&](std::size_t i) {
+        ServeRequest request;
+        request.workload = workloads[i % workloads.size()];
+        request.graph = graphs[(i / 2) % graphs.size()];
+        request.inputName = graph_names[(i / 2) % graphs.size()];
+        return request;
+    };
+
+    ServiceOptions options;
+    options.workers = load.workers;
+    if (load.queue > 0)
+        options.queueCapacity = load.queue;
+    options.admission = load.reject ? AdmissionPolicy::Reject
+                                    : AdmissionPolicy::Block;
+    PredictionService service(registry, options);
+
+    const uint64_t batches_before =
+        telemetry::registry().counter("serve.batches").value();
+
+    std::vector<double> latencies_ms;
+    latencies_ms.reserve(load.requests);
+    uint64_t ok = 0, shed = 0;
+    auto harvest = [&](ServeResponse response) {
+        if (response.status == ServeStatus::Ok) {
+            ++ok;
+            latencies_ms.push_back(response.queueMs +
+                                   response.serviceMs);
+        } else {
+            ++shed;
+        }
+    };
+
+    Timer wall;
+    wall.start();
+    if (load.openRateRps > 0.0) {
+        // Open loop: arrivals at a fixed rate, independent of how
+        // fast responses come back — queueing delay shows up in full.
+        const auto interval =
+            std::chrono::duration_cast<
+                std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(1.0 /
+                                              load.openRateRps));
+        std::vector<std::future<ServeResponse>> futures;
+        futures.reserve(load.requests);
+        auto next_arrival = std::chrono::steady_clock::now();
+        for (std::size_t i = 0; i < load.requests; ++i) {
+            std::this_thread::sleep_until(next_arrival);
+            next_arrival += interval;
+            futures.push_back(service.submit(requestAt(i)));
+        }
+        for (auto &future : futures)
+            harvest(future.get());
+    } else {
+        // Closed loop: each client keeps exactly one request in
+        // flight.
+        std::vector<std::thread> clients;
+        std::vector<std::vector<ServeResponse>> collected(
+            load.clients);
+        for (std::size_t c = 0; c < load.clients; ++c) {
+            clients.emplace_back([&, c] {
+                for (std::size_t i = c; i < load.requests;
+                     i += load.clients) {
+                    collected[c].push_back(
+                        service.submit(requestAt(i)).get());
+                }
+            });
+        }
+        for (auto &client : clients)
+            client.join();
+        for (auto &responses : collected)
+            for (auto &response : responses)
+                harvest(std::move(response));
+    }
+    const double wall_s = wall.elapsedSeconds();
+    service.close();
+
+    const uint64_t batches =
+        telemetry::registry().counter("serve.batches").value() -
+        batches_before;
+
+    TextTable table({"metric", "value"});
+    table.addRow({"mode", load.openRateRps > 0.0
+                              ? "open @ " +
+                                    formatNumber(load.openRateRps,
+                                                 0) +
+                                    " req/s"
+                              : "closed x " +
+                                    std::to_string(load.clients)});
+    table.addRow({"admission", load.reject ? "reject" : "block"});
+    table.addRow({"workers", std::to_string(service.workers())});
+    table.addRow({"requests", std::to_string(load.requests)});
+    table.addRow({"served ok", std::to_string(ok)});
+    table.addRow({"shed", std::to_string(shed)});
+    table.addRow(
+        {"throughput (req/s)",
+         formatNumber(static_cast<double>(ok) / wall_s, 1)});
+    table.addRow(
+        {"p50 latency (ms)", formatNumber(quantile(latencies_ms, 0.50), 3)});
+    table.addRow(
+        {"p95 latency (ms)", formatNumber(quantile(latencies_ms, 0.95), 3)});
+    table.addRow(
+        {"p99 latency (ms)", formatNumber(quantile(latencies_ms, 0.99), 3)});
+    table.addRow({"batches", std::to_string(batches)});
+    table.addRow(
+        {"avg batch size",
+         batches == 0 ? "-"
+                      : formatNumber(static_cast<double>(ok) /
+                                         static_cast<double>(batches),
+                                     2)});
+    table.addRow({"stats-cache hits",
+                  std::to_string(service.statsHits())});
+    table.addRow({"stats-cache misses",
+                  std::to_string(service.statsMisses())});
+    table.print(std::cout);
+
+    if (ok + shed != load.requests) {
+        std::cerr << "bench_serving_load: lost a response\n";
+        return 1;
+    }
+    return 0;
+}

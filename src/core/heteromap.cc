@@ -11,6 +11,7 @@
 #include "model/linear_regression.hh"
 #include "model/mlp.hh"
 #include "model/poly_regression.hh"
+#include "model/table_lookup.hh"
 #include "util/logging.hh"
 #include "util/telemetry.hh"
 #include "util/timer.hh"
@@ -38,6 +39,121 @@ makePredictor(PredictorKind kind)
         return std::make_unique<Mlp>(64);
       case PredictorKind::Deep128:
         return std::make_unique<Mlp>(128);
+      case PredictorKind::TableLookup:
+        return std::make_unique<TableLookupPredictor>();
+    }
+    HM_PANIC("unhandled predictor kind");
+}
+
+const char *
+predictorKindName(PredictorKind kind)
+{
+    switch (kind) {
+      case PredictorKind::DecisionTree:     return "decision-tree";
+      case PredictorKind::LinearRegression: return "linear-regression";
+      case PredictorKind::MultiRegression:  return "multi-regression";
+      case PredictorKind::AdaptiveLibrary:  return "adaptive-library";
+      case PredictorKind::Deep16:           return "deep-16";
+      case PredictorKind::Deep32:           return "deep-32";
+      case PredictorKind::Deep64:           return "deep-64";
+      case PredictorKind::Deep128:          return "deep-128";
+      case PredictorKind::TableLookup:      return "table-lookup";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Hidden width of a Deep.* kind; 0 for non-MLP kinds. */
+unsigned
+deepWidth(PredictorKind kind)
+{
+    switch (kind) {
+      case PredictorKind::Deep16:  return 16;
+      case PredictorKind::Deep32:  return 32;
+      case PredictorKind::Deep64:  return 64;
+      case PredictorKind::Deep128: return 128;
+      default:                     return 0;
+    }
+}
+
+/** dynamic_cast that fatals with the kind name on a type mismatch. */
+template <typename Concrete>
+const Concrete &
+asConcrete(const Predictor &predictor, PredictorKind kind)
+{
+    const auto *concrete = dynamic_cast<const Concrete *>(&predictor);
+    if (concrete == nullptr)
+        HM_FATAL(std::string("savePredictor: predictor is not a ") +
+                 predictorKindName(kind));
+    return *concrete;
+}
+
+} // namespace
+
+void
+savePredictor(const Predictor &predictor, PredictorKind kind,
+              std::ostream &os)
+{
+    switch (kind) {
+      case PredictorKind::DecisionTree:
+        asConcrete<DecisionTreeHeuristic>(predictor, kind).save(os);
+        return;
+      case PredictorKind::LinearRegression:
+        asConcrete<LinearRegression>(predictor, kind).save(os);
+        return;
+      case PredictorKind::MultiRegression:
+        asConcrete<PolyRegression>(predictor, kind).save(os);
+        return;
+      case PredictorKind::AdaptiveLibrary:
+        asConcrete<AdaptiveLibrary>(predictor, kind).save(os);
+        return;
+      case PredictorKind::Deep16:
+      case PredictorKind::Deep32:
+      case PredictorKind::Deep64:
+      case PredictorKind::Deep128: {
+        const Mlp &mlp = asConcrete<Mlp>(predictor, kind);
+        if (mlp.hiddenWidth() != deepWidth(kind))
+            HM_FATAL("savePredictor: MLP width does not match kind");
+        mlp.save(os);
+        return;
+      }
+      case PredictorKind::TableLookup:
+        asConcrete<TableLookupPredictor>(predictor, kind).save(os);
+        return;
+    }
+    HM_PANIC("unhandled predictor kind");
+}
+
+std::unique_ptr<Predictor>
+loadPredictor(PredictorKind kind, std::istream &is)
+{
+    switch (kind) {
+      case PredictorKind::DecisionTree:
+        return std::make_unique<DecisionTreeHeuristic>(
+            DecisionTreeHeuristic::load(is));
+      case PredictorKind::LinearRegression:
+        return std::make_unique<LinearRegression>(
+            LinearRegression::load(is));
+      case PredictorKind::MultiRegression:
+        return std::make_unique<PolyRegression>(
+            PolyRegression::load(is));
+      case PredictorKind::AdaptiveLibrary:
+        return std::make_unique<AdaptiveLibrary>(
+            AdaptiveLibrary::load(is));
+      case PredictorKind::Deep16:
+      case PredictorKind::Deep32:
+      case PredictorKind::Deep64:
+      case PredictorKind::Deep128: {
+        auto mlp = std::make_unique<Mlp>(Mlp::load(is));
+        if (mlp->hiddenWidth() != deepWidth(kind))
+            HM_FATAL("loadPredictor: stream holds an MLP of a "
+                     "different width than the requested kind");
+        return mlp;
+      }
+      case PredictorKind::TableLookup:
+        return std::make_unique<TableLookupPredictor>(
+            TableLookupPredictor::load(is));
     }
     HM_PANIC("unhandled predictor kind");
 }

@@ -10,6 +10,7 @@
 #ifndef HETEROMAP_CORE_HETEROMAP_HH
 #define HETEROMAP_CORE_HETEROMAP_HH
 
+#include <iosfwd>
 #include <memory>
 #include <optional>
 
@@ -19,7 +20,12 @@
 
 namespace heteromap {
 
-/** The learner strategies of Table IV. */
+/**
+ * The learner strategies of Table IV, plus the non-parametric
+ * database-backed table lookup (Sec. V's "indexed using B,I tuples"
+ * store) so deployment modes that serve straight from the profiler
+ * database name themselves the same way.
+ */
 enum class PredictorKind {
     DecisionTree,
     LinearRegression,
@@ -29,13 +35,37 @@ enum class PredictorKind {
     Deep32,
     Deep64,
     Deep128,
+    TableLookup,
 };
 
-/** Instantiate one of the Table IV learners. */
+/** Instantiate one of the learners. */
 std::unique_ptr<Predictor> makePredictor(PredictorKind kind);
 
-/** All Table IV learner kinds, in table order. */
+/** All Table IV learner kinds, in table order (TableLookup is not a
+ *  Table IV row and is deliberately absent). */
 const std::vector<PredictorKind> &allPredictorKinds();
+
+/** Stable identifier, e.g. "deep-64"; used in serialized headers. */
+const char *predictorKindName(PredictorKind kind);
+
+/**
+ * Persist @p predictor — which must be an instance of the concrete
+ * class @p kind names — in a format loadPredictor() restores. Every
+ * PredictorKind serializes; analytical models persist their
+ * parameters, learned models their fitted weights/tuples.
+ */
+void savePredictor(const Predictor &predictor, PredictorKind kind,
+                   std::ostream &os);
+
+/**
+ * Restore a predictor of @p kind from the savePredictor() format.
+ * Fatal on header/kind mismatch (e.g. a Deep.32 stream loaded as
+ * Deep.64), so a model registry can never hot-load a model into the
+ * wrong slot. The returned predictor's predict() outputs are
+ * byte-identical to the saved instance's.
+ */
+std::unique_ptr<Predictor> loadPredictor(PredictorKind kind,
+                                         std::istream &is);
 
 /** Result of one online deployment. */
 struct Deployment {

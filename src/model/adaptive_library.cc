@@ -5,6 +5,9 @@
 
 #include "model/adaptive_library.hh"
 
+#include <istream>
+#include <ostream>
+
 #include "util/logging.hh"
 
 namespace heteromap {
@@ -50,6 +53,32 @@ AdaptiveLibrary::predict(const FeatureVector &f) const
     }
     out.clamp01();
     return out;
+}
+
+void
+AdaptiveLibrary::save(std::ostream &os) const
+{
+    HM_ASSERT(weights_.rows() == 5,
+              "AdaptiveLibrary::save before train");
+    os << "adaptive-library v1\n";
+    saveMatrix(os, weights_);
+}
+
+AdaptiveLibrary
+AdaptiveLibrary::load(std::istream &is)
+{
+    std::string tag;
+    std::string version;
+    is >> tag >> version;
+    if (is.fail() || tag != "adaptive-library" || version != "v1")
+        HM_FATAL("AdaptiveLibrary::load: bad header");
+    AdaptiveLibrary model;
+    model.weights_ = loadMatrix(is);
+    if (model.weights_.rows() != 5 ||
+        model.weights_.cols() != kNumOutputs) {
+        HM_FATAL("AdaptiveLibrary::load: unexpected weight shape");
+    }
+    return model;
 }
 
 } // namespace heteromap

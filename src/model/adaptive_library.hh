@@ -11,6 +11,8 @@
 #ifndef HETEROMAP_MODEL_ADAPTIVE_LIBRARY_HH
 #define HETEROMAP_MODEL_ADAPTIVE_LIBRARY_HH
 
+#include <iosfwd>
+
 #include "model/matrix.hh"
 #include "model/predictor.hh"
 
@@ -25,6 +27,12 @@ class AdaptiveLibrary : public Predictor
     std::string name() const override { return "Adaptive Library"; }
     void train(const TrainingSet &data) override;
     NormalizedMVector predict(const FeatureVector &f) const override;
+
+    /** Persist the fitted reduced-feature weights as text. */
+    void save(std::ostream &os) const;
+
+    /** Restore a fitted model from the save() format. */
+    static AdaptiveLibrary load(std::istream &is);
 
   private:
     /** Reduced feature view: [b1, b9, b10, b11, bias]. */

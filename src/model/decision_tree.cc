@@ -18,7 +18,11 @@
 #include "model/decision_tree.hh"
 
 #include <algorithm>
+#include <iomanip>
+#include <istream>
+#include <ostream>
 
+#include "util/logging.hh"
 #include "util/stats.hh"
 
 namespace heteromap {
@@ -127,6 +131,25 @@ DecisionTreeHeuristic::predict(const FeatureVector &f) const
 
     y.clamp01();
     return y;
+}
+
+void
+DecisionTreeHeuristic::save(std::ostream &os) const
+{
+    os << "decision-tree v1 " << std::setprecision(17) << threshold_
+       << "\n";
+}
+
+DecisionTreeHeuristic
+DecisionTreeHeuristic::load(std::istream &is)
+{
+    std::string tag;
+    std::string version;
+    double threshold = 0.0;
+    is >> tag >> version >> threshold;
+    if (is.fail() || tag != "decision-tree" || version != "v1")
+        HM_FATAL("DecisionTreeHeuristic::load: bad header");
+    return DecisionTreeHeuristic(threshold);
 }
 
 } // namespace heteromap

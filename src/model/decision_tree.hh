@@ -10,6 +10,8 @@
 #ifndef HETEROMAP_MODEL_DECISION_TREE_HH
 #define HETEROMAP_MODEL_DECISION_TREE_HH
 
+#include <iosfwd>
+
 #include "model/predictor.hh"
 
 namespace heteromap {
@@ -30,6 +32,12 @@ class DecisionTreeHeuristic : public Predictor
 
     /** The inter-accelerator (M1) tree, exposed for tests/Fig. 7. */
     AcceleratorKind chooseAccelerator(const FeatureVector &f) const;
+
+    /** Persist the (only) parameter — the decision threshold. */
+    void save(std::ostream &os) const;
+
+    /** Restore a heuristic from the save() format. */
+    static DecisionTreeHeuristic load(std::istream &is);
 
   private:
     double threshold_;

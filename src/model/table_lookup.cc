@@ -7,6 +7,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iomanip>
+#include <istream>
+#include <ostream>
 #include <sstream>
 
 #include "util/logging.hh"
@@ -79,6 +82,53 @@ TableLookupPredictor::predict(const FeatureVector &f) const
         v /= weight_sum;
     out.clamp01();
     return out;
+}
+
+void
+TableLookupPredictor::save(std::ostream &os) const
+{
+    HM_ASSERT(!samples_.empty(),
+              "TableLookupPredictor::save before train");
+    os << "table-lookup v1 " << k_ << " " << std::setprecision(17)
+       << power_ << " " << samples_.size() << "\n";
+    for (const TrainingSample &sample : samples_) {
+        for (double v : sample.x.asArray())
+            os << v << " ";
+        for (double v : sample.y.m)
+            os << v << " ";
+        os << "\n";
+    }
+}
+
+TableLookupPredictor
+TableLookupPredictor::load(std::istream &is)
+{
+    std::string tag;
+    std::string version;
+    unsigned k = 0;
+    double power = 0.0;
+    std::size_t count = 0;
+    is >> tag >> version >> k >> power >> count;
+    if (is.fail() || tag != "table-lookup" || version != "v1")
+        HM_FATAL("TableLookupPredictor::load: bad header");
+    if (count == 0)
+        HM_FATAL("TableLookupPredictor::load: empty tuple table");
+
+    TableLookupPredictor model(k, power);
+    model.samples_.reserve(count);
+    for (std::size_t s = 0; s < count; ++s) {
+        std::array<double, kNumFeatures> flat{};
+        TrainingSample sample;
+        for (double &v : flat)
+            is >> v;
+        for (double &v : sample.y.m)
+            is >> v;
+        if (is.fail())
+            HM_FATAL("TableLookupPredictor::load: truncated tuples");
+        sample.x = featureVectorFromArray(flat);
+        model.samples_.push_back(std::move(sample));
+    }
+    return model;
 }
 
 } // namespace heteromap

@@ -12,6 +12,8 @@
 #ifndef HETEROMAP_MODEL_TABLE_LOOKUP_HH
 #define HETEROMAP_MODEL_TABLE_LOOKUP_HH
 
+#include <iosfwd>
+
 #include "model/predictor.hh"
 
 namespace heteromap {
@@ -32,6 +34,12 @@ class TableLookupPredictor : public Predictor
 
     /** Number of stored tuples. */
     std::size_t size() const { return samples_.size(); }
+
+    /** Persist the lookup parameters and every stored tuple as text. */
+    void save(std::ostream &os) const;
+
+    /** Restore a trained table from the save() format. */
+    static TableLookupPredictor load(std::istream &is);
 
   private:
     unsigned k_;

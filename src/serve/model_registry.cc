@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Model registry implementation.
+ */
+
+#include "serve/model_registry.hh"
+
+#include "util/logging.hh"
+#include "util/telemetry.hh"
+
+namespace heteromap {
+namespace serve {
+
+ModelRegistry::ModelRegistry(AcceleratorPair pair, const Oracle &oracle)
+    : pair_(std::move(pair)), oracle_(oracle)
+{
+}
+
+std::shared_ptr<const ModelSnapshot>
+ModelRegistry::current() const
+{
+    std::lock_guard<std::mutex> lock(active_mutex_);
+    return active_;
+}
+
+uint64_t
+ModelRegistry::publish(PredictorKind kind,
+                       std::unique_ptr<Predictor> predictor)
+{
+    HM_ASSERT(predictor != nullptr, "cannot publish a null predictor");
+    std::lock_guard<std::mutex> lock(publish_mutex_);
+
+    auto snapshot = std::make_shared<ModelSnapshot>();
+    snapshot->predictorName = predictor->name();
+    snapshot->framework = std::make_shared<const HeteroMap>(
+        pair_, std::move(predictor), oracle_);
+    snapshot->epoch = ++next_epoch_;
+    snapshot->kind = kind;
+
+    // Readers holding the previous snapshot keep serving from it;
+    // its HeteroMap is reclaimed when the last in-flight batch drops
+    // the shared_ptr. New readers see the new model immediately.
+    {
+        std::lock_guard<std::mutex> lock(active_mutex_);
+        active_ = snapshot;
+    }
+
+    HM_COUNTER_INC("serve.model_publishes");
+    HM_GAUGE_SET("serve.model_epoch",
+                 static_cast<double>(snapshot->epoch));
+    return snapshot->epoch;
+}
+
+uint64_t
+ModelRegistry::publishTrained(PredictorKind kind,
+                              const TrainingSet &corpus)
+{
+    std::unique_ptr<Predictor> predictor = makePredictor(kind);
+    predictor->train(corpus);
+    return publish(kind, std::move(predictor));
+}
+
+uint64_t
+ModelRegistry::load(PredictorKind kind, std::istream &is)
+{
+    return publish(kind, loadPredictor(kind, is));
+}
+
+uint64_t
+ModelRegistry::epoch() const
+{
+    auto snapshot = current();
+    return snapshot == nullptr ? 0 : snapshot->epoch;
+}
+
+} // namespace serve
+} // namespace heteromap

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * ModelRegistry: the serving subsystem's hot-swappable model slot.
+ *
+ * The active model is an immutable snapshot behind a tiny pointer
+ * lock (copy-and-pin, RCU-style): a reader copies the shared_ptr
+ * once and keeps the whole (HeteroMap, epoch, kind) bundle alive
+ * for as long as it uses it, so a publish never tears a model out
+ * from under an in-flight batch — the swap itself is a single
+ * pointer assignment under the lock, never a wait for readers.
+ * (libstdc++ 12's std::atomic<shared_ptr> would make the load
+ * lock-free too, but its embedded spinlock is opaque to
+ * ThreadSanitizer; the plain mutex keeps the registry verifiable by
+ * tools/check_tsan.sh.) Each publish bumps a monotonically
+ * increasing epoch that the PredictionService stamps into every
+ * response — the observable proof that a retrain or a disk load
+ * swapped in with zero downtime.
+ *
+ * Publish paths: publish() installs an already-built predictor,
+ * publishTrained() fits a fresh learner on a corpus (e.g. the
+ * TrainingPipeline's output from a background retrain), and load()
+ * hot-loads any PredictorKind from a savePredictor() stream.
+ */
+
+#ifndef HETEROMAP_SERVE_MODEL_REGISTRY_HH
+#define HETEROMAP_SERVE_MODEL_REGISTRY_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/heteromap.hh"
+
+namespace heteromap {
+namespace serve {
+
+/** Immutable bundle a reader acquires with one atomic load. */
+struct ModelSnapshot {
+    std::shared_ptr<const HeteroMap> framework;
+    uint64_t epoch = 0;
+    PredictorKind kind = PredictorKind::DecisionTree;
+    std::string predictorName;
+};
+
+/** Atomic, epoch-stamped holder of the active serving model. */
+class ModelRegistry
+{
+  public:
+    /**
+     * @param pair   Accelerator pair every published model targets.
+     * @param oracle Evaluation oracle (must outlive the registry).
+     */
+    ModelRegistry(AcceleratorPair pair, const Oracle &oracle);
+
+    ModelRegistry(const ModelRegistry &) = delete;
+    ModelRegistry &operator=(const ModelRegistry &) = delete;
+
+    /**
+     * The active snapshot (nullptr before the first publish). The
+     * returned shared_ptr pins the model: holding it across a batch
+     * guarantees every request in the batch is served by one
+     * consistent model, however many publishes land meanwhile.
+     */
+    std::shared_ptr<const ModelSnapshot> current() const;
+
+    /**
+     * Install @p predictor as the active model. @return the new
+     * epoch (1 for the first publish, strictly increasing after).
+     */
+    uint64_t publish(PredictorKind kind,
+                     std::unique_ptr<Predictor> predictor);
+
+    /** makePredictor(kind), train on @p corpus, publish. */
+    uint64_t publishTrained(PredictorKind kind,
+                            const TrainingSet &corpus);
+
+    /** Hot-load a savePredictor() stream and publish it. */
+    uint64_t load(PredictorKind kind, std::istream &is);
+
+    /** Epoch of the active model (0 before the first publish). */
+    uint64_t epoch() const;
+
+    const AcceleratorPair &pair() const { return pair_; }
+    const Oracle &oracle() const { return oracle_; }
+
+  private:
+    AcceleratorPair pair_;
+    const Oracle &oracle_;
+
+    std::mutex publish_mutex_; //!< serializes writers only
+    uint64_t next_epoch_ = 0;  //!< guarded by publish_mutex_
+
+    mutable std::mutex active_mutex_; //!< guards only the pointer swap
+    std::shared_ptr<const ModelSnapshot> active_;
+};
+
+} // namespace serve
+} // namespace heteromap
+
+#endif // HETEROMAP_SERVE_MODEL_REGISTRY_HH

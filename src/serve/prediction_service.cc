@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Prediction service implementation.
+ */
+
+#include "serve/prediction_service.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+
+#include "util/logging.hh"
+#include "util/telemetry.hh"
+#include "util/timer.hh"
+#include "util/trace.hh"
+
+namespace heteromap {
+namespace serve {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double
+millisBetween(SteadyClock::time_point from, SteadyClock::time_point to)
+{
+    return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+SteadyClock::duration
+millisDuration(double ms)
+{
+    return std::chrono::duration_cast<SteadyClock::duration>(
+        std::chrono::duration<double, std::milli>(ms));
+}
+
+/** Clamp the zero-means-default knobs to sane minima. */
+ServiceOptions
+normalized(ServiceOptions options)
+{
+    options.workers = std::max<std::size_t>(1, options.workers);
+    options.queueCapacity =
+        std::max<std::size_t>(1, options.queueCapacity);
+    options.maxBatch = std::max<std::size_t>(1, options.maxBatch);
+    options.statsShards = std::max<std::size_t>(1, options.statsShards);
+    options.statsCapacityPerShard =
+        std::max<std::size_t>(1, options.statsCapacityPerShard);
+    return options;
+}
+
+} // namespace
+
+PredictionService::PredictionService(ModelRegistry &models,
+                                     ServiceOptions options)
+    : models_(models), options_(normalized(std::move(options))),
+      queue_(options_.queueCapacity), pool_(options_.workers)
+{
+    HM_ASSERT(models_.current() != nullptr,
+              "PredictionService needs a registry with at least one "
+              "published model");
+    stats_shards_.reserve(options_.statsShards);
+    for (std::size_t s = 0; s < options_.statsShards; ++s) {
+        // Every shard registers the same prefix, so the shared
+        // "serve.stats_cache.*" counters aggregate across shards
+        // (and the per-shard accessors read the same atomics).
+        stats_shards_.push_back(std::make_unique<GraphStatsCache>(
+            options_.statsCapacityPerShard, "serve.stats_cache"));
+    }
+    for (std::size_t w = 0; w < pool_.threadCount(); ++w)
+        pool_.submit([this] { workerLoop(); });
+}
+
+PredictionService::~PredictionService()
+{
+    try {
+        close();
+    } catch (const std::exception &e) {
+        warn("prediction service worker failed during shutdown: ",
+             e.what());
+    }
+}
+
+GraphStatsCache &
+PredictionService::shardFor(const BatchKey &key)
+{
+    return *stats_shards_[hashBatchKey(key) % stats_shards_.size()];
+}
+
+std::future<ServeResponse>
+PredictionService::submit(ServeRequest request)
+{
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    HM_COUNTER_INC("serve.submitted");
+    HM_ASSERT(request.workload != nullptr && request.graph != nullptr,
+              "a serve request needs a workload and a graph");
+
+    PendingRequest pending;
+    std::future<ServeResponse> future = pending.promise.get_future();
+    pending.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+    pending.key = makeBatchKey(request);
+    pending.enqueued = SteadyClock::now();
+    if (request.deadlineMs > 0.0) {
+        pending.hasDeadline = true;
+        pending.deadline =
+            pending.enqueued + millisDuration(request.deadlineMs);
+    }
+    pending.request = std::move(request);
+
+    auto respondClosed = [&] {
+        ServeResponse response;
+        response.status = ServeStatus::Closed;
+        response.requestId = pending.id;
+        pending.promise.set_value(std::move(response));
+    };
+
+    if (closed_.load(std::memory_order_acquire)) {
+        respondClosed();
+        return future;
+    }
+
+    switch (queue_.push(pending, options_.admission)) {
+      case RequestQueue::PushResult::Admitted:
+        admitted_.fetch_add(1, std::memory_order_relaxed);
+        HM_COUNTER_INC("serve.admitted");
+        break;
+      case RequestQueue::PushResult::Full:
+        respondShed(pending, ShedReason::QueueFull);
+        break;
+      case RequestQueue::PushResult::Closed:
+        respondClosed();
+        break;
+    }
+    return future;
+}
+
+void
+PredictionService::respondShed(PendingRequest &pending, ShedReason reason)
+{
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    HM_COUNTER_INC("serve.shed");
+    if (reason == ShedReason::QueueFull)
+        HM_COUNTER_INC("serve.shed.queue_full");
+    else if (reason == ShedReason::DeadlineExpired)
+        HM_COUNTER_INC("serve.shed.deadline");
+
+    ServeResponse response;
+    response.status = ServeStatus::Shed;
+    response.shedReason = reason;
+    response.requestId = pending.id;
+    pending.promise.set_value(std::move(response));
+}
+
+void
+PredictionService::noteResponded(std::size_t count)
+{
+    responded_.fetch_add(count, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(drain_mutex_);
+    }
+    drain_cv_.notify_all();
+}
+
+void
+PredictionService::workerLoop()
+{
+    PendingRequest first;
+    while (queue_.pop(first)) {
+        std::vector<PendingRequest> batch;
+        batch.push_back(std::move(first));
+        gatherBatch(batch);
+        serveBatch(batch);
+        noteResponded(batch.size());
+    }
+}
+
+void
+PredictionService::gatherBatch(std::vector<PendingRequest> &batch)
+{
+    if (options_.maxBatch <= batch.size())
+        return;
+    const BatchKey key = batch.front().key;
+    const auto deadline =
+        SteadyClock::now() + millisDuration(options_.maxBatchDelayMs);
+    queue_.popMatchingUntil(key, options_.maxBatch - batch.size(),
+                            deadline, batch);
+}
+
+void
+PredictionService::serveBatch(std::vector<PendingRequest> &batch)
+{
+    HM_SPAN("serve.batch");
+    HM_COUNTER_INC("serve.batches");
+    HM_COUNTER_ADD("serve.batched_requests", batch.size());
+
+    const auto start = SteadyClock::now();
+
+    // Shed whatever outlived its queueing budget before spending the
+    // measurement on it.
+    std::vector<PendingRequest> live;
+    live.reserve(batch.size());
+    for (PendingRequest &pending : batch) {
+        if (pending.hasDeadline && start > pending.deadline)
+            respondShed(pending, ShedReason::DeadlineExpired);
+        else
+            live.push_back(std::move(pending));
+    }
+    if (live.empty())
+        return;
+
+    // Pin the model for the whole batch: every response below is
+    // served by this one snapshot, however many hot-swaps land
+    // concurrently — no torn reads, and one epoch per batch.
+    std::shared_ptr<const ModelSnapshot> snapshot = models_.current();
+    HM_ASSERT(snapshot != nullptr,
+              "serving requires a published model");
+
+    Timer timer;
+    timer.start();
+
+    // One GraphStats measurement amortizes across the batch (every
+    // member shares the fingerprint by construction).
+    const GraphStats stats = [&] {
+        HM_SPAN("serve.measure");
+        return shardFor(live.front().key)
+            .measure(*live.front().request.graph,
+                     live.front().request.measure);
+    }();
+    HM_HISTOGRAM_RECORD_MS("serve.batch.measure_ms",
+                           timer.lapMillis());
+
+    // Group members by (workload, input): one featurize per group,
+    // and one inference serves every unsupervised member of it.
+    std::vector<bool> served(live.size(), false);
+    for (std::size_t i = 0; i < live.size(); ++i) {
+        if (served[i])
+            continue;
+        const ServeRequest &lead = live[i].request;
+        const std::string workload_name = lead.workload->name();
+
+        timer.lapMillis(); // realign: charge only the featurize below
+        BenchmarkCase bench = [&] {
+            HM_SPAN("serve.featurize");
+            return makeCase(*lead.workload, *lead.graph,
+                            lead.inputName, stats);
+        }();
+        HM_HISTOGRAM_RECORD_MS("serve.batch.featurize_ms",
+                               timer.lapMillis());
+
+        std::optional<Deployment> group_deployment;
+        for (std::size_t j = i; j < live.size(); ++j) {
+            if (served[j])
+                continue;
+            const ServeRequest &member = live[j].request;
+            if (member.inputName != lead.inputName ||
+                member.workload->name() != workload_name) {
+                continue;
+            }
+            served[j] = true;
+
+            ServeResponse response;
+            response.status = ServeStatus::Ok;
+            response.requestId = live[j].id;
+            response.modelEpoch = snapshot->epoch;
+            response.batchSize = live.size();
+            response.queueMs = millisBetween(live[j].enqueued, start);
+
+            if (member.supervised) {
+                superviseDeploy(snapshot, bench, response);
+            } else {
+                if (!group_deployment) {
+                    HM_SPAN("serve.infer");
+                    group_deployment =
+                        snapshot->framework->deploy(bench);
+                }
+                response.deployment = *group_deployment;
+            }
+
+            response.serviceMs =
+                millisBetween(start, SteadyClock::now());
+            HM_HISTOGRAM_RECORD_MS("serve.request.service_ms",
+                                   response.serviceMs);
+            completed_.fetch_add(1, std::memory_order_relaxed);
+            HM_COUNTER_INC("serve.completed");
+            live[j].promise.set_value(std::move(response));
+        }
+    }
+}
+
+void
+PredictionService::superviseDeploy(
+    const std::shared_ptr<const ModelSnapshot> &snapshot,
+    const BenchmarkCase &bench, ServeResponse &response)
+{
+    // The lane serializes: the Supervisor owns the fault clock and
+    // is stateful, so supervised deployments order behind the mutex.
+    std::lock_guard<std::mutex> lock(supervised_mutex_);
+    if (supervised_model_ != snapshot) {
+        // A hot-swap landed since the last supervised deployment;
+        // rebind the ladder to the new model (the fault clock
+        // restarts with it — documented in DESIGN.md §10).
+        supervised_model_ = snapshot;
+        supervisor_ = std::make_unique<Supervisor>(
+            *snapshot->framework, options_.faults,
+            options_.supervisor);
+    }
+    HM_SPAN("serve.supervised");
+    DeploymentOutcome outcome = supervisor_->deploy(bench);
+    HM_COUNTER_INC("serve.supervised");
+    if (!outcome.withinTolerance)
+        HM_COUNTER_INC("serve.supervised_degraded");
+    response.deployment = outcome.deployment;
+    response.outcome = std::move(outcome);
+}
+
+void
+PredictionService::drain()
+{
+    const uint64_t target = admitted_.load(std::memory_order_acquire);
+    std::unique_lock<std::mutex> lock(drain_mutex_);
+    drain_cv_.wait(lock, [&] {
+        return responded_.load(std::memory_order_acquire) >= target;
+    });
+}
+
+void
+PredictionService::close()
+{
+    std::lock_guard<std::mutex> lock(close_mutex_);
+    closed_.store(true, std::memory_order_release);
+    queue_.close();
+    // Workers drain every already-admitted request (pop() only
+    // returns false once the queue is closed *and* empty), then
+    // their loop tasks finish; wait() rethrows the first worker
+    // exception, if any.
+    pool_.wait();
+}
+
+uint64_t
+PredictionService::statsHits() const
+{
+    // Shards share the prefixed registry counters, so any shard
+    // reads the aggregate.
+    return stats_shards_.front()->hits();
+}
+
+uint64_t
+PredictionService::statsMisses() const
+{
+    return stats_shards_.front()->misses();
+}
+
+} // namespace serve
+} // namespace heteromap

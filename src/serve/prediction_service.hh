@@ -1,0 +1,180 @@
+/**
+ * @file
+ * PredictionService: the in-process, multi-tenant prediction server.
+ *
+ * Clients submit ServeRequests and get a future<ServeResponse>; a
+ * worker group on util/thread_pool drains a bounded RequestQueue with
+ * admission control (serve/request_queue.hh). Workers micro-batch:
+ * after popping a request they linger up to maxBatchDelayMs
+ * collecting queued requests that share its graph fingerprint, so one
+ * GraphStats measurement — and, per distinct (workload, input) in the
+ * batch, one featurize and one inference — amortize across the whole
+ * batch. Responses are stamped with the epoch of the ModelRegistry
+ * snapshot that served them, so hot-swaps (background retrain, disk
+ * load) are observable per response and can never tear a model out
+ * from under an in-flight batch.
+ *
+ * Supervised lane: requests with supervised = true deploy through a
+ * persistent core/supervisor Supervisor, whose mispredict detection
+ * flags responses and walks the degradation ladder for them; the
+ * lane's Supervisor is rebuilt against the new model when a hot-swap
+ * lands.
+ *
+ * Graph measurements go through per-service GraphStatsCache shards,
+ * each constructed with the same metrics prefix so the shared
+ * "serve.stats_cache.*" registry counters aggregate across shards —
+ * private caches without a prefix would silently drop that
+ * accounting (see graph/stats_cache.hh).
+ *
+ * Telemetry (util/telemetry.hh): counters serve.submitted /
+ * .admitted / .completed / .shed (+ .shed.queue_full, .shed.deadline)
+ * / .batches / .batched_requests / .supervised /
+ * .supervised_degraded; gauge serve.queue_depth; histograms
+ * serve.queue_wait_ms, serve.batch.measure_ms,
+ * serve.batch.featurize_ms, serve.request.service_ms.
+ */
+
+#ifndef HETEROMAP_SERVE_PREDICTION_SERVICE_HH
+#define HETEROMAP_SERVE_PREDICTION_SERVICE_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "arch/fault_model.hh"
+#include "core/supervisor.hh"
+#include "serve/model_registry.hh"
+#include "serve/request_queue.hh"
+#include "util/thread_pool.hh"
+
+namespace heteromap {
+namespace serve {
+
+/** Service tunables. Defaults suit tests and small deployments. */
+struct ServiceOptions {
+    /** Worker threads draining the queue (>= 1). */
+    std::size_t workers = 2;
+
+    /** Bound on queued requests (admission control beyond it). */
+    std::size_t queueCapacity = 256;
+
+    AdmissionPolicy admission = AdmissionPolicy::Block;
+
+    /** Max requests coalesced into one batch; 1 disables batching. */
+    std::size_t maxBatch = 8;
+
+    /**
+     * How long a worker lingers for coalescible arrivals after the
+     * first request of a batch, in milliseconds. 0 batches only
+     * what is already queued.
+     */
+    double maxBatchDelayMs = 0.2;
+
+    /** GraphStatsCache shards (>= 1); keyed by graph fingerprint. */
+    std::size_t statsShards = 2;
+
+    /** Entry bound per stats shard. */
+    std::size_t statsCapacityPerShard = GraphStatsCache::kDefaultCapacity;
+
+    /** Supervised-lane tunables and fault scenario. */
+    SupervisorOptions supervisor{};
+    FaultInjector faults{};
+};
+
+/** Concurrent prediction server over a ModelRegistry. */
+class PredictionService
+{
+  public:
+    /**
+     * @param models  Registry with at least one published model.
+     * @param options Tunables; worker threads start immediately.
+     */
+    explicit PredictionService(ModelRegistry &models,
+                               ServiceOptions options = {});
+
+    /** close()s and joins the workers. */
+    ~PredictionService();
+
+    PredictionService(const PredictionService &) = delete;
+    PredictionService &operator=(const PredictionService &) = delete;
+
+    /**
+     * Submit one request. Always returns a future that becomes
+     * ready: Ok with a deployment, Shed (admission or deadline), or
+     * Closed. Under Block admission this call waits for queue space
+     * — an admitted request is never dropped.
+     */
+    std::future<ServeResponse> submit(ServeRequest request);
+
+    /**
+     * Wait until every request admitted before this call has been
+     * responded to (the queue may still accept new work).
+     */
+    void drain();
+
+    /**
+     * Stop admitting, serve everything already queued, and join the
+     * workers. Idempotent; rethrows the first worker exception.
+     */
+    void close();
+
+    /** Worker thread count. */
+    std::size_t workers() const { return pool_.threadCount(); }
+
+    /** @name Request accounting (monotonic). @{ */
+    uint64_t submitted() const { return submitted_.load(); }
+    uint64_t admitted() const { return admitted_.load(); }
+    uint64_t completed() const { return completed_.load(); }
+    uint64_t shed() const { return shed_.load(); }
+    /** @} */
+
+    /** Aggregate stats-shard counters (mirrors serve.stats_cache.*). */
+    uint64_t statsHits() const;
+    uint64_t statsMisses() const;
+
+  private:
+    ModelRegistry &models_;
+    ServiceOptions options_;
+    RequestQueue queue_;
+
+    std::atomic<uint64_t> next_id_{1};
+    std::atomic<uint64_t> submitted_{0};
+    std::atomic<uint64_t> admitted_{0};
+    std::atomic<uint64_t> completed_{0};
+    std::atomic<uint64_t> shed_{0};
+    std::atomic<uint64_t> responded_{0}; //!< admitted, now answered
+    std::atomic<bool> closed_{false};
+
+    std::mutex drain_mutex_;
+    std::condition_variable drain_cv_;
+
+    std::vector<std::unique_ptr<GraphStatsCache>> stats_shards_;
+
+    /** @name Supervised lane (serialized; see superviseDeploy). @{ */
+    std::mutex supervised_mutex_;
+    std::shared_ptr<const ModelSnapshot> supervised_model_;
+    std::unique_ptr<Supervisor> supervisor_;
+    /** @} */
+
+    std::mutex close_mutex_; //!< makes close() idempotent
+
+    ThreadPool pool_; //!< last member: destroyed (joined) first
+
+    GraphStatsCache &shardFor(const BatchKey &key);
+    void workerLoop();
+    void gatherBatch(std::vector<PendingRequest> &batch);
+    void serveBatch(std::vector<PendingRequest> &batch);
+    void superviseDeploy(
+        const std::shared_ptr<const ModelSnapshot> &snapshot,
+        const BenchmarkCase &bench, ServeResponse &response);
+    void respondShed(PendingRequest &pending, ShedReason reason);
+    void noteResponded(std::size_t count);
+};
+
+} // namespace serve
+} // namespace heteromap
+
+#endif // HETEROMAP_SERVE_PREDICTION_SERVICE_HH

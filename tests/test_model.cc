@@ -9,7 +9,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <sstream>
 
+#include "core/heteromap.hh"
 #include "features/ivars.hh"
 #include "graph/datasets.hh"
 #include "model/adaptive_library.hh"
@@ -324,6 +327,127 @@ TEST_F(DecisionTreeTest, AllOutputsNormalized)
             }
         }
     }
+}
+
+/* ------------------------------------------------------------------ */
+/* Uniform model serialization (core/heteromap.hh factory)            */
+/* ------------------------------------------------------------------ */
+
+class SerializationTest : public ::testing::Test
+{
+  protected:
+    /** ~24 samples: every workload x two inputs, random-ish labels. */
+    static TrainingSet
+    corpus()
+    {
+        Rng rng(7);
+        TrainingSet samples;
+        for (const auto &workload : workloadNames()) {
+            for (const char *input : {"CA", "LJ"}) {
+                TrainingSample sample;
+                sample.x.b = makeWorkload(workload)->bVariables();
+                sample.x.i =
+                    extractIVariables(datasetByShortName(input));
+                for (double &v : sample.y.m)
+                    v = rng.nextDouble();
+                samples.push_back(std::move(sample));
+            }
+        }
+        return samples;
+    }
+
+    /** Every kind the factory knows, including the non-Table-IV one. */
+    static std::vector<PredictorKind>
+    allSerializableKinds()
+    {
+        std::vector<PredictorKind> kinds = allPredictorKinds();
+        kinds.push_back(PredictorKind::TableLookup);
+        return kinds;
+    }
+};
+
+TEST_F(SerializationTest, RoundTripIsByteIdenticalForEveryKind)
+{
+    const TrainingSet samples = corpus();
+    for (PredictorKind kind : allSerializableKinds()) {
+        SCOPED_TRACE(predictorKindName(kind));
+        std::unique_ptr<Predictor> original = makePredictor(kind);
+        original->train(samples);
+
+        std::ostringstream out;
+        savePredictor(*original, kind, out);
+        std::istringstream in(out.str());
+        std::unique_ptr<Predictor> loaded = loadPredictor(kind, in);
+        ASSERT_NE(loaded, nullptr);
+        EXPECT_EQ(loaded->name(), original->name());
+
+        for (const TrainingSample &sample : samples) {
+            NormalizedMVector a = original->predict(sample.x);
+            NormalizedMVector b = loaded->predict(sample.x);
+            // Byte-identical, not just close: setprecision(17) must
+            // round-trip every double exactly.
+            EXPECT_EQ(0, std::memcmp(a.m.data(), b.m.data(),
+                                     sizeof(double) * a.m.size()));
+        }
+    }
+}
+
+TEST_F(SerializationTest, LoadedPredictorCanKeepTraining)
+{
+    // A loaded model is a full Predictor, not a frozen artifact.
+    const TrainingSet samples = corpus();
+    auto original = makePredictor(PredictorKind::LinearRegression);
+    original->train(samples);
+    std::ostringstream out;
+    savePredictor(*original, PredictorKind::LinearRegression, out);
+    std::istringstream in(out.str());
+    auto loaded = loadPredictor(PredictorKind::LinearRegression, in);
+    loaded->train(samples); // refit on the same corpus
+    NormalizedMVector a = original->predict(samples.front().x);
+    NormalizedMVector b = loaded->predict(samples.front().x);
+    for (std::size_t k = 0; k < a.m.size(); ++k)
+        EXPECT_NEAR(a.m[k], b.m[k], 1e-9);
+}
+
+TEST_F(SerializationTest, KindMismatchOnLoadIsFatal)
+{
+    auto tree = makePredictor(PredictorKind::DecisionTree);
+    std::ostringstream out;
+    savePredictor(*tree, PredictorKind::DecisionTree, out);
+    std::istringstream in(out.str());
+    EXPECT_THROW(loadPredictor(PredictorKind::LinearRegression, in),
+                 FatalError);
+}
+
+TEST_F(SerializationTest, MlpWidthMismatchOnLoadIsFatal)
+{
+    auto deep16 = makePredictor(PredictorKind::Deep16);
+    std::ostringstream out;
+    savePredictor(*deep16, PredictorKind::Deep16, out);
+    std::istringstream in(out.str());
+    EXPECT_THROW(loadPredictor(PredictorKind::Deep32, in), FatalError);
+}
+
+TEST_F(SerializationTest, SaveUnderWrongKindIsFatal)
+{
+    auto tree = makePredictor(PredictorKind::DecisionTree);
+    std::ostringstream out;
+    EXPECT_THROW(
+        savePredictor(*tree, PredictorKind::AdaptiveLibrary, out),
+        FatalError);
+}
+
+TEST_F(SerializationTest, TruncatedStreamIsFatal)
+{
+    const TrainingSet samples = corpus();
+    auto table = makePredictor(PredictorKind::TableLookup);
+    table->train(samples);
+    std::ostringstream out;
+    savePredictor(*table, PredictorKind::TableLookup, out);
+    const std::string text = out.str();
+    std::istringstream in(text.substr(0, text.size() / 2));
+    EXPECT_THROW(loadPredictor(PredictorKind::TableLookup, in),
+                 FatalError);
 }
 
 } // namespace

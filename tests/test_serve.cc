@@ -1,0 +1,656 @@
+/**
+ * @file
+ * Tests for the serving subsystem: the bounded admission-controlled
+ * RequestQueue, the hot-swappable ModelRegistry, and the batching
+ * PredictionService (queue semantics, batching equivalence, shed
+ * accounting, zero drops under backpressure, concurrent hot-swap).
+ * Every suite name contains "Serve" so `tools/check_tsan.sh -R Serve`
+ * runs exactly this file under ThreadSanitizer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "arch/presets.hh"
+#include "core/experiment.hh"
+#include "graph/generators.hh"
+#include "serve/model_registry.hh"
+#include "serve/prediction_service.hh"
+#include "serve/request_queue.hh"
+#include "util/logging.hh"
+#include "util/telemetry.hh"
+#include "workloads/registry.hh"
+
+namespace heteromap {
+namespace serve {
+namespace {
+
+std::shared_ptr<const Workload>
+sharedWorkload(const char *name)
+{
+    return std::shared_ptr<const Workload>(makeWorkload(name));
+}
+
+std::shared_ptr<const Graph>
+sharedGraph(Graph graph)
+{
+    return std::make_shared<const Graph>(std::move(graph));
+}
+
+ServeRequest
+makeRequest(std::shared_ptr<const Workload> workload,
+            std::shared_ptr<const Graph> graph, const char *input)
+{
+    ServeRequest request;
+    request.workload = std::move(workload);
+    request.graph = std::move(graph);
+    request.inputName = input;
+    return request;
+}
+
+PendingRequest
+makePending(const std::shared_ptr<const Workload> &workload,
+            const std::shared_ptr<const Graph> &graph, uint64_t id)
+{
+    PendingRequest pending;
+    pending.request = makeRequest(workload, graph, "queued");
+    pending.id = id;
+    pending.key = makeBatchKey(pending.request);
+    pending.enqueued = std::chrono::steady_clock::now();
+    return pending;
+}
+
+/* ------------------------------------------------------------------ */
+/* RequestQueue                                                       */
+/* ------------------------------------------------------------------ */
+
+class ServeQueueTest : public ::testing::Test
+{
+  protected:
+    std::shared_ptr<const Workload> workload_ = sharedWorkload("PR");
+    std::shared_ptr<const Graph> mesh_ =
+        sharedGraph(generateMesh(128, 4, 1));
+    std::shared_ptr<const Graph> star_ =
+        sharedGraph(generateStar(64));
+};
+
+TEST_F(ServeQueueTest, PopsInFifoOrder)
+{
+    RequestQueue queue(8);
+    for (uint64_t id = 1; id <= 3; ++id) {
+        PendingRequest pending = makePending(workload_, mesh_, id);
+        EXPECT_EQ(queue.push(pending, AdmissionPolicy::Reject),
+                  RequestQueue::PushResult::Admitted);
+    }
+    EXPECT_EQ(queue.size(), 3u);
+
+    PendingRequest out;
+    for (uint64_t id = 1; id <= 3; ++id) {
+        ASSERT_TRUE(queue.pop(out));
+        EXPECT_EQ(out.id, id);
+    }
+    EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST_F(ServeQueueTest, RejectPolicyShedsWhenFull)
+{
+    RequestQueue queue(2);
+    PendingRequest a = makePending(workload_, mesh_, 1);
+    PendingRequest b = makePending(workload_, mesh_, 2);
+    PendingRequest c = makePending(workload_, mesh_, 3);
+    EXPECT_EQ(queue.push(a, AdmissionPolicy::Reject),
+              RequestQueue::PushResult::Admitted);
+    EXPECT_EQ(queue.push(b, AdmissionPolicy::Reject),
+              RequestQueue::PushResult::Admitted);
+    EXPECT_EQ(queue.push(c, AdmissionPolicy::Reject),
+              RequestQueue::PushResult::Full);
+    // Rejected requests are NOT consumed: the caller still owns the
+    // promise and can respond Shed.
+    EXPECT_EQ(c.id, 3u);
+    c.promise.set_value(ServeResponse{});
+}
+
+TEST_F(ServeQueueTest, BlockPolicyWaitsForSpace)
+{
+    RequestQueue queue(1);
+    PendingRequest first = makePending(workload_, mesh_, 1);
+    ASSERT_EQ(queue.push(first, AdmissionPolicy::Block),
+              RequestQueue::PushResult::Admitted);
+
+    std::atomic<bool> admitted{false};
+    std::thread pusher([&] {
+        PendingRequest second = makePending(workload_, mesh_, 2);
+        EXPECT_EQ(queue.push(second, AdmissionPolicy::Block),
+                  RequestQueue::PushResult::Admitted);
+        admitted.store(true);
+    });
+
+    // The pusher stays blocked until a pop makes room.
+    PendingRequest out;
+    ASSERT_TRUE(queue.pop(out));
+    EXPECT_EQ(out.id, 1u);
+    pusher.join();
+    EXPECT_TRUE(admitted.load());
+    ASSERT_TRUE(queue.pop(out));
+    EXPECT_EQ(out.id, 2u);
+}
+
+TEST_F(ServeQueueTest, CloseWakesBlockedPushers)
+{
+    RequestQueue queue(1);
+    PendingRequest first = makePending(workload_, mesh_, 1);
+    ASSERT_EQ(queue.push(first, AdmissionPolicy::Block),
+              RequestQueue::PushResult::Admitted);
+
+    std::thread pusher([&] {
+        PendingRequest second = makePending(workload_, mesh_, 2);
+        EXPECT_EQ(queue.push(second, AdmissionPolicy::Block),
+                  RequestQueue::PushResult::Closed);
+    });
+    // Give the pusher a moment to block, then close under it.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    queue.close();
+    pusher.join();
+
+    // Already-admitted work still drains after close.
+    PendingRequest out;
+    EXPECT_TRUE(queue.pop(out));
+    EXPECT_EQ(out.id, 1u);
+    EXPECT_FALSE(queue.pop(out));
+}
+
+TEST_F(ServeQueueTest, PopMatchingExtractsOnlyTheKey)
+{
+    RequestQueue queue(8);
+    // Interleave two fingerprints: mesh at ids 1/3/5, star at 2/4.
+    for (uint64_t id = 1; id <= 5; ++id) {
+        PendingRequest pending = makePending(
+            workload_, (id % 2 == 1) ? mesh_ : star_, id);
+        ASSERT_EQ(queue.push(pending, AdmissionPolicy::Reject),
+                  RequestQueue::PushResult::Admitted);
+    }
+
+    const BatchKey mesh_key =
+        makeBatchKey(makeRequest(workload_, mesh_, "queued"));
+    std::vector<PendingRequest> batch;
+    const std::size_t n = queue.popMatchingUntil(
+        mesh_key, 8, std::chrono::steady_clock::now(), batch);
+    EXPECT_EQ(n, 3u);
+    ASSERT_EQ(batch.size(), 3u);
+    EXPECT_EQ(batch[0].id, 1u);
+    EXPECT_EQ(batch[1].id, 3u);
+    EXPECT_EQ(batch[2].id, 5u);
+
+    // The non-matching requests kept their order.
+    PendingRequest out;
+    ASSERT_TRUE(queue.pop(out));
+    EXPECT_EQ(out.id, 2u);
+    ASSERT_TRUE(queue.pop(out));
+    EXPECT_EQ(out.id, 4u);
+}
+
+TEST_F(ServeQueueTest, PopMatchingHonoursMaxCount)
+{
+    RequestQueue queue(8);
+    for (uint64_t id = 1; id <= 4; ++id) {
+        PendingRequest pending = makePending(workload_, mesh_, id);
+        ASSERT_EQ(queue.push(pending, AdmissionPolicy::Reject),
+                  RequestQueue::PushResult::Admitted);
+    }
+    const BatchKey key =
+        makeBatchKey(makeRequest(workload_, mesh_, "queued"));
+    std::vector<PendingRequest> batch;
+    EXPECT_EQ(queue.popMatchingUntil(
+                  key, 2, std::chrono::steady_clock::now(), batch),
+              2u);
+    EXPECT_EQ(queue.size(), 2u);
+}
+
+/* ------------------------------------------------------------------ */
+/* ModelRegistry                                                      */
+/* ------------------------------------------------------------------ */
+
+class ServeRegistryTest : public ::testing::Test
+{
+  protected:
+    Oracle oracle_;
+    AcceleratorPair pair_ = pinnedPair(primaryPair());
+};
+
+TEST_F(ServeRegistryTest, EmptyBeforeFirstPublish)
+{
+    ModelRegistry registry(pair_, oracle_);
+    EXPECT_EQ(registry.current(), nullptr);
+    EXPECT_EQ(registry.epoch(), 0u);
+}
+
+TEST_F(ServeRegistryTest, PublishBumpsEpochMonotonically)
+{
+    ModelRegistry registry(pair_, oracle_);
+    EXPECT_EQ(registry.publish(
+                  PredictorKind::DecisionTree,
+                  makePredictor(PredictorKind::DecisionTree)),
+              1u);
+    EXPECT_EQ(registry.publish(
+                  PredictorKind::DecisionTree,
+                  makePredictor(PredictorKind::DecisionTree)),
+              2u);
+    auto snapshot = registry.current();
+    ASSERT_NE(snapshot, nullptr);
+    EXPECT_EQ(snapshot->epoch, 2u);
+    EXPECT_EQ(snapshot->kind, PredictorKind::DecisionTree);
+    EXPECT_NE(snapshot->framework, nullptr);
+}
+
+TEST_F(ServeRegistryTest, LoadHotSwapsFromAStream)
+{
+    ModelRegistry registry(pair_, oracle_);
+    registry.publish(PredictorKind::DecisionTree,
+                     makePredictor(PredictorKind::DecisionTree));
+
+    std::ostringstream out;
+    auto tree = makePredictor(PredictorKind::DecisionTree);
+    savePredictor(*tree, PredictorKind::DecisionTree, out);
+    std::istringstream in(out.str());
+    EXPECT_EQ(registry.load(PredictorKind::DecisionTree, in), 2u);
+    EXPECT_EQ(registry.current()->predictorName, tree->name());
+}
+
+TEST_F(ServeRegistryTest, SnapshotPinsTheModelAcrossAPublish)
+{
+    ModelRegistry registry(pair_, oracle_);
+    registry.publish(PredictorKind::DecisionTree,
+                     makePredictor(PredictorKind::DecisionTree));
+    auto pinned = registry.current();
+    registry.publish(PredictorKind::DecisionTree,
+                     makePredictor(PredictorKind::DecisionTree));
+    // The reader's snapshot is untouched by the swap.
+    EXPECT_EQ(pinned->epoch, 1u);
+    EXPECT_NE(pinned->framework, nullptr);
+    EXPECT_EQ(registry.current()->epoch, 2u);
+}
+
+TEST_F(ServeRegistryTest, ConcurrentPublishAndReadIsSafe)
+{
+    ModelRegistry registry(pair_, oracle_);
+    registry.publish(PredictorKind::DecisionTree,
+                     makePredictor(PredictorKind::DecisionTree));
+
+    std::atomic<bool> stop{false};
+    std::thread reader([&] {
+        uint64_t last = 0;
+        while (!stop.load()) {
+            auto snapshot = registry.current();
+            ASSERT_NE(snapshot, nullptr);
+            // Never torn: the bundle is consistent and the epoch
+            // only moves forward.
+            ASSERT_NE(snapshot->framework, nullptr);
+            ASSERT_GE(snapshot->epoch, last);
+            last = snapshot->epoch;
+        }
+    });
+    for (int i = 0; i < 50; ++i) {
+        registry.publish(PredictorKind::DecisionTree,
+                         makePredictor(PredictorKind::DecisionTree));
+    }
+    stop.store(true);
+    reader.join();
+    EXPECT_EQ(registry.epoch(), 51u);
+}
+
+/* ------------------------------------------------------------------ */
+/* PredictionService                                                  */
+/* ------------------------------------------------------------------ */
+
+class ServeServiceTest : public ::testing::Test
+{
+  protected:
+    ServeServiceTest()
+    {
+        setLogVerbose(false);
+        registry_.publish(PredictorKind::DecisionTree,
+                          makePredictor(PredictorKind::DecisionTree));
+    }
+
+    Oracle oracle_;
+    AcceleratorPair pair_ = pinnedPair(primaryPair());
+    ModelRegistry registry_{pair_, oracle_};
+
+    std::shared_ptr<const Workload> pagerank_ = sharedWorkload("PR");
+    std::shared_ptr<const Workload> bfs_ = sharedWorkload("BFS");
+    std::shared_ptr<const Graph> mesh_ =
+        sharedGraph(generateMesh(256, 4, 1));
+    std::shared_ptr<const Graph> star_ =
+        sharedGraph(generateStar(128));
+};
+
+TEST_F(ServeServiceTest, ServesConcurrentRequestsToCompletion)
+{
+    ServiceOptions options;
+    options.workers = 2;
+    PredictionService service(registry_, options);
+    EXPECT_EQ(service.workers(), 2u);
+
+    std::vector<std::future<ServeResponse>> futures;
+    for (int i = 0; i < 8; ++i) {
+        futures.push_back(service.submit(makeRequest(
+            pagerank_, (i % 2 == 0) ? mesh_ : star_, "mesh")));
+    }
+    for (auto &future : futures) {
+        ServeResponse response = future.get();
+        EXPECT_EQ(response.status, ServeStatus::Ok);
+        EXPECT_EQ(response.modelEpoch, 1u);
+        EXPECT_GE(response.batchSize, 1u);
+    }
+    service.close();
+    EXPECT_EQ(service.submitted(), 8u);
+    EXPECT_EQ(service.completed(), 8u);
+    EXPECT_EQ(service.shed(), 0u);
+}
+
+TEST_F(ServeServiceTest, BatchedResponsesMatchUnbatched)
+{
+    // Unbatched reference: every request measured + featurized +
+    // inferred on its own.
+    std::vector<ServeResponse> reference;
+    {
+        ServiceOptions options;
+        options.workers = 1;
+        options.maxBatch = 1;
+        PredictionService service(registry_, options);
+        for (const auto &workload : {pagerank_, bfs_}) {
+            for (const auto &graph : {mesh_, star_}) {
+                reference.push_back(
+                    service
+                        .submit(makeRequest(workload, graph, "g"))
+                        .get());
+            }
+        }
+    }
+
+    // Batched run over the same requests.
+    std::vector<ServeResponse> batched;
+    {
+        ServiceOptions options;
+        options.workers = 1;
+        options.maxBatch = 8;
+        options.maxBatchDelayMs = 50.0;
+        PredictionService service(registry_, options);
+        std::vector<std::future<ServeResponse>> futures;
+        for (const auto &workload : {pagerank_, bfs_})
+            for (const auto &graph : {mesh_, star_})
+                futures.push_back(
+                    service.submit(makeRequest(workload, graph, "g")));
+        for (auto &future : futures)
+            batched.push_back(future.get());
+    }
+
+    ASSERT_EQ(reference.size(), batched.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+        const ServeResponse &a = reference[i];
+        const ServeResponse &b = batched[i];
+        EXPECT_EQ(a.status, ServeStatus::Ok);
+        EXPECT_EQ(b.status, ServeStatus::Ok);
+        // Byte-identical prediction and modelled execution: batching
+        // is an amortization, never an approximation.
+        EXPECT_EQ(a.deployment.config, b.deployment.config);
+        EXPECT_EQ(0, std::memcmp(a.deployment.predicted.m.data(),
+                                 b.deployment.predicted.m.data(),
+                                 sizeof(double) *
+                                     a.deployment.predicted.m.size()));
+        EXPECT_EQ(a.deployment.report.seconds,
+                  b.deployment.report.seconds);
+        EXPECT_EQ(a.deployment.report.joules,
+                  b.deployment.report.joules);
+    }
+}
+
+TEST_F(ServeServiceTest, BlockModeNeverDropsARequest)
+{
+    ServiceOptions options;
+    options.workers = 2;
+    options.queueCapacity = 2; // force backpressure
+    options.admission = AdmissionPolicy::Block;
+    PredictionService service(registry_, options);
+
+    constexpr int kThreads = 3;
+    constexpr int kPerThread = 6;
+    std::atomic<int> ok{0};
+    std::vector<std::thread> clients;
+    for (int t = 0; t < kThreads; ++t) {
+        clients.emplace_back([&, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                ServeResponse response =
+                    service
+                        .submit(makeRequest(
+                            pagerank_, (t + i) % 2 ? mesh_ : star_,
+                            "g"))
+                        .get();
+                if (response.status == ServeStatus::Ok)
+                    ok.fetch_add(1);
+            }
+        });
+    }
+    for (auto &client : clients)
+        client.join();
+    service.close();
+
+    EXPECT_EQ(ok.load(), kThreads * kPerThread);
+    EXPECT_EQ(service.submitted(),
+              static_cast<uint64_t>(kThreads * kPerThread));
+    EXPECT_EQ(service.completed(),
+              static_cast<uint64_t>(kThreads * kPerThread));
+    EXPECT_EQ(service.shed(), 0u);
+}
+
+TEST_F(ServeServiceTest, RejectModeAccountsShedsExactly)
+{
+    const uint64_t counter_before =
+        telemetry::registry().counter("serve.shed").value();
+
+    ServiceOptions options;
+    options.workers = 1;
+    options.queueCapacity = 1;
+    options.maxBatch = 1;
+    options.admission = AdmissionPolicy::Reject;
+    PredictionService service(registry_, options);
+
+    constexpr int kBurst = 32;
+    std::vector<std::future<ServeResponse>> futures;
+    for (int i = 0; i < kBurst; ++i)
+        futures.push_back(
+            service.submit(makeRequest(pagerank_, mesh_, "g")));
+
+    uint64_t ok = 0, shed = 0;
+    for (auto &future : futures) {
+        ServeResponse response = future.get();
+        if (response.status == ServeStatus::Ok) {
+            ++ok;
+        } else {
+            ASSERT_EQ(response.status, ServeStatus::Shed);
+            EXPECT_EQ(response.shedReason, ShedReason::QueueFull);
+            ++shed;
+        }
+    }
+    service.close();
+
+    // The burst outruns a single worker whose service time is a
+    // real measurement + featurize: some requests must shed.
+    EXPECT_GT(shed, 0u);
+    EXPECT_EQ(ok + shed, static_cast<uint64_t>(kBurst));
+    EXPECT_EQ(service.shed(), shed);
+    EXPECT_EQ(service.completed(), ok);
+    EXPECT_EQ(service.submitted(), static_cast<uint64_t>(kBurst));
+    // serve.shed accounts every shed request exactly.
+    EXPECT_EQ(telemetry::registry().counter("serve.shed").value() -
+                  counter_before,
+              shed);
+}
+
+TEST_F(ServeServiceTest, ExpiredDeadlineIsShedAtDequeue)
+{
+    ServiceOptions options;
+    options.workers = 1;
+    options.maxBatch = 1;
+    PredictionService service(registry_, options);
+
+    // Four un-deadlined requests keep the single worker busy for
+    // several real measurements...
+    std::vector<std::future<ServeResponse>> head;
+    for (int i = 0; i < 4; ++i)
+        head.push_back(
+            service.submit(makeRequest(pagerank_, mesh_, "g")));
+
+    // ...so this one, parked behind them with a microscopic budget,
+    // has long expired when a worker finally reaches it.
+    ServeRequest hurried = makeRequest(bfs_, star_, "g");
+    hurried.deadlineMs = 0.001;
+    ServeResponse response = service.submit(hurried).get();
+    EXPECT_EQ(response.status, ServeStatus::Shed);
+    EXPECT_EQ(response.shedReason, ShedReason::DeadlineExpired);
+
+    for (auto &future : head)
+        EXPECT_EQ(future.get().status, ServeStatus::Ok);
+    service.close();
+    EXPECT_EQ(service.shed(), 1u);
+    EXPECT_EQ(service.completed(), 4u);
+}
+
+TEST_F(ServeServiceTest, HotSwapLandsMidTrafficWithoutDrops)
+{
+    ServiceOptions options;
+    options.workers = 2;
+    PredictionService service(registry_, options);
+
+    std::vector<std::future<ServeResponse>> futures;
+    for (int i = 0; i < 6; ++i)
+        futures.push_back(
+            service.submit(makeRequest(pagerank_, mesh_, "g")));
+
+    // Swap while traffic is in flight, then prove the new epoch is
+    // what later requests observe.
+    registry_.publish(PredictorKind::DecisionTree,
+                      makePredictor(PredictorKind::DecisionTree));
+    service.drain();
+    ServeResponse after =
+        service.submit(makeRequest(pagerank_, star_, "g")).get();
+    EXPECT_EQ(after.status, ServeStatus::Ok);
+    EXPECT_EQ(after.modelEpoch, 2u);
+
+    for (auto &future : futures) {
+        ServeResponse response = future.get();
+        EXPECT_EQ(response.status, ServeStatus::Ok);
+        EXPECT_GE(response.modelEpoch, 1u);
+        EXPECT_LE(response.modelEpoch, 2u);
+    }
+    service.close();
+    EXPECT_EQ(service.shed(), 0u);
+    EXPECT_EQ(service.completed(), 7u);
+}
+
+TEST_F(ServeServiceTest, ConcurrentHotSwapIsTornFree)
+{
+    ServiceOptions options;
+    options.workers = 2;
+    PredictionService service(registry_, options);
+
+    std::thread publisher([&] {
+        for (int i = 0; i < 10; ++i) {
+            registry_.publish(
+                PredictorKind::DecisionTree,
+                makePredictor(PredictorKind::DecisionTree));
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1));
+        }
+    });
+
+    for (int i = 0; i < 12; ++i) {
+        ServeResponse response =
+            service
+                .submit(makeRequest(pagerank_,
+                                    i % 2 ? mesh_ : star_, "g"))
+                .get();
+        ASSERT_EQ(response.status, ServeStatus::Ok);
+        ASSERT_GE(response.modelEpoch, 1u);
+        ASSERT_LE(response.modelEpoch, 11u);
+    }
+    publisher.join();
+    service.close();
+    EXPECT_EQ(registry_.epoch(), 11u);
+    EXPECT_EQ(service.shed(), 0u);
+}
+
+TEST_F(ServeServiceTest, SupervisedLaneAttachesTheOutcome)
+{
+    PredictionService service(registry_);
+    ServeRequest request = makeRequest(pagerank_, mesh_, "g");
+    request.supervised = true;
+    ServeResponse response = service.submit(request).get();
+    EXPECT_EQ(response.status, ServeStatus::Ok);
+    ASSERT_TRUE(response.outcome.has_value());
+    EXPECT_TRUE(response.outcome->completed);
+    // No faults injected: the initial attempt passes the check.
+    EXPECT_TRUE(response.outcome->withinTolerance);
+}
+
+TEST_F(ServeServiceTest, StatsShardsAggregateIntoOneCounter)
+{
+    const uint64_t hits_before =
+        telemetry::registry()
+            .counter("serve.stats_cache.hits")
+            .value();
+    const uint64_t misses_before =
+        telemetry::registry()
+            .counter("serve.stats_cache.misses")
+            .value();
+
+    ServiceOptions options;
+    options.workers = 1;
+    options.maxBatch = 1; // one measurement per request
+    options.statsShards = 2;
+    PredictionService service(registry_, options);
+
+    // Two distinct graphs -> two cold misses; every repeat is a hit,
+    // whichever shard the fingerprint lands on.
+    for (int i = 0; i < 6; ++i)
+        service.submit(makeRequest(pagerank_, mesh_, "g")).get();
+    for (int i = 0; i < 2; ++i)
+        service.submit(makeRequest(pagerank_, star_, "g")).get();
+    service.close();
+
+    EXPECT_EQ(service.statsMisses() - misses_before, 2u);
+    EXPECT_EQ(service.statsHits() - hits_before, 6u);
+    // The accessors read the same shared registry counters the
+    // prefix wired up — the accounting a private, prefix-less cache
+    // would have dropped.
+    EXPECT_EQ(service.statsHits(),
+              telemetry::registry()
+                  .counter("serve.stats_cache.hits")
+                  .value());
+}
+
+TEST_F(ServeServiceTest, CloseIsIdempotentAndRefusesLateWork)
+{
+    PredictionService service(registry_);
+    ServeResponse warm =
+        service.submit(makeRequest(pagerank_, mesh_, "g")).get();
+    EXPECT_EQ(warm.status, ServeStatus::Ok);
+
+    service.close();
+    service.close(); // idempotent
+
+    ServeResponse late =
+        service.submit(makeRequest(pagerank_, mesh_, "g")).get();
+    EXPECT_EQ(late.status, ServeStatus::Closed);
+    EXPECT_EQ(service.completed(), 1u);
+    EXPECT_EQ(service.shed(), 0u);
+}
+
+} // namespace
+} // namespace serve
+} // namespace heteromap

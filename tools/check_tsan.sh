@@ -1,21 +1,22 @@
 #!/usr/bin/env bash
 # Race-check the parallel subsystems under ThreadSanitizer: the
 # offline training sweep (util/thread_pool fan-out), the graph
-# measurement substrate (flat-frontier BFS + stats cache), and the
-# telemetry layer (lock-free metrics + trace ring buffers). Run from
-# the repo root; uses a separate build tree so the normal build and
-# the tier-1 ctest run stay fast.
+# measurement substrate (flat-frontier BFS + stats cache), the
+# telemetry layer (lock-free metrics + trace ring buffers), and the
+# serving subsystem (MPMC queue, batching workers, RCU model
+# hot-swap). Run from the repo root; uses a separate build tree so
+# the normal build and the tier-1 ctest run stay fast.
 #
 #   tools/check_tsan.sh [-R <ctest-regex>] [build-dir]
 #
 # -R narrows (or widens) the test selection; the default regex covers
-# the three parallel subsystems. E.g. race-check only the telemetry
-# layer with: tools/check_tsan.sh -R Telemetry
+# the four parallel subsystems. E.g. race-check only the serving
+# layer with: tools/check_tsan.sh -R Serve
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-REGEX="Training|Props|Telemetry"
+REGEX="Training|Props|Telemetry|Serve"
 while getopts "R:" opt; do
     case "$opt" in
       R) REGEX="$OPTARG" ;;
@@ -28,6 +29,7 @@ BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DHETEROMAP_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j \
-    --target test_training test_props test_telemetry telemetry_tour
+    --target test_training test_props test_telemetry telemetry_tour \
+             test_serve serving_tour
 ctest --test-dir "$BUILD_DIR" --output-on-failure -R "$REGEX"
 echo "TSan check passed for '$REGEX'"
