@@ -191,6 +191,152 @@ FaultSchedule::available(AcceleratorKind side,
     return true;
 }
 
+const char *
+chaosPointName(ChaosPoint point)
+{
+    switch (point) {
+      case ChaosPoint::WorkerStall:      return "worker-stall";
+      case ChaosPoint::WorkerCrashBatch: return "worker-crash-batch";
+      case ChaosPoint::ModelLoadCorrupt: return "model-load-corrupt";
+      case ChaosPoint::AdmissionDelay:   return "admission-delay";
+      case ChaosPoint::SupervisorHang:   return "supervisor-hang";
+    }
+    return "?";
+}
+
+std::string
+ChaosSpec::toString() const
+{
+    std::ostringstream oss;
+    oss << chaosPointName(point) << " p=" << probability << " @visit["
+        << startVisit << ", ";
+    if (endVisit == kForeverVisits)
+        oss << "inf";
+    else
+        oss << endVisit;
+    oss << ")";
+    if (delayMs > 0.0)
+        oss << " delay=" << delayMs << "ms";
+    if (lethal)
+        oss << " lethal";
+    return oss.str();
+}
+
+void
+ChaosPolicy::arm(ChaosSpec spec)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    specs_.push_back(std::move(spec));
+    armed_.store(true, std::memory_order_release);
+}
+
+void
+ChaosPolicy::disarm()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    specs_.clear();
+    armed_.store(false, std::memory_order_release);
+}
+
+bool
+ChaosPolicy::armed() const
+{
+    return armed_.load(std::memory_order_acquire);
+}
+
+std::shared_ptr<ChaosPolicy>
+ChaosPolicy::random(uint64_t seed, unsigned num_faults,
+                    uint64_t horizon_visits, double max_delay_ms)
+{
+    auto policy = std::make_shared<ChaosPolicy>(seed);
+    Rng rng(seed ^ 0xc4a05ULL);
+    const uint64_t horizon = std::max<uint64_t>(1, horizon_visits);
+    for (unsigned i = 0; i < num_faults; ++i) {
+        ChaosSpec spec;
+        spec.point =
+            static_cast<ChaosPoint>(rng.nextBounded(kNumChaosPoints));
+        spec.probability = rng.nextDouble(0.2, 1.0);
+        spec.delayMs = rng.nextDouble(0.0, std::max(0.0, max_delay_ms));
+        spec.startVisit = rng.nextBounded(horizon);
+        spec.endVisit = spec.startVisit + 1 +
+                        rng.nextBounded(std::max<uint64_t>(
+                            1, horizon - spec.startVisit));
+        policy->arm(spec);
+    }
+    return policy;
+}
+
+std::optional<ChaosAction>
+ChaosPolicy::visit(ChaosPoint point)
+{
+    // Inert fast path: one relaxed load, no locking, no visit
+    // accounting — production services carry the fire points for
+    // free until a policy is armed.
+    if (!armed_.load(std::memory_order_acquire))
+        return std::nullopt;
+
+    ChaosAction action;
+    Hook hook;
+    bool fired = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const std::size_t index = static_cast<std::size_t>(point);
+        const uint64_t visit_number = visits_[index]++;
+        for (const ChaosSpec &spec : specs_) {
+            if (spec.point != point || visit_number < spec.startVisit ||
+                visit_number >= spec.endVisit) {
+                continue;
+            }
+            if (!rng_.nextBool(spec.probability))
+                continue;
+            fired = true;
+            action.point = point;
+            action.delayMs = std::max(action.delayMs, spec.delayMs);
+            action.lethal = action.lethal || spec.lethal;
+        }
+        if (!fired)
+            return std::nullopt;
+        ++fires_[index];
+        hook = hooks_[index];
+    }
+    // The hook runs outside the policy mutex so it may re-enter the
+    // policy (and anything it throws reaches the visiting code).
+    if (hook)
+        hook(action);
+    return action;
+}
+
+void
+ChaosPolicy::setHook(ChaosPoint point, Hook hook)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    hooks_[static_cast<std::size_t>(point)] = std::move(hook);
+}
+
+uint64_t
+ChaosPolicy::visits(ChaosPoint point) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return visits_[static_cast<std::size_t>(point)];
+}
+
+uint64_t
+ChaosPolicy::fires(ChaosPoint point) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return fires_[static_cast<std::size_t>(point)];
+}
+
+uint64_t
+ChaosPolicy::totalFires() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    uint64_t total = 0;
+    for (uint64_t f : fires_)
+        total += f;
+    return total;
+}
+
 FaultInjector::FaultInjector(FaultSchedule schedule)
     : schedule_(std::move(schedule))
 {

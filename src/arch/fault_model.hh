@@ -15,13 +15,21 @@
 #ifndef HETEROMAP_ARCH_FAULT_MODEL_HH
 #define HETEROMAP_ARCH_FAULT_MODEL_HH
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <limits>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "arch/mconfig.hh"
 #include "arch/perf_model.hh"
+#include "util/rng.hh"
 
 namespace heteromap {
 
@@ -160,6 +168,153 @@ class FaultInjector
 
   private:
     FaultSchedule schedule_;
+};
+
+/* ------------------------------------------------------------------ */
+/* Serving-scoped chaos injection                                     */
+/* ------------------------------------------------------------------ */
+
+/**
+ * Fault points in the serving tier (serve/prediction_service.hh and
+ * serve/model_registry.hh) that a ChaosPolicy can arm. Unlike the
+ * FaultKind scenarios above — which perturb the *modelled* hardware
+ * the supervisor deploys onto — these perturb the serving runtime
+ * itself: worker threads, the admission queue, the supervised lane,
+ * and the model-persistence path.
+ */
+enum class ChaosPoint {
+    WorkerStall,      //!< a worker sleeps before serving its batch
+    WorkerCrashBatch, //!< an exception is thrown mid-batch
+    ModelLoadCorrupt, //!< a model stream is bit-flipped before parsing
+    AdmissionDelay,   //!< submit() is delayed before queue admission
+    SupervisorHang,   //!< the supervised lane stalls under its mutex
+};
+
+/** Number of ChaosPoint values (for per-point counters). */
+inline constexpr std::size_t kNumChaosPoints = 5;
+
+/** @return e.g. "worker-crash-batch". */
+const char *chaosPointName(ChaosPoint point);
+
+/**
+ * One armed chaos scenario. The activation window is expressed in
+ * per-point visit counts ([startVisit, endVisit), exclusive end):
+ * the Nth time the serving code reaches the point, the spec is
+ * eligible iff the window covers N, and then fires with
+ * @p probability (drawn from the policy's seeded Rng, so identical
+ * seeds replay identical fault schedules).
+ */
+struct ChaosSpec {
+    static constexpr uint64_t kForeverVisits =
+        std::numeric_limits<uint64_t>::max();
+
+    ChaosPoint point = ChaosPoint::WorkerStall;
+    double probability = 1.0;  //!< per-visit fire probability
+    double delayMs = 0.0;      //!< stall/hang/delay duration when fired
+
+    /**
+     * A lethal WorkerCrashBatch kills the worker thread (its loop
+     * exits after failing the batch) instead of only failing the
+     * batch — exercising the watchdog's restart path. Ignored by the
+     * other points.
+     */
+    bool lethal = false;
+
+    uint64_t startVisit = 0;
+    uint64_t endVisit = kForeverVisits; //!< exclusive
+
+    /** One-line description for logs and tables. */
+    std::string toString() const;
+};
+
+/** What the serving code should do when a point fires. */
+struct ChaosAction {
+    ChaosPoint point = ChaosPoint::WorkerStall;
+    double delayMs = 0.0;
+    bool lethal = false;
+};
+
+/** Exception a fired WorkerCrashBatch injects into the batch path. */
+class ChaosCrash : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * A seeded, schedulable set of serving-tier fault scenarios.
+ * Compiled in always; a default-constructed (or disarm()ed) policy
+ * is inert and visit() is a cheap armed-flag check, so production
+ * paths keep the fire points without paying for them. Thread-safe:
+ * the serving workers, the submit path, and the registry all consult
+ * one policy concurrently.
+ */
+class ChaosPolicy
+{
+  public:
+    /** Callback a test can splice into a fire (e.g. to throw). */
+    using Hook = std::function<void(const ChaosAction &)>;
+
+    ChaosPolicy() = default;
+    explicit ChaosPolicy(uint64_t seed) : rng_(seed) {}
+
+    /** Arm one scenario (thread-safe; may land mid-run). */
+    void arm(ChaosSpec spec);
+
+    /** Drop every armed scenario; the policy becomes inert. */
+    void disarm();
+
+    /** @return true while any scenario is armed. */
+    bool armed() const;
+
+    /**
+     * Deterministic pseudo-random schedule: @p num_faults specs with
+     * windows inside [0, horizon_visits), points, probabilities, and
+     * delays drawn from @p seed. Delays stay <= @p max_delay_ms so
+     * soaks bound their stall time. Never draws lethal crashes.
+     * (Returned shared — the policy itself is pinned by its mutex
+     * and atomics, and consumers hold shared_ptrs anyway.)
+     */
+    static std::shared_ptr<ChaosPolicy> random(
+        uint64_t seed, unsigned num_faults, uint64_t horizon_visits,
+        double max_delay_ms = 10.0);
+
+    /**
+     * Record one visit of @p point and decide whether a scenario
+     * fires. @return the composed action (max delay, OR of lethal)
+     * when at least one armed spec fires, nullopt otherwise. The
+     * caller applies the action (sleep, throw, corrupt); if a test
+     * hook is installed for the point it is invoked here, and
+     * anything it throws propagates to the visiting code.
+     */
+    std::optional<ChaosAction> visit(ChaosPoint point);
+
+    /**
+     * Install @p hook to run whenever @p point fires (nullptr
+     * clears). Tests use this to inject arbitrary exceptions into
+     * the fire site.
+     */
+    void setHook(ChaosPoint point, Hook hook);
+
+    /** @name Per-point accounting (monotonic). @{ */
+    uint64_t visits(ChaosPoint point) const;
+    uint64_t fires(ChaosPoint point) const;
+    uint64_t totalFires() const;
+    /** @} */
+
+  private:
+    mutable std::mutex mutex_;
+    Rng rng_{0x9e3779b97f4a7c15ULL};
+
+    /**
+     * Mirrors !specs_.empty(); written under mutex_, read lock-free
+     * so an inert policy costs one relaxed load per visit.
+     */
+    std::atomic<bool> armed_{false};
+    std::vector<ChaosSpec> specs_;
+    std::array<uint64_t, kNumChaosPoints> visits_{};
+    std::array<uint64_t, kNumChaosPoints> fires_{};
+    std::array<Hook, kNumChaosPoints> hooks_{};
 };
 
 } // namespace heteromap

@@ -5,7 +5,10 @@
 
 #include "core/heteromap.hh"
 
+#include <sstream>
+
 #include "graph/stats_cache.hh"
+#include "util/checksum.hh"
 #include "model/adaptive_library.hh"
 #include "model/decision_tree.hh"
 #include "model/linear_regression.hh"
@@ -62,6 +65,23 @@ predictorKindName(PredictorKind kind)
     return "?";
 }
 
+std::optional<PredictorKind>
+predictorKindFromName(std::string_view name)
+{
+    static const PredictorKind kinds[] = {
+        PredictorKind::DecisionTree,    PredictorKind::LinearRegression,
+        PredictorKind::MultiRegression, PredictorKind::AdaptiveLibrary,
+        PredictorKind::Deep16,          PredictorKind::Deep32,
+        PredictorKind::Deep64,          PredictorKind::Deep128,
+        PredictorKind::TableLookup,
+    };
+    for (PredictorKind kind : kinds) {
+        if (name == predictorKindName(kind))
+            return kind;
+    }
+    return std::nullopt;
+}
+
 namespace {
 
 /** Hidden width of a Deep.* kind; 0 for non-MLP kinds. */
@@ -89,11 +109,14 @@ asConcrete(const Predictor &predictor, PredictorKind kind)
     return *concrete;
 }
 
-} // namespace
+/** Envelope leader; bumping the version invalidates old streams. */
+constexpr const char *kModelMagic = "heteromap-model";
+constexpr const char *kModelVersion = "v2";
 
+/** The pre-envelope per-kind serialization (the v2 payload). */
 void
-savePredictor(const Predictor &predictor, PredictorKind kind,
-              std::ostream &os)
+savePayload(const Predictor &predictor, PredictorKind kind,
+            std::ostream &os)
 {
     switch (kind) {
       case PredictorKind::DecisionTree:
@@ -125,8 +148,13 @@ savePredictor(const Predictor &predictor, PredictorKind kind,
     HM_PANIC("unhandled predictor kind");
 }
 
+/**
+ * Parse a v2 payload as @p kind. The concrete load() routines signal
+ * malformed input through HM_FATAL; the caller (loadPredictor /
+ * loadAnyPredictor) converts that into a Result error.
+ */
 std::unique_ptr<Predictor>
-loadPredictor(PredictorKind kind, std::istream &is)
+loadPayload(PredictorKind kind, std::istream &is)
 {
     switch (kind) {
       case PredictorKind::DecisionTree:
@@ -156,6 +184,131 @@ loadPredictor(PredictorKind kind, std::istream &is)
             TableLookupPredictor::load(is));
     }
     HM_PANIC("unhandled predictor kind");
+}
+
+/**
+ * Read and verify the envelope header + payload. On success @p kind
+ * and @p payload are filled; every failure is a recoverable Error.
+ */
+Result<bool>
+readEnvelope(std::istream &is, PredictorKind &kind,
+             std::string &payload)
+{
+    std::string magic, version, kind_name, crc_hex;
+    std::size_t payload_bytes = 0;
+    is >> magic >> version >> kind_name >> payload_bytes >> crc_hex;
+    if (is.fail() || magic != kModelMagic)
+        return HM_RECOVERABLE(ErrorCode::Parse,
+                              "model stream has no '", kModelMagic,
+                              "' envelope header");
+    if (version != kModelVersion)
+        return HM_RECOVERABLE(ErrorCode::Parse,
+                              "unsupported model envelope version '",
+                              version, "' (expected ", kModelVersion,
+                              ")");
+    const std::optional<PredictorKind> declared =
+        predictorKindFromName(kind_name);
+    if (!declared)
+        return HM_RECOVERABLE(ErrorCode::Parse,
+                              "model envelope declares unknown "
+                              "predictor kind '",
+                              kind_name, "'");
+    uint64_t declared_crc = 0;
+    if (!checksumFromHex(crc_hex, declared_crc))
+        return HM_RECOVERABLE(ErrorCode::Parse,
+                              "model envelope checksum '", crc_hex,
+                              "' is not 16 hex digits");
+
+    // A corrupted size field must not drive a giant allocation; no
+    // legitimate model payload approaches this bound.
+    constexpr std::size_t kMaxPayloadBytes = 1ull << 30;
+    if (payload_bytes > kMaxPayloadBytes)
+        return HM_RECOVERABLE(ErrorCode::Parse,
+                              "model envelope declares an absurd "
+                              "payload size (",
+                              payload_bytes, " bytes) — corrupt header");
+
+    // The single separator after the header line; then exactly
+    // payload_bytes of payload.
+    is.get();
+    payload.resize(payload_bytes);
+    is.read(payload.data(),
+            static_cast<std::streamsize>(payload_bytes));
+    if (static_cast<std::size_t>(is.gcount()) != payload_bytes)
+        return HM_RECOVERABLE(
+            ErrorCode::Io, "model payload truncated: expected ",
+            payload_bytes, " bytes, stream held ", is.gcount());
+
+    const uint64_t actual_crc = crc64(payload);
+    if (actual_crc != declared_crc)
+        return HM_RECOVERABLE(
+            ErrorCode::Parse, "model payload checksum mismatch: "
+            "envelope says ",
+            checksumToHex(declared_crc), ", payload hashes to ",
+            checksumToHex(actual_crc),
+            " (corrupt or torn model stream)");
+    kind = *declared;
+    return true;
+}
+
+/** Parse @p payload as @p kind, converting fatals into Errors. */
+Result<std::unique_ptr<Predictor>>
+parsePayload(PredictorKind kind, const std::string &payload)
+{
+    try {
+        std::istringstream body(payload);
+        return loadPayload(kind, body);
+    } catch (const FatalError &e) {
+        return makeError(ErrorCode::Parse, 0,
+                         "model payload failed to parse as ",
+                         predictorKindName(kind), ": ", e.what());
+    }
+}
+
+} // namespace
+
+void
+savePredictor(const Predictor &predictor, PredictorKind kind,
+              std::ostream &os)
+{
+    std::ostringstream payload;
+    savePayload(predictor, kind, payload);
+    const std::string body = payload.str();
+    os << kModelMagic << " " << kModelVersion << " "
+       << predictorKindName(kind) << " " << body.size() << " "
+       << checksumToHex(crc64(body)) << "\n"
+       << body;
+}
+
+Result<std::unique_ptr<Predictor>>
+loadPredictor(PredictorKind kind, std::istream &is)
+{
+    PredictorKind declared = kind;
+    std::string payload;
+    Result<bool> header = readEnvelope(is, declared, payload);
+    if (!header)
+        return header.error();
+    if (declared != kind)
+        return HM_RECOVERABLE(
+            ErrorCode::Parse, "model kind mismatch: stream holds a ",
+            predictorKindName(declared), ", caller requested a ",
+            predictorKindName(kind));
+    return parsePayload(kind, payload);
+}
+
+Result<LoadedPredictor>
+loadAnyPredictor(std::istream &is)
+{
+    PredictorKind declared = PredictorKind::DecisionTree;
+    std::string payload;
+    Result<bool> header = readEnvelope(is, declared, payload);
+    if (!header)
+        return header.error();
+    Result<std::unique_ptr<Predictor>> parsed =
+        parsePayload(declared, payload);
+    if (!parsed)
+        return parsed.error();
+    return LoadedPredictor{declared, std::move(parsed).value()};
 }
 
 const std::vector<PredictorKind> &

@@ -13,10 +13,12 @@
 #include <iosfwd>
 #include <memory>
 #include <optional>
+#include <string_view>
 
 #include "core/oracle.hh"
 #include "graph/props.hh"
 #include "model/predictor.hh"
+#include "util/errors.hh"
 
 namespace heteromap {
 
@@ -48,24 +50,54 @@ const std::vector<PredictorKind> &allPredictorKinds();
 /** Stable identifier, e.g. "deep-64"; used in serialized headers. */
 const char *predictorKindName(PredictorKind kind);
 
+/** Inverse of predictorKindName(); nullopt for unknown names. */
+std::optional<PredictorKind> predictorKindFromName(
+    std::string_view name);
+
 /**
  * Persist @p predictor — which must be an instance of the concrete
  * class @p kind names — in a format loadPredictor() restores. Every
  * PredictorKind serializes; analytical models persist their
  * parameters, learned models their fitted weights/tuples.
+ *
+ * The stream is a crash-safe envelope:
+ *
+ *   heteromap-model v2 <kind-name> <payload-bytes> <crc64-hex>\n
+ *   <payload>
+ *
+ * where <payload> is the concrete model's own versioned text format
+ * and the CRC64 (util/checksum.hh) covers every payload byte — so a
+ * truncated file, a torn write, or a single flipped bit is caught at
+ * load time before any parsing happens.
  */
 void savePredictor(const Predictor &predictor, PredictorKind kind,
                    std::ostream &os);
 
 /**
- * Restore a predictor of @p kind from the savePredictor() format.
- * Fatal on header/kind mismatch (e.g. a Deep.32 stream loaded as
- * Deep.64), so a model registry can never hot-load a model into the
- * wrong slot. The returned predictor's predict() outputs are
- * byte-identical to the saved instance's.
+ * Restore a predictor of @p kind from the savePredictor() envelope.
+ * Recoverable: a malformed header, a kind mismatch (e.g. a Deep.32
+ * stream loaded as Deep.64), a truncated payload, or a checksum
+ * failure comes back as a Result error the caller can report and
+ * roll back from — never an abort, so a model registry keeps its
+ * last-good model when a hot-load goes bad. On success the returned
+ * predictor's predict() outputs are byte-identical to the saved
+ * instance's.
  */
-std::unique_ptr<Predictor> loadPredictor(PredictorKind kind,
-                                         std::istream &is);
+Result<std::unique_ptr<Predictor>> loadPredictor(PredictorKind kind,
+                                                 std::istream &is);
+
+/** A predictor restored together with its envelope-declared kind. */
+struct LoadedPredictor {
+    PredictorKind kind = PredictorKind::DecisionTree;
+    std::unique_ptr<Predictor> predictor;
+};
+
+/**
+ * Restore whatever kind the envelope declares (the self-describing
+ * variant of loadPredictor(), used by registry snapshot files whose
+ * kind is not known a priori). Same error contract.
+ */
+Result<LoadedPredictor> loadAnyPredictor(std::istream &is);
 
 /** Result of one online deployment. */
 struct Deployment {

@@ -5,11 +5,30 @@
 
 #include "serve/model_registry.hh"
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
 #include "util/logging.hh"
 #include "util/telemetry.hh"
 
 namespace heteromap {
 namespace serve {
+
+namespace {
+
+/** splitmix64 finalizer, for the temp-file suffix. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
 
 ModelRegistry::ModelRegistry(AcceleratorPair pair, const Oracle &oracle)
     : pair_(std::move(pair)), oracle_(oracle)
@@ -60,10 +79,101 @@ ModelRegistry::publishTrained(PredictorKind kind,
     return publish(kind, std::move(predictor));
 }
 
-uint64_t
+Result<uint64_t>
 ModelRegistry::load(PredictorKind kind, std::istream &is)
 {
-    return publish(kind, loadPredictor(kind, is));
+    Result<std::unique_ptr<Predictor>> loaded =
+        loadPredictor(kind, is);
+    if (!loaded.ok())
+        return noteLoadFailure(std::move(loaded).error());
+    return publish(kind, std::move(loaded).value());
+}
+
+Result<uint64_t>
+ModelRegistry::saveActive(const std::string &path)
+{
+    std::shared_ptr<const ModelSnapshot> snapshot = current();
+    if (snapshot == nullptr) {
+        return HM_RECOVERABLE(ErrorCode::Unavailable,
+                              "saveActive(", path,
+                              "): no model published yet");
+    }
+
+    std::ostringstream envelope;
+    savePredictor(snapshot->framework->predictor(), snapshot->kind,
+                  envelope);
+    const std::string body = envelope.str();
+
+    // Unique-enough sibling name: same directory as the target (so
+    // the rename below is not a cross-filesystem move), salted by
+    // the registry's address and the epoch being saved.
+    const uint64_t salt =
+        mix64(reinterpret_cast<uintptr_t>(this) ^ snapshot->epoch);
+    const std::string tmp =
+        path + ".tmp." + std::to_string(salt % 1000000);
+
+    {
+        std::ofstream out(tmp,
+                          std::ios::binary | std::ios::trunc);
+        if (!out.is_open()) {
+            return HM_RECOVERABLE(ErrorCode::Io, "saveActive(", path,
+                                  "): cannot open temp file ", tmp);
+        }
+        out.write(body.data(),
+                  static_cast<std::streamsize>(body.size()));
+        out.flush();
+        if (!out.good()) {
+            out.close();
+            std::remove(tmp.c_str());
+            return HM_RECOVERABLE(ErrorCode::Io, "saveActive(", path,
+                                  "): short write to ", tmp);
+        }
+    }
+
+    // The atomic publish: readers of `path` see the old complete
+    // file until this instant, the new complete file after it.
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return HM_RECOVERABLE(ErrorCode::Io, "saveActive(", path,
+                              "): rename from ", tmp, " failed");
+    }
+    HM_COUNTER_INC("serve.model_saves");
+    return snapshot->epoch;
+}
+
+Result<uint64_t>
+ModelRegistry::loadFrom(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open()) {
+        return noteLoadFailure(
+            HM_RECOVERABLE(ErrorCode::Io, "loadFrom(", path,
+                           "): cannot open file"));
+    }
+    std::ostringstream raw;
+    raw << in.rdbuf();
+    std::string bytes = raw.str();
+
+    // Chaos: ModelLoadCorrupt flips one payload bit before
+    // verification, proving the checksum catches it and the
+    // last-good snapshot keeps serving.
+    std::shared_ptr<ChaosPolicy> chaos;
+    {
+        std::lock_guard<std::mutex> lock(chaos_mutex_);
+        chaos = chaos_;
+    }
+    if (chaos != nullptr && !bytes.empty() &&
+        chaos->visit(ChaosPoint::ModelLoadCorrupt).has_value()) {
+        bytes.back() = static_cast<char>(bytes.back() ^ 0x01);
+    }
+
+    std::istringstream is(bytes);
+    Result<LoadedPredictor> loaded = loadAnyPredictor(is);
+    if (!loaded.ok()) {
+        return noteLoadFailure(std::move(loaded).error());
+    }
+    LoadedPredictor model = std::move(loaded).value();
+    return publish(model.kind, std::move(model.predictor));
 }
 
 uint64_t
@@ -71,6 +181,27 @@ ModelRegistry::epoch() const
 {
     auto snapshot = current();
     return snapshot == nullptr ? 0 : snapshot->epoch;
+}
+
+uint64_t
+ModelRegistry::loadFailures() const
+{
+    return load_failures_.load(std::memory_order_relaxed);
+}
+
+void
+ModelRegistry::setChaosPolicy(std::shared_ptr<ChaosPolicy> chaos)
+{
+    std::lock_guard<std::mutex> lock(chaos_mutex_);
+    chaos_ = std::move(chaos);
+}
+
+Error
+ModelRegistry::noteLoadFailure(Error error)
+{
+    load_failures_.fetch_add(1, std::memory_order_relaxed);
+    HM_COUNTER_INC("serve.model_load_failures");
+    return error;
 }
 
 } // namespace serve

@@ -20,18 +20,32 @@
  * publishTrained() fits a fresh learner on a corpus (e.g. the
  * TrainingPipeline's output from a background retrain), and load()
  * hot-loads any PredictorKind from a savePredictor() stream.
+ *
+ * Persistence is crash-safe. Every stream carries the checksummed
+ * "heteromap-model v2" envelope (core/heteromap.hh): saveActive()
+ * writes to a temporary sibling and rename()s it into place, so a
+ * crash mid-write never leaves a half-model at the target path, and
+ * loadFrom()/load() verify the checksum before parsing. A corrupt,
+ * truncated, or kind-mismatched stream comes back as a recoverable
+ * Result error: the active model is untouched (the rollback is
+ * implicit — the last-good snapshot keeps serving), the epoch stays
+ * monotone (failed loads never bump it), and the
+ * "serve.model_load_failures" counter accounts for the attempt.
  */
 
 #ifndef HETEROMAP_SERVE_MODEL_REGISTRY_HH
 #define HETEROMAP_SERVE_MODEL_REGISTRY_HH
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <string>
 
+#include "arch/fault_model.hh"
 #include "core/heteromap.hh"
+#include "util/errors.hh"
 
 namespace heteromap {
 namespace serve {
@@ -76,11 +90,43 @@ class ModelRegistry
     uint64_t publishTrained(PredictorKind kind,
                             const TrainingSet &corpus);
 
-    /** Hot-load a savePredictor() stream and publish it. */
-    uint64_t load(PredictorKind kind, std::istream &is);
+    /**
+     * Hot-load a savePredictor() stream and publish it. On any
+     * failure (bad envelope, checksum mismatch, truncation, kind
+     * mismatch) the active snapshot and epoch are untouched and the
+     * error is recoverable. @return the new epoch on success.
+     */
+    Result<uint64_t> load(PredictorKind kind, std::istream &is);
+
+    /**
+     * Persist the active model to @p path atomically: the envelope
+     * is written to "<path>.tmp.<pid-ish>" and rename()d over the
+     * target, so readers of @p path see either the old complete file
+     * or the new complete file — never a torn write. @return the
+     * epoch of the snapshot that was saved.
+     */
+    Result<uint64_t> saveActive(const std::string &path);
+
+    /**
+     * Load a saveActive() file and publish it (self-describing: the
+     * kind comes from the envelope). A corrupt or unreadable file is
+     * a recoverable error; the last-good snapshot keeps serving and
+     * the epoch does not move. @return the new epoch on success.
+     */
+    Result<uint64_t> loadFrom(const std::string &path);
 
     /** Epoch of the active model (0 before the first publish). */
     uint64_t epoch() const;
+
+    /** Failed load()/loadFrom() attempts since construction. */
+    uint64_t loadFailures() const;
+
+    /**
+     * Install a chaos policy (arch/fault_model.hh). When armed with
+     * ModelLoadCorrupt, loadFrom() flips one payload bit before
+     * verification — exercising the detect-and-rollback path.
+     */
+    void setChaosPolicy(std::shared_ptr<ChaosPolicy> chaos);
 
     const AcceleratorPair &pair() const { return pair_; }
     const Oracle &oracle() const { return oracle_; }
@@ -94,6 +140,14 @@ class ModelRegistry
 
     mutable std::mutex active_mutex_; //!< guards only the pointer swap
     std::shared_ptr<const ModelSnapshot> active_;
+
+    std::atomic<uint64_t> load_failures_{0};
+
+    mutable std::mutex chaos_mutex_;
+    std::shared_ptr<ChaosPolicy> chaos_; //!< guarded by chaos_mutex_
+
+    /** Count + meter a failed load and pass @p error through. */
+    Error noteLoadFailure(Error error);
 };
 
 } // namespace serve

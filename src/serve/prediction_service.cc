@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <chrono>
 #include <optional>
+#include <string>
 
 #include "util/logging.hh"
 #include "util/telemetry.hh"
@@ -34,6 +35,22 @@ millisDuration(double ms)
         std::chrono::duration<double, std::milli>(ms));
 }
 
+int64_t
+nowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               SteadyClock::now().time_since_epoch())
+        .count();
+}
+
+void
+sleepMillis(double ms)
+{
+    if (ms > 0.0)
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(ms));
+}
+
 /** Clamp the zero-means-default knobs to sane minima. */
 ServiceOptions
 normalized(ServiceOptions options)
@@ -45,10 +62,26 @@ normalized(ServiceOptions options)
     options.statsShards = std::max<std::size_t>(1, options.statsShards);
     options.statsCapacityPerShard =
         std::max<std::size_t>(1, options.statsCapacityPerShard);
+    options.watchdog.pollMs = std::max(0.5, options.watchdog.pollMs);
     return options;
 }
 
 } // namespace
+
+const char *
+degradationLevelName(DegradationLevel level)
+{
+    switch (level) {
+      case DegradationLevel::Normal: return "normal";
+      case DegradationLevel::ShrinkBatch: return "shrink-batch";
+      case DegradationLevel::BypassSupervised:
+        return "bypass-supervised";
+      case DegradationLevel::FallbackHeuristic:
+        return "fallback-heuristic";
+    }
+    HM_PANIC("unreachable degradation level ",
+             static_cast<int>(level));
+}
 
 PredictionService::PredictionService(ModelRegistry &models,
                                      ServiceOptions options)
@@ -66,8 +99,28 @@ PredictionService::PredictionService(ModelRegistry &models,
         stats_shards_.push_back(std::make_unique<GraphStatsCache>(
             options_.statsCapacityPerShard, "serve.stats_cache"));
     }
+
+    // The last-resort model: the paper's hand-built heuristic tree
+    // needs no training, so it is always ready — and its measure
+    // path rides the same warm stats shards as the real model.
+    fallback_ = std::make_unique<HeteroMap>(
+        models_.pair(), makePredictor(PredictorKind::DecisionTree),
+        models_.oracle());
+
+    HM_GAUGE_SET("serve.degradation_level", 0.0);
+
+    health_.reserve(pool_.threadCount());
+    for (std::size_t w = 0; w < pool_.threadCount(); ++w) {
+        health_.push_back(std::make_unique<WorkerHealth>());
+        health_.back()->alive.store(true, std::memory_order_release);
+        health_.back()->beatNs.store(nowNs(),
+                                     std::memory_order_release);
+    }
     for (std::size_t w = 0; w < pool_.threadCount(); ++w)
-        pool_.submit([this] { workerLoop(); });
+        pool_.submit([this, w] { workerLoop(w); });
+
+    if (options_.watchdog.enabled)
+        watchdog_ = std::thread([this] { watchdogLoop(); });
 }
 
 PredictionService::~PredictionService()
@@ -86,6 +139,39 @@ PredictionService::shardFor(const BatchKey &key)
     return *stats_shards_[hashBatchKey(key) % stats_shards_.size()];
 }
 
+DegradationLevel
+PredictionService::degradationLevel() const
+{
+    return static_cast<DegradationLevel>(
+        degradation_.load(std::memory_order_acquire));
+}
+
+void
+PredictionService::beat(WorkerHealth &health)
+{
+    health.beatNs.store(nowNs(), std::memory_order_release);
+}
+
+void
+PredictionService::noteFault()
+{
+    last_fault_ns_.store(nowNs(), std::memory_order_release);
+    int level = degradation_.load(std::memory_order_acquire);
+    while (level < static_cast<int>(
+                       DegradationLevel::FallbackHeuristic)) {
+        if (degradation_.compare_exchange_weak(
+                level, level + 1, std::memory_order_acq_rel)) {
+            HM_COUNTER_INC("serve.degradation_steps");
+            HM_GAUGE_SET("serve.degradation_level",
+                         static_cast<double>(level + 1));
+            warn("serve: degradation escalated to ",
+                 degradationLevelName(
+                     static_cast<DegradationLevel>(level + 1)));
+            break;
+        }
+    }
+}
+
 std::future<ServeResponse>
 PredictionService::submit(ServeRequest request)
 {
@@ -93,6 +179,16 @@ PredictionService::submit(ServeRequest request)
     HM_COUNTER_INC("serve.submitted");
     HM_ASSERT(request.workload != nullptr && request.graph != nullptr,
               "a serve request needs a workload and a graph");
+
+    // Chaos: admission delay models a slow front door (a saturated
+    // RPC layer); it runs on the submitter's thread, before the
+    // queue, so it never holds a service lock.
+    if (options_.chaos != nullptr) {
+        if (auto action =
+                options_.chaos->visit(ChaosPoint::AdmissionDelay)) {
+            sleepMillis(action->delayMs);
+        }
+    }
 
     PendingRequest pending;
     std::future<ServeResponse> future = pending.promise.get_future();
@@ -110,7 +206,7 @@ PredictionService::submit(ServeRequest request)
         ServeResponse response;
         response.status = ServeStatus::Closed;
         response.requestId = pending.id;
-        pending.promise.set_value(std::move(response));
+        respond(pending, std::move(response));
     };
 
     if (closed_.load(std::memory_order_acquire)) {
@@ -134,6 +230,14 @@ PredictionService::submit(ServeRequest request)
 }
 
 void
+PredictionService::respond(PendingRequest &pending,
+                           ServeResponse response)
+{
+    pending.responded = true;
+    pending.promise.set_value(std::move(response));
+}
+
+void
 PredictionService::respondShed(PendingRequest &pending, ShedReason reason)
 {
     shed_.fetch_add(1, std::memory_order_relaxed);
@@ -147,7 +251,31 @@ PredictionService::respondShed(PendingRequest &pending, ShedReason reason)
     response.status = ServeStatus::Shed;
     response.shedReason = reason;
     response.requestId = pending.id;
-    pending.promise.set_value(std::move(response));
+    respond(pending, std::move(response));
+}
+
+void
+PredictionService::failBatch(std::vector<PendingRequest> &batch,
+                             const std::string &what)
+{
+    batch_failures_.fetch_add(1, std::memory_order_relaxed);
+    HM_COUNTER_INC("serve.worker.batch_failures");
+    noteFault();
+
+    const int level = degradation_.load(std::memory_order_acquire);
+    for (PendingRequest &pending : batch) {
+        if (pending.responded)
+            continue;
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        HM_COUNTER_INC("serve.errors");
+        ServeResponse response;
+        response.status = ServeStatus::Error;
+        response.requestId = pending.id;
+        response.degradationLevel = level;
+        response.error =
+            ServeError{ErrorCode::Unavailable, what};
+        respond(pending, std::move(response));
+    }
 }
 
 void
@@ -161,16 +289,60 @@ PredictionService::noteResponded(std::size_t count)
 }
 
 void
-PredictionService::workerLoop()
+PredictionService::workerLoop(std::size_t slot)
 {
+    WorkerHealth &health = *health_[slot];
     PendingRequest first;
-    while (queue_.pop(first)) {
+    for (;;) {
+        // Idle (blocked in pop) is not a stall: busy is down, so
+        // the watchdog skips the heartbeat check.
+        health.busy.store(false, std::memory_order_release);
+        if (!queue_.pop(first))
+            break; // closed and drained — normal exit
+        health.busy.store(true, std::memory_order_release);
+        beat(health);
+
         std::vector<PendingRequest> batch;
         batch.push_back(std::move(first));
         gatherBatch(batch);
-        serveBatch(batch);
+        beat(health);
+
+        bool lethal = false;
+        try {
+            if (options_.chaos != nullptr) {
+                // Stall: sleep without beating the heartbeat, so
+                // the watchdog sees a busy worker going silent.
+                if (auto action = options_.chaos->visit(
+                        ChaosPoint::WorkerStall)) {
+                    sleepMillis(action->delayMs);
+                }
+                if (auto action = options_.chaos->visit(
+                        ChaosPoint::WorkerCrashBatch)) {
+                    lethal = action->lethal;
+                    throw ChaosCrash("chaos: worker crashed on batch");
+                }
+            }
+            serveBatch(batch);
+        } catch (const std::exception &e) {
+            // Contain the blast radius to this batch: exactly its
+            // unresponded promises fail, with a structured error —
+            // never a broken promise, never a dead service.
+            failBatch(batch, e.what());
+        } catch (...) {
+            failBatch(batch, "unknown worker exception");
+        }
         noteResponded(batch.size());
+
+        if (lethal) {
+            // Simulated hard crash: this loop task exits; the
+            // watchdog notices the dead slot and restarts it.
+            health.busy.store(false, std::memory_order_release);
+            health.alive.store(false, std::memory_order_release);
+            return;
+        }
     }
+    health.busy.store(false, std::memory_order_release);
+    health.alive.store(false, std::memory_order_release);
 }
 
 void
@@ -178,9 +350,15 @@ PredictionService::gatherBatch(std::vector<PendingRequest> &batch)
 {
     if (options_.maxBatch <= batch.size())
         return;
+    // Ladder rung 1+: collapse the linger window — under faults the
+    // service trades batching efficiency for latency head-room.
+    const double linger =
+        degradation_.load(std::memory_order_acquire) >=
+                static_cast<int>(DegradationLevel::ShrinkBatch)
+            ? 0.0
+            : options_.maxBatchDelayMs;
     const BatchKey key = batch.front().key;
-    const auto deadline =
-        SteadyClock::now() + millisDuration(options_.maxBatchDelayMs);
+    const auto deadline = SteadyClock::now() + millisDuration(linger);
     queue_.popMatchingUntil(key, options_.maxBatch - batch.size(),
                             deadline, batch);
 }
@@ -195,21 +373,30 @@ PredictionService::serveBatch(std::vector<PendingRequest> &batch)
     const auto start = SteadyClock::now();
 
     // Shed whatever outlived its queueing budget before spending the
-    // measurement on it.
-    std::vector<PendingRequest> live;
+    // measurement on it. Requests stay in `batch` (indices, not
+    // moves) so an exception below can still fail their promises.
+    std::vector<std::size_t> live;
     live.reserve(batch.size());
-    for (PendingRequest &pending : batch) {
-        if (pending.hasDeadline && start > pending.deadline)
-            respondShed(pending, ShedReason::DeadlineExpired);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (batch[i].hasDeadline && start > batch[i].deadline)
+            respondShed(batch[i], ShedReason::DeadlineExpired);
         else
-            live.push_back(std::move(pending));
+            live.push_back(i);
     }
     if (live.empty())
         return;
 
+    const int level = degradation_.load(std::memory_order_acquire);
+    const bool use_fallback =
+        level >= static_cast<int>(DegradationLevel::FallbackHeuristic);
+    const bool bypass_supervised =
+        level >= static_cast<int>(DegradationLevel::BypassSupervised);
+
     // Pin the model for the whole batch: every response below is
     // served by this one snapshot, however many hot-swaps land
-    // concurrently — no torn reads, and one epoch per batch.
+    // concurrently — no torn reads, and one epoch per batch. The
+    // fallback path still stamps the snapshot's epoch, keeping the
+    // per-client monotone-epoch contract alive through the window.
     std::shared_ptr<const ModelSnapshot> snapshot = models_.current();
     HM_ASSERT(snapshot != nullptr,
               "serving requires a published model");
@@ -219,11 +406,11 @@ PredictionService::serveBatch(std::vector<PendingRequest> &batch)
 
     // One GraphStats measurement amortizes across the batch (every
     // member shares the fingerprint by construction).
+    const PendingRequest &head = batch[live.front()];
     const GraphStats stats = [&] {
         HM_SPAN("serve.measure");
-        return shardFor(live.front().key)
-            .measure(*live.front().request.graph,
-                     live.front().request.measure);
+        return shardFor(head.key).measure(*head.request.graph,
+                                          head.request.measure);
     }();
     HM_HISTOGRAM_RECORD_MS("serve.batch.measure_ms",
                            timer.lapMillis());
@@ -234,7 +421,7 @@ PredictionService::serveBatch(std::vector<PendingRequest> &batch)
     for (std::size_t i = 0; i < live.size(); ++i) {
         if (served[i])
             continue;
-        const ServeRequest &lead = live[i].request;
+        const ServeRequest &lead = batch[live[i]].request;
         const std::string workload_name = lead.workload->name();
 
         timer.lapMillis(); // realign: charge only the featurize below
@@ -250,7 +437,8 @@ PredictionService::serveBatch(std::vector<PendingRequest> &batch)
         for (std::size_t j = i; j < live.size(); ++j) {
             if (served[j])
                 continue;
-            const ServeRequest &member = live[j].request;
+            PendingRequest &member_pending = batch[live[j]];
+            const ServeRequest &member = member_pending.request;
             if (member.inputName != lead.inputName ||
                 member.workload->name() != workload_name) {
                 continue;
@@ -259,20 +447,33 @@ PredictionService::serveBatch(std::vector<PendingRequest> &batch)
 
             ServeResponse response;
             response.status = ServeStatus::Ok;
-            response.requestId = live[j].id;
+            response.requestId = member_pending.id;
             response.modelEpoch = snapshot->epoch;
             response.batchSize = live.size();
-            response.queueMs = millisBetween(live[j].enqueued, start);
+            response.degradationLevel = level;
+            response.queueMs =
+                millisBetween(member_pending.enqueued, start);
 
-            if (member.supervised) {
+            if (member.supervised && !bypass_supervised) {
                 superviseDeploy(snapshot, bench, response);
             } else {
+                if (member.supervised) {
+                    HM_COUNTER_INC("serve.supervised_bypassed");
+                }
                 if (!group_deployment) {
                     HM_SPAN("serve.infer");
-                    group_deployment =
-                        snapshot->framework->deploy(bench);
+                    const HeteroMap &framework =
+                        use_fallback ? *fallback_
+                                     : *snapshot->framework;
+                    group_deployment = framework.deploy(bench);
                 }
                 response.deployment = *group_deployment;
+                if (use_fallback) {
+                    response.servedByFallback = true;
+                    fallback_served_.fetch_add(
+                        1, std::memory_order_relaxed);
+                    HM_COUNTER_INC("serve.fallback_served");
+                }
             }
 
             response.serviceMs =
@@ -281,7 +482,7 @@ PredictionService::serveBatch(std::vector<PendingRequest> &batch)
                                    response.serviceMs);
             completed_.fetch_add(1, std::memory_order_relaxed);
             HM_COUNTER_INC("serve.completed");
-            live[j].promise.set_value(std::move(response));
+            respond(member_pending, std::move(response));
         }
     }
 }
@@ -294,6 +495,16 @@ PredictionService::superviseDeploy(
     // The lane serializes: the Supervisor owns the fault clock and
     // is stateful, so supervised deployments order behind the mutex.
     std::lock_guard<std::mutex> lock(supervised_mutex_);
+
+    // Chaos: hang while holding the lane mutex — exactly the
+    // failure mode the BypassSupervised ladder rung exists for.
+    if (options_.chaos != nullptr) {
+        if (auto action =
+                options_.chaos->visit(ChaosPoint::SupervisorHang)) {
+            sleepMillis(action->delayMs);
+        }
+    }
+
     if (supervised_model_ != snapshot) {
         // A hot-swap landed since the last supervised deployment;
         // rebind the ladder to the new model (the fault clock
@@ -313,6 +524,91 @@ PredictionService::superviseDeploy(
 }
 
 void
+PredictionService::watchdogLoop()
+{
+    const auto poll = millisDuration(options_.watchdog.pollMs);
+    const int64_t stuck_ns = static_cast<int64_t>(
+        options_.watchdog.stuckAfterMs * 1e6);
+    const int64_t recover_ns = static_cast<int64_t>(
+        options_.watchdog.recoverAfterMs * 1e6);
+
+    std::unique_lock<std::mutex> lock(watchdog_mutex_);
+    while (!watchdog_stop_) {
+        watchdog_cv_.wait_for(lock, poll,
+                              [&] { return watchdog_stop_; });
+        if (watchdog_stop_)
+            return;
+        lock.unlock();
+
+        const int64_t now = nowNs();
+        for (std::size_t slot = 0; slot < health_.size(); ++slot) {
+            WorkerHealth &health = *health_[slot];
+            if (!health.alive.load(std::memory_order_acquire)) {
+                if (!closed_.load(std::memory_order_acquire)) {
+                    // Crashed worker: restart its loop task on the
+                    // pool (the crash freed a pool thread).
+                    worker_restarts_.fetch_add(
+                        1, std::memory_order_relaxed);
+                    HM_COUNTER_INC("serve.worker.restarts");
+                    noteFault();
+                    warn("serve: restarting dead worker ", slot);
+                    health.alive.store(true,
+                                       std::memory_order_release);
+                    beat(health);
+                    pool_.submit(
+                        [this, slot] { workerLoop(slot); });
+                }
+                continue;
+            }
+            if (health.busy.load(std::memory_order_acquire) &&
+                now - health.beatNs.load(
+                          std::memory_order_acquire) > stuck_ns) {
+                worker_stalls_.fetch_add(1,
+                                         std::memory_order_relaxed);
+                HM_COUNTER_INC("serve.worker.stalls");
+                noteFault();
+                warn("serve: worker ", slot,
+                     " stalled mid-batch (no heartbeat)");
+                // Rearm so a still-stuck worker is recounted per
+                // stuck window, not per poll tick.
+                beat(health);
+            }
+        }
+
+        // De-escalate one rung per fault-free recovery window.
+        const int level = degradation_.load(std::memory_order_acquire);
+        if (level > 0) {
+            const int64_t quiet_since = std::max(
+                last_fault_ns_.load(std::memory_order_acquire),
+                last_recover_ns_.load(std::memory_order_acquire));
+            if (now - quiet_since > recover_ns) {
+                degradation_.store(level - 1,
+                                   std::memory_order_release);
+                last_recover_ns_.store(now,
+                                       std::memory_order_release);
+                HM_GAUGE_SET("serve.degradation_level",
+                             static_cast<double>(level - 1));
+            }
+        }
+
+        lock.lock();
+    }
+}
+
+void
+PredictionService::stopWatchdog()
+{
+    if (!watchdog_.joinable())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(watchdog_mutex_);
+        watchdog_stop_ = true;
+    }
+    watchdog_cv_.notify_all();
+    watchdog_.join();
+}
+
+void
 PredictionService::drain()
 {
     const uint64_t target = admitted_.load(std::memory_order_acquire);
@@ -327,12 +623,26 @@ PredictionService::close()
 {
     std::lock_guard<std::mutex> lock(close_mutex_);
     closed_.store(true, std::memory_order_release);
+    // Stop the watchdog first so no restart task races pool_.wait().
+    stopWatchdog();
     queue_.close();
     // Workers drain every already-admitted request (pop() only
     // returns false once the queue is closed *and* empty), then
     // their loop tasks finish; wait() rethrows the first worker
-    // exception, if any.
+    // exception, if any (worker loops swallow their own, so this
+    // only fires for infrastructure failures).
     pool_.wait();
+    // If every worker died (lethal chaos) with requests still
+    // queued, answer them Closed — an admitted request never ends
+    // in a broken promise.
+    PendingRequest leftover;
+    while (queue_.pop(leftover)) {
+        ServeResponse response;
+        response.status = ServeStatus::Closed;
+        response.requestId = leftover.id;
+        respond(leftover, std::move(response));
+        noteResponded(1);
+    }
 }
 
 uint64_t

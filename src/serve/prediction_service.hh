@@ -26,12 +26,30 @@
  * private caches without a prefix would silently drop that
  * accounting (see graph/stats_cache.hh).
  *
+ * Fault tolerance: workers are supervised by a watchdog thread. An
+ * exception during measure/featurize/infer fails only that batch's
+ * promises — each with a structured ServeError — and the worker
+ * keeps draining; a crashed (exited) worker is detected by its
+ * stale heartbeat slot and restarted on the pool; a stalled worker
+ * (busy with no heartbeat past watchdog.stuckAfterMs) is counted
+ * and drives the degradation ladder. Under sustained faults the
+ * service degrades stepwise — shrink the batching window, bypass
+ * the supervised lane, serve from a built-in DecisionTreeHeuristic
+ * fallback that rides the warm GraphStatsCache — and walks back to
+ * normal after a quiet period. Chaos faults (arch/fault_model.hh
+ * ChaosPolicy) can be injected at four serving points to rehearse
+ * all of this deterministically; with no policy armed every hook is
+ * a single relaxed atomic load.
+ *
  * Telemetry (util/telemetry.hh): counters serve.submitted /
  * .admitted / .completed / .shed (+ .shed.queue_full, .shed.deadline)
  * / .batches / .batched_requests / .supervised /
- * .supervised_degraded; gauge serve.queue_depth; histograms
- * serve.queue_wait_ms, serve.batch.measure_ms,
- * serve.batch.featurize_ms, serve.request.service_ms.
+ * .supervised_degraded / .supervised_bypassed / .errors /
+ * .fallback_served / .degradation_steps / .worker.batch_failures /
+ * .worker.stalls / .worker.restarts; gauges serve.queue_depth,
+ * serve.degradation_level; histograms serve.queue_wait_ms,
+ * serve.batch.measure_ms, serve.batch.featurize_ms,
+ * serve.request.service_ms.
  */
 
 #ifndef HETEROMAP_SERVE_PREDICTION_SERVICE_HH
@@ -39,9 +57,11 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "arch/fault_model.hh"
@@ -52,6 +72,38 @@
 
 namespace heteromap {
 namespace serve {
+
+/**
+ * Degradation ladder the watchdog walks under sustained faults.
+ * Each fault event (batch failure, stall, restart) escalates one
+ * rung; a quiet period of watchdog.recoverAfterMs de-escalates one.
+ */
+enum class DegradationLevel {
+    Normal = 0,           //!< full batching, all lanes
+    ShrinkBatch = 1,      //!< batching window collapsed to zero linger
+    BypassSupervised = 2, //!< supervised lane bypassed (plus above)
+    FallbackHeuristic = 3, //!< built-in heuristic serves (plus above)
+};
+
+/** @return e.g. "bypass-supervised". */
+const char *degradationLevelName(DegradationLevel level);
+
+/** Worker-watchdog tunables. */
+struct WatchdogOptions {
+    bool enabled = true;
+
+    /** Scan cadence, in milliseconds. */
+    double pollMs = 5.0;
+
+    /**
+     * A worker that is busy on a batch with no heartbeat for this
+     * long is counted stalled (generous: CI machines are noisy).
+     */
+    double stuckAfterMs = 250.0;
+
+    /** Fault-free time before the ladder steps down one rung. */
+    double recoverAfterMs = 100.0;
+};
 
 /** Service tunables. Defaults suit tests and small deployments. */
 struct ServiceOptions {
@@ -82,6 +134,16 @@ struct ServiceOptions {
     /** Supervised-lane tunables and fault scenario. */
     SupervisorOptions supervisor{};
     FaultInjector faults{};
+
+    /**
+     * Chaos policy fired at the serving fault points (AdmissionDelay
+     * in submit, WorkerStall/WorkerCrashBatch in the worker loop,
+     * SupervisorHang in the supervised lane). Shared so tests and
+     * the registry can arm the same schedule. Null = no chaos.
+     */
+    std::shared_ptr<ChaosPolicy> chaos;
+
+    WatchdogOptions watchdog{};
 };
 
 /** Concurrent prediction server over a ModelRegistry. */
@@ -129,13 +191,37 @@ class PredictionService
     uint64_t admitted() const { return admitted_.load(); }
     uint64_t completed() const { return completed_.load(); }
     uint64_t shed() const { return shed_.load(); }
+    uint64_t errorResponses() const { return errors_.load(); }
     /** @} */
+
+    /** @name Fault-tolerance accounting (monotonic). @{ */
+    uint64_t batchFailures() const { return batch_failures_.load(); }
+    uint64_t workerStalls() const { return worker_stalls_.load(); }
+    uint64_t workerRestarts() const { return worker_restarts_.load(); }
+    uint64_t fallbackServed() const { return fallback_served_.load(); }
+    /** @} */
+
+    /** Current degradation-ladder rung. */
+    DegradationLevel degradationLevel() const;
 
     /** Aggregate stats-shard counters (mirrors serve.stats_cache.*). */
     uint64_t statsHits() const;
     uint64_t statsMisses() const;
 
   private:
+    /**
+     * Per-worker health slot the watchdog scans. beatNs is the
+     * steady-clock timestamp of the worker's last heartbeat; busy
+     * distinguishes "blocked in pop (idle, never stalled)" from
+     * "serving a batch"; alive goes false when the worker's loop
+     * task exits (lethal chaos crash, or normal close-time drain).
+     */
+    struct WorkerHealth {
+        std::atomic<int64_t> beatNs{0};
+        std::atomic<bool> busy{false};
+        std::atomic<bool> alive{false};
+    };
+
     ModelRegistry &models_;
     ServiceOptions options_;
     RequestQueue queue_;
@@ -145,13 +231,28 @@ class PredictionService
     std::atomic<uint64_t> admitted_{0};
     std::atomic<uint64_t> completed_{0};
     std::atomic<uint64_t> shed_{0};
+    std::atomic<uint64_t> errors_{0};
     std::atomic<uint64_t> responded_{0}; //!< admitted, now answered
     std::atomic<bool> closed_{false};
+
+    std::atomic<uint64_t> batch_failures_{0};
+    std::atomic<uint64_t> worker_stalls_{0};
+    std::atomic<uint64_t> worker_restarts_{0};
+    std::atomic<uint64_t> fallback_served_{0};
+
+    /** @name Degradation ladder (watchdog-driven). @{ */
+    std::atomic<int> degradation_{0};
+    std::atomic<int64_t> last_fault_ns_{0};
+    std::atomic<int64_t> last_recover_ns_{0};
+    /** @} */
 
     std::mutex drain_mutex_;
     std::condition_variable drain_cv_;
 
     std::vector<std::unique_ptr<GraphStatsCache>> stats_shards_;
+
+    /** Heuristic served at DegradationLevel::FallbackHeuristic. */
+    std::unique_ptr<HeteroMap> fallback_;
 
     /** @name Supervised lane (serialized; see superviseDeploy). @{ */
     std::mutex supervised_mutex_;
@@ -161,17 +262,34 @@ class PredictionService
 
     std::mutex close_mutex_; //!< makes close() idempotent
 
+    /** @name Watchdog thread. @{ */
+    std::vector<std::unique_ptr<WorkerHealth>> health_;
+    std::mutex watchdog_mutex_;
+    std::condition_variable watchdog_cv_;
+    bool watchdog_stop_ = false; //!< guarded by watchdog_mutex_
+    std::thread watchdog_;
+    /** @} */
+
     ThreadPool pool_; //!< last member: destroyed (joined) first
 
     GraphStatsCache &shardFor(const BatchKey &key);
-    void workerLoop();
+    void workerLoop(std::size_t slot);
     void gatherBatch(std::vector<PendingRequest> &batch);
     void serveBatch(std::vector<PendingRequest> &batch);
     void superviseDeploy(
         const std::shared_ptr<const ModelSnapshot> &snapshot,
         const BenchmarkCase &bench, ServeResponse &response);
+    void respond(PendingRequest &pending, ServeResponse response);
     void respondShed(PendingRequest &pending, ShedReason reason);
     void noteResponded(std::size_t count);
+
+    /** Fail every not-yet-responded promise in @p batch. */
+    void failBatch(std::vector<PendingRequest> &batch,
+                   const std::string &what);
+    void watchdogLoop();
+    void stopWatchdog();
+    void noteFault();
+    void beat(WorkerHealth &health);
 };
 
 } // namespace serve

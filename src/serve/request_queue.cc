@@ -25,6 +25,12 @@ mix64(uint64_t x)
 
 } // namespace
 
+std::string
+ServeError::toString() const
+{
+    return std::string(errorCodeName(code)) + " error: " + message;
+}
+
 BatchKey
 makeBatchKey(const ServeRequest &request)
 {

@@ -35,6 +35,7 @@
 #include "core/heteromap.hh"
 #include "core/supervisor.hh"
 #include "graph/stats_cache.hh"
+#include "util/errors.hh"
 #include "workloads/workload.hh"
 
 namespace heteromap {
@@ -50,6 +51,7 @@ enum class AdmissionPolicy {
 enum class ServeStatus {
     Ok,     //!< predicted and deployed; deployment is valid
     Shed,   //!< load-shed (see ShedReason); deployment is empty
+    Error,  //!< serving failed (see ServeResponse::error)
     Closed, //!< submitted to a closed/closing service
 };
 
@@ -58,6 +60,21 @@ enum class ShedReason {
     None,
     QueueFull,       //!< Reject admission with the queue at capacity
     DeadlineExpired, //!< still queued when its deadline passed
+    CircuitOpen,     //!< a RetryingClient breaker shed without submitting
+};
+
+/**
+ * Structured serving failure. A worker that throws mid-batch fails
+ * only that batch's promises, each carrying one of these — a client
+ * always gets a ready future with a diagnosable error, never a
+ * broken promise.
+ */
+struct ServeError {
+    ErrorCode code = ErrorCode::Unavailable;
+    std::string message;
+
+    /** "unavailable error: ..." style rendering. */
+    std::string toString() const;
 };
 
 /** One prediction request, as a client submits it. */
@@ -108,6 +125,25 @@ struct ServeResponse {
     /** Supervised-lane outcome (requests with supervised = true). */
     std::optional<DeploymentOutcome> outcome;
 
+    /** Why serving failed (status == Error). */
+    std::optional<ServeError> error;
+
+    /**
+     * Degradation-ladder level the service was at when this request
+     * was served (0 = normal; see DegradationLevel in
+     * prediction_service.hh). A supervised request answered at
+     * level >= 2 was served without its supervised lane.
+     */
+    int degradationLevel = 0;
+
+    /**
+     * True when the built-in fallback heuristic answered instead of
+     * the registry's model (ladder level 3, or no healthy model).
+     * modelEpoch still stamps the active snapshot's epoch so the
+     * monotone-epoch contract holds across fallback windows.
+     */
+    bool servedByFallback = false;
+
     double queueMs = 0.0;         //!< admission -> dequeue wait
     double serviceMs = 0.0;       //!< dequeue -> response, whole batch
     std::size_t batchSize = 0;    //!< requests coalesced with this one
@@ -142,6 +178,13 @@ struct PendingRequest {
     std::chrono::steady_clock::time_point enqueued{};
     bool hasDeadline = false;
     std::chrono::steady_clock::time_point deadline{};
+
+    /**
+     * Set once the promise has been fulfilled. Lets the worker's
+     * batch-failure path fail exactly the promises that have not
+     * been answered yet — a promise is never consumed twice.
+     */
+    bool responded = false;
 };
 
 /** Bounded MPMC queue of pending prediction requests. */

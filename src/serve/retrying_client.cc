@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Retrying client implementation.
+ */
+
+#include "serve/retrying_client.hh"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "util/logging.hh"
+#include "util/telemetry.hh"
+
+namespace heteromap {
+namespace serve {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double
+millisSince(SteadyClock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               SteadyClock::now() - start)
+        .count();
+}
+
+bool
+isTerminal(const ServeResponse &response)
+{
+    // Ok succeeded; Closed means the service is shutting down, so
+    // more attempts can only observe Closed again. Error and Shed
+    // are transient (a crashed batch, a full queue) — retry those.
+    return response.status == ServeStatus::Ok ||
+           response.status == ServeStatus::Closed;
+}
+
+} // namespace
+
+const char *
+circuitStateName(CircuitState state)
+{
+    switch (state) {
+      case CircuitState::Closed: return "closed";
+      case CircuitState::Open: return "open";
+      case CircuitState::HalfOpen: return "half-open";
+    }
+    HM_PANIC("unreachable circuit state ", static_cast<int>(state));
+}
+
+RetryingClient::RetryingClient(PredictionService &service,
+                               RetryOptions options)
+    : service_(service), options_(options), rng_(options.seed)
+{
+    options_.maxAttempts = std::max(1u, options_.maxAttempts);
+    options_.backoffMultiplier =
+        std::max(1.0, options_.backoffMultiplier);
+    options_.jitterFraction =
+        std::clamp(options_.jitterFraction, 0.0, 1.0);
+    options_.breakerThreshold = std::max(1u, options_.breakerThreshold);
+    sleeper_ = [](double ms) {
+        if (ms > 0.0)
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(ms));
+    };
+}
+
+void
+RetryingClient::setSleeper(Sleeper sleeper)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    sleeper_ = std::move(sleeper);
+}
+
+CircuitState
+RetryingClient::laneState(ClientLane lane) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return breakers_[static_cast<std::size_t>(lane)].state;
+}
+
+unsigned
+RetryingClient::laneFailureStreak(ClientLane lane) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return breakers_[static_cast<std::size_t>(lane)]
+        .consecutiveFailures;
+}
+
+double
+RetryingClient::backoffMs(unsigned retry)
+{
+    // retry is 1-based: the sleep before the 2nd attempt is retry 1.
+    double base = options_.initialBackoffMs;
+    for (unsigned i = 1; i < retry; ++i)
+        base *= options_.backoffMultiplier;
+    base = std::min(base, options_.maxBackoffMs);
+    double jitter;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        jitter = rng_.nextDouble(-options_.jitterFraction,
+                                 options_.jitterFraction);
+    }
+    return std::max(0.0, base * (1.0 + jitter));
+}
+
+bool
+RetryingClient::admit(ClientLane lane)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Breaker &breaker = breakers_[static_cast<std::size_t>(lane)];
+    switch (breaker.state) {
+      case CircuitState::Closed:
+      case CircuitState::HalfOpen:
+        return true;
+      case CircuitState::Open: {
+        const double open_ms =
+            std::chrono::duration<double, std::milli>(
+                SteadyClock::now() - breaker.openedAt)
+                .count();
+        if (open_ms < options_.breakerOpenMs)
+            return false;
+        // Cooldown over: this call is the Half-Open probe.
+        breaker.state = CircuitState::HalfOpen;
+        return true;
+      }
+    }
+    HM_PANIC("unreachable circuit state");
+}
+
+void
+RetryingClient::recordSuccess(ClientLane lane)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Breaker &breaker = breakers_[static_cast<std::size_t>(lane)];
+    if (breaker.state != CircuitState::Closed) {
+        HM_COUNTER_INC("client.breaker_closed");
+    }
+    breaker.state = CircuitState::Closed;
+    breaker.consecutiveFailures = 0;
+}
+
+void
+RetryingClient::recordFailure(ClientLane lane)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Breaker &breaker = breakers_[static_cast<std::size_t>(lane)];
+    ++breaker.consecutiveFailures;
+    const bool trip =
+        breaker.state == CircuitState::HalfOpen ||
+        breaker.consecutiveFailures >= options_.breakerThreshold;
+    if (trip) {
+        if (breaker.state != CircuitState::Open)
+            HM_COUNTER_INC("client.breaker_opened");
+        breaker.state = CircuitState::Open;
+        breaker.openedAt = SteadyClock::now();
+    }
+}
+
+ClientResult
+RetryingClient::call(ServeRequest request)
+{
+    const ClientLane lane = request.supervised
+                                ? ClientLane::Supervised
+                                : ClientLane::Fast;
+    ClientResult result;
+
+    if (!admit(lane)) {
+        // Fast-fail without touching the service: the lane is known
+        // bad and still cooling down.
+        HM_COUNTER_INC("client.breaker_fast_fails");
+        result.breakerFastFail = true;
+        result.response.status = ServeStatus::Shed;
+        result.response.shedReason = ShedReason::CircuitOpen;
+        return result;
+    }
+
+    const auto start = SteadyClock::now();
+    for (unsigned attempt = 1;; ++attempt) {
+        result.attempts = attempt;
+        HM_COUNTER_INC("client.attempts");
+        result.response = service_.submit(request).get();
+
+        if (isTerminal(result.response))
+            break;
+        if (attempt >= options_.maxAttempts) {
+            HM_COUNTER_INC("client.retries_exhausted");
+            break;
+        }
+        if (options_.requestDeadlineMs > 0.0 &&
+            millisSince(start) >= options_.requestDeadlineMs) {
+            HM_COUNTER_INC("client.deadline_exhausted");
+            break;
+        }
+
+        const double backoff = backoffMs(attempt);
+        result.totalBackoffMs += backoff;
+        HM_COUNTER_INC("client.retries");
+        Sleeper sleeper;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            sleeper = sleeper_;
+        }
+        sleeper(backoff);
+    }
+
+    if (result.response.status == ServeStatus::Ok)
+        recordSuccess(lane);
+    else
+        recordFailure(lane);
+    return result;
+}
+
+} // namespace serve
+} // namespace heteromap

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * RetryingClient: the client-side half of the serving fault-tolerance
+ * story. Wraps a PredictionService and turns its raw futures into a
+ * resilient call():
+ *
+ *  - bounded retries with exponential backoff + seeded jitter
+ *    (deterministic under a fixed seed, and the sleep itself is
+ *    injectable so tests capture backoffs instead of waiting them);
+ *  - a per-request wall-clock deadline the whole attempt sequence —
+ *    backoffs included — must fit inside;
+ *  - a circuit breaker per lane (fast vs supervised, which fail
+ *    independently: a hung supervisor lane should not open the fast
+ *    lane's breaker). Classic three-state machine: Closed counts
+ *    consecutive failed calls, trips Open at the threshold; Open
+ *    fast-fails (ShedReason::CircuitOpen) without touching the
+ *    service until the cooldown elapses; the first call after the
+ *    cooldown runs as the Half-Open probe — success closes the
+ *    breaker, failure reopens it for another cooldown.
+ *
+ * Retry classification: Error and Shed responses are transient and
+ * retried; Ok succeeds; Closed is terminal (the service is shutting
+ * down — retrying cannot help).
+ */
+
+#ifndef HETEROMAP_SERVE_RETRYING_CLIENT_HH
+#define HETEROMAP_SERVE_RETRYING_CLIENT_HH
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+#include "serve/prediction_service.hh"
+#include "util/rng.hh"
+
+namespace heteromap {
+namespace serve {
+
+/** Breaker states, the classic three. */
+enum class CircuitState {
+    Closed,   //!< normal: calls flow, consecutive failures counted
+    Open,     //!< tripped: fast-fail until the cooldown elapses
+    HalfOpen, //!< probing: one call decides close vs re-open
+};
+
+/** @return e.g. "half-open". */
+const char *circuitStateName(CircuitState state);
+
+/** Breaker lanes; supervised and fast traffic fail independently. */
+enum class ClientLane {
+    Fast = 0,
+    Supervised = 1,
+};
+inline constexpr std::size_t kNumClientLanes = 2;
+
+/** Retry/backoff/breaker tunables. */
+struct RetryOptions {
+    /** Total tries per call() (>= 1); 1 disables retries. */
+    unsigned maxAttempts = 3;
+
+    /** First backoff, in milliseconds. */
+    double initialBackoffMs = 1.0;
+
+    /** Growth factor per retry (>= 1). */
+    double backoffMultiplier = 2.0;
+
+    /** Backoff ceiling, in milliseconds. */
+    double maxBackoffMs = 50.0;
+
+    /**
+     * Uniform jitter as a fraction of the backoff: each sleep is
+     * drawn from [backoff * (1 - f), backoff * (1 + f)]. Seeded, so
+     * the whole sleep sequence is reproducible.
+     */
+    double jitterFraction = 0.2;
+
+    /**
+     * Wall-clock budget for one call() — attempts plus backoffs —
+     * in milliseconds. 0 disables the deadline.
+     */
+    double requestDeadlineMs = 0.0;
+
+    /** Consecutive failed calls that trip the breaker Open. */
+    unsigned breakerThreshold = 5;
+
+    /** Open -> Half-Open cooldown, in milliseconds. */
+    double breakerOpenMs = 100.0;
+
+    /** Jitter RNG seed (determinism in tests and replays). */
+    uint64_t seed = 0x5eedULL;
+};
+
+/** What one resilient call() did, beyond the response itself. */
+struct ClientResult {
+    ServeResponse response;
+
+    /** Attempts actually made (0 when the breaker fast-failed). */
+    unsigned attempts = 0;
+
+    /** Total backoff requested across the attempts, in ms. */
+    double totalBackoffMs = 0.0;
+
+    /** True when the breaker shed without touching the service. */
+    bool breakerFastFail = false;
+};
+
+/** Resilient, breaker-guarded facade over a PredictionService. */
+class RetryingClient
+{
+  public:
+    /**
+     * Replacement sleep, called with each backoff in milliseconds.
+     * Tests install a capturing lambda to assert the exact jittered
+     * sequence without real waiting.
+     */
+    using Sleeper = std::function<void(double ms)>;
+
+    explicit RetryingClient(PredictionService &service,
+                            RetryOptions options = {});
+
+    RetryingClient(const RetryingClient &) = delete;
+    RetryingClient &operator=(const RetryingClient &) = delete;
+
+    /**
+     * Submit @p request, retrying transient failures. Always returns
+     * a terminal result: the last response observed, or a synthetic
+     * Shed(CircuitOpen) when the lane's breaker fast-failed.
+     */
+    ClientResult call(ServeRequest request);
+
+    /** Current breaker state of @p lane. */
+    CircuitState laneState(ClientLane lane) const;
+
+    /** Consecutive failed calls recorded against @p lane. */
+    unsigned laneFailureStreak(ClientLane lane) const;
+
+    /** Install a test sleeper (default: std::this_thread sleep). */
+    void setSleeper(Sleeper sleeper);
+
+    const RetryOptions &options() const { return options_; }
+
+  private:
+    struct Breaker {
+        CircuitState state = CircuitState::Closed;
+        unsigned consecutiveFailures = 0;
+        std::chrono::steady_clock::time_point openedAt{};
+    };
+
+    PredictionService &service_;
+    RetryOptions options_;
+
+    mutable std::mutex mutex_; //!< guards breakers_ and rng_
+    std::array<Breaker, kNumClientLanes> breakers_;
+    Rng rng_;
+    Sleeper sleeper_;
+
+    /** Jittered backoff for 1-based retry number @p retry. */
+    double backoffMs(unsigned retry);
+
+    /** Breaker admission check; may transition Open -> HalfOpen. */
+    bool admit(ClientLane lane);
+    void recordSuccess(ClientLane lane);
+    void recordFailure(ClientLane lane);
+};
+
+} // namespace serve
+} // namespace heteromap
+
+#endif // HETEROMAP_SERVE_RETRYING_CLIENT_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * CRC64 implementation.
+ */
+
+#include "util/checksum.hh"
+
+#include <array>
+#include <cctype>
+
+namespace heteromap {
+
+namespace {
+
+/** Reflected ECMA-182 polynomial. */
+constexpr uint64_t kPoly = 0xc96c5795d7870f42ull;
+
+const std::array<uint64_t, 256> &
+table()
+{
+    static const std::array<uint64_t, 256> t = [] {
+        std::array<uint64_t, 256> entries{};
+        for (uint64_t i = 0; i < entries.size(); ++i) {
+            uint64_t crc = i;
+            for (int bit = 0; bit < 8; ++bit)
+                crc = (crc >> 1) ^ (kPoly & (~(crc & 1) + 1));
+            entries[i] = crc;
+        }
+        return entries;
+    }();
+    return t;
+}
+
+int
+hexDigit(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+} // namespace
+
+void
+Crc64::update(const void *data, std::size_t size)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    const auto &t = table();
+    uint64_t crc = state_;
+    for (std::size_t i = 0; i < size; ++i)
+        crc = t[(crc ^ bytes[i]) & 0xff] ^ (crc >> 8);
+    state_ = crc;
+}
+
+uint64_t
+crc64(std::string_view text)
+{
+    Crc64 crc;
+    crc.update(text);
+    return crc.value();
+}
+
+std::string
+checksumToHex(uint64_t checksum)
+{
+    static const char *digits = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[checksum & 0xf];
+        checksum >>= 4;
+    }
+    return out;
+}
+
+bool
+checksumFromHex(std::string_view text, uint64_t &out)
+{
+    if (text.size() != 16)
+        return false;
+    uint64_t value = 0;
+    for (char c : text) {
+        const int digit = hexDigit(c);
+        if (digit < 0)
+            return false;
+        value = (value << 4) | static_cast<uint64_t>(digit);
+    }
+    out = value;
+    return true;
+}
+
+} // namespace heteromap

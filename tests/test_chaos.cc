@@ -1,0 +1,560 @@
+/**
+ * @file
+ * Tests for the serving fault-tolerance layer: CRC64 checksums, the
+ * ChaosPolicy injector (arch/fault_model.hh), the PredictionService
+ * watchdog + degradation ladder, and the RetryingClient breaker.
+ * Every suite name starts with "Chaos" so `tools/check_tsan.sh -R
+ * "Serve|Chaos"` runs this file under ThreadSanitizer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "arch/fault_model.hh"
+#include "arch/presets.hh"
+#include "core/experiment.hh"
+#include "graph/generators.hh"
+#include "serve/model_registry.hh"
+#include "serve/prediction_service.hh"
+#include "serve/retrying_client.hh"
+#include "util/checksum.hh"
+#include "util/logging.hh"
+#include "util/telemetry.hh"
+#include "workloads/registry.hh"
+
+namespace heteromap {
+namespace {
+
+/* ------------------------------------------------------------------ */
+/* CRC64 checksums                                                    */
+/* ------------------------------------------------------------------ */
+
+TEST(ChaosChecksumTest, MatchesTheXzCheckVector)
+{
+    // The canonical CRC-64/XZ check value for "123456789".
+    EXPECT_EQ(crc64("123456789"), 0x995dc9bbdf1939faULL);
+    EXPECT_EQ(crc64(""), 0u);
+}
+
+TEST(ChaosChecksumTest, IncrementalEqualsOneShot)
+{
+    const std::string text = "heteromap model payload, split";
+    Crc64 crc;
+    crc.update(text.substr(0, 7));
+    crc.update(text.substr(7, 11));
+    crc.update(text.substr(18));
+    EXPECT_EQ(crc.value(), crc64(text));
+
+    crc.reset();
+    crc.update(text);
+    EXPECT_EQ(crc.value(), crc64(text));
+}
+
+TEST(ChaosChecksumTest, SingleBitFlipChangesTheChecksum)
+{
+    std::string text(256, '\0');
+    for (std::size_t i = 0; i < text.size(); ++i)
+        text[i] = static_cast<char>(i * 37 + 11);
+    const uint64_t clean = crc64(text);
+    for (std::size_t byte : {std::size_t(0), text.size() / 2,
+                             text.size() - 1}) {
+        for (unsigned bit = 0; bit < 8; ++bit) {
+            std::string corrupt = text;
+            corrupt[byte] =
+                static_cast<char>(corrupt[byte] ^ (1u << bit));
+            EXPECT_NE(crc64(corrupt), clean)
+                << "byte " << byte << " bit " << bit;
+        }
+    }
+}
+
+TEST(ChaosChecksumTest, HexRoundTripsAndRejectsGarbage)
+{
+    const uint64_t value = crc64("round-trip me");
+    const std::string hex = checksumToHex(value);
+    EXPECT_EQ(hex.size(), 16u);
+    uint64_t parsed = 0;
+    ASSERT_TRUE(checksumFromHex(hex, parsed));
+    EXPECT_EQ(parsed, value);
+
+    for (const char *bad :
+         {"", "123", "123456789abcdefg", "0123456789abcdef0"}) {
+        uint64_t sink = 0;
+        EXPECT_FALSE(checksumFromHex(bad, sink)) << bad;
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* ChaosPolicy                                                        */
+/* ------------------------------------------------------------------ */
+
+TEST(ChaosPolicyTest, InertPolicyNeverFiresOrCounts)
+{
+    ChaosPolicy policy(42);
+    EXPECT_FALSE(policy.armed());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_FALSE(
+            policy.visit(ChaosPoint::WorkerStall).has_value());
+    // The inert fast path skips even the visit accounting.
+    EXPECT_EQ(policy.visits(ChaosPoint::WorkerStall), 0u);
+    EXPECT_EQ(policy.totalFires(), 0u);
+}
+
+TEST(ChaosPolicyTest, DisarmReturnsToInert)
+{
+    ChaosPolicy policy(42);
+    ChaosSpec spec;
+    spec.point = ChaosPoint::AdmissionDelay;
+    policy.arm(spec);
+    EXPECT_TRUE(policy.armed());
+    EXPECT_TRUE(policy.visit(ChaosPoint::AdmissionDelay).has_value());
+    policy.disarm();
+    EXPECT_FALSE(policy.armed());
+    EXPECT_FALSE(
+        policy.visit(ChaosPoint::AdmissionDelay).has_value());
+}
+
+TEST(ChaosPolicyTest, VisitWindowBoundsAreExclusiveAtTheEnd)
+{
+    ChaosPolicy policy(1);
+    ChaosSpec spec;
+    spec.point = ChaosPoint::WorkerCrashBatch;
+    spec.probability = 1.0;
+    spec.startVisit = 2;
+    spec.endVisit = 4;
+    policy.arm(spec);
+
+    std::vector<bool> fired;
+    for (int i = 0; i < 6; ++i)
+        fired.push_back(
+            policy.visit(ChaosPoint::WorkerCrashBatch).has_value());
+    EXPECT_EQ(fired,
+              (std::vector<bool>{false, false, true, true, false,
+                                 false}));
+    EXPECT_EQ(policy.visits(ChaosPoint::WorkerCrashBatch), 6u);
+    EXPECT_EQ(policy.fires(ChaosPoint::WorkerCrashBatch), 2u);
+}
+
+TEST(ChaosPolicyTest, SameSeedReplaysTheSameSchedule)
+{
+    auto run = [](uint64_t seed) {
+        ChaosPolicy policy(seed);
+        ChaosSpec spec;
+        spec.point = ChaosPoint::WorkerStall;
+        spec.probability = 0.4;
+        policy.arm(spec);
+        std::vector<bool> fired;
+        for (int i = 0; i < 200; ++i)
+            fired.push_back(
+                policy.visit(ChaosPoint::WorkerStall).has_value());
+        return fired;
+    };
+    EXPECT_EQ(run(7), run(7));
+    EXPECT_NE(run(7), run(8)); // astronomically unlikely to collide
+}
+
+TEST(ChaosPolicyTest, ConcurrentSpecsComposeTheirAction)
+{
+    ChaosPolicy policy(1);
+    ChaosSpec slow;
+    slow.point = ChaosPoint::WorkerCrashBatch;
+    slow.delayMs = 9.0;
+    ChaosSpec deadly;
+    deadly.point = ChaosPoint::WorkerCrashBatch;
+    deadly.delayMs = 5.0;
+    deadly.lethal = true;
+    policy.arm(slow);
+    policy.arm(deadly);
+
+    auto action = policy.visit(ChaosPoint::WorkerCrashBatch);
+    ASSERT_TRUE(action.has_value());
+    EXPECT_EQ(action->delayMs, 9.0); // max of the fired delays
+    EXPECT_TRUE(action->lethal);     // OR of the fired lethalities
+}
+
+TEST(ChaosPolicyTest, HooksRunOnFireAndMayThrow)
+{
+    ChaosPolicy policy(1);
+    ChaosSpec spec;
+    spec.point = ChaosPoint::SupervisorHang;
+    spec.delayMs = 3.0;
+    policy.arm(spec);
+
+    std::atomic<int> ran{0};
+    policy.setHook(ChaosPoint::SupervisorHang,
+                   [&](const ChaosAction &action) {
+                       EXPECT_EQ(action.delayMs, 3.0);
+                       ran.fetch_add(1);
+                   });
+    EXPECT_TRUE(policy.visit(ChaosPoint::SupervisorHang).has_value());
+    EXPECT_EQ(ran.load(), 1);
+
+    policy.setHook(ChaosPoint::SupervisorHang,
+                   [](const ChaosAction &) {
+                       throw std::runtime_error("spliced failure");
+                   });
+    EXPECT_THROW(policy.visit(ChaosPoint::SupervisorHang),
+                 std::runtime_error);
+}
+
+TEST(ChaosPolicyTest, RandomScheduleIsSeededAndNeverLethal)
+{
+    auto sweep = [](uint64_t seed) {
+        auto policy = ChaosPolicy::random(seed, 6, 50, 2.0);
+        EXPECT_TRUE(policy->armed());
+        std::vector<double> delays;
+        for (int i = 0; i < 50; ++i) {
+            for (std::size_t p = 0; p < kNumChaosPoints; ++p) {
+                auto action =
+                    policy->visit(static_cast<ChaosPoint>(p));
+                if (action.has_value()) {
+                    EXPECT_FALSE(action->lethal);
+                    EXPECT_LE(action->delayMs, 2.0);
+                    delays.push_back(action->delayMs);
+                }
+            }
+        }
+        return delays;
+    };
+    EXPECT_EQ(sweep(99), sweep(99));
+}
+
+/* ------------------------------------------------------------------ */
+/* Watchdog + degradation ladder (service level)                      */
+/* ------------------------------------------------------------------ */
+
+class ChaosServiceTest : public ::testing::Test
+{
+  protected:
+    ChaosServiceTest()
+    {
+        setLogVerbose(false);
+        registry_.publish(PredictorKind::DecisionTree,
+                          makePredictor(PredictorKind::DecisionTree));
+    }
+
+    serve::ServeRequest
+    request(bool supervised = false)
+    {
+        serve::ServeRequest req;
+        req.workload = workload_;
+        req.graph = graph_;
+        req.inputName = "g";
+        req.supervised = supervised;
+        return req;
+    }
+
+    Oracle oracle_;
+    AcceleratorPair pair_ = pinnedPair(primaryPair());
+    serve::ModelRegistry registry_{pair_, oracle_};
+    std::shared_ptr<const Workload> workload_{makeWorkload("PR")};
+    std::shared_ptr<const Graph> graph_ =
+        std::make_shared<const Graph>(generateMesh(128, 4, 1));
+};
+
+TEST_F(ChaosServiceTest, LethalCrashIsRestartedByTheWatchdog)
+{
+    auto chaos = std::make_shared<ChaosPolicy>(17);
+    ChaosSpec crash;
+    crash.point = ChaosPoint::WorkerCrashBatch;
+    crash.probability = 1.0;
+    crash.lethal = true;
+    crash.endVisit = 1; // kill the worker on its first batch only
+    chaos->arm(crash);
+
+    serve::ServiceOptions options;
+    options.workers = 1;
+    options.maxBatch = 1;
+    options.chaos = chaos;
+    options.watchdog.pollMs = 1.0;
+    serve::PredictionService service(registry_, options);
+
+    // First request: the batch fails with a structured error and
+    // the sole worker dies.
+    serve::ServeResponse first = service.submit(request()).get();
+    EXPECT_EQ(first.status, serve::ServeStatus::Error);
+    ASSERT_TRUE(first.error.has_value());
+
+    // Second request: only a restarted worker can answer it.
+    serve::ServeResponse second = service.submit(request()).get();
+    EXPECT_EQ(second.status, serve::ServeStatus::Ok);
+    service.close();
+    EXPECT_GE(service.workerRestarts(), 1u);
+    EXPECT_EQ(service.batchFailures(), 1u);
+}
+
+TEST_F(ChaosServiceTest, StallIsDetectedAndLadderRecovers)
+{
+    auto chaos = std::make_shared<ChaosPolicy>(23);
+    ChaosSpec stall;
+    stall.point = ChaosPoint::WorkerStall;
+    stall.probability = 1.0;
+    stall.delayMs = 120.0;
+    stall.endVisit = 1;
+    chaos->arm(stall);
+
+    serve::ServiceOptions options;
+    options.workers = 1;
+    options.maxBatch = 1;
+    options.chaos = chaos;
+    options.watchdog.pollMs = 2.0;
+    options.watchdog.stuckAfterMs = 25.0;
+    options.watchdog.recoverAfterMs = 40.0;
+    serve::PredictionService service(registry_, options);
+
+    // The stalled batch is still served after the injected sleep.
+    serve::ServeResponse stalled = service.submit(request()).get();
+    EXPECT_EQ(stalled.status, serve::ServeStatus::Ok);
+    EXPECT_GE(service.workerStalls(), 1u);
+    EXPECT_GE(static_cast<int>(service.degradationLevel()), 1);
+
+    // A fault-free quiet period walks the ladder back to Normal.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(10);
+    while (service.degradationLevel() !=
+               serve::DegradationLevel::Normal &&
+           std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_EQ(service.degradationLevel(),
+              serve::DegradationLevel::Normal);
+
+    serve::ServeResponse after = service.submit(request()).get();
+    EXPECT_EQ(after.status, serve::ServeStatus::Ok);
+    EXPECT_EQ(after.degradationLevel, 0);
+    service.close();
+}
+
+TEST_F(ChaosServiceTest, RepeatedFaultsEscalateToFallbackServing)
+{
+    auto chaos = std::make_shared<ChaosPolicy>(31);
+    ChaosSpec crash;
+    crash.point = ChaosPoint::WorkerCrashBatch;
+    crash.probability = 1.0;
+    crash.endVisit = 3; // exactly three failed batches
+    chaos->arm(crash);
+
+    serve::ServiceOptions options;
+    options.workers = 1;
+    options.maxBatch = 1;
+    options.chaos = chaos;
+    options.watchdog.enabled = false; // freeze the ladder: no recovery
+    serve::PredictionService service(registry_, options);
+
+    for (int i = 0; i < 3; ++i) {
+        serve::ServeResponse failed =
+            service.submit(request()).get();
+        EXPECT_EQ(failed.status, serve::ServeStatus::Error);
+    }
+    EXPECT_EQ(service.degradationLevel(),
+              serve::DegradationLevel::FallbackHeuristic);
+
+    // Level 3: the built-in heuristic answers, stamped with the
+    // active snapshot's epoch so the monotone contract holds.
+    serve::ServeResponse fallback = service.submit(request()).get();
+    EXPECT_EQ(fallback.status, serve::ServeStatus::Ok);
+    EXPECT_TRUE(fallback.servedByFallback);
+    EXPECT_EQ(fallback.degradationLevel, 3);
+    EXPECT_EQ(fallback.modelEpoch, registry_.epoch());
+    EXPECT_GE(service.fallbackServed(), 1u);
+
+    // Level >= 2: a supervised request is served without its lane.
+    serve::ServeResponse bypassed =
+        service.submit(request(/*supervised=*/true)).get();
+    EXPECT_EQ(bypassed.status, serve::ServeStatus::Ok);
+    EXPECT_FALSE(bypassed.outcome.has_value());
+    service.close();
+}
+
+/* ------------------------------------------------------------------ */
+/* RetryingClient                                                     */
+/* ------------------------------------------------------------------ */
+
+class ChaosClientTest : public ChaosServiceTest
+{
+  protected:
+    /** Service whose first @p failures batches crash. */
+    serve::ServiceOptions
+    crashingOptions(uint64_t failures)
+    {
+        auto chaos = std::make_shared<ChaosPolicy>(13);
+        ChaosSpec crash;
+        crash.point = ChaosPoint::WorkerCrashBatch;
+        crash.probability = 1.0;
+        crash.endVisit = failures;
+        chaos->arm(crash);
+
+        serve::ServiceOptions options;
+        options.workers = 1;
+        options.maxBatch = 1;
+        options.chaos = chaos;
+        options.watchdog.enabled = false;
+        return options;
+    }
+};
+
+TEST_F(ChaosClientTest, RetriesUntilTheServiceHeals)
+{
+    serve::PredictionService service(registry_,
+                                     crashingOptions(1));
+    serve::RetryOptions retry;
+    retry.maxAttempts = 3;
+    serve::RetryingClient client(service, retry);
+    std::vector<double> sleeps;
+    client.setSleeper([&](double ms) { sleeps.push_back(ms); });
+
+    serve::ClientResult result = client.call(request());
+    EXPECT_EQ(result.response.status, serve::ServeStatus::Ok);
+    EXPECT_EQ(result.attempts, 2u);
+    ASSERT_EQ(sleeps.size(), 1u);
+    EXPECT_EQ(result.totalBackoffMs, sleeps.front());
+    EXPECT_EQ(client.laneState(serve::ClientLane::Fast),
+              serve::CircuitState::Closed);
+    service.close();
+}
+
+TEST_F(ChaosClientTest, BackoffSequenceIsSeededDeterministic)
+{
+    auto capture = [&](uint64_t seed) {
+        serve::PredictionService service(
+            registry_, crashingOptions(ChaosSpec::kForeverVisits));
+        serve::RetryOptions retry;
+        retry.maxAttempts = 4;
+        retry.initialBackoffMs = 2.0;
+        retry.backoffMultiplier = 3.0;
+        retry.maxBackoffMs = 10.0;
+        retry.seed = seed;
+        serve::RetryingClient client(service, retry);
+        std::vector<double> sleeps;
+        client.setSleeper([&](double ms) { sleeps.push_back(ms); });
+        serve::ClientResult result = client.call(request());
+        EXPECT_EQ(result.response.status, serve::ServeStatus::Error);
+        EXPECT_EQ(result.attempts, 4u);
+        service.close();
+        return sleeps;
+    };
+
+    const std::vector<double> a = capture(5);
+    const std::vector<double> b = capture(5);
+    const std::vector<double> c = capture(6);
+    ASSERT_EQ(a.size(), 3u);
+    EXPECT_EQ(a, b); // same seed, same jittered sequence
+    EXPECT_NE(a, c);
+    // Exponential envelope with 20% jitter around 2, 6, 10(capped).
+    EXPECT_GE(a[0], 2.0 * 0.8);
+    EXPECT_LE(a[0], 2.0 * 1.2);
+    EXPECT_GE(a[1], 6.0 * 0.8);
+    EXPECT_LE(a[1], 6.0 * 1.2);
+    EXPECT_GE(a[2], 10.0 * 0.8);
+    EXPECT_LE(a[2], 10.0 * 1.2);
+}
+
+TEST_F(ChaosClientTest, BreakerOpensAfterThresholdAndFastFails)
+{
+    serve::PredictionService service(
+        registry_, crashingOptions(ChaosSpec::kForeverVisits));
+    serve::RetryOptions retry;
+    retry.maxAttempts = 1;
+    retry.breakerThreshold = 2;
+    retry.breakerOpenMs = 60000.0; // stay open for the whole test
+    serve::RetryingClient client(service, retry);
+    client.setSleeper([](double) {});
+
+    EXPECT_EQ(client.call(request()).response.status,
+              serve::ServeStatus::Error);
+    EXPECT_EQ(client.laneState(serve::ClientLane::Fast),
+              serve::CircuitState::Closed);
+    EXPECT_EQ(client.call(request()).response.status,
+              serve::ServeStatus::Error);
+    EXPECT_EQ(client.laneState(serve::ClientLane::Fast),
+              serve::CircuitState::Open);
+    EXPECT_EQ(client.laneFailureStreak(serve::ClientLane::Fast), 2u);
+
+    // Open: shed client-side, zero service traffic.
+    const uint64_t submitted_before = service.submitted();
+    serve::ClientResult shed = client.call(request());
+    EXPECT_TRUE(shed.breakerFastFail);
+    EXPECT_EQ(shed.attempts, 0u);
+    EXPECT_EQ(shed.response.status, serve::ServeStatus::Shed);
+    EXPECT_EQ(shed.response.shedReason,
+              serve::ShedReason::CircuitOpen);
+    EXPECT_EQ(service.submitted(), submitted_before);
+
+    // The supervised lane is untouched by the fast lane's breaker.
+    EXPECT_EQ(client.laneState(serve::ClientLane::Supervised),
+              serve::CircuitState::Closed);
+    service.close();
+}
+
+TEST_F(ChaosClientTest, HalfOpenProbeClosesOrReopensTheBreaker)
+{
+    auto chaos = std::make_shared<ChaosPolicy>(13);
+    ChaosSpec crash;
+    crash.point = ChaosPoint::WorkerCrashBatch;
+    crash.probability = 1.0;
+    crash.endVisit = 2; // two crashed batches, then healthy
+    chaos->arm(crash);
+
+    serve::ServiceOptions options;
+    options.workers = 1;
+    options.maxBatch = 1;
+    options.chaos = chaos;
+    options.watchdog.enabled = false;
+    serve::PredictionService service(registry_, options);
+
+    serve::RetryOptions retry;
+    retry.maxAttempts = 1;
+    retry.breakerThreshold = 1;
+    retry.breakerOpenMs = 0.0; // cooldown elapses immediately
+    serve::RetryingClient client(service, retry);
+    client.setSleeper([](double) {});
+
+    // Failure 1 trips the breaker straight to Open.
+    EXPECT_EQ(client.call(request()).response.status,
+              serve::ServeStatus::Error);
+    EXPECT_EQ(client.laneState(serve::ClientLane::Fast),
+              serve::CircuitState::Open);
+
+    // Cooldown elapsed: the next call probes Half-Open, fails
+    // (second crashed batch), and the breaker re-opens.
+    serve::ClientResult probe = client.call(request());
+    EXPECT_EQ(probe.response.status, serve::ServeStatus::Error);
+    EXPECT_FALSE(probe.breakerFastFail);
+    EXPECT_EQ(client.laneState(serve::ClientLane::Fast),
+              serve::CircuitState::Open);
+
+    // The service is healthy now: the next probe succeeds and
+    // closes the breaker.
+    serve::ClientResult healed = client.call(request());
+    EXPECT_EQ(healed.response.status, serve::ServeStatus::Ok);
+    EXPECT_EQ(client.laneState(serve::ClientLane::Fast),
+              serve::CircuitState::Closed);
+    EXPECT_EQ(client.laneFailureStreak(serve::ClientLane::Fast), 0u);
+    service.close();
+}
+
+TEST_F(ChaosClientTest, ClosedServiceIsTerminalNotRetried)
+{
+    serve::PredictionService service(registry_,
+                                     crashingOptions(0));
+    service.close();
+    serve::RetryOptions retry;
+    retry.maxAttempts = 5;
+    serve::RetryingClient client(service, retry);
+    std::vector<double> sleeps;
+    client.setSleeper([&](double ms) { sleeps.push_back(ms); });
+
+    serve::ClientResult result = client.call(request());
+    EXPECT_EQ(result.response.status, serve::ServeStatus::Closed);
+    EXPECT_EQ(result.attempts, 1u); // no retries against a shutdown
+    EXPECT_TRUE(sleeps.empty());
+}
+
+} // namespace
+} // namespace heteromap

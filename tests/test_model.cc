@@ -377,18 +377,40 @@ TEST_F(SerializationTest, RoundTripIsByteIdenticalForEveryKind)
         std::ostringstream out;
         savePredictor(*original, kind, out);
         std::istringstream in(out.str());
-        std::unique_ptr<Predictor> loaded = loadPredictor(kind, in);
-        ASSERT_NE(loaded, nullptr);
-        EXPECT_EQ(loaded->name(), original->name());
+        Result<std::unique_ptr<Predictor>> loaded =
+            loadPredictor(kind, in);
+        ASSERT_TRUE(loaded.ok()) << loaded.error().toString();
+        std::unique_ptr<Predictor> restored =
+            std::move(loaded).value();
+        ASSERT_NE(restored, nullptr);
+        EXPECT_EQ(restored->name(), original->name());
 
         for (const TrainingSample &sample : samples) {
             NormalizedMVector a = original->predict(sample.x);
-            NormalizedMVector b = loaded->predict(sample.x);
+            NormalizedMVector b = restored->predict(sample.x);
             // Byte-identical, not just close: setprecision(17) must
             // round-trip every double exactly.
             EXPECT_EQ(0, std::memcmp(a.m.data(), b.m.data(),
                                      sizeof(double) * a.m.size()));
         }
+    }
+}
+
+TEST_F(SerializationTest, SelfDescribingLoadRestoresEveryKind)
+{
+    const TrainingSet samples = corpus();
+    for (PredictorKind kind : allSerializableKinds()) {
+        SCOPED_TRACE(predictorKindName(kind));
+        auto original = makePredictor(kind);
+        original->train(samples);
+        std::ostringstream out;
+        savePredictor(*original, kind, out);
+        std::istringstream in(out.str());
+        Result<LoadedPredictor> loaded = loadAnyPredictor(in);
+        ASSERT_TRUE(loaded.ok()) << loaded.error().toString();
+        LoadedPredictor restored = std::move(loaded).value();
+        EXPECT_EQ(restored.kind, kind);
+        EXPECT_EQ(restored.predictor->name(), original->name());
     }
 }
 
@@ -401,35 +423,48 @@ TEST_F(SerializationTest, LoadedPredictorCanKeepTraining)
     std::ostringstream out;
     savePredictor(*original, PredictorKind::LinearRegression, out);
     std::istringstream in(out.str());
-    auto loaded = loadPredictor(PredictorKind::LinearRegression, in);
-    loaded->train(samples); // refit on the same corpus
+    auto loaded =
+        loadPredictor(PredictorKind::LinearRegression, in);
+    ASSERT_TRUE(loaded.ok()) << loaded.error().toString();
+    auto restored = std::move(loaded).value();
+    restored->train(samples); // refit on the same corpus
     NormalizedMVector a = original->predict(samples.front().x);
-    NormalizedMVector b = loaded->predict(samples.front().x);
+    NormalizedMVector b = restored->predict(samples.front().x);
     for (std::size_t k = 0; k < a.m.size(); ++k)
         EXPECT_NEAR(a.m[k], b.m[k], 1e-9);
 }
 
-TEST_F(SerializationTest, KindMismatchOnLoadIsFatal)
+TEST_F(SerializationTest, KindMismatchOnLoadIsRecoverable)
 {
     auto tree = makePredictor(PredictorKind::DecisionTree);
     std::ostringstream out;
     savePredictor(*tree, PredictorKind::DecisionTree, out);
     std::istringstream in(out.str());
-    EXPECT_THROW(loadPredictor(PredictorKind::LinearRegression, in),
-                 FatalError);
+    Result<std::unique_ptr<Predictor>> loaded =
+        loadPredictor(PredictorKind::LinearRegression, in);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.error().code, ErrorCode::Parse);
 }
 
-TEST_F(SerializationTest, MlpWidthMismatchOnLoadIsFatal)
+TEST_F(SerializationTest, MlpWidthMismatchOnLoadIsRecoverable)
 {
+    // A Deep.16 stream declares "deep-16" in its envelope, so loading
+    // it as Deep.32 is caught at the header — before the payload's
+    // own width check would have fired.
     auto deep16 = makePredictor(PredictorKind::Deep16);
     std::ostringstream out;
     savePredictor(*deep16, PredictorKind::Deep16, out);
     std::istringstream in(out.str());
-    EXPECT_THROW(loadPredictor(PredictorKind::Deep32, in), FatalError);
+    Result<std::unique_ptr<Predictor>> loaded =
+        loadPredictor(PredictorKind::Deep32, in);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.error().code, ErrorCode::Parse);
 }
 
 TEST_F(SerializationTest, SaveUnderWrongKindIsFatal)
 {
+    // Saving is a programming error contract, not an input-data one:
+    // the caller names the concrete class it holds.
     auto tree = makePredictor(PredictorKind::DecisionTree);
     std::ostringstream out;
     EXPECT_THROW(
@@ -437,17 +472,74 @@ TEST_F(SerializationTest, SaveUnderWrongKindIsFatal)
         FatalError);
 }
 
-TEST_F(SerializationTest, TruncatedStreamIsFatal)
+TEST_F(SerializationTest, TruncatedStreamIsRecoverableForEveryKind)
 {
     const TrainingSet samples = corpus();
-    auto table = makePredictor(PredictorKind::TableLookup);
-    table->train(samples);
-    std::ostringstream out;
-    savePredictor(*table, PredictorKind::TableLookup, out);
-    const std::string text = out.str();
-    std::istringstream in(text.substr(0, text.size() / 2));
-    EXPECT_THROW(loadPredictor(PredictorKind::TableLookup, in),
-                 FatalError);
+    for (PredictorKind kind : allSerializableKinds()) {
+        SCOPED_TRACE(predictorKindName(kind));
+        auto predictor = makePredictor(kind);
+        predictor->train(samples);
+        std::ostringstream out;
+        savePredictor(*predictor, kind, out);
+        const std::string text = out.str();
+        // Cut at several depths: inside the envelope header, right
+        // after it, and mid-payload.
+        for (std::size_t cut :
+             {std::size_t(4), text.size() / 4, text.size() / 2,
+              text.size() - 1}) {
+            SCOPED_TRACE(cut);
+            std::istringstream in(text.substr(0, cut));
+            Result<std::unique_ptr<Predictor>> loaded =
+                loadPredictor(kind, in);
+            ASSERT_FALSE(loaded.ok());
+        }
+    }
+}
+
+TEST_F(SerializationTest, BitFlipIsDetectedForEveryKind)
+{
+    const TrainingSet samples = corpus();
+    Rng rng(0xb17f11b);
+    for (PredictorKind kind : allSerializableKinds()) {
+        SCOPED_TRACE(predictorKindName(kind));
+        auto predictor = makePredictor(kind);
+        predictor->train(samples);
+        std::ostringstream out;
+        savePredictor(*predictor, kind, out);
+        const std::string text = out.str();
+
+        // Flip one bit somewhere in the payload (past the header
+        // line, so the checksum — not the header parse — catches it)
+        // at a few seeded positions.
+        const std::size_t payload_start = text.find('\n') + 1;
+        ASSERT_LT(payload_start, text.size());
+        for (int trial = 0; trial < 4; ++trial) {
+            std::string corrupt = text;
+            const std::size_t pos =
+                payload_start +
+                rng.nextBounded(text.size() - payload_start);
+            corrupt[pos] = static_cast<char>(
+                corrupt[pos] ^ (1u << rng.nextBounded(8)));
+            std::istringstream in(corrupt);
+            Result<std::unique_ptr<Predictor>> loaded =
+                loadPredictor(kind, in);
+            ASSERT_FALSE(loaded.ok())
+                << "flipped bit at offset " << pos
+                << " went undetected";
+        }
+    }
+}
+
+TEST_F(SerializationTest, GarbageStreamIsRecoverable)
+{
+    for (const char *garbage :
+         {"", "not a model", "heteromap-model v1 deep-16 3 0\nabc",
+          "heteromap-model v2 no-such-kind 3 0000000000000000\nabc"}) {
+        SCOPED_TRACE(garbage);
+        std::istringstream in(garbage);
+        Result<LoadedPredictor> loaded = loadAnyPredictor(in);
+        ASSERT_FALSE(loaded.ok());
+    }
 }
 
 } // namespace

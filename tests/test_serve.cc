@@ -12,7 +12,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -211,6 +214,84 @@ TEST_F(ServeQueueTest, PopMatchingHonoursMaxCount)
     EXPECT_EQ(queue.size(), 2u);
 }
 
+TEST_F(ServeQueueTest, CloseRacingPopMatchingReleasesTheWaiter)
+{
+    // A batch gatherer lingering for more matches must observe
+    // close() promptly and return what it has — close racing the
+    // in-flight popMatchingUntil must not strand it until the full
+    // linger deadline, and whatever it extracted is still valid.
+    for (int round = 0; round < 20; ++round) {
+        RequestQueue queue(8);
+        PendingRequest first = makePending(workload_, mesh_, 1);
+        ASSERT_EQ(queue.push(first, AdmissionPolicy::Reject),
+                  RequestQueue::PushResult::Admitted);
+
+        std::vector<PendingRequest> batch;
+        std::thread gatherer([&] {
+            const BatchKey key =
+                makeBatchKey(makeRequest(workload_, mesh_, "queued"));
+            // Far deadline: only close() can release this early.
+            queue.popMatchingUntil(
+                key, 8,
+                std::chrono::steady_clock::now() +
+                    std::chrono::seconds(30),
+                batch);
+        });
+        std::thread closer([&] { queue.close(); });
+        gatherer.join();
+        closer.join();
+
+        // The single queued request was extracted exactly once —
+        // by the gatherer or still poppable — never both, never
+        // neither.
+        PendingRequest out;
+        const bool popped = queue.pop(out);
+        EXPECT_EQ(batch.size() + (popped ? 1 : 0), 1u);
+        EXPECT_FALSE(queue.pop(out));
+    }
+}
+
+TEST_F(ServeQueueTest, CloseReleasesEveryBlockedPusher)
+{
+    // Several pushers blocked on a full queue all observe Closed;
+    // none is silently consumed and every promise stays with its
+    // caller, usable exactly once.
+    RequestQueue queue(1);
+    PendingRequest head = makePending(workload_, mesh_, 1);
+    ASSERT_EQ(queue.push(head, AdmissionPolicy::Block),
+              RequestQueue::PushResult::Admitted);
+
+    constexpr int kPushers = 4;
+    std::atomic<int> closed_seen{0};
+    std::vector<std::thread> pushers;
+    pushers.reserve(kPushers);
+    for (int p = 0; p < kPushers; ++p) {
+        pushers.emplace_back([&, p] {
+            PendingRequest pending =
+                makePending(workload_, mesh_, 10 + p);
+            const auto outcome =
+                queue.push(pending, AdmissionPolicy::Block);
+            EXPECT_EQ(outcome, RequestQueue::PushResult::Closed);
+            closed_seen.fetch_add(1);
+            // The caller keeps the promise: fulfilling it here must
+            // not throw (it was never consumed by the queue).
+            ServeResponse response;
+            response.status = ServeStatus::Closed;
+            pending.promise.set_value(std::move(response));
+        });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    queue.close();
+    for (auto &pusher : pushers)
+        pusher.join();
+
+    EXPECT_EQ(closed_seen.load(), kPushers);
+    PendingRequest out;
+    EXPECT_TRUE(queue.pop(out)); // the admitted head still drains
+    EXPECT_EQ(out.id, 1u);
+    EXPECT_FALSE(queue.pop(out));
+}
+
 /* ------------------------------------------------------------------ */
 /* ModelRegistry                                                      */
 /* ------------------------------------------------------------------ */
@@ -257,8 +338,102 @@ TEST_F(ServeRegistryTest, LoadHotSwapsFromAStream)
     auto tree = makePredictor(PredictorKind::DecisionTree);
     savePredictor(*tree, PredictorKind::DecisionTree, out);
     std::istringstream in(out.str());
-    EXPECT_EQ(registry.load(PredictorKind::DecisionTree, in), 2u);
+    Result<uint64_t> epoch =
+        registry.load(PredictorKind::DecisionTree, in);
+    ASSERT_TRUE(epoch.ok()) << epoch.error().toString();
+    EXPECT_EQ(epoch.value(), 2u);
     EXPECT_EQ(registry.current()->predictorName, tree->name());
+}
+
+TEST_F(ServeRegistryTest, CorruptStreamRollsBackToLastGood)
+{
+    ModelRegistry registry(pair_, oracle_);
+    registry.publish(PredictorKind::DecisionTree,
+                     makePredictor(PredictorKind::DecisionTree));
+    const auto before = registry.current();
+
+    std::ostringstream out;
+    auto tree = makePredictor(PredictorKind::DecisionTree);
+    savePredictor(*tree, PredictorKind::DecisionTree, out);
+    std::string text = out.str();
+    text[text.size() - 1] ^= 0x04; // flip one payload bit
+
+    std::istringstream in(text);
+    Result<uint64_t> epoch =
+        registry.load(PredictorKind::DecisionTree, in);
+    ASSERT_FALSE(epoch.ok());
+    EXPECT_EQ(registry.loadFailures(), 1u);
+    // Implicit rollback: the active snapshot and epoch never moved.
+    EXPECT_EQ(registry.current(), before);
+    EXPECT_EQ(registry.epoch(), 1u);
+}
+
+TEST_F(ServeRegistryTest, SaveActiveLoadFromRoundTripsAtomically)
+{
+    const std::string path =
+        testing::TempDir() + "hm_registry_model.bin";
+    std::remove(path.c_str());
+
+    ModelRegistry registry(pair_, oracle_);
+    registry.publish(PredictorKind::DecisionTree,
+                     makePredictor(PredictorKind::DecisionTree));
+    Result<uint64_t> saved = registry.saveActive(path);
+    ASSERT_TRUE(saved.ok()) << saved.error().toString();
+    EXPECT_EQ(saved.value(), 1u);
+
+    // A fresh registry restores the model (and its kind) from disk.
+    ModelRegistry other(pair_, oracle_);
+    other.publish(PredictorKind::LinearRegression,
+                  makePredictor(PredictorKind::LinearRegression));
+    Result<uint64_t> loaded = other.loadFrom(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.error().toString();
+    EXPECT_EQ(loaded.value(), 2u);
+    EXPECT_EQ(other.current()->kind, PredictorKind::DecisionTree);
+
+    // No temp-file debris survives the rename.
+    std::ifstream tmp_probe(path + ".tmp");
+    EXPECT_FALSE(tmp_probe.is_open());
+    std::remove(path.c_str());
+}
+
+TEST_F(ServeRegistryTest, SaveActiveWithoutAModelIsRecoverable)
+{
+    ModelRegistry registry(pair_, oracle_);
+    Result<uint64_t> saved =
+        registry.saveActive(testing::TempDir() + "hm_never.bin");
+    ASSERT_FALSE(saved.ok());
+    EXPECT_EQ(saved.error().code, ErrorCode::Unavailable);
+}
+
+TEST_F(ServeRegistryTest, ChaosCorruptedFileLoadRollsBack)
+{
+    const std::string path =
+        testing::TempDir() + "hm_registry_chaos.bin";
+    ModelRegistry registry(pair_, oracle_);
+    registry.publish(PredictorKind::DecisionTree,
+                     makePredictor(PredictorKind::DecisionTree));
+    ASSERT_TRUE(registry.saveActive(path).ok());
+
+    auto chaos = std::make_shared<ChaosPolicy>(11);
+    ChaosSpec spec;
+    spec.point = ChaosPoint::ModelLoadCorrupt;
+    spec.probability = 1.0;
+    spec.endVisit = 1; // corrupt exactly the first load
+    chaos->arm(spec);
+    registry.setChaosPolicy(chaos);
+
+    Result<uint64_t> first = registry.loadFrom(path);
+    ASSERT_FALSE(first.ok());
+    EXPECT_EQ(registry.loadFailures(), 1u);
+    EXPECT_EQ(registry.epoch(), 1u); // rollback kept the epoch
+
+    // The window has passed; the same file now loads cleanly and
+    // the epoch resumes its monotone climb.
+    Result<uint64_t> second = registry.loadFrom(path);
+    ASSERT_TRUE(second.ok()) << second.error().toString();
+    EXPECT_EQ(second.value(), 2u);
+    EXPECT_EQ(chaos->fires(ChaosPoint::ModelLoadCorrupt), 1u);
+    std::remove(path.c_str());
 }
 
 TEST_F(ServeRegistryTest, SnapshotPinsTheModelAcrossAPublish)
@@ -649,6 +824,98 @@ TEST_F(ServeServiceTest, CloseIsIdempotentAndRefusesLateWork)
     EXPECT_EQ(late.status, ServeStatus::Closed);
     EXPECT_EQ(service.completed(), 1u);
     EXPECT_EQ(service.shed(), 0u);
+}
+
+TEST_F(ServeServiceTest, WorkerExceptionFailsOnlyItsBatch)
+{
+    // Regression: an exception during measure/featurize/infer used
+    // to escape the worker loop, killing the worker silently and
+    // leaving its batch's futures broken. It must fail exactly that
+    // batch — structured error, worker alive, gauge intact.
+    auto chaos = std::make_shared<ChaosPolicy>(3);
+    ChaosSpec spec;
+    spec.point = ChaosPoint::WorkerStall;
+    spec.probability = 1.0;
+    spec.endVisit = 1; // the first batch only
+    chaos->arm(spec);
+    chaos->setHook(ChaosPoint::WorkerStall, [](const ChaosAction &) {
+        throw std::runtime_error("featurize blew up");
+    });
+
+    ServiceOptions options;
+    options.workers = 1;
+    options.maxBatch = 1;
+    options.chaos = chaos;
+    options.watchdog.enabled = false; // isolate the exception path
+    PredictionService service(registry_, options);
+
+    ServeResponse failed =
+        service.submit(makeRequest(pagerank_, mesh_, "g")).get();
+    EXPECT_EQ(failed.status, ServeStatus::Error);
+    ASSERT_TRUE(failed.error.has_value());
+    EXPECT_NE(failed.error->message.find("featurize blew up"),
+              std::string::npos);
+    EXPECT_NE(failed.error->toString().find("unavailable"),
+              std::string::npos);
+
+    // The worker survived and serves the next request normally.
+    ServeResponse ok =
+        service.submit(makeRequest(pagerank_, mesh_, "g")).get();
+    EXPECT_EQ(ok.status, ServeStatus::Ok);
+    service.close();
+
+    EXPECT_EQ(service.errorResponses(), 1u);
+    EXPECT_EQ(service.batchFailures(), 1u);
+    EXPECT_EQ(service.completed(), 1u);
+    // The failed batch was popped like any other: the depth gauge
+    // drains back to zero instead of leaking the crashed request.
+    EXPECT_EQ(
+        telemetry::registry().gauge("serve.queue_depth").value(),
+        0.0);
+}
+
+TEST_F(ServeServiceTest, WorkerExceptionFailsWholeBatchPromises)
+{
+    // A batch of several coalesced requests crashes mid-serve: every
+    // member gets a ready Error future — no promise is broken and
+    // none is consumed twice.
+    auto chaos = std::make_shared<ChaosPolicy>(5);
+    ChaosSpec spec;
+    spec.point = ChaosPoint::WorkerCrashBatch;
+    spec.probability = 1.0;
+    spec.endVisit = 1;
+    chaos->arm(spec);
+
+    ServiceOptions options;
+    options.workers = 1;
+    options.maxBatch = 8;
+    options.maxBatchDelayMs = 50.0;
+    options.chaos = chaos;
+    options.watchdog.enabled = false;
+    PredictionService service(registry_, options);
+
+    std::vector<std::future<ServeResponse>> futures;
+    for (int i = 0; i < 4; ++i)
+        futures.push_back(
+            service.submit(makeRequest(pagerank_, mesh_, "g")));
+
+    std::size_t errors = 0, oks = 0;
+    for (auto &future : futures) {
+        ServeResponse response = future.get();
+        if (response.status == ServeStatus::Error) {
+            ASSERT_TRUE(response.error.has_value());
+            ++errors;
+        } else {
+            EXPECT_EQ(response.status, ServeStatus::Ok);
+            ++oks;
+        }
+    }
+    service.close();
+    // At least the first-popped batch crashed; everything submitted
+    // got a terminal answer.
+    EXPECT_GE(errors, 1u);
+    EXPECT_EQ(errors + oks, 4u);
+    EXPECT_EQ(service.errorResponses(), errors);
 }
 
 } // namespace

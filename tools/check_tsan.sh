@@ -4,19 +4,21 @@
 # measurement substrate (flat-frontier BFS + stats cache), the
 # telemetry layer (lock-free metrics + trace ring buffers), and the
 # serving subsystem (MPMC queue, batching workers, RCU model
-# hot-swap). Run from the repo root; uses a separate build tree so
+# hot-swap) together with its fault-tolerance layer (chaos
+# injection, watchdog restarts, retrying client, and the fixed-seed
+# chaos soak). Run from the repo root; uses a separate build tree so
 # the normal build and the tier-1 ctest run stay fast.
 #
 #   tools/check_tsan.sh [-R <ctest-regex>] [build-dir]
 #
 # -R narrows (or widens) the test selection; the default regex covers
-# the four parallel subsystems. E.g. race-check only the serving
-# layer with: tools/check_tsan.sh -R Serve
+# the parallel subsystems. E.g. race-check only the serving layer
+# with: tools/check_tsan.sh -R "Serve|Chaos"
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-REGEX="Training|Props|Telemetry|Serve"
+REGEX="Training|Props|Telemetry|Serve|Chaos"
 while getopts "R:" opt; do
     case "$opt" in
       R) REGEX="$OPTARG" ;;
@@ -30,6 +32,6 @@ BUILD_DIR="${1:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DHETEROMAP_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j \
     --target test_training test_props test_telemetry telemetry_tour \
-             test_serve serving_tour
+             test_serve serving_tour test_chaos bench_serving_chaos
 ctest --test-dir "$BUILD_DIR" --output-on-failure -R "$REGEX"
 echo "TSan check passed for '$REGEX'"
