@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/heteromap.hh"
+#include "graph/compressed_csr.hh"
 #include "graph/generators.hh"
 #include "graph/stats_cache.hh"
 #include "util/logging.hh"
@@ -110,6 +111,80 @@ main(int argc, char **argv)
     std::cout << "\nworst cold/cached ratio: "
               << formatNumber(worst_ratio, 0)
               << "x (acceptance floor: 100x)\n\n";
+
+    // Degree/stats sweep in isolation (sweeps = 0 skips the BFS
+    // probes): blocked (default 256-vertex blocks, four accumulator
+    // lanes) vs degenerate block=1, which approximates the old
+    // straight-line loop. Serial, so the delta is the kernel's alone.
+    TextTable sweep_table({"input", "block=1 ms", "blocked ms",
+                           "speedup"});
+    for (const Input &input : inputs) {
+        MeasureOptions scalarish;
+        scalarish.sweeps = 0;
+        scalarish.threads = 1;
+        scalarish.statsBlock = 1;
+        MeasureOptions blocked = scalarish;
+        blocked.statsBlock = 0; // default blocking
+
+        const double scalar_ms =
+            timeMs(9, [&] { measureGraph(input.graph, scalarish); });
+        const double blocked_ms =
+            timeMs(9, [&] { measureGraph(input.graph, blocked); });
+        sweep_table.addRow({
+            input.name,
+            formatNumber(scalar_ms, 4),
+            formatNumber(blocked_ms, 4),
+            formatNumber(scalar_ms / std::max(blocked_ms, 1e-9), 2),
+        });
+    }
+    std::cout << "degree/stats sweep, blocked vs block=1 (serial, "
+                 "sweeps=0):\n";
+    sweep_table.print(std::cout);
+    std::cout << "\n";
+
+    // Delta-encoded compressed CSR: payload size vs the raw 4-byte
+    // neighbor array, and the streaming (forEachNeighbor) scan rate
+    // vs the raw CSR scan.
+    TextTable csr_table({"input", "raw MB", "packed MB", "ratio",
+                         "raw scan ms", "stream ms"});
+    for (const Input &input : inputs) {
+        const CompressedCsr packed =
+            CompressedCsr::fromGraph(input.graph);
+        const double raw_mb =
+            static_cast<double>(input.graph.numEdges()) *
+            sizeof(VertexId) / 1e6;
+        const double packed_mb =
+            static_cast<double>(packed.payloadBytes()) / 1e6;
+
+        const double raw_ms = timeMs(5, [&] {
+            uint64_t acc = 0;
+            for (VertexId u : input.graph.rawNeighbors())
+                acc += u;
+            if (acc == 0x51c0ffee)
+                std::cout << ""; // defeat dead-code elimination
+        });
+        const double stream_ms = timeMs(5, [&] {
+            uint64_t acc = 0;
+            const VertexId n = packed.numVertices();
+            for (VertexId v = 0; v < n; ++v)
+                packed.forEachNeighbor(
+                    v, [&](VertexId u) { acc += u; });
+            if (acc == 0x51c0ffee)
+                std::cout << "";
+        });
+        csr_table.addRow({
+            input.name,
+            formatNumber(raw_mb, 2),
+            formatNumber(packed_mb, 2),
+            formatNumber(packed_mb / std::max(raw_mb, 1e-9), 2),
+            formatNumber(raw_ms, 3),
+            formatNumber(stream_ms, 3),
+        });
+    }
+    std::cout << "delta-encoded compressed CSR (chunked-streaming "
+                 "path):\n";
+    csr_table.print(std::cout);
+    std::cout << "\n";
 
     // End-to-end online path: HeteroMap::predict measures through the
     // global cache, so the first deployment of a graph pays the

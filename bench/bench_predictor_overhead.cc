@@ -13,6 +13,7 @@
 #include "graph/generators.hh"
 #include "model/decision_tree.hh"
 #include "util/logging.hh"
+#include "util/rng.hh"
 #include "util/telemetry.hh"
 #include "workloads/registry.hh"
 
@@ -61,6 +62,79 @@ predictorBench(benchmark::State &bs, PredictorKind kind)
         auto y = predictor->predict(features);
         benchmark::DoNotOptimize(y);
     }
+    bs.SetItemsProcessed(static_cast<int64_t>(bs.iterations()));
+}
+
+/** A random feature set so data-dependent branches genuinely
+ *  mispredict (a cycled corpus is learnable by the branch predictor,
+ *  which would flatter the branchy baselines). */
+std::vector<FeatureVector>
+variedFeatures(std::size_t n)
+{
+    Rng rng(71);
+    std::vector<FeatureVector> out(n);
+    for (FeatureVector &f : out) {
+        auto flat = f.asArray();
+        for (double &v : flat)
+            v = rng.nextDouble();
+        f = featureVectorFromArray(flat);
+    }
+    return out;
+}
+
+/**
+ * One predictBatch() call per iteration; items/s is the per-sample
+ * throughput to compare against the scalar predictorBench rows.
+ * The scalar-loop baseline at the same batch size is batch x the
+ * scalar row's time, so the batched-vs-loop speedup falls out of the
+ * report without a separate loop benchmark.
+ */
+void
+predictorBatchBench(benchmark::State &bs, PredictorKind kind,
+                    std::size_t batch)
+{
+    auto predictor = makePredictor(kind);
+    predictor->train(state().corpus);
+    const std::vector<FeatureVector> features = variedFeatures(batch);
+    std::vector<NormalizedMVector> out(batch);
+    for (auto _ : bs) {
+        predictor->predictBatch(
+            std::span<const FeatureVector>(features),
+            std::span<NormalizedMVector>(out));
+        benchmark::DoNotOptimize(out.data());
+    }
+    bs.SetItemsProcessed(
+        static_cast<int64_t>(bs.iterations() * batch));
+}
+
+/** Pointer-tree walk over a varied stream: the branchy baseline. */
+void
+treePointerBench(benchmark::State &bs)
+{
+    DecisionTreeHeuristic tree;
+    const std::vector<FeatureVector> features = variedFeatures(1024);
+    std::size_t i = 0;
+    for (auto _ : bs) {
+        auto y = tree.predict(features[i]);
+        benchmark::DoNotOptimize(y);
+        i = (i + 1) % features.size();
+    }
+    bs.SetItemsProcessed(static_cast<int64_t>(bs.iterations()));
+}
+
+/** Flattened predicated-descent walk over the same stream. */
+void
+treeFlatBench(benchmark::State &bs)
+{
+    DecisionTreeHeuristic tree;
+    const std::vector<FeatureVector> features = variedFeatures(1024);
+    std::size_t i = 0;
+    for (auto _ : bs) {
+        auto y = tree.predictFlat(features[i]);
+        benchmark::DoNotOptimize(y);
+        i = (i + 1) % features.size();
+    }
+    bs.SetItemsProcessed(static_cast<int64_t>(bs.iterations()));
 }
 
 } // namespace
@@ -77,6 +151,30 @@ BENCHMARK_CAPTURE(predictorBench, deep_16, PredictorKind::Deep16);
 BENCHMARK_CAPTURE(predictorBench, deep_32, PredictorKind::Deep32);
 BENCHMARK_CAPTURE(predictorBench, deep_64, PredictorKind::Deep64);
 BENCHMARK_CAPTURE(predictorBench, deep_128, PredictorKind::Deep128);
+
+// Batched inference: compare items/s against the matching scalar row
+// above. Acceptance floor: >= 3x for the deep nets at batch >= 8.
+BENCHMARK_CAPTURE(predictorBatchBench, decision_tree_b8,
+                  PredictorKind::DecisionTree, 8);
+BENCHMARK_CAPTURE(predictorBatchBench, decision_tree_b32,
+                  PredictorKind::DecisionTree, 32);
+BENCHMARK_CAPTURE(predictorBatchBench, deep_16_b8,
+                  PredictorKind::Deep16, 8);
+BENCHMARK_CAPTURE(predictorBatchBench, deep_16_b32,
+                  PredictorKind::Deep16, 32);
+BENCHMARK_CAPTURE(predictorBatchBench, deep_32_b8,
+                  PredictorKind::Deep32, 8);
+BENCHMARK_CAPTURE(predictorBatchBench, deep_32_b32,
+                  PredictorKind::Deep32, 32);
+BENCHMARK_CAPTURE(predictorBatchBench, deep_128_b8,
+                  PredictorKind::Deep128, 8);
+BENCHMARK_CAPTURE(predictorBatchBench, deep_128_b32,
+                  PredictorKind::Deep128, 32);
+
+// Flat (predicated array) vs pointer (nested-if) decision tree on an
+// unpredictable input stream.
+BENCHMARK(treePointerBench);
+BENCHMARK(treeFlatBench);
 
 static void
 BM_DeployScaling(benchmark::State &bs)

@@ -131,6 +131,10 @@ main(int argc, char **argv)
 
     const uint64_t batches_before =
         telemetry::registry().counter("serve.batches").value();
+    const telemetry::Histogram &infer_hist =
+        telemetry::registry().histogram("serve.batch.infer_ms");
+    const uint64_t infer_count_before = infer_hist.count();
+    const double infer_sum_before = infer_hist.sum();
 
     std::vector<double> latencies_ms;
     latencies_ms.reserve(load.requests);
@@ -226,6 +230,18 @@ main(int argc, char **argv)
                   std::to_string(service.statsHits())});
     table.addRow({"stats-cache misses",
                   std::to_string(service.statsMisses())});
+    // Batched inference amortization: total time spent in the single
+    // per-batch predictBatch pass, divided across the requests it
+    // served. This is the per-request inference bill after batching.
+    const uint64_t infer_batches =
+        infer_hist.count() - infer_count_before;
+    const double infer_ms = infer_hist.sum() - infer_sum_before;
+    table.addRow({"inference batches", std::to_string(infer_batches)});
+    table.addRow(
+        {"batch-amortized inference (ms/req)",
+         ok == 0 ? "-"
+                 : formatNumber(infer_ms / static_cast<double>(ok),
+                                5)});
     table.print(std::cout);
 
     if (ok + shed != load.requests) {

@@ -13,6 +13,7 @@
 #include <iosfwd>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string_view>
 
 #include "core/oracle.hh"
@@ -163,6 +164,18 @@ class HeteroMap
     /** Deploy under @p constraints (e.g. with one accelerator masked). */
     Deployment deploy(const BenchmarkCase &bench,
                       const DeployConstraints &constraints) const;
+
+    /**
+     * Deploy a micro-batch with one predictor forward pass. The
+     * predictions come from Predictor::predictBatch(), so each
+     * deployment's config is byte-identical to deploy(benches[i]);
+     * only the timing differs — the single inference stage is timed
+     * once, recorded as "predict.stage.infer_batch_ms", and each
+     * returned Deployment carries the batch-amortized share
+     * (total / count) as its overheadMs.
+     */
+    std::vector<Deployment>
+    deployBatch(std::span<const BenchmarkCase> benches) const;
 
     const Predictor &predictor() const { return *predictor_; }
     const AcceleratorPair &pair() const { return pair_; }

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Delta-encoded compressed CSR: the opt-in storage format for the
+ * chunked-streaming path. Neighbor lists are stored as zigzag-varint
+ * deltas — the first neighbor relative to its source vertex, each
+ * subsequent neighbor relative to its predecessor — which shrinks the
+ * dominant neighbor array several-fold on the sorted adjacency lists
+ * the GraphBuilder produces (local edges encode in 1-2 bytes instead
+ * of 4). The offsets array stays uncompressed so degree statistics
+ * (graph/props.hh's blocked sweep) run on it directly, without
+ * touching the compressed payload at all.
+ *
+ * Lossless by construction: decompress() rebuilds the exact CSR
+ * arrays (and verbatim-stored weights) fromGraph() consumed, and
+ * forEachNeighbor() streams a vertex's list without materializing the
+ * whole graph.
+ */
+
+#ifndef HETEROMAP_GRAPH_COMPRESSED_CSR_HH
+#define HETEROMAP_GRAPH_COMPRESSED_CSR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hh"
+
+namespace heteromap {
+
+/** Immutable delta-compressed CSR graph. */
+class CompressedCsr
+{
+  public:
+    CompressedCsr() = default;
+
+    /** Compress @p graph (weights, if any, are stored verbatim). */
+    static CompressedCsr fromGraph(const Graph &graph);
+
+    VertexId
+    numVertices() const
+    {
+        return offsets_.empty()
+            ? 0 : static_cast<VertexId>(offsets_.size() - 1);
+    }
+
+    EdgeId numEdges() const { return offsets_.empty() ? 0 : offsets_.back(); }
+
+    /** @return out-degree of @p v (straight off the offsets array). */
+    EdgeId
+    degree(VertexId v) const
+    {
+        return offsets_[v + 1] - offsets_[v];
+    }
+
+    /** Uncompressed offsets array (size V+1), for degree sweeps. */
+    const std::vector<EdgeId> &offsets() const { return offsets_; }
+
+    /** Bytes of the encoded neighbor payload. */
+    uint64_t payloadBytes() const { return blob_.size(); }
+
+    /** Total resident bytes: payload + offsets + byte index (+ raw
+     *  weights when present). */
+    uint64_t footprintBytes() const;
+
+    /** Rebuild the exact Graph fromGraph() consumed. */
+    Graph decompress() const;
+
+    /**
+     * Stream @p v's neighbor list in storage order, decoding deltas
+     * on the fly — the chunked-streaming path's per-vertex access,
+     * with no per-call allocation.
+     */
+    template <typename Fn>
+    void
+    forEachNeighbor(VertexId v, Fn &&fn) const
+    {
+        const uint8_t *p = blob_.data() + byteOffsets_[v];
+        const EdgeId deg = degree(v);
+        int64_t prev = static_cast<int64_t>(v);
+        for (EdgeId e = 0; e < deg; ++e) {
+            prev += readDelta(p);
+            fn(static_cast<VertexId>(prev));
+        }
+    }
+
+  private:
+    /** Decode one zigzag varint and advance @p p. */
+    static int64_t
+    readDelta(const uint8_t *&p)
+    {
+        uint64_t raw = 0;
+        unsigned shift = 0;
+        while (true) {
+            const uint8_t byte = *p++;
+            raw |= static_cast<uint64_t>(byte & 0x7f) << shift;
+            if ((byte & 0x80) == 0)
+                break;
+            shift += 7;
+        }
+        // Zigzag: even raw -> non-negative, odd -> negative.
+        return static_cast<int64_t>(raw >> 1) ^
+               -static_cast<int64_t>(raw & 1);
+    }
+
+    std::vector<EdgeId> offsets_;        //!< uncompressed, size V+1
+    std::vector<uint64_t> byteOffsets_;  //!< vertex -> blob start
+    std::vector<uint8_t> blob_;          //!< zigzag-varint deltas
+    std::vector<float> weights_;         //!< verbatim (may be empty)
+};
+
+} // namespace heteromap
+
+#endif // HETEROMAP_GRAPH_COMPRESSED_CSR_HH

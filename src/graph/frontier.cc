@@ -16,10 +16,6 @@ namespace heteromap {
 
 namespace {
 
-/** Direction-switch thresholds (Beamer-style alpha/beta). */
-constexpr uint64_t kBottomUpEdgeDivisor = 14;  //!< go bottom-up
-constexpr uint64_t kTopDownSizeDivisor = 24;   //!< go back top-down
-
 /** Words needed for @p n one-bit slots. */
 std::size_t
 wordCount(std::size_t n)
@@ -129,16 +125,46 @@ topDownStep(const Graph &graph, FrontierScratch &scratch,
     return next_edges;
 }
 
+/** Aggregates of one BFS level's next frontier. All three are
+ *  order-free (integer sums, a min), so how the frontier is stored —
+ *  flat array or bitmap — cannot change them. */
+struct LevelStats {
+    uint64_t edges = 0;        //!< sum of out-degrees
+    uint64_t size = 0;         //!< vertex count
+    VertexId minId = kInvalidVertex;
+};
+
+/** Rebuild the flat vertex array from a frontier bitmap (ascending
+ *  vertex order), for levels that leave bitmap mode. */
+void
+materializeBits(const std::vector<uint64_t> &bits,
+                std::vector<VertexId> &out)
+{
+    out.clear();
+    for (std::size_t w = 0; w < bits.size(); ++w) {
+        uint64_t word = bits[w];
+        while (word != 0) {
+            out.push_back(static_cast<VertexId>(
+                w * 64 +
+                static_cast<unsigned>(std::countr_zero(word))));
+            word &= word - 1;
+        }
+    }
+}
+
 /**
  * One bottom-up level: every unvisited vertex joins the next frontier
  * when any of its (symmetric) neighbors sits in the current one.
  * Chunks own whole bitmap words, so visited/nextBits updates need no
- * atomics. Fills scratch.next in ascending vertex order.
- * @return sum of out-degrees of the next frontier.
+ * atomics. Leaves the next frontier in scratch.nextBits; when
+ * @p materialize is set it is also flattened into scratch.next in
+ * ascending vertex order (bitmap-frontier runs skip that store and
+ * keep consecutive bottom-up levels entirely in bit form).
  */
-uint64_t
+LevelStats
 bottomUpStep(const Graph &graph, FrontierScratch &scratch,
-             uint32_t *hops, uint32_t next_level, ThreadPool *pool)
+             uint32_t *hops, uint32_t next_level, ThreadPool *pool,
+             bool materialize)
 {
     const VertexId num_vertices = graph.numVertices();
     std::fill(scratch.nextBits.begin(), scratch.nextBits.end(), 0);
@@ -174,10 +200,11 @@ bottomUpStep(const Graph &graph, FrontierScratch &scratch,
             }
         });
 
-    // Materialize in ascending vertex order (deterministic by
-    // construction) and pick up the switch signal.
+    // Walk the next-frontier bits in ascending vertex order
+    // (deterministic by construction) for the switch signals, and
+    // flatten them only when the caller still wants the array.
+    LevelStats out;
     scratch.next.clear();
-    uint64_t next_edges = 0;
     for (std::size_t w = 0; w < scratch.nextBits.size(); ++w) {
         uint64_t word = scratch.nextBits[w];
         while (word != 0) {
@@ -185,11 +212,15 @@ bottomUpStep(const Graph &graph, FrontierScratch &scratch,
                 w * 64 +
                 static_cast<unsigned>(std::countr_zero(word)));
             word &= word - 1;
-            scratch.next.push_back(v);
-            next_edges += graph.degree(v);
+            if (materialize)
+                scratch.next.push_back(v);
+            if (out.size == 0)
+                out.minId = v;
+            ++out.size;
+            out.edges += graph.degree(v);
         }
     }
-    return next_edges;
+    return out;
 }
 
 } // namespace
@@ -212,48 +243,110 @@ flatBfs(const Graph &graph, VertexId source, FrontierScratch &scratch,
 
     scratch.frontier.assign(1, source);
     uint64_t frontier_edges = graph.degree(source);
+    std::size_t frontier_size = 1;
+    // In bitmap mode the current frontier lives in scratch.nextBits
+    // (last level's output) instead of scratch.frontier.
+    bool frontier_in_bits = false;
     bool bottom_up = false;
     uint32_t level = 0;
 
-    while (!scratch.frontier.empty()) {
+    while (frontier_size > 0) {
         // Direction choice depends only on deterministic counts, so
         // every thread count walks the identical level sequence.
         if (!bottom_up && options.allowBottomUp &&
-            frontier_edges > graph.numEdges() / kBottomUpEdgeDivisor) {
+            frontier_edges >
+                graph.numEdges() / options.bottomUpEdgeDivisor) {
             bottom_up = true;
-        } else if (bottom_up && scratch.frontier.size() <
-                                    num_vertices / kTopDownSizeDivisor) {
+        } else if (bottom_up &&
+                   frontier_size <
+                       num_vertices / options.topDownSizeDivisor) {
             bottom_up = false;
         }
 
         // Fan out only when the level carries real work; thresholds
         // cannot affect results, only the schedule.
         const std::size_t work =
-            bottom_up ? num_vertices
-                      : scratch.frontier.size() + frontier_edges;
+            bottom_up ? num_vertices : frontier_size + frontier_edges;
         ThreadPool *pool = work >= kParallelGrain ? options.pool : nullptr;
 
+        VertexId min_id = kInvalidVertex;
         if (bottom_up) {
-            std::fill(scratch.curBits.begin(), scratch.curBits.end(), 0);
-            for (VertexId v : scratch.frontier)
-                scratch.curBits[v >> 6] |= uint64_t{1} << (v & 63);
-            frontier_edges =
-                bottomUpStep(graph, scratch, hops, level + 1, pool);
+            if (frontier_in_bits) {
+                // Previous level's bits become this level's frontier.
+                std::swap(scratch.curBits, scratch.nextBits);
+            } else {
+                std::fill(scratch.curBits.begin(),
+                          scratch.curBits.end(), 0);
+                for (VertexId v : scratch.frontier)
+                    scratch.curBits[v >> 6] |= uint64_t{1} << (v & 63);
+            }
+            const LevelStats next = bottomUpStep(
+                graph, scratch, hops, level + 1, pool,
+                /*materialize=*/!options.bitmapFrontier);
+            frontier_edges = next.edges;
+            frontier_size = next.size;
+            min_id = next.minId;
+            if (options.bitmapFrontier) {
+                frontier_in_bits = true;
+            } else {
+                std::swap(scratch.frontier, scratch.next);
+                frontier_in_bits = false;
+            }
         } else {
+            if (frontier_in_bits) {
+                // Narrowed out of bitmap mode: rebuild the array once.
+                materializeBits(scratch.nextBits, scratch.frontier);
+                frontier_in_bits = false;
+            }
             frontier_edges =
                 topDownStep(graph, scratch, hops, level + 1, pool);
+            std::swap(scratch.frontier, scratch.next);
+            frontier_size = scratch.frontier.size();
+            if (frontier_size > 0)
+                min_id = *std::min_element(scratch.frontier.begin(),
+                                           scratch.frontier.end());
         }
 
-        std::swap(scratch.frontier, scratch.next);
-        if (scratch.frontier.empty())
+        if (frontier_size == 0)
             break;
         ++level;
-        result.reached += scratch.frontier.size();
-        result.farthest = *std::min_element(scratch.frontier.begin(),
-                                            scratch.frontier.end());
+        result.reached += frontier_size;
+        result.farthest = min_id;
     }
     result.depth = level;
     return result;
+}
+
+TraversalPlan
+planTraversal(uint64_t num_vertices, uint64_t num_edges,
+              double avg_degree, double degree_stddev)
+{
+    TraversalPlan plan;
+    if (num_vertices < 2 || num_edges == 0) {
+        plan.useBottomUp = false;
+        return plan;
+    }
+    // Road-network-like graphs (near-uniform low degree, long
+    // diameter): frontiers never get wide enough for a bottom-up
+    // level to beat top-down, so rule it out before anyone pays the
+    // O(E log d) symmetry precheck it would require.
+    if (avg_degree < 2.0) {
+        plan.useBottomUp = false;
+        return plan;
+    }
+    // Power-law / dense graphs: the frontier explodes within a few
+    // levels. Switch bottom-up eagerly (smaller edge threshold), hold
+    // it until the frontier is genuinely narrow again, and keep the
+    // wide levels in bitmap form instead of re-materializing vertex
+    // arrays.
+    const double skew =
+        degree_stddev / std::max(avg_degree, 1e-9);
+    if (skew >= 1.0 || avg_degree >= 16.0) {
+        plan.bottomUpEdgeDivisor = 20;
+        plan.topDownSizeDivisor = 48;
+        plan.bitmapFrontier = true;
+    }
+    return plan;
 }
 
 } // namespace heteromap

@@ -41,6 +41,12 @@ inline constexpr std::size_t kFrontierChunk = 2048;
 /** Minimum per-level work (vertices or edges) worth fanning out. */
 inline constexpr std::size_t kParallelGrain = 16384;
 
+/** Default direction-switch thresholds (Beamer-style alpha/beta):
+ *  go bottom-up when the frontier's out-edges exceed E / alpha, back
+ *  top-down when the frontier shrinks below V / beta. */
+inline constexpr uint64_t kBottomUpEdgeDivisor = 14;
+inline constexpr uint64_t kTopDownSizeDivisor = 24;
+
 /**
  * Run fn(chunk_index, begin, end) over [0, count) in kFrontierChunk
  * slices — on @p pool when given, inline otherwise. The caller must
@@ -95,7 +101,51 @@ struct BfsOptions {
 
     /** Fan traversal levels over this pool (nullptr = serial). */
     ThreadPool *pool = nullptr;
+
+    /**
+     * Direction-switch thresholds. These (and bitmapFrontier) steer
+     * only the traversal schedule, never the observable outputs: a
+     * level-synchronous BFS assigns each vertex the same hop level in
+     * either direction, and farthest/reached are order-free, so any
+     * threshold choice is byte-identical to any other.
+     */
+    uint64_t bottomUpEdgeDivisor = kBottomUpEdgeDivisor;
+    uint64_t topDownSizeDivisor = kTopDownSizeDivisor;
+
+    /**
+     * Keep wide frontiers as bitmaps between consecutive bottom-up
+     * levels instead of materializing the flat vertex array each
+     * level — the array is rebuilt only when the traversal narrows
+     * back to top-down.
+     */
+    bool bitmapFrontier = false;
 };
+
+/**
+ * Measured-property-driven traversal policy (after the density /
+ * degree-distribution selection of arXiv:1708.01159): graph shape
+ * picks the direction-switch thresholds and the frontier layout
+ * before the first level runs.
+ */
+struct TraversalPlan {
+    /** False when bottom-up can never pay (sparse, high-diameter
+     *  graphs whose frontiers stay narrow) — which also lets callers
+     *  skip the O(E log d) symmetry precheck bottom-up requires. */
+    bool useBottomUp = true;
+    uint64_t bottomUpEdgeDivisor = kBottomUpEdgeDivisor;
+    uint64_t topDownSizeDivisor = kTopDownSizeDivisor;
+    bool bitmapFrontier = false;
+};
+
+/**
+ * Derive a TraversalPlan from measured graph properties. Density
+ * (average degree) below ~2 marks road-network-like graphs: disable
+ * bottom-up outright. High degree skew (stddev >= avg) or dense
+ * graphs mark power-law inputs: switch bottom-up eagerly, hold it
+ * longer, and keep the wide frontiers in bitmap form.
+ */
+TraversalPlan planTraversal(uint64_t num_vertices, uint64_t num_edges,
+                            double avg_degree, double degree_stddev);
 
 /** Outputs of one flatBfs() run. */
 struct BfsResult {

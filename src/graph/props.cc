@@ -88,16 +88,32 @@ sharedPoolMutex()
 
 uint64_t
 diameterSweeps(const Graph &graph, unsigned sweeps, uint64_t seed,
-               ThreadPool *pool)
+               ThreadPool *pool, const GraphStats *stats = nullptr)
 {
     if (graph.numVertices() < 2 || graph.numEdges() == 0)
         return 0;
-    // Bottom-up levels are only sound on symmetric adjacency; check
-    // once (an O(E log d) early-exit pass) and amortize it over the
-    // 2 * sweeps O(E) traversals it can accelerate.
+    // Model-driven traversal selection: the degree stats measured
+    // just before these sweeps pick the direction-switch thresholds
+    // and frontier layout (see planTraversal). Thresholds steer only
+    // the schedule — hop levels, depth, and farthest vertex are
+    // byte-identical for every plan.
+    TraversalPlan plan;
+    if (stats != nullptr)
+        plan = planTraversal(stats->numVertices, stats->numEdges,
+                             stats->avgDegree, stats->degreeStddev);
     BfsOptions options;
-    options.allowBottomUp = hasSymmetricAdjacency(graph, pool);
     options.pool = pool;
+    if (plan.useBottomUp) {
+        // Bottom-up levels are only sound on symmetric adjacency;
+        // check once (an O(E log d) early-exit pass) and amortize it
+        // over the 2 * sweeps O(E) traversals it can accelerate. When
+        // the plan rules bottom-up out (sparse road-like graphs), the
+        // whole check is skipped.
+        options.allowBottomUp = hasSymmetricAdjacency(graph, pool);
+        options.bottomUpEdgeDivisor = plan.bottomUpEdgeDivisor;
+        options.topDownSizeDivisor = plan.topDownSizeDivisor;
+        options.bitmapFrontier = plan.bitmapFrontier;
+    }
 
     Rng rng(seed);
     FrontierScratch scratch;
@@ -121,51 +137,108 @@ diameterSweeps(const Graph &graph, unsigned sweeps, uint64_t seed,
     return best;
 }
 
+/** Default cache-blocking factor for the degree/stats sweep: 256
+ *  vertices touch 257 offsets = ~2 KiB of the offsets array, well
+ *  inside L1 alongside the accumulator lanes. */
+constexpr std::size_t kDefaultStatsBlock = 256;
+
+/** Exact integer partials of one vertex range's degree scan. */
+struct DegreePartial {
+    uint64_t sum = 0;
+    uint64_t sumSq = 0;
+    uint64_t max = 0;
+};
+
 /**
- * Fused single pass over the vertices: maximum degree and the degree
- * variance accumulator together, reduced per fixed chunk and combined
- * in chunk order so the floating-point sum is identical for any
- * thread count.
+ * Scan degrees of [begin, end) straight off the CSR offsets array in
+ * cache-sized blocks of four independent accumulator lanes. All
+ * arithmetic is exact (uint64), so any blocking factor, lane count,
+ * or combine order produces the identical partial.
+ */
+DegreePartial
+scanDegrees(const EdgeId *__restrict offsets, std::size_t begin,
+            std::size_t end, std::size_t block)
+{
+    DegreePartial total;
+    uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+    uint64_t q0 = 0, q1 = 0, q2 = 0, q3 = 0;
+    uint64_t m0 = 0, m1 = 0, m2 = 0, m3 = 0;
+    for (std::size_t base = begin; base < end; base += block) {
+        const std::size_t stop = std::min(end, base + block);
+        std::size_t i = base;
+        for (; i + 4 <= stop; i += 4) {
+            const uint64_t d0 = offsets[i + 1] - offsets[i];
+            const uint64_t d1 = offsets[i + 2] - offsets[i + 1];
+            const uint64_t d2 = offsets[i + 3] - offsets[i + 2];
+            const uint64_t d3 = offsets[i + 4] - offsets[i + 3];
+            s0 += d0; s1 += d1; s2 += d2; s3 += d3;
+            q0 += d0 * d0; q1 += d1 * d1;
+            q2 += d2 * d2; q3 += d3 * d3;
+            m0 = std::max(m0, d0); m1 = std::max(m1, d1);
+            m2 = std::max(m2, d2); m3 = std::max(m3, d3);
+        }
+        for (; i < stop; ++i) {
+            const uint64_t d = offsets[i + 1] - offsets[i];
+            s0 += d;
+            q0 += d * d;
+            m0 = std::max(m0, d);
+        }
+    }
+    total.sum = s0 + s1 + s2 + s3;
+    total.sumSq = q0 + q1 + q2 + q3;
+    total.max = std::max(std::max(m0, m1), std::max(m2, m3));
+    return total;
+}
+
+/**
+ * Fused single pass over the CSR offsets: maximum degree plus the
+ * exact integer degree moments (sum, sum of squares), reduced per
+ * fixed chunk. Because every partial is an exact integer, the result
+ * is byte-identical for any thread count AND any blocking factor —
+ * the one floating-point step is the final variance expansion
+ *
+ *   var = sum(d^2) - 2*avg*sum(d) + n*avg^2
+ *
+ * evaluated once from the combined integers. A uniform-degree graph
+ * still yields exactly 0.0: with avg = d exact, the three terms are
+ * n*d^2, 2*n*d^2, n*d^2 and cancel exactly.
  */
 void
-degreeSweep(const Graph &graph, GraphStats &stats, ThreadPool *pool)
+degreeSweep(const Graph &graph, GraphStats &stats, ThreadPool *pool,
+            std::size_t stats_block)
 {
     const auto num_vertices =
         static_cast<std::size_t>(graph.numVertices());
     if (num_vertices == 0)
         return;
+    const std::size_t block =
+        stats_block == 0 ? kDefaultStatsBlock : stats_block;
+    const EdgeId *const offsets = graph.offsets().data();
 
     const std::size_t chunks =
         (num_vertices + kFrontierChunk - 1) / kFrontierChunk;
-    std::vector<uint64_t> chunk_max(chunks, 0);
-    std::vector<double> chunk_var(chunks, 0.0);
-    const double avg = stats.avgDegree;
+    std::vector<DegreePartial> partials(chunks);
 
     forEachChunk(num_vertices,
                  num_vertices >= kParallelGrain ? pool : nullptr,
                  [&](std::size_t c, std::size_t begin, std::size_t end) {
-                     uint64_t max_degree = 0;
-                     double var = 0.0;
-                     for (std::size_t i = begin; i < end; ++i) {
-                         const EdgeId degree =
-                             graph.degree(static_cast<VertexId>(i));
-                         max_degree = std::max<uint64_t>(max_degree,
-                                                         degree);
-                         const double d =
-                             static_cast<double>(degree) - avg;
-                         var += d * d;
-                     }
-                     chunk_max[c] = max_degree;
-                     chunk_var[c] = var;
+                     partials[c] =
+                         scanDegrees(offsets, begin, end, block);
                  });
 
-    double var = 0.0;
-    for (std::size_t c = 0; c < chunks; ++c) {
-        stats.maxDegree = std::max(stats.maxDegree, chunk_max[c]);
-        var += chunk_var[c];
+    DegreePartial total;
+    for (const DegreePartial &p : partials) {
+        total.sum += p.sum;
+        total.sumSq += p.sumSq;
+        total.max = std::max(total.max, p.max);
     }
-    stats.degreeStddev =
-        std::sqrt(var / static_cast<double>(num_vertices));
+    stats.maxDegree = std::max(stats.maxDegree, total.max);
+    const double n = static_cast<double>(num_vertices);
+    const double avg = stats.avgDegree;
+    const double var = static_cast<double>(total.sumSq) -
+                       2.0 * avg * static_cast<double>(total.sum) +
+                       n * avg * avg;
+    stats.degreeStddev = std::sqrt(std::max(0.0, var) / n);
 }
 
 GraphStats
@@ -177,10 +250,10 @@ measureWith(const Graph &graph, const MeasureOptions &options,
     stats.numEdges = graph.numEdges();
     stats.avgDegree = graph.avgDegree();
     stats.footprintBytes = graph.footprintBytes();
-    degreeSweep(graph, stats, pool);
+    degreeSweep(graph, stats, pool, options.statsBlock);
     if (options.sweeps > 0)
-        stats.diameter =
-            diameterSweeps(graph, options.sweeps, options.seed, pool);
+        stats.diameter = diameterSweeps(graph, options.sweeps,
+                                        options.seed, pool, &stats);
     return stats;
 }
 

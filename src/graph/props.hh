@@ -58,6 +58,15 @@ struct MeasureOptions {
      * value — threads only change wall-clock time.
      */
     std::size_t threads = 0;
+
+    /**
+     * Cache-blocking factor (vertices per inner block) for the
+     * degree/stats sweep; 0 picks the default. Any value is
+     * byte-identical: the sweep accumulates exact integer partials
+     * (degree sum, sum of squares, max), so the combine order is
+     * free, and one floating-point finalization happens at the end.
+     */
+    std::size_t statsBlock = 0;
 };
 
 /**

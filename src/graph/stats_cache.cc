@@ -76,8 +76,9 @@ GraphStatsCache::Key
 GraphStatsCache::makeKey(const Graph &graph,
                          const MeasureOptions &options)
 {
-    // threads is deliberately NOT part of the key: the determinism
-    // contract makes every thread count produce identical stats.
+    // threads and statsBlock are deliberately NOT part of the key:
+    // the determinism contract makes every thread count and blocking
+    // factor produce identical stats.
     return {fingerprintGraph(graph), options.sweeps, options.seed};
 }
 

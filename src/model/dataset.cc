@@ -59,12 +59,26 @@ meanSquaredError(const Predictor &predictor, const TrainingSet &data)
 {
     if (data.empty())
         return 0.0;
+    // Evaluate through the batched forward path in fixed-size chunks:
+    // same per-sample outputs (predictBatch contract), one matrix-
+    // matrix pass per chunk instead of a matrix-vector pass per row.
+    constexpr std::size_t kChunk = 64;
+    std::vector<FeatureVector> features(std::min(kChunk, data.size()));
+    std::vector<NormalizedMVector> pred(features.size());
     double total = 0.0;
-    for (const auto &sample : data) {
-        auto pred = predictor.predict(sample.x);
-        for (std::size_t k = 0; k < kNumOutputs; ++k) {
-            double d = pred.m[k] - sample.y.m[k];
-            total += d * d;
+    for (std::size_t start = 0; start < data.size(); start += kChunk) {
+        const std::size_t n =
+            std::min(kChunk, data.size() - start);
+        for (std::size_t i = 0; i < n; ++i)
+            features[i] = data[start + i].x;
+        predictor.predictBatch(
+            std::span<const FeatureVector>(features.data(), n),
+            std::span<NormalizedMVector>(pred.data(), n));
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t k = 0; k < kNumOutputs; ++k) {
+                double d = pred[i].m[k] - data[start + i].y.m[k];
+                total += d * d;
+            }
         }
     }
     return total / (static_cast<double>(data.size()) * kNumOutputs);

@@ -27,6 +27,93 @@
 
 namespace heteromap {
 
+void
+DecisionTreeHeuristic::buildFlatTree()
+{
+    const double t = threshold_;
+    // The nested-if walk in chooseAccelerator(), unrolled into a
+    // predicated node array. Feature indices follow the flattening
+    // order [b1..b13=0..12, i1..i4=13..16]; 17-21 are the synthetic
+    // features (see kFlatFeatures). Every OR/AND ladder of the
+    // nested-if form is a single node over a max/min synthetic:
+    // max(a, b) > t iff a > t || b > t, and min(a, b) > t iff
+    // a > t && b > t, exactly, for the in-range feature values.
+    nodes_ = {{
+        {t, 18, 1, 3},   // 0: any parallel-for phase dominates?
+        {t, 13, 2, 9},   // 1: large graph (I1)?
+        {t, 19, kLeafMulticore, 9},          // 2: indirect or FP?
+        {t, 3, kLeafMulticore, 4},           // 3: push-pop (B4)
+        {t, 4, 5, 8},                        // 4: reductions (B5)
+        {t, 9, kLeafMulticore, 6},           // 5: RW shared (B10)
+        {0.5, 21, kLeafGpu, 7},              // 6: FP, tiny local?
+        {t, 10, kLeafMulticore, kLeafGpu},   // 7: local data (B11)
+        {0.0, 17, kLeafMulticore, kLeafGpu}, // 8: mc - gpu score
+        {t, 20, kLeafMulticore, kLeafGpu},   // 9: contended RW share?
+        {0.0, 0, kLeafGpu, kLeafGpu},             // 10: GPU leaf
+        {0.0, 0, kLeafMulticore, kLeafMulticore}, // 11: MC leaf
+    }};
+
+    // Precompile the descent: for every possible predicate mask, walk
+    // the node array once and record the leaf. chooseAcceleratorFlat
+    // then reduces to computing the mask and one table load; the
+    // fixed-trip descent below is the sole definition of what a mask
+    // means, so the table is exact by construction.
+    for (std::size_t mask = 0; mask < leafTable_.size(); ++mask) {
+        int node = 0;
+        for (int d = 0; d < kFlatDepth; ++d) {
+            const FlatNode nd = nodes_[static_cast<std::size_t>(node)];
+            node = (mask >> node) & 1u ? nd.hi : nd.lo;
+        }
+        leafTable_[mask] = static_cast<uint8_t>(node == kLeafGpu);
+    }
+}
+
+uint32_t
+DecisionTreeHeuristic::predicateMask(const FeatureVector &f) const
+{
+    const BVariables &b = f.b;
+    const IVariables &i = f.i;
+    const double t = threshold_;
+    const double gpu_score = b.b1 + b.b2 + b.b3 + 0.5 * b.b5;
+    const double mc_score = 2.0 * b.b4 + b.b8 + b.b10 + b.b12 +
+                            b.b6 * (0.5 + i.i1);
+
+    // One bit per nodes_ entry, node order, evaluated straight from
+    // the struct fields: all compares are independent, so the CPU
+    // overlaps them freely and nothing here is a data-dependent
+    // branch. Bit n must compute exactly x[nodes_[n].feat] >
+    // nodes_[n].thr in buildFlatTree()'s synthetic-feature terms:
+    //  - node 6 reads the 0/1 FP-with-tiny-local flag against 0.5,
+    //    which is precisely b6 > 0 && b11 <= 0.1;
+    //  - node 8 reads mc_score - gpu_score against 0 (the sign-
+    //    preserving rewrite of "gpu_score >= mc_score");
+    //  - the self-looping leaf nodes 10-11 ignore their predicate,
+    //    so their bits stay 0.
+    uint32_t bits = 0;
+    bits |= static_cast<uint32_t>(
+                std::max(b.b1, std::max(b.b2, b.b3)) > t)
+            << 0;
+    bits |= static_cast<uint32_t>(i.i1 > t) << 1;
+    bits |= static_cast<uint32_t>(std::max(b.b8, b.b6) > t) << 2;
+    bits |= static_cast<uint32_t>(b.b4 > t) << 3;
+    bits |= static_cast<uint32_t>(b.b5 > t) << 4;
+    bits |= static_cast<uint32_t>(b.b10 > t) << 5;
+    bits |= static_cast<uint32_t>(b.b6 > 0.0 && !(b.b11 > 0.1)) << 6;
+    bits |= static_cast<uint32_t>(b.b11 > t) << 7;
+    bits |= static_cast<uint32_t>(mc_score - gpu_score > 0.0) << 8;
+    bits |= static_cast<uint32_t>(std::min(b.b10, b.b12) > t) << 9;
+    return bits;
+}
+
+AcceleratorKind
+DecisionTreeHeuristic::chooseAcceleratorFlat(const FeatureVector &f) const
+{
+    // The precompiled table maps the predicate mask straight to the
+    // leaf the node-array descent would reach.
+    return leafTable_[predicateMask(f)] != 0 ? AcceleratorKind::Gpu
+                                             : AcceleratorKind::Multicore;
+}
+
 AcceleratorKind
 DecisionTreeHeuristic::chooseAccelerator(const FeatureVector &f) const
 {
@@ -131,6 +218,66 @@ DecisionTreeHeuristic::predict(const FeatureVector &f) const
 
     y.clamp01();
     return y;
+}
+
+void
+DecisionTreeHeuristic::predictFlatInto(const FeatureVector &f,
+                                       NormalizedMVector &y) const
+{
+    const BVariables &b = f.b;
+    const IVariables &i = f.i;
+    const double t = threshold_;
+
+    const double avg_deg = i.avgDegreeTerm();
+    const double avg_deg_dia = i.avgDegreeDiameterTerm();
+
+    // Same M-equations as predict(), with every data-dependent
+    // ternary replaced by an arithmetic select. Multiplying a
+    // constant by a 0/1 bool yields exactly that constant or exactly
+    // 0.0, so the outputs stay byte-identical to the branching path.
+    // Written in place with the [0, 1] clamp fused per element —
+    // clamping each value as it lands is the same arithmetic as the
+    // trailing clamp01() pass predict() runs.
+    double *__restrict m = y.m.data();
+    m[0] = static_cast<double>(leafTable_[predicateMask(f)] == 0);
+    m[1] = clamp(std::max(0.1, i.i1), 0.0, 1.0);
+    m[2] = clamp(std::max(0.1, avg_deg), 0.0, 1.0);
+    m[3] = clamp((b.b12 + b.b13) / 2.0, 0.0, 1.0);
+    m[4] = m[5] = m[6] = clamp(avg_deg_dia, 0.0, 1.0);
+    m[7] = clamp((avg_deg_dia + b.b10) / 2.0, 0.0, 1.0);
+    m[8] = 0.75 * static_cast<double>(b.b10 > t);
+    m[9] = clamp(avg_deg, 0.0, 1.0);
+    m[10] = clamp(clamp(0.5 - b.b12 / 2.0, 0.0, 1.0) * avg_deg, 0.0,
+                  1.0);
+    m[11] = static_cast<double>(b.b13 > t);
+    m[12] = clamp(b.b13, 0.0, 1.0);
+    m[13] = clamp(b.b12, 0.0, 1.0);
+    m[14] = static_cast<double>((b.b12 + b.b13) / 2.0 > t);
+    m[15] = static_cast<double>(b.b10 > t);
+    m[16] = static_cast<double>((b.b2 + b.b3) > t);
+    m[17] = clamp(b.b11, 0.0, 1.0);
+    m[18] = m[1];
+    m[19] = m[2];
+}
+
+NormalizedMVector
+DecisionTreeHeuristic::predictFlat(const FeatureVector &f) const
+{
+    NormalizedMVector y;
+    predictFlatInto(f, y);
+    return y;
+}
+
+void
+DecisionTreeHeuristic::predictBatch(
+    std::span<const FeatureVector> features,
+    std::span<NormalizedMVector> out) const
+{
+    HM_ASSERT(out.size() >= features.size(),
+              "predictBatch output span too small: ", out.size(),
+              " < ", features.size());
+    for (std::size_t idx = 0; idx < features.size(); ++idx)
+        predictFlatInto(features[idx], out[idx]);
 }
 
 void

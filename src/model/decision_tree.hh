@@ -10,6 +10,8 @@
 #ifndef HETEROMAP_MODEL_DECISION_TREE_HH
 #define HETEROMAP_MODEL_DECISION_TREE_HH
 
+#include <array>
+#include <cstdint>
 #include <iosfwd>
 
 #include "model/predictor.hh"
@@ -24,14 +26,42 @@ class DecisionTreeHeuristic : public Predictor
     explicit DecisionTreeHeuristic(double threshold = 0.5)
         : threshold_(threshold)
     {
+        buildFlatTree();
     }
 
     std::string name() const override { return "Decision Tree"; }
     void train(const TrainingSet &) override {}
     NormalizedMVector predict(const FeatureVector &f) const override;
 
+    /**
+     * Batched prediction via the flattened tree: every sample runs
+     * the predicated node-array descent (predictFlat) instead of the
+     * nested-if walk, so the hot loop has no data-dependent branches
+     * to mispredict. Results are byte-identical to predict().
+     */
+    void predictBatch(std::span<const FeatureVector> features,
+                      std::span<NormalizedMVector> out) const override;
+    using Predictor::predictBatch;
+
     /** The inter-accelerator (M1) tree, exposed for tests/Fig. 7. */
     AcceleratorKind chooseAccelerator(const FeatureVector &f) const;
+
+    /**
+     * chooseAccelerator() evaluated on the flattened node array — a
+     * fixed-trip-count descent where every step is a conditional
+     * select, not a branch. Exposed for the equivalence tests and the
+     * flat-vs-pointer benchmark; must agree with chooseAccelerator()
+     * on every input.
+     */
+    AcceleratorKind chooseAcceleratorFlat(const FeatureVector &f) const;
+
+    /**
+     * predict() evaluated through the flat tree plus arithmetic-
+     * select M-equations (no ternaries on data-dependent predicates).
+     * Byte-identical to predict() by construction: the selects
+     * produce the exact constants the branches produced.
+     */
+    NormalizedMVector predictFlat(const FeatureVector &f) const;
 
     /** Persist the (only) parameter — the decision threshold. */
     void save(std::ostream &os) const;
@@ -41,6 +71,59 @@ class DecisionTreeHeuristic : public Predictor
 
   private:
     double threshold_;
+
+    /**
+     * One predicated tree node: descend to @c hi when
+     * f[feat] > thr, else to @c lo. Leaves are self-looping nodes
+     * (hi == lo == self), so the fixed-trip descent needs no leaf
+     * latch — extra iterations just spin in place.
+     */
+    struct FlatNode {
+        double thr;
+        int16_t feat;
+        int16_t hi;
+        int16_t lo;
+    };
+    static constexpr int16_t kLeafGpu = 10;
+    static constexpr int16_t kLeafMulticore = 11;
+    static constexpr std::size_t kFlatNodes = 12;
+    /** Longest root-to-leaf path (fixed descent trip count). The
+     *  nested-if OR/AND ladders collapse into single nodes over
+     *  synthetic max/min features (exact: max(a,b) > t iff
+     *  a > t || b > t), which is what keeps the depth this short. */
+    static constexpr int kFlatDepth = 6;
+    /** Tree inputs: the 17 raw features + 5 synthetic ones — the
+     *  mixed-profile score difference (17), the phase-dominance max
+     *  over B1-B3 (18), max(B8, B6) (19), min(B10, B12) (20), and
+     *  the FP-with-negligible-local-data flag (21). */
+    static constexpr std::size_t kFlatFeatures = kNumFeatures + 5;
+
+    std::array<FlatNode, kFlatNodes> nodes_{};
+
+    /**
+     * The 12 node-predicate bits for @p f, in nodes_ order, computed
+     * straight from the feature struct (no staging array). Must
+     * mirror buildFlatTree()'s node predicates exactly; the
+     * BatchInference equivalence suite pins the correspondence.
+     */
+    uint32_t predicateMask(const FeatureVector &f) const;
+
+    /** predictFlat() writing into @p y in place (no return copy);
+     *  the single definition both predictFlat() and predictBatch()
+     *  evaluate. */
+    void predictFlatInto(const FeatureVector &f,
+                         NormalizedMVector &y) const;
+
+    /**
+     * Precompiled descent outcomes: the 12 node-predicate bits index
+     * straight to the leaf the fixed-trip descent would reach, so the
+     * per-prediction work is 12 independent threshold compares and
+     * one table load. Built by running the node-array descent for
+     * every possible predicate mask (4 KiB, L1-resident).
+     */
+    std::array<uint8_t, std::size_t{1} << kFlatNodes> leafTable_{};
+
+    void buildFlatTree();
 };
 
 } // namespace heteromap

@@ -73,13 +73,22 @@ Matrix::multiply(const Matrix &other) const
     HM_ASSERT(cols_ == other.rows_, "matrix product shape mismatch: ",
               rows_, "x", cols_, " * ", other.rows_, "x", other.cols_);
     Matrix out(rows_, other.cols_);
+    // Raw-pointer ikj kernel: same accumulation order (k ascending
+    // per output element, zero rows skipped) as the original at()
+    // loops, minus the per-element bounds asserts; the c loop is
+    // independent lanes the compiler vectorizes.
+    const std::size_t n = other.cols_;
+    const double *__restrict rhs = other.data_.data();
     for (std::size_t r = 0; r < rows_; ++r) {
+        const double *__restrict row = data_.data() + r * cols_;
+        double *__restrict dst = out.data_.data() + r * n;
         for (std::size_t k = 0; k < cols_; ++k) {
-            double lhs = at(r, k);
+            const double lhs = row[k];
             if (lhs == 0.0)
                 continue;
-            for (std::size_t c = 0; c < other.cols_; ++c)
-                out.at(r, c) += lhs * other.at(k, c);
+            const double *__restrict src = rhs + k * n;
+            for (std::size_t c = 0; c < n; ++c)
+                dst[c] += lhs * src[c];
         }
     }
     return out;
@@ -97,6 +106,42 @@ Matrix::apply(const std::vector<double> &x) const
         out[r] = sum;
     }
     return out;
+}
+
+void
+Matrix::applyInto(const double *x, double *out) const
+{
+    const double *__restrict w = data_.data();
+    for (std::size_t r = 0; r < rows_; ++r) {
+        const double *__restrict row = w + r * cols_;
+        double sum = 0.0;
+        for (std::size_t c = 0; c < cols_; ++c)
+            sum += row[c] * x[c];
+        out[r] = sum;
+    }
+}
+
+void
+Matrix::forwardBatch(const double *in_t, std::size_t n,
+                     double *out_t) const
+{
+    const double *__restrict w = data_.data();
+    const double *__restrict in = in_t;
+    double *__restrict out = out_t;
+    for (std::size_t r = 0; r < rows_; ++r) {
+        double *__restrict z = out + r * n;
+        std::fill(z, z + n, 0.0);
+        const double *__restrict row = w + r * cols_;
+        // k stays the sequential outer loop (bit-exact per sample);
+        // the inner j loop is n independent lanes the compiler
+        // vectorizes.
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const double wk = row[k];
+            const double *__restrict a = in + k * n;
+            for (std::size_t j = 0; j < n; ++j)
+                z[j] += wk * a[j];
+        }
+    }
 }
 
 Matrix

@@ -46,6 +46,27 @@ class Matrix
     /** this * vector (vector length == cols). */
     std::vector<double> apply(const std::vector<double> &x) const;
 
+    /**
+     * Allocation-free this * x into @p out (out size == rows). The
+     * per-row accumulation order is the same ascending-column order
+     * apply() uses, so results are byte-identical to apply().
+     */
+    void applyInto(const double *x, double *out) const;
+
+    /**
+     * Batched forward for the MLP hot path: given @p n input columns
+     * packed transposed in @p in_t (cols x n, sample-major in the
+     * inner dimension), writes this * columns into @p out_t (rows x
+     * n, same packing). Each (row, sample) dot product accumulates
+     * over the columns in ascending order — exactly apply()'s order —
+     * so every sample's output is byte-identical to a one-at-a-time
+     * apply(); the speedup comes from the inner sample loop, whose n
+     * independent accumulators vectorize (no ffast-math needed)
+     * where the scalar dot product is a latency-bound serial chain.
+     */
+    void forwardBatch(const double *in_t, std::size_t n,
+                      double *out_t) const;
+
     /** Element-wise addition; shapes must match. */
     Matrix add(const Matrix &other) const;
 

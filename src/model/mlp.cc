@@ -26,6 +26,18 @@ sigmoid(double x)
     return 1.0 / (1.0 + std::exp(-x));
 }
 
+/**
+ * Per-thread forward workspace. An Mlp snapshot is shared read-only
+ * across serving worker threads, so the scratch buffers must be
+ * thread-local rather than members.
+ */
+Mlp::BatchWorkspace &
+threadWorkspace()
+{
+    static thread_local Mlp::BatchWorkspace ws;
+    return ws;
+}
+
 } // namespace
 
 Mlp::Mlp(unsigned hidden_width, MlpOptions options)
@@ -61,22 +73,46 @@ Mlp::name() const
     return oss.str();
 }
 
-std::vector<std::vector<double>>
-Mlp::forward(const std::vector<double> &input) const
+void
+Mlp::forward(const double *input,
+             std::vector<std::vector<double>> &acts) const
 {
-    std::vector<std::vector<double>> acts;
-    acts.push_back(input);
+    acts.resize(layers_.size() + 1);
+    acts[0].assign(input, input + kNumFeatures);
     for (std::size_t l = 0; l < layers_.size(); ++l) {
         const Layer &layer = layers_[l];
-        std::vector<double> z = layer.w.apply(acts.back());
+        std::vector<double> &z = acts[l + 1];
+        z.resize(layer.w.rows());
+        layer.w.applyInto(acts[l].data(), z.data());
         for (std::size_t i = 0; i < z.size(); ++i) {
             z[i] += layer.b[i];
             z[i] = (l + 1 == layers_.size()) ? sigmoid(z[i])
                                              : std::tanh(z[i]);
         }
-        acts.push_back(std::move(z));
     }
-    return acts;
+}
+
+void
+Mlp::forwardLayers(std::size_t n, BatchWorkspace &ws) const
+{
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+        const Layer &layer = layers_[l];
+        const std::size_t rows = layer.w.rows();
+        ws.out.resize(rows * n);
+        layer.w.forwardBatch(ws.in.data(), n, ws.out.data());
+        const bool last = l + 1 == layers_.size();
+        const double *__restrict b = layer.b.data();
+        double *__restrict z = ws.out.data();
+        for (std::size_t r = 0; r < rows; ++r) {
+            double *__restrict row = z + r * n;
+            const double bias = b[r];
+            for (std::size_t j = 0; j < n; ++j) {
+                const double v = row[j] + bias;
+                row[j] = last ? sigmoid(v) : std::tanh(v);
+            }
+        }
+        std::swap(ws.in, ws.out);
+    }
 }
 
 void
@@ -91,6 +127,7 @@ Mlp::train(const TrainingSet &data)
 
     uint64_t step = 0;
     double epoch_loss = 0.0;
+    std::vector<std::vector<double>> acts;
 
     for (unsigned epoch = 0; epoch < options_.epochs; ++epoch) {
         rng.shuffle(order);
@@ -113,7 +150,8 @@ Mlp::train(const TrainingSet &data)
 
             for (std::size_t s = start; s < end; ++s) {
                 const TrainingSample &sample = data[order[s]];
-                auto acts = forward(sample.x.asVector());
+                const auto flat = sample.x.asArray();
+                forward(flat.data(), acts);
                 const auto &out = acts.back();
 
                 // Output delta: d(MSE)/dz with sigmoid output.
@@ -192,12 +230,40 @@ Mlp::train(const TrainingSet &data)
 NormalizedMVector
 Mlp::predict(const FeatureVector &f) const
 {
-    auto acts = forward(f.asVector());
+    BatchWorkspace &ws = threadWorkspace();
+    const auto flat = f.asArray();
+    ws.in.assign(flat.begin(), flat.end());
+    forwardLayers(1, ws);
     NormalizedMVector out;
     for (std::size_t k = 0; k < kNumOutputs; ++k)
-        out.m[k] = acts.back()[k];
+        out.m[k] = ws.in[k];
     out.clamp01();
     return out;
+}
+
+void
+Mlp::predictBatch(std::span<const FeatureVector> features,
+                  std::span<NormalizedMVector> out) const
+{
+    HM_ASSERT(out.size() >= features.size(),
+              "predictBatch output span too small: ", out.size(),
+              " < ", features.size());
+    const std::size_t n = features.size();
+    if (n == 0)
+        return;
+    BatchWorkspace &ws = threadWorkspace();
+    ws.in.resize(kNumFeatures * n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto flat = features[i].asArray();
+        for (std::size_t k = 0; k < kNumFeatures; ++k)
+            ws.in[k * n + i] = flat[k];
+    }
+    forwardLayers(n, ws);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t k = 0; k < kNumOutputs; ++k)
+            out[i].m[k] = ws.in[k * n + i];
+        out[i].clamp01();
+    }
 }
 
 void

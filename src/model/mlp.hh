@@ -47,6 +47,23 @@ class Mlp : public Predictor
     void train(const TrainingSet &data) override;
     NormalizedMVector predict(const FeatureVector &f) const override;
 
+    /**
+     * Batched matrix–matrix forward: one pass through the network
+     * serves the whole micro-batch out of a reusable per-thread
+     * workspace. Outputs are byte-identical to per-sample predict()
+     * — both run the same k-sequential kernel (Matrix::forwardBatch),
+     * batching only widens the vectorizable sample dimension.
+     */
+    void predictBatch(std::span<const FeatureVector> features,
+                      std::span<NormalizedMVector> out) const override;
+    using Predictor::predictBatch;
+
+    /** Reusable forward buffers; see forwardLayers(). */
+    struct BatchWorkspace {
+        std::vector<double> in;  //!< layer input, transposed (K x n)
+        std::vector<double> out; //!< layer output, transposed (R x n)
+    };
+
     /** Final training loss of the last train() call (MSE). */
     double finalLoss() const { return finalLoss_; }
 
@@ -72,9 +89,22 @@ class Mlp : public Predictor
     };
     std::vector<Layer> layers_;
 
-    /** Forward pass; returns activations per layer (input first). */
-    std::vector<std::vector<double>>
-    forward(const std::vector<double> &input) const;
+    /**
+     * Training forward pass: fills @p acts with activations per
+     * layer (input first), reusing the caller's buffers so the
+     * training loop allocates nothing per sample.
+     */
+    void forward(const double *input,
+                 std::vector<std::vector<double>> &acts) const;
+
+    /**
+     * Inference forward pass over @p n samples packed transposed in
+     * ws.in (kNumFeatures x n); leaves the sigmoid outputs
+     * (kNumOutputs x n) in ws.in. Both predict() and predictBatch()
+     * run through this one kernel, which is what guarantees their
+     * byte-identical outputs at every batch size.
+     */
+    void forwardLayers(std::size_t n, BatchWorkspace &ws) const;
 };
 
 } // namespace heteromap

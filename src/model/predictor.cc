@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/logging.hh"
 #include "util/stats.hh"
 
 namespace heteromap {
@@ -41,6 +42,25 @@ constexpr double kMaxSpinCount = 250000.0;
 constexpr double kMaxStackKb = 8192.0;
 
 } // namespace
+
+void
+Predictor::predictBatch(std::span<const FeatureVector> features,
+                        std::span<NormalizedMVector> out) const
+{
+    HM_ASSERT(out.size() >= features.size(),
+              "predictBatch output span too small: ", out.size(),
+              " < ", features.size());
+    for (std::size_t i = 0; i < features.size(); ++i)
+        out[i] = predict(features[i]);
+}
+
+std::vector<NormalizedMVector>
+Predictor::predictBatch(std::span<const FeatureVector> features) const
+{
+    std::vector<NormalizedMVector> out(features.size());
+    predictBatch(features, out);
+    return out;
+}
 
 void
 NormalizedMVector::clamp01()

@@ -13,6 +13,7 @@
 #define HETEROMAP_MODEL_PREDICTOR_HH
 
 #include <array>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -66,6 +67,21 @@ class Predictor
     /** Predict normalized machine choices for @p features. */
     virtual NormalizedMVector predict(
         const FeatureVector &features) const = 0;
+
+    /**
+     * Predict for a micro-batch. @p out must hold features.size()
+     * entries. The base implementation loops predict() — correct for
+     * every learner; Mlp and DecisionTreeHeuristic override it with
+     * vectorized forwards. Contract: out[i] is byte-identical to
+     * predict(features[i]) for every i and every batch size, so
+     * callers may batch freely without changing results.
+     */
+    virtual void predictBatch(std::span<const FeatureVector> features,
+                              std::span<NormalizedMVector> out) const;
+
+    /** Convenience predictBatch() returning a fresh vector. */
+    std::vector<NormalizedMVector>
+    predictBatch(std::span<const FeatureVector> features) const;
 };
 
 } // namespace heteromap

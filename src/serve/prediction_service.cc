@@ -415,17 +415,26 @@ PredictionService::serveBatch(std::vector<PendingRequest> &batch)
     HM_HISTOGRAM_RECORD_MS("serve.batch.measure_ms",
                            timer.lapMillis());
 
-    // Group members by (workload, input): one featurize per group,
-    // and one inference serves every unsupervised member of it.
-    std::vector<bool> served(live.size(), false);
+    // Pass 1 — group members by (workload, input): one featurize per
+    // group, and note which groups have at least one member that
+    // needs an (unsupervised) inference.
+    struct Group {
+        BenchmarkCase bench;
+        std::vector<std::size_t> members; //!< indices into `live`
+        std::ptrdiff_t inferSlot = -1;    //!< slot in the batched pass
+    };
+    std::vector<Group> groups;
+    std::vector<bool> grouped(live.size(), false);
+    std::vector<BenchmarkCase> infer_benches;
     for (std::size_t i = 0; i < live.size(); ++i) {
-        if (served[i])
+        if (grouped[i])
             continue;
         const ServeRequest &lead = batch[live[i]].request;
         const std::string workload_name = lead.workload->name();
 
         timer.lapMillis(); // realign: charge only the featurize below
-        BenchmarkCase bench = [&] {
+        Group group;
+        group.bench = [&] {
             HM_SPAN("serve.featurize");
             return makeCase(*lead.workload, *lead.graph,
                             lead.inputName, stats);
@@ -433,17 +442,49 @@ PredictionService::serveBatch(std::vector<PendingRequest> &batch)
         HM_HISTOGRAM_RECORD_MS("serve.batch.featurize_ms",
                                timer.lapMillis());
 
-        std::optional<Deployment> group_deployment;
+        bool needs_infer = false;
         for (std::size_t j = i; j < live.size(); ++j) {
-            if (served[j])
+            if (grouped[j])
                 continue;
-            PendingRequest &member_pending = batch[live[j]];
-            const ServeRequest &member = member_pending.request;
+            const ServeRequest &member = batch[live[j]].request;
             if (member.inputName != lead.inputName ||
                 member.workload->name() != workload_name) {
                 continue;
             }
-            served[j] = true;
+            grouped[j] = true;
+            group.members.push_back(j);
+            if (!member.supervised || bypass_supervised)
+                needs_infer = true;
+        }
+        if (needs_infer) {
+            group.inferSlot =
+                static_cast<std::ptrdiff_t>(infer_benches.size());
+            infer_benches.push_back(group.bench);
+        }
+        groups.push_back(std::move(group));
+    }
+
+    // One batched forward pass serves every group: the predictor runs
+    // once over all distinct (workload, input) cases instead of once
+    // per group. Each Deployment is byte-identical to the per-group
+    // deploy() it replaces (Predictor::predictBatch contract) and
+    // carries the batch-amortized inference share as overheadMs.
+    std::vector<Deployment> deployments;
+    if (!infer_benches.empty()) {
+        HM_SPAN("serve.infer");
+        const HeteroMap &framework =
+            use_fallback ? *fallback_ : *snapshot->framework;
+        timer.lapMillis();
+        deployments = framework.deployBatch(infer_benches);
+        HM_HISTOGRAM_RECORD_MS("serve.batch.infer_ms",
+                               timer.lapMillis());
+    }
+
+    // Pass 2 — distribute responses.
+    for (const Group &group : groups) {
+        for (std::size_t j : group.members) {
+            PendingRequest &member_pending = batch[live[j]];
+            const ServeRequest &member = member_pending.request;
 
             ServeResponse response;
             response.status = ServeStatus::Ok;
@@ -455,19 +496,15 @@ PredictionService::serveBatch(std::vector<PendingRequest> &batch)
                 millisBetween(member_pending.enqueued, start);
 
             if (member.supervised && !bypass_supervised) {
-                superviseDeploy(snapshot, bench, response);
+                superviseDeploy(snapshot, group.bench, response);
             } else {
                 if (member.supervised) {
                     HM_COUNTER_INC("serve.supervised_bypassed");
                 }
-                if (!group_deployment) {
-                    HM_SPAN("serve.infer");
-                    const HeteroMap &framework =
-                        use_fallback ? *fallback_
-                                     : *snapshot->framework;
-                    group_deployment = framework.deploy(bench);
-                }
-                response.deployment = *group_deployment;
+                HM_ASSERT(group.inferSlot >= 0,
+                          "unsupervised member without an inference");
+                response.deployment = deployments[
+                    static_cast<std::size_t>(group.inferSlot)];
                 if (use_fallback) {
                     response.servedByFallback = true;
                     fallback_served_.fetch_add(

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Equivalence tests for the batched inference path: for every
+ * predictor kind, predictBatch(N) must be byte-identical to N
+ * independent predict() calls at every batch size, and the flattened
+ * decision tree must agree with the pointer tree across a dense
+ * (B, I) grid including threshold-straddling values.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/heteromap.hh"
+#include "core/oracle.hh"
+#include "graph/datasets.hh"
+#include "model/decision_tree.hh"
+#include "model/mlp.hh"
+#include "util/rng.hh"
+#include "workloads/registry.hh"
+
+namespace heteromap {
+namespace {
+
+/** Random but deterministic feature vector with threshold-straddling
+ *  coordinates (values land on both sides of 0.5 and exactly on it). */
+FeatureVector
+randomFeatures(Rng &rng)
+{
+    auto knob = [&rng] {
+        // A fifth of the draws pin interesting boundary values.
+        switch (rng.nextBounded(10)) {
+          case 0: return 0.0;
+          case 1: return 0.5;
+          default: return rng.nextDouble();
+        }
+    };
+    FeatureVector f;
+    f.b.b1 = knob();  f.b.b2 = knob();  f.b.b3 = knob();
+    f.b.b4 = knob();  f.b.b5 = knob();  f.b.b6 = knob();
+    f.b.b7 = knob();  f.b.b8 = knob();  f.b.b9 = knob();
+    f.b.b10 = knob(); f.b.b11 = knob(); f.b.b12 = knob();
+    f.b.b13 = knob();
+    f.i.i1 = knob();  f.i.i2 = knob();
+    f.i.i3 = knob();  f.i.i4 = knob();
+    return f;
+}
+
+/** Small labelled corpus so the learned kinds have fitted weights. */
+TrainingSet
+corpus(std::size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    TrainingSet out;
+    out.reserve(n);
+    for (std::size_t s = 0; s < n; ++s) {
+        TrainingSample sample;
+        sample.x = randomFeatures(rng);
+        for (double &m : sample.y.m)
+            m = rng.nextDouble();
+        out.push_back(sample);
+    }
+    return out;
+}
+
+TEST(BatchInferenceTest, EveryKindMatchesScalarPredictByteForByte)
+{
+    const TrainingSet train = corpus(96, 11);
+    Rng rng(23);
+    for (PredictorKind kind : allPredictorKinds()) {
+        auto predictor = makePredictor(kind);
+        predictor->train(train);
+
+        for (std::size_t batch : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{8}, std::size_t{33}}) {
+            std::vector<FeatureVector> features(batch);
+            for (FeatureVector &f : features)
+                f = randomFeatures(rng);
+
+            const std::vector<NormalizedMVector> got =
+                predictor->predictBatch(features);
+            ASSERT_EQ(got.size(), batch);
+            for (std::size_t i = 0; i < batch; ++i) {
+                EXPECT_EQ(got[i], predictor->predict(features[i]))
+                    << predictor->name() << " batch=" << batch
+                    << " sample=" << i;
+            }
+        }
+    }
+}
+
+TEST(BatchInferenceTest, MlpBatchIsIdenticalAcrossBatchSizes)
+{
+    // The same sample must produce bit-equal outputs whether it rides
+    // in a batch of 1 or 64 — the k-sequential kernel guarantee.
+    Mlp mlp(32);
+    mlp.train(corpus(64, 31));
+    Rng rng(37);
+    std::vector<FeatureVector> features(64);
+    for (FeatureVector &f : features)
+        f = randomFeatures(rng);
+
+    const auto wide = mlp.predictBatch(features);
+    for (std::size_t i = 0; i < features.size(); ++i) {
+        const auto solo = mlp.predictBatch(
+            std::span<const FeatureVector>(&features[i], 1));
+        EXPECT_EQ(wide[i], solo[0]) << "sample " << i;
+    }
+}
+
+TEST(BatchInferenceTest, FlatTreeMatchesPointerTreeOnDenseGrid)
+{
+    // Dense grid over the features the M1 tree actually branches on,
+    // pinning values below, exactly at, and above the threshold, plus
+    // the b6 > 0 and b11 <= 0.1 special-cased boundaries.
+    const double grid[] = {0.0, 0.1, 0.5, 0.500000001, 1.0};
+    for (double threshold : {0.5, 0.35}) {
+        DecisionTreeHeuristic tree(threshold);
+        for (double b1 : grid)
+        for (double b4 : grid)
+        for (double b5 : grid)
+        for (double b6 : {0.0, 0.05, 0.7})
+        for (double b10 : grid)
+        for (double b11 : {0.0, 0.1, 0.11, 0.6})
+        for (double i1 : {0.2, 0.7}) {
+            FeatureVector f;
+            f.b.b1 = b1;
+            f.b.b2 = 1.0 - b1;
+            f.b.b3 = b1 * 0.5;
+            f.b.b4 = b4;
+            f.b.b5 = b5;
+            f.b.b6 = b6;
+            f.b.b8 = 1.0 - b4;
+            f.b.b10 = b10;
+            f.b.b11 = b11;
+            f.b.b12 = 1.0 - b10;
+            f.b.b13 = b5;
+            f.i.i1 = i1;
+            f.i.i2 = 0.3;
+            f.i.i3 = 0.6;
+            f.i.i4 = 0.4;
+            ASSERT_EQ(tree.chooseAcceleratorFlat(f),
+                      tree.chooseAccelerator(f))
+                << "b1=" << b1 << " b4=" << b4 << " b5=" << b5
+                << " b6=" << b6 << " b10=" << b10 << " b11=" << b11
+                << " i1=" << i1 << " t=" << threshold;
+            ASSERT_EQ(tree.predictFlat(f), tree.predict(f));
+        }
+    }
+}
+
+TEST(BatchInferenceTest, FlatTreeMatchesPointerTreeOnRandomSweep)
+{
+    DecisionTreeHeuristic tree;
+    Rng rng(41);
+    for (int i = 0; i < 20000; ++i) {
+        const FeatureVector f = randomFeatures(rng);
+        ASSERT_EQ(tree.chooseAcceleratorFlat(f),
+                  tree.chooseAccelerator(f));
+        ASSERT_EQ(tree.predictFlat(f), tree.predict(f));
+    }
+}
+
+TEST(BatchInferenceTest, BaseClassLoopFallbackMatchesScalar)
+{
+    // A predictor that does not override predictBatch still honors
+    // the contract through the base-class loop.
+    class Constant : public Predictor
+    {
+      public:
+        std::string name() const override { return "constant"; }
+        void train(const TrainingSet &) override {}
+        NormalizedMVector
+        predict(const FeatureVector &f) const override
+        {
+            NormalizedMVector y;
+            y.m[0] = f.b.b1;
+            return y;
+        }
+    };
+    Constant c;
+    Rng rng(43);
+    std::vector<FeatureVector> features(5);
+    for (FeatureVector &f : features)
+        f = randomFeatures(rng);
+    const auto out = c.predictBatch(features);
+    ASSERT_EQ(out.size(), features.size());
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], c.predict(features[i]));
+}
+
+TEST(BatchInferenceTest, DeployBatchMatchesScalarDeploy)
+{
+    // The serving path's deployBatch must produce the same configs
+    // and reports as one deploy() per case; only overheadMs differs
+    // (amortized timing).
+    Oracle oracle;
+    HeteroMap framework(primaryPair(),
+                        makePredictor(PredictorKind::Deep16), oracle);
+    framework.trainOffline(corpus(48, 53));
+
+    std::vector<BenchmarkCase> benches;
+    for (const char *workload :
+         {"PR", "BFS", "TRI", "SSSP-BF", "CONN", "COMM"}) {
+        benches.push_back(makeCase(*makeWorkload(workload),
+                                   datasetByShortName("CO")));
+    }
+
+    const auto batched = framework.deployBatch(benches);
+    ASSERT_EQ(batched.size(), benches.size());
+    for (std::size_t i = 0; i < benches.size(); ++i) {
+        const Deployment solo = framework.deploy(benches[i]);
+        EXPECT_EQ(batched[i].predicted, solo.predicted);
+        EXPECT_EQ(batched[i].config.accelerator,
+                  solo.config.accelerator);
+        EXPECT_EQ(batched[i].config.cores, solo.config.cores);
+        EXPECT_EQ(batched[i].report.seconds, solo.report.seconds);
+    }
+}
+
+} // namespace
+} // namespace heteromap

@@ -217,6 +217,150 @@ TEST(PropsRegression, ComponentAndDiameterSemanticsUnchanged)
 }
 
 // ---------------------------------------------------------------
+// Blocked stats sweep: byte-identical for any thread count AND any
+// blocking factor (exact integer partials, one FP finalization).
+// ---------------------------------------------------------------
+
+TEST(PropsBlockedSweep, BlockingFactorNeverChangesStats)
+{
+    const Graph graphs[] = {
+        generateUniformRandom(20000, 120000, 7),
+        generateRmat(13, 8.0, 9),
+        disconnectedGraph(),
+        directedChain(600),
+    };
+    const std::size_t thread_counts[] = {1, 2, 8};
+    const std::size_t blocks[] = {0, 1, 7, 64, 1000000};
+    for (const Graph &g : graphs) {
+        MeasureOptions reference;
+        reference.threads = 1;
+        const GraphStats expected = measureGraph(g, reference);
+        for (std::size_t threads : thread_counts) {
+            for (std::size_t block : blocks) {
+                MeasureOptions options;
+                options.threads = threads;
+                options.statsBlock = block;
+                EXPECT_TRUE(statsBitEqual(measureGraph(g, options),
+                                          expected))
+                    << "threads=" << threads << " block=" << block;
+            }
+        }
+    }
+}
+
+TEST(PropsBlockedSweep, UniformDegreeStddevIsExactlyZero)
+{
+    // The integer variance expansion must cancel exactly on uniform
+    // degrees, not just approximately.
+    for (std::size_t block : {std::size_t{0}, std::size_t{3}}) {
+        MeasureOptions options;
+        options.statsBlock = block;
+        EXPECT_DOUBLE_EQ(
+            measureGraph(generateCycle(4096), options).degreeStddev,
+            0.0);
+    }
+}
+
+// ---------------------------------------------------------------
+// Model-driven traversal selection: the plan steers only the
+// schedule; outputs are identical to any fixed-threshold run.
+// ---------------------------------------------------------------
+
+TEST(PropsTraversalPlan, PolicyMatchesGraphShape)
+{
+    // Road-like sparse graph: bottom-up ruled out entirely.
+    TraversalPlan road = planTraversal(1000, 1200, 1.2, 0.4);
+    EXPECT_FALSE(road.useBottomUp);
+
+    // Skewed power-law graph: eager switch, bitmap frontiers.
+    TraversalPlan rmat = planTraversal(8192, 65536, 8.0, 24.0);
+    EXPECT_TRUE(rmat.useBottomUp);
+    EXPECT_TRUE(rmat.bitmapFrontier);
+    EXPECT_NE(rmat.bottomUpEdgeDivisor, kBottomUpEdgeDivisor);
+
+    // Moderate uniform graph: stock Beamer thresholds.
+    TraversalPlan uniform = planTraversal(10000, 60000, 6.0, 0.5);
+    EXPECT_TRUE(uniform.useBottomUp);
+    EXPECT_FALSE(uniform.bitmapFrontier);
+    EXPECT_EQ(uniform.bottomUpEdgeDivisor, kBottomUpEdgeDivisor);
+
+    // Degenerate graphs never claim bottom-up.
+    EXPECT_FALSE(planTraversal(1, 0, 0.0, 0.0).useBottomUp);
+}
+
+TEST(PropsTraversalPlan, PlanDrivenBfsMatchesFixedThresholds)
+{
+    const Graph graphs[] = {
+        generateRmat(12, 8.0, 31),   // skewed: plan goes bitmap
+        generateDenseEr(500, 0.3, 11),
+        generatePath(4000),          // plan disables bottom-up
+    };
+    ThreadPool pool(2);
+    for (const Graph &g : graphs) {
+        const GraphStats stats = measureGraph(g, 0, 1);
+        const TraversalPlan plan =
+            planTraversal(stats.numVertices, stats.numEdges,
+                          stats.avgDegree, stats.degreeStddev);
+        const bool symmetric = hasSymmetricAdjacency(g);
+
+        BfsOptions fixed; // stock thresholds, array frontiers
+        fixed.allowBottomUp = symmetric;
+        BfsOptions planned;
+        planned.allowBottomUp = symmetric && plan.useBottomUp;
+        planned.bottomUpEdgeDivisor = plan.bottomUpEdgeDivisor;
+        planned.topDownSizeDivisor = plan.topDownSizeDivisor;
+        planned.bitmapFrontier = plan.bitmapFrontier;
+        planned.pool = &pool;
+
+        for (VertexId source : {VertexId{0}, g.numVertices() / 2}) {
+            std::vector<uint32_t> expected_hops(g.numVertices(),
+                                                UINT32_MAX);
+            std::vector<uint32_t> hops(g.numVertices(), UINT32_MAX);
+            FrontierScratch scratch;
+            scratch.prepare(g.numVertices());
+
+            scratch.clearVisited();
+            BfsResult expected = flatBfs(g, source, scratch,
+                                         expected_hops.data(), fixed);
+            scratch.clearVisited();
+            BfsResult got =
+                flatBfs(g, source, scratch, hops.data(), planned);
+
+            EXPECT_EQ(got.depth, expected.depth);
+            EXPECT_EQ(got.farthest, expected.farthest);
+            EXPECT_EQ(got.reached, expected.reached);
+            EXPECT_EQ(hops, expected_hops);
+        }
+    }
+}
+
+TEST(PropsFlatBfs, BitmapFrontierMatchesArrayFrontier)
+{
+    // Force bitmap mode on its own (independent of the plan) against
+    // the stock array path, including the narrow->wide->narrow
+    // transition in and out of bit form.
+    Graph g = generateRmat(11, 16.0, 41);
+    ASSERT_TRUE(hasSymmetricAdjacency(g));
+    BfsOptions array_opts;
+    array_opts.allowBottomUp = true;
+    BfsOptions bitmap_opts = array_opts;
+    bitmap_opts.bitmapFrontier = true;
+
+    std::vector<uint32_t> a(g.numVertices(), UINT32_MAX);
+    std::vector<uint32_t> b(g.numVertices(), UINT32_MAX);
+    FrontierScratch scratch;
+    scratch.prepare(g.numVertices());
+    scratch.clearVisited();
+    BfsResult ra = flatBfs(g, 0, scratch, a.data(), array_opts);
+    scratch.clearVisited();
+    BfsResult rb = flatBfs(g, 0, scratch, b.data(), bitmap_opts);
+    EXPECT_EQ(ra.depth, rb.depth);
+    EXPECT_EQ(ra.farthest, rb.farthest);
+    EXPECT_EQ(ra.reached, rb.reached);
+    EXPECT_EQ(a, b);
+}
+
+// ---------------------------------------------------------------
 // Fingerprints and the memo cache.
 // ---------------------------------------------------------------
 
