@@ -21,8 +21,20 @@
  *     p99 lands within 2x the baseline (or +5 ms, whichever is
  *     looser — CI boxes are noisy).
  *
+ * Forensics ride the soak (telemetry-ON builds): the flight
+ * recorder is armed and every chaos crash / ladder escalation past
+ * BypassSupervised writes a "<prefix>postmortem-<seq>.jsonl" dump,
+ * each line of which must parse as JSON; a fourth phase replays
+ * uniform control traffic and then swaps in a corpus the model
+ * never trained on (a Kronecker / R-MAT graph plus a long-diameter
+ * road grid), asserting the drift monitor's PSI crosses its alert
+ * threshold for the shifted corpus and not for the control. A
+ * --statusz-out snapshot closes the run.
+ *
  * Run: ./bench_serving_chaos [--requests N] [--workers W]
  *                            [--clients C] [--seed S]
+ *                            [--postmortem-prefix P]
+ *                            [--statusz-out out.json]
  *                            [--telemetry-out out.json]
  */
 
@@ -32,7 +44,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -41,14 +55,17 @@
 #include "arch/presets.hh"
 #include "core/experiment.hh"
 #include "graph/generators.hh"
+#include "graph/stats_cache.hh"
+#include "model/feature_baseline.hh"
 #include "serve/model_registry.hh"
 #include "serve/prediction_service.hh"
 #include "serve/retrying_client.hh"
+#include "util/flight_recorder.hh"
 #include "util/logging.hh"
-#include "util/stats.hh"
 #include "util/table.hh"
 #include "util/telemetry.hh"
 #include "util/timer.hh"
+#include "util/trace.hh"
 #include "workloads/registry.hh"
 
 using namespace heteromap;
@@ -61,6 +78,10 @@ struct SoakOptions {
     std::size_t workers = 2;
     std::size_t clients = 3;
     uint64_t seed = 7;
+    //! Postmortem dump prefix (the service appends
+    //! "postmortem-<seq>.jsonl"); dumps stay on disk for CI upload.
+    std::string postmortemPrefix = "bench_serving_chaos_";
+    std::string statuszOut; //!< empty: no statusz snapshot file
 };
 
 SoakOptions
@@ -85,6 +106,10 @@ parseArgs(int argc, char **argv)
             options.clients = std::strtoull(next(), nullptr, 10);
         else if (arg == "--seed")
             options.seed = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--postmortem-prefix")
+            options.postmortemPrefix = next();
+        else if (arg == "--statusz-out")
+            options.statuszOut = next();
         else {
             std::cerr << "bench_serving_chaos: unknown flag " << arg
                       << "\n";
@@ -104,7 +129,6 @@ struct PhaseStats {
     uint64_t closed = 0;
     uint64_t brokenPromises = 0;
     uint64_t epochViolations = 0;
-    std::vector<double> latenciesMs;
 
     uint64_t
     responses() const
@@ -139,8 +163,40 @@ main(int argc, char **argv)
     Oracle oracle;
     AcceleratorPair pair = pinnedPair(primaryPair());
     ModelRegistry registry(pair, oracle);
+
+    forensics::armFlightRecorder();
+
+    std::vector<std::shared_ptr<const Workload>> workloads;
+    workloads.emplace_back(makeWorkload("PR"));
+    workloads.emplace_back(makeWorkload("BFS"));
+    const std::vector<std::shared_ptr<const Graph>> graphs = {
+        std::make_shared<const Graph>(generateMesh(1024, 4, 1)),
+        std::make_shared<const Graph>(
+            generatePreferentialAttachment(1024, 4, 7)),
+    };
+    const std::vector<std::string> graph_names = {"mesh", "social"};
+
+    // The published model carries a feature baseline over the soak's
+    // own catalogue so the drift monitor scores live windows; the
+    // mid-soak save/load round-trips it through the v3 envelope.
+    // Each case is weighted to roughly a drift window's mass — a
+    // 4-sample baseline against 64-sample windows would report pure
+    // Laplace-smoothing noise as PSI.
+    auto baseline_features = std::make_shared<FeatureBaseline>();
+    for (const auto &workload : workloads) {
+        for (std::size_t g = 0; g < graphs.size(); ++g) {
+            const GraphStats stats =
+                globalStatsCache().measure(*graphs[g]);
+            const FeatureVector features =
+                makeCase(*workload, *graphs[g], graph_names[g], stats)
+                    .features;
+            for (int r = 0; r < 10; ++r)
+                baseline_features->add(features);
+        }
+    }
     registry.publish(PredictorKind::DecisionTree,
-                     makePredictor(PredictorKind::DecisionTree));
+                     makePredictor(PredictorKind::DecisionTree),
+                     baseline_features);
 
     // Snapshot the model to disk: the mid-soak reload reads it back.
     const std::string model_path = "bench_serving_chaos_model.tmp";
@@ -152,16 +208,6 @@ main(int argc, char **argv)
     auto chaos = std::make_shared<ChaosPolicy>(soak.seed);
     registry.setChaosPolicy(chaos);
 
-    std::vector<std::shared_ptr<const Workload>> workloads;
-    workloads.emplace_back(makeWorkload("PR"));
-    workloads.emplace_back(makeWorkload("BFS"));
-    std::vector<std::shared_ptr<const Graph>> graphs = {
-        std::make_shared<const Graph>(generateMesh(1024, 4, 1)),
-        std::make_shared<const Graph>(
-            generatePreferentialAttachment(1024, 4, 7)),
-    };
-    const char *graph_names[] = {"mesh", "social"};
-
     ServiceOptions options;
     options.workers = soak.workers;
     options.maxBatch = 4;
@@ -169,6 +215,10 @@ main(int argc, char **argv)
     options.watchdog.pollMs = 2.0;
     options.watchdog.stuckAfterMs = 200.0;
     options.watchdog.recoverAfterMs = 30.0;
+    options.postmortemPrefix = soak.postmortemPrefix;
+    // Small drift windows so the monitor closes (and scores) windows
+    // within a default-length soak.
+    options.drift.windowSize = 64;
     PredictionService service(registry, options);
 
     RetryOptions retry;
@@ -182,7 +232,14 @@ main(int argc, char **argv)
 
     // Closed-loop traffic: each client keeps one request in flight
     // and checks the monotone-epoch contract on its own stream.
-    auto runPhase = [&](std::size_t count) {
+    // Latencies go into the caller's histogram (lock-free record(),
+    // so clients write it directly); the phase-4 drift scenario
+    // swaps in its own graph corpus.
+    auto runPhase = [&](std::size_t count,
+                        telemetry::Histogram &latency,
+                        const std::vector<std::shared_ptr<const Graph>>
+                            &phase_graphs,
+                        const std::vector<std::string> &phase_names) {
         PhaseStats stats;
         std::vector<std::thread> threads;
         std::vector<PhaseStats> per_client(soak.clients);
@@ -196,9 +253,9 @@ main(int argc, char **argv)
                     request.workload =
                         workloads[i % workloads.size()];
                     request.graph =
-                        graphs[(i / 2) % graphs.size()];
+                        phase_graphs[(i / 2) % phase_graphs.size()];
                     request.inputName =
-                        graph_names[(i / 2) % graphs.size()];
+                        phase_names[(i / 2) % phase_names.size()];
                     request.supervised = (i % 7 == 0);
                     try {
                         ClientResult result =
@@ -208,9 +265,8 @@ main(int argc, char **argv)
                         switch (response.status) {
                           case ServeStatus::Ok:
                             ++mine.ok;
-                            mine.latenciesMs.push_back(
-                                response.queueMs +
-                                response.serviceMs);
+                            latency.record(response.queueMs +
+                                           response.serviceMs);
                             if (response.modelEpoch < last_epoch)
                                 ++mine.epochViolations;
                             last_epoch = response.modelEpoch;
@@ -243,19 +299,22 @@ main(int argc, char **argv)
             stats.closed += mine.closed;
             stats.brokenPromises += mine.brokenPromises;
             stats.epochViolations += mine.epochViolations;
-            stats.latenciesMs.insert(stats.latenciesMs.end(),
-                                     mine.latenciesMs.begin(),
-                                     mine.latenciesMs.end());
         }
         return stats;
     };
 
+    // Per-phase latency histograms (Histogram is non-copyable, so
+    // they live here and runPhase records into them by reference).
+    telemetry::Histogram baseline_hist, faulted_hist, recovery_hist;
+    telemetry::Histogram control_hist, shifted_hist;
+
     /* ---------------- Phase 1: clean baseline ---------------- */
     std::cout << "phase 1: baseline (" << soak.requests
               << " requests)\n";
-    const PhaseStats baseline = runPhase(soak.requests);
+    const PhaseStats baseline =
+        runPhase(soak.requests, baseline_hist, graphs, graph_names);
     const double baseline_p99 =
-        quantile(baseline.latenciesMs, 0.99);
+        baseline_hist.snapshot().percentile(0.99);
 
     /* ---------------- Phase 2: fault window ------------------ */
     std::cout << "phase 2: fault window (" << soak.requests
@@ -306,8 +365,10 @@ main(int argc, char **argv)
     const uint64_t epoch_before_swap = registry.epoch();
     PhaseStats faulted;
     {
-        std::thread traffic(
-            [&] { faulted = runPhase(soak.requests); });
+        std::thread traffic([&] {
+            faulted = runPhase(soak.requests, faulted_hist, graphs,
+                               graph_names);
+        });
 
         // Mid-soak model events, while the fault traffic runs: a
         // corrupted load that must roll back, then a clean reload
@@ -339,9 +400,41 @@ main(int argc, char **argv)
                 std::chrono::milliseconds(5));
         }
     }
-    const PhaseStats recovery = runPhase(soak.requests);
+    const PhaseStats recovery =
+        runPhase(soak.requests, recovery_hist, graphs, graph_names);
     const double recovery_p99 =
-        quantile(recovery.latenciesMs, 0.99);
+        recovery_hist.snapshot().percentile(0.99);
+
+    /* ---------------- Phase 4: drift scenario ----------------- */
+    // Control: one more round of the uniform training-corpus traffic
+    // — the drift monitor must stay quiet. Shift: a corpus the
+    // baseline never saw, a Kronecker (R-MAT) graph plus a
+    // long-diameter road grid. At bench scale the paper's
+    // literature-maxima normalization (graph/datasets.cc: 134M
+    // vertices, 3M max degree) flattens the size and degree I-vars
+    // of *any* toy graph to the same grid point, so the corpus swap
+    // is carried by the diameter dimension: the 64x64 grid's
+    // ~126-hop diameter lands at I4 = 0.3 where every training
+    // graph sat at 0.0 — exactly the feature-space movement the
+    // monitor exists to flag.
+    std::cout << "phase 4: drift control + corpus shift (2 x "
+              << soak.requests << " requests)\n";
+    const PhaseStats control =
+        runPhase(soak.requests, control_hist, graphs, graph_names);
+    const DriftScores control_scores = service.driftScores();
+
+    const std::vector<std::shared_ptr<const Graph>> shifted_graphs = {
+        std::make_shared<const Graph>(
+            generateRmat(12, 8.0, soak.seed ^ 0x5eedULL)),
+        std::make_shared<const Graph>(
+            generateRoadGrid(64, 64, soak.seed ^ 0xbeefULL)),
+    };
+    const std::vector<std::string> shifted_names = {"rmat",
+                                                    "longgrid"};
+    const PhaseStats shifted = runPhase(soak.requests, shifted_hist,
+                                        shifted_graphs, shifted_names);
+    const DriftScores shifted_scores = service.driftScores();
+
     service.close();
     std::remove(model_path.c_str());
 
@@ -357,9 +450,10 @@ main(int argc, char **argv)
     row("ok", baseline.ok, faulted.ok, recovery.ok);
     row("errors", baseline.errors, faulted.errors, recovery.errors);
     row("shed", baseline.shed, faulted.shed, recovery.shed);
-    table.addRow({"p99 (ms)", formatNumber(baseline_p99, 3),
-                  formatNumber(quantile(faulted.latenciesMs, 0.99), 3),
-                  formatNumber(recovery_p99, 3)});
+    table.addRow(
+        {"p99 (ms)", formatNumber(baseline_p99, 3),
+         formatNumber(faulted_hist.snapshot().percentile(0.99), 3),
+         formatNumber(recovery_p99, 3)});
     table.print(std::cout);
 
     std::cout << "chaos fires:";
@@ -373,19 +467,30 @@ main(int argc, char **argv)
               << " batch failures=" << service.batchFailures()
               << " fallback served=" << service.fallbackServed()
               << " model load failures=" << registry.loadFailures()
-              << "\n";
+              << "\nflight records appended="
+              << forensics::auditRecordsAppended()
+              << " dropped=" << forensics::auditRecordsDropped()
+              << " postmortems=" << service.postmortems()
+              << "\ndrift: control psi="
+              << formatNumber(control_scores.psi, 4)
+              << " shifted psi=" << formatNumber(shifted_scores.psi, 4)
+              << " windows=" << shifted_scores.windows
+              << " alerts=" << shifted_scores.alerts << "\n";
 
     std::cout << "invariants:\n";
-    const uint64_t total_requests = 3 * soak.requests;
+    const uint64_t total_requests = 5 * soak.requests;
     check(baseline.responses() + faulted.responses() +
-                  recovery.responses() ==
+                  recovery.responses() + control.responses() +
+                  shifted.responses() ==
               total_requests,
           "every request got a terminal response");
     check(baseline.brokenPromises + faulted.brokenPromises +
-                  recovery.brokenPromises ==
+                  recovery.brokenPromises + control.brokenPromises +
+                  shifted.brokenPromises ==
               0,
           "zero broken promises");
-    check(baseline.errors == 0 && recovery.errors == 0,
+    check(baseline.errors == 0 && recovery.errors == 0 &&
+              control.errors == 0 && shifted.errors == 0,
           "errors confined to the fault window");
     check(faulted.errors <= crash_fires * options.maxBatch,
           "error rate bounded by crash fires x maxBatch");
@@ -405,6 +510,66 @@ main(int argc, char **argv)
     check(recovery_p99 <=
               std::max(2.0 * baseline_p99, baseline_p99 + 5.0),
           "recovery p99 within 2x baseline (or +5 ms)");
+
+    // Forensics invariants only bite in telemetry-ON builds: with
+    // telemetry compiled out the recorder and drift monitor are
+    // no-ops by design.
+    if (telemetry::enabled()) {
+        check(service.postmortems() >= 1,
+              "the lethal chaos crash produced a postmortem dump");
+        uint64_t postmortem_lines = 0;
+        bool postmortem_parse_ok = true;
+        for (uint64_t seq = 0; seq < service.postmortems(); ++seq) {
+            const std::string path = soak.postmortemPrefix +
+                                     "postmortem-" +
+                                     std::to_string(seq) + ".jsonl";
+            std::ifstream dump(path);
+            if (!dump.is_open()) {
+                std::cerr << "  missing postmortem dump: " << path
+                          << "\n";
+                postmortem_parse_ok = false;
+                continue;
+            }
+            std::string line;
+            while (std::getline(dump, line)) {
+                if (line.empty())
+                    continue;
+                ++postmortem_lines;
+                std::string error;
+                if (!telemetry::validateJson(line, &error)) {
+                    std::cerr << "  bad JSONL in " << path << ": "
+                              << error << "\n";
+                    postmortem_parse_ok = false;
+                }
+            }
+        }
+        check(postmortem_parse_ok && postmortem_lines > 0,
+              "every postmortem dump line parses as JSON");
+        check(control_scores.hasBaseline,
+              "drift monitor armed with the published baseline");
+        check(control_scores.windows > 0 &&
+                  control_scores.psi < options.drift.psiAlert,
+              "uniform control corpus stayed under the PSI alert "
+              "threshold");
+        check(shifted_scores.windows > control_scores.windows &&
+                  shifted_scores.psi >= options.drift.psiAlert,
+              "R-MAT corpus shift pushed PSI past the alert "
+              "threshold");
+        check(shifted_scores.alerts > control_scores.alerts,
+              "the corpus shift raised a drift alert");
+    }
+
+    if (!soak.statuszOut.empty()) {
+        std::ofstream out(soak.statuszOut,
+                          std::ios::binary | std::ios::trunc);
+        if (out.is_open()) {
+            out << statuszJson(service.statusz()) << "\n";
+            std::cout << "statusz snapshot written to "
+                      << soak.statuszOut << "\n";
+        } else {
+            check(false, "statusz snapshot file is writable");
+        }
+    }
 
     if (violations > 0) {
         std::cerr << "bench_serving_chaos: " << violations

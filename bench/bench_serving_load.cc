@@ -7,9 +7,16 @@
  * micro-batching and stats-cache amortization counters that explain
  * them.
  *
+ * Forensics ride along by default — the flight recorder is armed and
+ * the published model carries a feature baseline so the drift
+ * monitor scores live windows; --no-forensics disarms both, which is
+ * how the recorder+drift overhead is measured (run both ways,
+ * compare throughput).
+ *
  * Run: ./bench_serving_load [--requests N] [--workers W]
  *                           [--clients C] [--queue CAP]
  *                           [--open RATE_RPS] [--reject]
+ *                           [--no-forensics]
  *                           [--telemetry-out out.json]
  */
 
@@ -23,10 +30,12 @@
 #include "arch/presets.hh"
 #include "core/experiment.hh"
 #include "graph/generators.hh"
+#include "graph/stats_cache.hh"
+#include "model/feature_baseline.hh"
 #include "serve/model_registry.hh"
 #include "serve/prediction_service.hh"
+#include "util/flight_recorder.hh"
 #include "util/logging.hh"
-#include "util/stats.hh"
 #include "util/table.hh"
 #include "util/telemetry.hh"
 #include "util/timer.hh"
@@ -44,6 +53,7 @@ struct LoadOptions {
     std::size_t queue = 0;     //!< 0 keeps the service default
     double openRateRps = 0.0;  //!< > 0 switches to open loop
     bool reject = false;
+    bool forensics = true;     //!< flight recorder + drift baseline
 };
 
 LoadOptions
@@ -72,6 +82,8 @@ parseArgs(int argc, char **argv)
             options.openRateRps = std::strtod(next(), nullptr);
         else if (arg == "--reject")
             options.reject = true;
+        else if (arg == "--no-forensics")
+            options.forensics = false;
         else {
             std::cerr << "bench_serving_load: unknown flag " << arg
                       << "\n";
@@ -96,8 +108,6 @@ main(int argc, char **argv)
     Oracle oracle;
     AcceleratorPair pair = pinnedPair(primaryPair());
     ModelRegistry registry(pair, oracle);
-    registry.publish(PredictorKind::DecisionTree,
-                     makePredictor(PredictorKind::DecisionTree));
 
     // A small catalogue of traffic: two workloads, three graphs, so
     // batching has both coalescible and distinct requests to chew on.
@@ -113,6 +123,35 @@ main(int argc, char **argv)
     };
     const char *graph_names[] = {"mesh", "social", "road"};
 
+    // With forensics on, the model ships a baseline over the bench's
+    // own catalogue: live windows match it, so the drift monitor
+    // scores every window (the cost under test) without alerting.
+    std::shared_ptr<const FeatureBaseline> baseline;
+    if (load.forensics) {
+        forensics::armFlightRecorder();
+        auto built = std::make_shared<FeatureBaseline>();
+        for (const auto &workload : workloads) {
+            for (std::size_t g = 0; g < graphs.size(); ++g) {
+                const GraphStats stats =
+                    globalStatsCache().measure(*graphs[g]);
+                const FeatureVector features =
+                    makeCase(*workload, *graphs[g], graph_names[g],
+                             stats)
+                        .features;
+                // Weight each case to roughly a drift window's mass:
+                // a 6-sample baseline against 64-sample windows
+                // would report pure Laplace-smoothing noise as PSI
+                // (real deployments train on hundreds of samples).
+                for (int r = 0; r < 10; ++r)
+                    built->add(features);
+            }
+        }
+        baseline = std::move(built);
+    }
+    registry.publish(PredictorKind::DecisionTree,
+                     makePredictor(PredictorKind::DecisionTree),
+                     baseline);
+
     auto requestAt = [&](std::size_t i) {
         ServeRequest request;
         request.workload = workloads[i % workloads.size()];
@@ -127,6 +166,9 @@ main(int argc, char **argv)
         options.queueCapacity = load.queue;
     options.admission = load.reject ? AdmissionPolicy::Reject
                                     : AdmissionPolicy::Block;
+    // Small drift windows so the monitor actually closes (and
+    // scores) windows within a default-length run.
+    options.drift.windowSize = 64;
     PredictionService service(registry, options);
 
     const uint64_t batches_before =
@@ -136,14 +178,16 @@ main(int argc, char **argv)
     const uint64_t infer_count_before = infer_hist.count();
     const double infer_sum_before = infer_hist.sum();
 
-    std::vector<double> latencies_ms;
-    latencies_ms.reserve(load.requests);
+    // Local histogram (works in telemetry-OFF builds too); the
+    // interpolated snapshot percentiles replace the old sorted-vector
+    // quantile pass.
+    telemetry::Histogram latency_hist;
     uint64_t ok = 0, shed = 0;
     auto harvest = [&](ServeResponse response) {
         if (response.status == ServeStatus::Ok) {
             ++ok;
-            latencies_ms.push_back(response.queueMs +
-                                   response.serviceMs);
+            latency_hist.record(response.queueMs +
+                                response.serviceMs);
         } else {
             ++shed;
         }
@@ -213,12 +257,14 @@ main(int argc, char **argv)
     table.addRow(
         {"throughput (req/s)",
          formatNumber(static_cast<double>(ok) / wall_s, 1)});
+    const telemetry::HistogramSnapshot latency =
+        latency_hist.snapshot();
     table.addRow(
-        {"p50 latency (ms)", formatNumber(quantile(latencies_ms, 0.50), 3)});
+        {"p50 latency (ms)", formatNumber(latency.percentile(0.50), 3)});
     table.addRow(
-        {"p95 latency (ms)", formatNumber(quantile(latencies_ms, 0.95), 3)});
+        {"p95 latency (ms)", formatNumber(latency.percentile(0.95), 3)});
     table.addRow(
-        {"p99 latency (ms)", formatNumber(quantile(latencies_ms, 0.99), 3)});
+        {"p99 latency (ms)", formatNumber(latency.percentile(0.99), 3)});
     table.addRow({"batches", std::to_string(batches)});
     table.addRow(
         {"avg batch size",
@@ -242,6 +288,18 @@ main(int argc, char **argv)
          ok == 0 ? "-"
                  : formatNumber(infer_ms / static_cast<double>(ok),
                                 5)});
+    table.addRow({"forensics", load.forensics ? "armed" : "off"});
+    if (load.forensics) {
+        table.addRow({"audit records appended",
+                      std::to_string(forensics::auditRecordsAppended())});
+        table.addRow({"audit records dropped",
+                      std::to_string(forensics::auditRecordsDropped())});
+        const DriftScores drift = service.driftScores();
+        table.addRow({"drift windows",
+                      std::to_string(drift.windows)});
+        table.addRow({"drift psi (last window)",
+                      formatNumber(drift.psi, 4)});
+    }
     table.print(std::cout);
 
     if (ok + shed != load.requests) {

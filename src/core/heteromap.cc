@@ -11,10 +11,12 @@
 #include "util/checksum.hh"
 #include "model/adaptive_library.hh"
 #include "model/decision_tree.hh"
+#include "model/feature_baseline.hh"
 #include "model/linear_regression.hh"
 #include "model/mlp.hh"
 #include "model/poly_regression.hh"
 #include "model/table_lookup.hh"
+#include "util/flight_recorder.hh"
 #include "util/logging.hh"
 #include "util/telemetry.hh"
 #include "util/timer.hh"
@@ -109,9 +111,15 @@ asConcrete(const Predictor &predictor, PredictorKind kind)
     return *concrete;
 }
 
-/** Envelope leader; bumping the version invalidates old streams. */
+/**
+ * Envelope leader. v2 is the baseline-less format every pre-drift
+ * model file uses; v3 appends a checksummed FeatureBaseline trailer.
+ * Loads accept both, saves emit v2 unless a baseline is supplied, so
+ * the version bump never invalidates an existing stream.
+ */
 constexpr const char *kModelMagic = "heteromap-model";
 constexpr const char *kModelVersion = "v2";
+constexpr const char *kModelVersionV3 = "v3";
 
 /** The pre-envelope per-kind serialization (the v2 payload). */
 void
@@ -187,12 +195,15 @@ loadPayload(PredictorKind kind, std::istream &is)
 }
 
 /**
- * Read and verify the envelope header + payload. On success @p kind
- * and @p payload are filled; every failure is a recoverable Error.
+ * Read and verify the envelope header + payload (+ the v3 baseline
+ * trailer when present). On success @p kind and @p payload are
+ * filled and @p baseline holds the parsed FeatureBaseline (null for
+ * v2 or an empty trailer); every failure is a recoverable Error.
  */
 Result<bool>
 readEnvelope(std::istream &is, PredictorKind &kind,
-             std::string &payload)
+             std::string &payload,
+             std::shared_ptr<const FeatureBaseline> &baseline)
 {
     std::string magic, version, kind_name, crc_hex;
     std::size_t payload_bytes = 0;
@@ -201,11 +212,12 @@ readEnvelope(std::istream &is, PredictorKind &kind,
         return HM_RECOVERABLE(ErrorCode::Parse,
                               "model stream has no '", kModelMagic,
                               "' envelope header");
-    if (version != kModelVersion)
+    const bool v3 = version == kModelVersionV3;
+    if (version != kModelVersion && !v3)
         return HM_RECOVERABLE(ErrorCode::Parse,
                               "unsupported model envelope version '",
                               version, "' (expected ", kModelVersion,
-                              ")");
+                              " or ", kModelVersionV3, ")");
     const std::optional<PredictorKind> declared =
         predictorKindFromName(kind_name);
     if (!declared)
@@ -228,6 +240,28 @@ readEnvelope(std::istream &is, PredictorKind &kind,
                               "payload size (",
                               payload_bytes, " bytes) — corrupt header");
 
+    std::size_t baseline_bytes = 0;
+    uint64_t baseline_crc = 0;
+    if (v3) {
+        std::string baseline_crc_hex;
+        is >> baseline_bytes >> baseline_crc_hex;
+        if (is.fail())
+            return HM_RECOVERABLE(ErrorCode::Parse,
+                                  "v3 model envelope lacks the "
+                                  "baseline trailer fields");
+        if (!checksumFromHex(baseline_crc_hex, baseline_crc))
+            return HM_RECOVERABLE(ErrorCode::Parse,
+                                  "model baseline checksum '",
+                                  baseline_crc_hex,
+                                  "' is not 16 hex digits");
+        if (baseline_bytes > kMaxPayloadBytes)
+            return HM_RECOVERABLE(ErrorCode::Parse,
+                                  "model envelope declares an absurd "
+                                  "baseline size (",
+                                  baseline_bytes,
+                                  " bytes) — corrupt header");
+    }
+
     // The single separator after the header line; then exactly
     // payload_bytes of payload.
     is.get();
@@ -247,6 +281,32 @@ readEnvelope(std::istream &is, PredictorKind &kind,
             checksumToHex(declared_crc), ", payload hashes to ",
             checksumToHex(actual_crc),
             " (corrupt or torn model stream)");
+
+    if (v3 && baseline_bytes > 0) {
+        std::string baseline_text(baseline_bytes, '\0');
+        is.read(baseline_text.data(),
+                static_cast<std::streamsize>(baseline_bytes));
+        if (static_cast<std::size_t>(is.gcount()) != baseline_bytes)
+            return HM_RECOVERABLE(
+                ErrorCode::Io, "model baseline truncated: expected ",
+                baseline_bytes, " bytes, stream held ", is.gcount());
+        const uint64_t actual_baseline_crc = crc64(baseline_text);
+        if (actual_baseline_crc != baseline_crc)
+            return HM_RECOVERABLE(
+                ErrorCode::Parse,
+                "model baseline checksum mismatch: envelope says ",
+                checksumToHex(baseline_crc), ", trailer hashes to ",
+                checksumToHex(actual_baseline_crc),
+                " (corrupt or torn model stream)");
+        std::istringstream body(baseline_text);
+        FeatureBaseline parsed;
+        if (!FeatureBaseline::load(body, &parsed))
+            return HM_RECOVERABLE(ErrorCode::Parse,
+                                  "model baseline trailer failed to "
+                                  "parse as a feature-baseline");
+        baseline =
+            std::make_shared<const FeatureBaseline>(std::move(parsed));
+    }
     kind = *declared;
     return true;
 }
@@ -271,13 +331,30 @@ void
 savePredictor(const Predictor &predictor, PredictorKind kind,
               std::ostream &os)
 {
+    savePredictor(predictor, kind, os, nullptr);
+}
+
+void
+savePredictor(const Predictor &predictor, PredictorKind kind,
+              std::ostream &os, const FeatureBaseline *baseline)
+{
     std::ostringstream payload;
     savePayload(predictor, kind, payload);
     const std::string body = payload.str();
-    os << kModelMagic << " " << kModelVersion << " "
+    if (baseline == nullptr) {
+        // Byte-identical to the pre-baseline format.
+        os << kModelMagic << " " << kModelVersion << " "
+           << predictorKindName(kind) << " " << body.size() << " "
+           << checksumToHex(crc64(body)) << "\n"
+           << body;
+        return;
+    }
+    const std::string trailer = baseline->toString();
+    os << kModelMagic << " " << kModelVersionV3 << " "
        << predictorKindName(kind) << " " << body.size() << " "
-       << checksumToHex(crc64(body)) << "\n"
-       << body;
+       << checksumToHex(crc64(body)) << " " << trailer.size() << " "
+       << checksumToHex(crc64(trailer)) << "\n"
+       << body << trailer;
 }
 
 Result<std::unique_ptr<Predictor>>
@@ -285,7 +362,8 @@ loadPredictor(PredictorKind kind, std::istream &is)
 {
     PredictorKind declared = kind;
     std::string payload;
-    Result<bool> header = readEnvelope(is, declared, payload);
+    std::shared_ptr<const FeatureBaseline> baseline;
+    Result<bool> header = readEnvelope(is, declared, payload, baseline);
     if (!header)
         return header.error();
     if (declared != kind)
@@ -301,14 +379,16 @@ loadAnyPredictor(std::istream &is)
 {
     PredictorKind declared = PredictorKind::DecisionTree;
     std::string payload;
-    Result<bool> header = readEnvelope(is, declared, payload);
+    std::shared_ptr<const FeatureBaseline> baseline;
+    Result<bool> header = readEnvelope(is, declared, payload, baseline);
     if (!header)
         return header.error();
     Result<std::unique_ptr<Predictor>> parsed =
         parsePayload(declared, payload);
     if (!parsed)
         return parsed.error();
-    return LoadedPredictor{declared, std::move(parsed).value()};
+    return LoadedPredictor{declared, std::move(parsed).value(),
+                           std::move(baseline)};
 }
 
 const std::vector<PredictorKind> &
@@ -336,6 +416,12 @@ void
 HeteroMap::trainOffline(const TrainingSet &corpus)
 {
     predictor_->train(corpus);
+    // Capture the training-time feature distribution alongside the
+    // fit: the drift monitor compares live serving windows against
+    // exactly the corpus this model saw, and savePredictor()'s v3
+    // envelope ships the two together.
+    baseline_ = std::make_shared<const FeatureBaseline>(
+        buildFeatureBaseline(corpus));
 }
 
 Deployment
@@ -377,7 +463,36 @@ HeteroMap::predict(const Workload &workload, const Graph &graph,
     // deploy() times the inference stage itself and records it as
     // "predict.stage.infer_ms"; its overheadMs is that stage's value.
     Deployment out = deploy(bench);
+    const double infer_ms = out.overheadMs;
     out.overheadMs += measure_ms + featurize_ms;
+
+    if (forensics::flightRecorderArmed()) {
+        // Library-path provenance: requestId/epoch 0 mark a direct
+        // predict() call (the serving path stamps real ids).
+        static_assert(forensics::kAuditFeatureDims == kNumFeatures);
+        static_assert(forensics::kAuditScoreDims == kNumOutputs);
+        forensics::AuditRecord record;
+        record.timestampNs = telemetry::traceNowNs();
+        record.graphFingerprint = mixFingerprint(fingerprintGraph(graph));
+        record.setModelKind(predictor_->name());
+        record.setWorkload(workload.name());
+        record.features = bench.features.asArray();
+        record.scores = out.predicted.m;
+        record.setAccelerator(
+            acceleratorKindName(out.config.accelerator));
+        if (const auto *tree =
+                dynamic_cast<const DecisionTreeHeuristic *>(
+                    predictor_.get())) {
+            const auto path = tree->decisionPath(bench.features);
+            record.treePredicateMask = path.predicateMask;
+            record.treeLeaf = path.leaf;
+        }
+        record.measureMs = measure_ms;
+        record.featurizeMs = featurize_ms;
+        record.inferMs = infer_ms;
+        record.serviceMs = out.overheadMs;
+        forensics::appendAuditRecord(record);
+    }
     return out;
 }
 

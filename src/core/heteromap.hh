@@ -23,6 +23,8 @@
 
 namespace heteromap {
 
+struct FeatureBaseline;
+
 /**
  * The learner strategies of Table IV, plus the non-parametric
  * database-backed table lookup (Sec. V's "indexed using B,I tuples"
@@ -75,6 +77,23 @@ void savePredictor(const Predictor &predictor, PredictorKind kind,
                    std::ostream &os);
 
 /**
+ * savePredictor() carrying the training-time feature-distribution
+ * baseline the drift monitor compares live traffic against. With a
+ * null @p baseline the output is byte-identical v2; with one, the
+ * envelope version bumps to v3 and grows two trailer fields plus the
+ * baseline body, each independently checksummed:
+ *
+ *   heteromap-model v3 <kind-name> <payload-bytes> <crc64-hex>
+ *       <baseline-bytes> <baseline-crc64-hex>\n
+ *   <payload><baseline>
+ *
+ * loadPredictor()/loadAnyPredictor() accept both versions, so every
+ * pre-drift model file keeps loading unchanged.
+ */
+void savePredictor(const Predictor &predictor, PredictorKind kind,
+                   std::ostream &os, const FeatureBaseline *baseline);
+
+/**
  * Restore a predictor of @p kind from the savePredictor() envelope.
  * Recoverable: a malformed header, a kind mismatch (e.g. a Deep.32
  * stream loaded as Deep.64), a truncated payload, or a checksum
@@ -91,6 +110,8 @@ Result<std::unique_ptr<Predictor>> loadPredictor(PredictorKind kind,
 struct LoadedPredictor {
     PredictorKind kind = PredictorKind::DecisionTree;
     std::unique_ptr<Predictor> predictor;
+    /** Training-time baseline from a v3 envelope; null for v2. */
+    std::shared_ptr<const FeatureBaseline> baseline;
 };
 
 /**
@@ -181,10 +202,26 @@ class HeteroMap
     const AcceleratorPair &pair() const { return pair_; }
     const Oracle &oracle() const { return oracle_; }
 
+    /**
+     * Feature-distribution baseline captured by the last
+     * trainOffline() call (or installed from a v3 envelope via
+     * setBaseline()); null until one exists. Shared with the serving
+     * drift monitor, which compares live windows against it.
+     */
+    std::shared_ptr<const FeatureBaseline> baseline() const
+    {
+        return baseline_;
+    }
+    void setBaseline(std::shared_ptr<const FeatureBaseline> baseline)
+    {
+        baseline_ = std::move(baseline);
+    }
+
   private:
     AcceleratorPair pair_;
     std::unique_ptr<Predictor> predictor_;
     const Oracle &oracle_;
+    std::shared_ptr<const FeatureBaseline> baseline_;
 };
 
 } // namespace heteromap

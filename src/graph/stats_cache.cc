@@ -59,6 +59,16 @@ fingerprintGraph(const Graph &graph)
     return fp;
 }
 
+uint64_t
+mixFingerprint(const GraphFingerprint &fingerprint)
+{
+    uint64_t h = mix64(fingerprint.numVertices);
+    h = mix64(h ^ fingerprint.numEdges);
+    h = mix64(h ^ fingerprint.footprintBytes);
+    h = mix64(h ^ fingerprint.offsetsHash);
+    return mix64(h ^ fingerprint.neighborsHash);
+}
+
 std::size_t
 GraphStatsCache::KeyHash::operator()(const Key &key) const
 {

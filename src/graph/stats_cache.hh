@@ -54,6 +54,14 @@ inline constexpr std::size_t kFingerprintSamples = 4096;
 /** Fingerprint @p graph (see the file comment for the scheme). */
 GraphFingerprint fingerprintGraph(const Graph &graph);
 
+/**
+ * Mix a fingerprint's five fields into one 64-bit hash — the compact
+ * graph identity stamped into flight-recorder audit records (the
+ * serving batcher's key hash folds sweeps/seed on top, so it is not
+ * reusable as a pure graph id).
+ */
+uint64_t mixFingerprint(const GraphFingerprint &fingerprint);
+
 /** Bounded, thread-safe LRU memo cache for measureGraph results. */
 class GraphStatsCache
 {

@@ -114,6 +114,17 @@ DecisionTreeHeuristic::chooseAcceleratorFlat(const FeatureVector &f) const
                                              : AcceleratorKind::Multicore;
 }
 
+DecisionTreeHeuristic::DecisionPath
+DecisionTreeHeuristic::decisionPath(const FeatureVector &f) const
+{
+    DecisionPath path;
+    path.predicateMask = predicateMask(f);
+    path.leaf = leafTable_[path.predicateMask] != 0
+                    ? uint8_t(kLeafGpu)
+                    : uint8_t(kLeafMulticore);
+    return path;
+}
+
 AcceleratorKind
 DecisionTreeHeuristic::chooseAccelerator(const FeatureVector &f) const
 {

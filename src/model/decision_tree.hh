@@ -63,6 +63,18 @@ class DecisionTreeHeuristic : public Predictor
      */
     NormalizedMVector predictFlat(const FeatureVector &f) const;
 
+    /**
+     * The provenance the flight recorder stamps into audit records:
+     * the 12 node-predicate bits (nodes_ order) plus the leaf the
+     * precompiled table maps them to. Together they replay the exact
+     * root-to-leaf walk a prediction took.
+     */
+    struct DecisionPath {
+        uint32_t predicateMask = 0;
+        uint8_t leaf = 0; //!< kLeafGpu (10) or kLeafMulticore (11)
+    };
+    DecisionPath decisionPath(const FeatureVector &f) const;
+
     /** Persist the (only) parameter — the decision threshold. */
     void save(std::ostream &os) const;
 

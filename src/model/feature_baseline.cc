@@ -1,0 +1,90 @@
+/**
+ * @file
+ * FeatureBaseline implementation: a thin aggregate over one
+ * QuantileSketch per feature dimension.
+ */
+
+#include "model/feature_baseline.hh"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace heteromap {
+
+void
+FeatureBaseline::add(const FeatureVector &features)
+{
+    const std::array<double, kNumFeatures> flat = features.asArray();
+    for (std::size_t d = 0; d < kDims; ++d)
+        dims[d].insert(flat[d]);
+    samples += 1;
+}
+
+void
+FeatureBaseline::merge(const FeatureBaseline &other)
+{
+    for (std::size_t d = 0; d < kDims; ++d)
+        dims[d].merge(other.dims[d]);
+    samples += other.samples;
+}
+
+void
+FeatureBaseline::clear()
+{
+    for (auto &sketch : dims)
+        sketch.clear();
+    samples = 0;
+}
+
+void
+FeatureBaseline::save(std::ostream &os) const
+{
+    os << "feature-baseline " << kDims << ' ' << samples << '\n';
+    for (const auto &sketch : dims)
+        sketch.save(os);
+}
+
+std::string
+FeatureBaseline::toString() const
+{
+    std::ostringstream oss;
+    save(oss);
+    return oss.str();
+}
+
+bool
+FeatureBaseline::load(std::istream &is, FeatureBaseline *out)
+{
+    std::string magic;
+    std::size_t dims = 0;
+    uint64_t samples = 0;
+    if (!(is >> magic >> dims >> samples) ||
+        magic != "feature-baseline" || dims != kDims)
+        return false;
+    FeatureBaseline baseline;
+    for (std::size_t d = 0; d < kDims; ++d) {
+        if (!telemetry::QuantileSketch::load(is, &baseline.dims[d]))
+            return false;
+    }
+    baseline.samples = samples;
+    *out = std::move(baseline);
+    return true;
+}
+
+bool
+FeatureBaseline::operator==(const FeatureBaseline &other) const
+{
+    return samples == other.samples && dims == other.dims;
+}
+
+FeatureBaseline
+buildFeatureBaseline(const TrainingSet &corpus)
+{
+    FeatureBaseline baseline;
+    for (const TrainingSample &sample : corpus)
+        baseline.add(sample.x);
+    return baseline;
+}
+
+} // namespace heteromap

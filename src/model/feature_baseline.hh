@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Per-feature-dimension distribution baseline captured at training
+ * time: one deterministic QuantileSketch per HeteroMap feature (13
+ * B-vars + 4 I-vars), built from the training corpus and serialized
+ * inside the model envelope (version v3, core/heteromap.cc) so a
+ * deployed model carries the distribution it was trained on. The
+ * serving drift monitor compares live traffic windows against this
+ * baseline to score feature drift (PSI/KS) per dimension.
+ */
+
+#ifndef HETEROMAP_MODEL_FEATURE_BASELINE_HH
+#define HETEROMAP_MODEL_FEATURE_BASELINE_HH
+
+#include <array>
+#include <iosfwd>
+#include <string>
+
+#include "features/feature_vector.hh"
+#include "model/predictor.hh"
+#include "util/sketch.hh"
+
+namespace heteromap {
+
+/** Sketches over [0,1] for every feature dimension. */
+struct FeatureBaseline {
+    static constexpr std::size_t kDims = kNumFeatures;
+
+    std::array<telemetry::QuantileSketch, kDims> dims;
+    uint64_t samples = 0;
+
+    /** Count one feature vector into every dimension sketch. */
+    void add(const FeatureVector &features);
+
+    /** Fold @p other in (commutative; see QuantileSketch::merge). */
+    void merge(const FeatureBaseline &other);
+
+    void clear();
+
+    /**
+     * Deterministic text serialization (byte-identical for the same
+     * multiset of add() calls regardless of order/threading).
+     */
+    void save(std::ostream &os) const;
+    std::string toString() const;
+
+    /** Parse save() output; false (untouched @p out) on error. */
+    static bool load(std::istream &is, FeatureBaseline *out);
+
+    bool operator==(const FeatureBaseline &other) const;
+    bool operator!=(const FeatureBaseline &other) const
+    {
+        return !(*this == other);
+    }
+};
+
+/** Baseline over every sample's features in @p corpus. */
+FeatureBaseline buildFeatureBaseline(const TrainingSet &corpus);
+
+} // namespace heteromap
+
+#endif // HETEROMAP_MODEL_FEATURE_BASELINE_HH

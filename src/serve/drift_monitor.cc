@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Drift monitor implementation.
+ */
+
+#include "serve/drift_monitor.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.hh"
+#include "util/telemetry.hh"
+
+namespace heteromap {
+namespace serve {
+
+DriftMonitor::DriftMonitor(DriftOptions options)
+    : options_(std::move(options))
+{
+    options_.windowSize = std::max<std::size_t>(2, options_.windowSize);
+    options_.outcomeWindow =
+        std::max<std::size_t>(1, options_.outcomeWindow);
+    outcomes_.assign(options_.outcomeWindow, 0);
+}
+
+void
+DriftMonitor::setBaseline(std::shared_ptr<const FeatureBaseline> baseline)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (baseline == baseline_)
+        return;
+    baseline_ = std::move(baseline);
+    scores_.hasBaseline = baseline_ != nullptr;
+    // The half-filled window was accumulated for the old baseline;
+    // scoring it against the new one would report phantom drift.
+    for (telemetry::QuantileSketch &sketch : window_)
+        sketch.clear();
+    window_fill_ = 0;
+}
+
+bool
+DriftMonitor::hasBaseline() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return baseline_ != nullptr;
+}
+
+bool
+DriftMonitor::closeWindowLocked()
+{
+    double worst_psi = 0.0;
+    double worst_ks = 0.0;
+    std::size_t worst_dim = 0;
+    for (std::size_t d = 0; d < kDims; ++d) {
+        const double psi = window_[d].psiAgainst(baseline_->dims[d]);
+        worst_ks = std::max(worst_ks, window_[d].ksAgainst(
+                                          baseline_->dims[d]));
+        if (psi > worst_psi) {
+            worst_psi = psi;
+            worst_dim = d;
+        }
+    }
+    scores_.psi = worst_psi;
+    scores_.ks = worst_ks;
+    scores_.worstDim = worst_dim;
+    scores_.windows += 1;
+    const bool alert = worst_psi >= options_.psiAlert;
+    if (alert)
+        scores_.alerts += 1;
+
+    for (telemetry::QuantileSketch &sketch : window_)
+        sketch.clear();
+    window_fill_ = 0;
+    return alert;
+}
+
+void
+DriftMonitor::observe(const FeatureVector &features)
+{
+    DriftScores published;
+    bool alerted = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (baseline_ == nullptr)
+            return;
+        const auto values = features.asArray();
+        static_assert(std::tuple_size_v<decltype(features.asArray())> ==
+                          kDims,
+                      "drift window dims must match the feature vector");
+        for (std::size_t d = 0; d < kDims; ++d)
+            window_[d].insert(values[d]);
+        if (++window_fill_ < options_.windowSize)
+            return;
+        alerted = closeWindowLocked();
+        published = scores_;
+    }
+
+    HM_GAUGE_SET("serve.drift.psi", published.psi);
+    HM_GAUGE_SET("serve.drift.ks", published.ks);
+    HM_GAUGE_SET("serve.drift.windows",
+                 static_cast<double>(published.windows));
+    if (alerted) {
+        HM_COUNTER_INC("serve.drift.alerts");
+        warn("serve: feature drift alert — window PSI ", published.psi,
+             " (dim ", published.worstDim, ", threshold ",
+             options_.psiAlert, ")");
+        if (options_.onAlert)
+            options_.onAlert(published);
+    }
+}
+
+void
+DriftMonitor::observeOutcome(bool within_tolerance)
+{
+    double rate = 0.0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        outcomes_[outcome_next_] = within_tolerance ? 0 : 1;
+        outcome_next_ = (outcome_next_ + 1) % outcomes_.size();
+        outcome_count_ = std::min(outcome_count_ + 1, outcomes_.size());
+        uint64_t mispredicts = 0;
+        for (std::size_t i = 0; i < outcome_count_; ++i)
+            mispredicts += outcomes_[i];
+        rate = static_cast<double>(mispredicts) /
+               static_cast<double>(outcome_count_);
+        scores_.mispredictRate = rate;
+    }
+    HM_GAUGE_SET("serve.drift.mispredict_rate", rate);
+}
+
+DriftScores
+DriftMonitor::scores() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return scores_;
+}
+
+} // namespace serve
+} // namespace heteromap

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Feature-drift monitor for the serving tier: compares tumbling
+ * windows of live request features against the training-time
+ * FeatureBaseline carried by the model (envelope v3), and tracks the
+ * rolling supervised mispredict rate as the ground-truth companion
+ * signal.
+ *
+ * Scoring: each completed window computes PSI and KS
+ * (util/sketch.hh) per feature dimension against the baseline and
+ * reports the worst dimension — feature drift is a per-dimension
+ * phenomenon, and a max is what an alert should trip on. Scores are
+ * exported as gauges (serve.drift.psi / .ks / .mispredict_rate) and
+ * kept readable through scores() so telemetry-OFF builds and tests
+ * can assert on them directly. When the window PSI crosses
+ * psiAlert the alert counter bumps and the optional callback fires
+ * (outside the monitor lock, so it may log or dump freely).
+ *
+ * Without a baseline the monitor is inert: observe() returns after
+ * one branch, and scores().hasBaseline stays false. A baseline swap
+ * (model hot-swap) resets the in-progress window — scoring a window
+ * against a baseline it wasn't accumulated for would be noise.
+ */
+
+#ifndef HETEROMAP_SERVE_DRIFT_MONITOR_HH
+#define HETEROMAP_SERVE_DRIFT_MONITOR_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "model/feature_baseline.hh"
+
+namespace heteromap {
+namespace serve {
+
+/** Last-completed-window drift scores plus rolling outcome rate. */
+struct DriftScores {
+    double psi = 0.0;  //!< max PSI over dimensions, last window
+    double ks = 0.0;   //!< max KS over dimensions, last window
+    std::size_t worstDim = 0; //!< dimension with the max PSI
+    double mispredictRate = 0.0; //!< rolling supervised-outcome rate
+    uint64_t windows = 0;        //!< completed windows scored
+    uint64_t alerts = 0;         //!< windows with psi >= psiAlert
+    bool hasBaseline = false;
+};
+
+struct DriftOptions {
+    /** Requests per scored tumbling window. */
+    std::size_t windowSize = 256;
+
+    /** PSI alert threshold (>= 0.25 is "shifted" by convention). */
+    double psiAlert = 0.25;
+
+    /** Supervised outcomes in the rolling mispredict-rate window. */
+    std::size_t outcomeWindow = 64;
+
+    /**
+     * Fired (outside the lock) whenever a completed window's max
+     * PSI reaches psiAlert; receives the freshly computed scores.
+     */
+    std::function<void(const DriftScores &)> onAlert;
+};
+
+/** Thread-safe; observe() is one mutex + kDims bin increments. */
+class DriftMonitor
+{
+  public:
+    static constexpr std::size_t kDims = FeatureBaseline::kDims;
+
+    explicit DriftMonitor(DriftOptions options = {});
+
+    /**
+     * Install (or swap) the training-time baseline. A pointer-equal
+     * baseline is a no-op; a different one resets the in-progress
+     * window. Null disarms the monitor.
+     */
+    void setBaseline(std::shared_ptr<const FeatureBaseline> baseline);
+
+    bool hasBaseline() const;
+
+    /** Count one served request's features into the live window. */
+    void observe(const FeatureVector &features);
+
+    /** Count one supervised outcome (false = mispredict). */
+    void observeOutcome(bool within_tolerance);
+
+    DriftScores scores() const;
+
+  private:
+    DriftOptions options_;
+
+    mutable std::mutex mutex_;
+    std::shared_ptr<const FeatureBaseline> baseline_;
+    std::array<telemetry::QuantileSketch, kDims> window_;
+    std::size_t window_fill_ = 0;
+
+    /** Rolling outcome ring: 1 = mispredict. */
+    std::vector<uint8_t> outcomes_;
+    std::size_t outcome_next_ = 0;
+    std::size_t outcome_count_ = 0;
+
+    DriftScores scores_; //!< guarded by mutex_
+
+    /** Score + reset the full window; true when it alerted. */
+    bool closeWindowLocked();
+};
+
+} // namespace serve
+} // namespace heteromap
+
+#endif // HETEROMAP_SERVE_DRIFT_MONITOR_HH

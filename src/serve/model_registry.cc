@@ -10,6 +10,7 @@
 #include <sstream>
 #include <utility>
 
+#include "model/feature_baseline.hh"
 #include "util/logging.hh"
 #include "util/telemetry.hh"
 
@@ -44,15 +45,19 @@ ModelRegistry::current() const
 
 uint64_t
 ModelRegistry::publish(PredictorKind kind,
-                       std::unique_ptr<Predictor> predictor)
+                       std::unique_ptr<Predictor> predictor,
+                       std::shared_ptr<const FeatureBaseline> baseline)
 {
     HM_ASSERT(predictor != nullptr, "cannot publish a null predictor");
     std::lock_guard<std::mutex> lock(publish_mutex_);
 
     auto snapshot = std::make_shared<ModelSnapshot>();
     snapshot->predictorName = predictor->name();
-    snapshot->framework = std::make_shared<const HeteroMap>(
+    auto framework = std::make_shared<HeteroMap>(
         pair_, std::move(predictor), oracle_);
+    framework->setBaseline(baseline);
+    snapshot->framework = std::move(framework);
+    snapshot->baseline = std::move(baseline);
     snapshot->epoch = ++next_epoch_;
     snapshot->kind = kind;
 
@@ -76,17 +81,31 @@ ModelRegistry::publishTrained(PredictorKind kind,
 {
     std::unique_ptr<Predictor> predictor = makePredictor(kind);
     predictor->train(corpus);
-    return publish(kind, std::move(predictor));
+    // Capture what the model was trained on: the baseline rides the
+    // snapshot (arming the drift monitor) and the v3 envelope
+    // saveActive() writes, so a disk round-trip keeps it.
+    auto baseline = std::make_shared<const FeatureBaseline>(
+        buildFeatureBaseline(corpus));
+    return publish(kind, std::move(predictor), std::move(baseline));
 }
 
 Result<uint64_t>
 ModelRegistry::load(PredictorKind kind, std::istream &is)
 {
-    Result<std::unique_ptr<Predictor>> loaded =
-        loadPredictor(kind, is);
+    // The self-describing loader, so a v3 stream's baseline comes
+    // along; the caller-declared kind is still enforced.
+    Result<LoadedPredictor> loaded = loadAnyPredictor(is);
     if (!loaded.ok())
         return noteLoadFailure(std::move(loaded).error());
-    return publish(kind, std::move(loaded).value());
+    LoadedPredictor model = std::move(loaded).value();
+    if (model.kind != kind) {
+        return noteLoadFailure(HM_RECOVERABLE(
+            ErrorCode::Parse, "model kind mismatch: stream holds a ",
+            predictorKindName(model.kind), ", caller requested a ",
+            predictorKindName(kind)));
+    }
+    return publish(kind, std::move(model.predictor),
+                   std::move(model.baseline));
 }
 
 Result<uint64_t>
@@ -101,7 +120,7 @@ ModelRegistry::saveActive(const std::string &path)
 
     std::ostringstream envelope;
     savePredictor(snapshot->framework->predictor(), snapshot->kind,
-                  envelope);
+                  envelope, snapshot->baseline.get());
     const std::string body = envelope.str();
 
     // Unique-enough sibling name: same directory as the target (so
@@ -173,7 +192,8 @@ ModelRegistry::loadFrom(const std::string &path)
         return noteLoadFailure(std::move(loaded).error());
     }
     LoadedPredictor model = std::move(loaded).value();
-    return publish(model.kind, std::move(model.predictor));
+    return publish(model.kind, std::move(model.predictor),
+                   std::move(model.baseline));
 }
 
 uint64_t

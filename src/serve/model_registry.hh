@@ -22,7 +22,8 @@
  * hot-loads any PredictorKind from a savePredictor() stream.
  *
  * Persistence is crash-safe. Every stream carries the checksummed
- * "heteromap-model v2" envelope (core/heteromap.hh): saveActive()
+ * "heteromap-model" envelope (core/heteromap.hh; v2, or v3 when the
+ * active snapshot carries a feature baseline): saveActive()
  * writes to a temporary sibling and rename()s it into place, so a
  * crash mid-write never leaves a half-model at the target path, and
  * loadFrom()/load() verify the checksum before parsing. A corrupt,
@@ -56,6 +57,15 @@ struct ModelSnapshot {
     uint64_t epoch = 0;
     PredictorKind kind = PredictorKind::DecisionTree;
     std::string predictorName;
+
+    /**
+     * Training-time feature-distribution baseline this model ships
+     * with (publishTrained() builds it from the corpus; loadFrom()
+     * restores it from a v3 envelope). Null for models published
+     * without one — the drift monitor is simply inert then. Also
+     * installed on the framework, so both handles agree.
+     */
+    std::shared_ptr<const FeatureBaseline> baseline;
 };
 
 /** Atomic, epoch-stamped holder of the active serving model. */
@@ -80,13 +90,20 @@ class ModelRegistry
     std::shared_ptr<const ModelSnapshot> current() const;
 
     /**
-     * Install @p predictor as the active model. @return the new
-     * epoch (1 for the first publish, strictly increasing after).
+     * Install @p predictor as the active model, optionally carrying
+     * its training-time feature @p baseline. @return the new epoch
+     * (1 for the first publish, strictly increasing after).
      */
     uint64_t publish(PredictorKind kind,
-                     std::unique_ptr<Predictor> predictor);
+                     std::unique_ptr<Predictor> predictor,
+                     std::shared_ptr<const FeatureBaseline> baseline =
+                         nullptr);
 
-    /** makePredictor(kind), train on @p corpus, publish. */
+    /**
+     * makePredictor(kind), train on @p corpus, publish — with the
+     * corpus's feature baseline attached, so saveActive() emits a v3
+     * envelope and the serving drift monitor arms itself.
+     */
     uint64_t publishTrained(PredictorKind kind,
                             const TrainingSet &corpus);
 

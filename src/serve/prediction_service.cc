@@ -7,9 +7,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <iomanip>
 #include <optional>
+#include <sstream>
 #include <string>
 
+#include "model/decision_tree.hh"
+#include "util/build_info.hh"
+#include "util/flight_recorder.hh"
 #include "util/logging.hh"
 #include "util/telemetry.hh"
 #include "util/timer.hh"
@@ -86,7 +91,8 @@ degradationLevelName(DegradationLevel level)
 PredictionService::PredictionService(ModelRegistry &models,
                                      ServiceOptions options)
     : models_(models), options_(normalized(std::move(options))),
-      queue_(options_.queueCapacity), pool_(options_.workers)
+      queue_(options_.queueCapacity), drift_(options_.drift),
+      slo_(options_.slo), pool_(options_.workers)
 {
     HM_ASSERT(models_.current() != nullptr,
               "PredictionService needs a registry with at least one "
@@ -167,6 +173,12 @@ PredictionService::noteFault()
             warn("serve: degradation escalated to ",
                  degradationLevelName(
                      static_cast<DegradationLevel>(level + 1)));
+            // Escalating into (or past) the supervised bypass is the
+            // "something is really wrong" moment — capture the
+            // provenance of everything served up to it.
+            if (level + 1 >=
+                static_cast<int>(DegradationLevel::BypassSupervised))
+                maybePostmortem("ladder-escalation");
             break;
         }
     }
@@ -323,6 +335,11 @@ PredictionService::workerLoop(std::size_t slot)
                 }
             }
             serveBatch(batch);
+        } catch (const ChaosCrash &e) {
+            // A chaos crash is a rehearsed postmortem moment: dump
+            // the flight recorder before containing the batch.
+            maybePostmortem("chaos-crash");
+            failBatch(batch, e.what());
         } catch (const std::exception &e) {
             // Contain the blast radius to this batch: exactly its
             // unresponded promises fail, with a structured error —
@@ -401,6 +418,12 @@ PredictionService::serveBatch(std::vector<PendingRequest> &batch)
     HM_ASSERT(snapshot != nullptr,
               "serving requires a published model");
 
+    // Keep the drift window bound to the pinned model's baseline
+    // (pointer-equal rebinds are a no-op; a hot-swap resets the
+    // in-progress window — see DriftMonitor::setBaseline).
+    if (telemetry::enabled())
+        drift_.setBaseline(snapshot->baseline);
+
     Timer timer;
     timer.start();
 
@@ -412,14 +435,15 @@ PredictionService::serveBatch(std::vector<PendingRequest> &batch)
         return shardFor(head.key).measure(*head.request.graph,
                                           head.request.measure);
     }();
-    HM_HISTOGRAM_RECORD_MS("serve.batch.measure_ms",
-                           timer.lapMillis());
+    const double measure_ms = timer.lapMillis();
+    HM_HISTOGRAM_RECORD_MS("serve.batch.measure_ms", measure_ms);
 
     // Pass 1 — group members by (workload, input): one featurize per
     // group, and note which groups have at least one member that
     // needs an (unsupervised) inference.
     struct Group {
         BenchmarkCase bench;
+        double featurizeMs = 0.0;         //!< this group's featurize
         std::vector<std::size_t> members; //!< indices into `live`
         std::ptrdiff_t inferSlot = -1;    //!< slot in the batched pass
     };
@@ -439,8 +463,9 @@ PredictionService::serveBatch(std::vector<PendingRequest> &batch)
             return makeCase(*lead.workload, *lead.graph,
                             lead.inputName, stats);
         }();
+        group.featurizeMs = timer.lapMillis();
         HM_HISTOGRAM_RECORD_MS("serve.batch.featurize_ms",
-                               timer.lapMillis());
+                               group.featurizeMs);
 
         bool needs_infer = false;
         for (std::size_t j = i; j < live.size(); ++j) {
@@ -517,6 +542,63 @@ PredictionService::serveBatch(std::vector<PendingRequest> &batch)
                 millisBetween(start, SteadyClock::now());
             HM_HISTOGRAM_RECORD_MS("serve.request.service_ms",
                                    response.serviceMs);
+
+            if (telemetry::enabled()) {
+                slo_.record(response.serviceMs);
+                drift_.observe(group.bench.features);
+            }
+
+            if (forensics::flightRecorderArmed()) {
+                static_assert(forensics::kAuditFeatureDims ==
+                                  kNumFeatures,
+                              "audit feature dims track kNumFeatures");
+                static_assert(forensics::kAuditScoreDims ==
+                                  kNumOutputs,
+                              "audit score dims track kNumOutputs");
+                const bool lane_supervised =
+                    member.supervised && !bypass_supervised;
+                const HeteroMap &served =
+                    !lane_supervised && use_fallback
+                        ? *fallback_
+                        : *snapshot->framework;
+
+                forensics::AuditRecord audit;
+                audit.requestId = member_pending.id;
+                audit.timestampNs = telemetry::traceNowNs();
+                audit.modelEpoch = snapshot->epoch;
+                audit.graphFingerprint =
+                    mixFingerprint(member_pending.key.fingerprint);
+                audit.setModelKind(served.predictor().name());
+                audit.setWorkload(member.workload->name());
+                if (const auto *tree =
+                        dynamic_cast<const DecisionTreeHeuristic *>(
+                            &served.predictor())) {
+                    const DecisionTreeHeuristic::DecisionPath path =
+                        tree->decisionPath(group.bench.features);
+                    audit.treeLeaf = path.leaf;
+                    audit.treePredicateMask = path.predicateMask;
+                }
+                audit.features = group.bench.features.asArray();
+                audit.scores = response.deployment.predicted.m;
+                audit.setAccelerator(acceleratorKindName(
+                    response.deployment.config.accelerator));
+                audit.queueMs = response.queueMs;
+                audit.measureMs = measure_ms;
+                audit.featurizeMs = group.featurizeMs;
+                audit.inferMs = response.deployment.overheadMs;
+                audit.serviceMs = response.serviceMs;
+                audit.status =
+                    static_cast<int32_t>(response.status);
+                audit.degradationLevel = level;
+                audit.supervised = member.supervised;
+                audit.servedByFallback = response.servedByFallback;
+                audit.hasOutcome = response.outcome.has_value();
+                audit.withinTolerance =
+                    response.outcome.has_value() &&
+                    response.outcome->withinTolerance;
+                forensics::appendAuditRecord(audit);
+            }
+
             completed_.fetch_add(1, std::memory_order_relaxed);
             HM_COUNTER_INC("serve.completed");
             respond(member_pending, std::move(response));
@@ -556,6 +638,10 @@ PredictionService::superviseDeploy(
     HM_COUNTER_INC("serve.supervised");
     if (!outcome.withinTolerance)
         HM_COUNTER_INC("serve.supervised_degraded");
+    // Ground truth for the drift monitor: the supervised lane is the
+    // only place the service learns whether a prediction held up.
+    if (telemetry::enabled())
+        drift_.observeOutcome(outcome.withinTolerance);
     response.deployment = outcome.deployment;
     response.outcome = std::move(outcome);
 }
@@ -611,6 +697,11 @@ PredictionService::watchdogLoop()
                 beat(health);
             }
         }
+
+        // SLO windows close on the watchdog's clock (the tracker
+        // rate-limits itself to slo.windowMs).
+        if (telemetry::enabled())
+            slo_.maybeHarvest();
 
         // De-escalate one rung per fault-free recovery window.
         const int level = degradation_.load(std::memory_order_acquire);
@@ -680,6 +771,10 @@ PredictionService::close()
         respond(leftover, std::move(response));
         noteResponded(1);
     }
+    // Close a final SLO window so short-lived services (tests, CLI
+    // runs) report the tail of their traffic too.
+    if (telemetry::enabled())
+        slo_.maybeHarvest(true);
 }
 
 uint64_t
@@ -694,6 +789,190 @@ uint64_t
 PredictionService::statsMisses() const
 {
     return stats_shards_.front()->misses();
+}
+
+void
+PredictionService::maybePostmortem(const char *reason)
+{
+    if (options_.postmortemPrefix.empty() ||
+        !forensics::flightRecorderArmed())
+        return;
+    const uint64_t seq =
+        postmortems_.fetch_add(1, std::memory_order_relaxed);
+    const std::string path = options_.postmortemPrefix + "postmortem-" +
+                             std::to_string(seq) + ".jsonl";
+    if (forensics::dumpFlightRecorderToFile(path, reason))
+        HM_COUNTER_INC("serve.postmortems");
+}
+
+ServiceStatus
+PredictionService::statusz() const
+{
+    ServiceStatus status;
+    if (auto snapshot = models_.current()) {
+        status.modelEpoch = snapshot->epoch;
+        status.predictorName = snapshot->predictorName;
+        status.hasBaseline = snapshot->baseline != nullptr;
+    }
+    status.degradationLevel =
+        static_cast<int>(degradationLevel());
+    status.queueDepth = queue_.size();
+    status.queueCapacity = queue_.capacity();
+    status.workers = pool_.threadCount();
+    status.submitted = submitted();
+    status.admitted = admitted();
+    status.completed = completed();
+    status.shed = shed();
+    status.errors = errorResponses();
+    status.batchFailures = batchFailures();
+    status.workerStalls = workerStalls();
+    status.workerRestarts = workerRestarts();
+    status.fallbackServed = fallbackServed();
+    status.statsHits = statsHits();
+    status.statsMisses = statsMisses();
+    status.flightArmed = forensics::flightRecorderArmed();
+    status.flightAppended = forensics::auditRecordsAppended();
+    status.flightDropped = forensics::auditRecordsDropped();
+    status.postmortems = postmortems();
+    status.drift = drift_.scores();
+    status.slo = slo_.status();
+    return status;
+}
+
+namespace {
+
+std::string
+fmtDouble(double value)
+{
+    std::ostringstream os;
+    os << std::setprecision(12) << value;
+    return os.str();
+}
+
+} // namespace
+
+std::string
+statuszText(const ServiceStatus &status)
+{
+    std::ostringstream os;
+    os << telemetry::buildInfoLine() << "\n";
+    os << "model: epoch=" << status.modelEpoch << " predictor="
+       << status.predictorName
+       << " baseline=" << (status.hasBaseline ? "yes" : "no") << "\n";
+    os << "ladder: level=" << status.degradationLevel << " ("
+       << degradationLevelName(static_cast<DegradationLevel>(
+              status.degradationLevel))
+       << ")\n";
+    os << "queue: depth=" << status.queueDepth << "/"
+       << status.queueCapacity << " workers=" << status.workers
+       << "\n";
+    os << "requests: submitted=" << status.submitted
+       << " admitted=" << status.admitted
+       << " completed=" << status.completed << " shed=" << status.shed
+       << " errors=" << status.errors << "\n";
+    os << "faults: batch_failures=" << status.batchFailures
+       << " stalls=" << status.workerStalls
+       << " restarts=" << status.workerRestarts
+       << " fallback_served=" << status.fallbackServed << "\n";
+    os << "stats_cache: hits=" << status.statsHits
+       << " misses=" << status.statsMisses << "\n";
+    os << "flight: armed=" << (status.flightArmed ? "yes" : "no")
+       << " appended=" << status.flightAppended
+       << " dropped=" << status.flightDropped
+       << " postmortems=" << status.postmortems << "\n";
+    os << "drift: baseline=" << (status.drift.hasBaseline ? "yes" : "no")
+       << " psi=" << fmtDouble(status.drift.psi)
+       << " ks=" << fmtDouble(status.drift.ks)
+       << " worst_dim=" << status.drift.worstDim
+       << " mispredict_rate="
+       << fmtDouble(status.drift.mispredictRate)
+       << " windows=" << status.drift.windows
+       << " alerts=" << status.drift.alerts << "\n";
+    os << "slo: windows=" << status.slo.windows
+       << " requests=" << status.slo.requests
+       << " p50_ms=" << fmtDouble(status.slo.p50Ms)
+       << " p95_ms=" << fmtDouble(status.slo.p95Ms)
+       << " p99_ms=" << fmtDouble(status.slo.p99Ms) << "\n";
+    for (const SloStatus::Objective &objective :
+         status.slo.objectives) {
+        os << "slo." << objective.name << ": threshold_ms="
+           << fmtDouble(objective.thresholdMs)
+           << " target=" << fmtDouble(objective.target)
+           << " good=" << fmtDouble(objective.goodFraction)
+           << " burn=" << fmtDouble(objective.burnRate)
+           << " budget=" << fmtDouble(objective.budgetRemaining)
+           << " breaches=" << objective.breaches << "\n";
+    }
+    return os.str();
+}
+
+std::string
+statuszJson(const ServiceStatus &status)
+{
+    std::ostringstream os;
+    os << "{\"type\":\"statusz\",\"build\":"
+       << telemetry::buildInfoJson();
+    os << ",\"model\":{\"epoch\":" << status.modelEpoch
+       << ",\"predictor\":\""
+       << telemetry::jsonEscape(status.predictorName)
+       << "\",\"has_baseline\":"
+       << (status.hasBaseline ? "true" : "false") << "}";
+    os << ",\"ladder\":{\"level\":" << status.degradationLevel
+       << ",\"name\":\""
+       << degradationLevelName(static_cast<DegradationLevel>(
+              status.degradationLevel))
+       << "\"}";
+    os << ",\"queue\":{\"depth\":" << status.queueDepth
+       << ",\"capacity\":" << status.queueCapacity
+       << ",\"workers\":" << status.workers << "}";
+    os << ",\"requests\":{\"submitted\":" << status.submitted
+       << ",\"admitted\":" << status.admitted
+       << ",\"completed\":" << status.completed
+       << ",\"shed\":" << status.shed
+       << ",\"errors\":" << status.errors << "}";
+    os << ",\"faults\":{\"batch_failures\":" << status.batchFailures
+       << ",\"stalls\":" << status.workerStalls
+       << ",\"restarts\":" << status.workerRestarts
+       << ",\"fallback_served\":" << status.fallbackServed << "}";
+    os << ",\"stats_cache\":{\"hits\":" << status.statsHits
+       << ",\"misses\":" << status.statsMisses << "}";
+    os << ",\"flight\":{\"armed\":"
+       << (status.flightArmed ? "true" : "false")
+       << ",\"appended\":" << status.flightAppended
+       << ",\"dropped\":" << status.flightDropped
+       << ",\"postmortems\":" << status.postmortems << "}";
+    os << ",\"drift\":{\"has_baseline\":"
+       << (status.drift.hasBaseline ? "true" : "false")
+       << ",\"psi\":" << fmtDouble(status.drift.psi)
+       << ",\"ks\":" << fmtDouble(status.drift.ks)
+       << ",\"worst_dim\":" << status.drift.worstDim
+       << ",\"mispredict_rate\":"
+       << fmtDouble(status.drift.mispredictRate)
+       << ",\"windows\":" << status.drift.windows
+       << ",\"alerts\":" << status.drift.alerts << "}";
+    os << ",\"slo\":{\"windows\":" << status.slo.windows
+       << ",\"requests\":" << status.slo.requests
+       << ",\"p50_ms\":" << fmtDouble(status.slo.p50Ms)
+       << ",\"p95_ms\":" << fmtDouble(status.slo.p95Ms)
+       << ",\"p99_ms\":" << fmtDouble(status.slo.p99Ms)
+       << ",\"objectives\":[";
+    for (std::size_t i = 0; i < status.slo.objectives.size(); ++i) {
+        const SloStatus::Objective &objective =
+            status.slo.objectives[i];
+        if (i > 0)
+            os << ",";
+        os << "{\"name\":\"" << telemetry::jsonEscape(objective.name)
+           << "\",\"threshold_ms\":" << fmtDouble(objective.thresholdMs)
+           << ",\"target\":" << fmtDouble(objective.target)
+           << ",\"good_fraction\":"
+           << fmtDouble(objective.goodFraction)
+           << ",\"burn_rate\":" << fmtDouble(objective.burnRate)
+           << ",\"budget_remaining\":"
+           << fmtDouble(objective.budgetRemaining)
+           << ",\"breaches\":" << objective.breaches << "}";
+    }
+    os << "]}}";
+    return os.str();
 }
 
 } // namespace serve

@@ -66,8 +66,10 @@
 
 #include "arch/fault_model.hh"
 #include "core/supervisor.hh"
+#include "serve/drift_monitor.hh"
 #include "serve/model_registry.hh"
 #include "serve/request_queue.hh"
+#include "serve/slo_tracker.hh"
 #include "util/thread_pool.hh"
 
 namespace heteromap {
@@ -144,7 +146,74 @@ struct ServiceOptions {
     std::shared_ptr<ChaosPolicy> chaos;
 
     WatchdogOptions watchdog{};
+
+    /**
+     * When non-empty, the service writes automatic flight-recorder
+     * postmortems ("<prefix>postmortem-<seq>.jsonl",
+     * util/flight_recorder.hh) whenever the degradation ladder
+     * escalates to BypassSupervised or beyond and whenever a chaos
+     * crash kills a batch — provided the process flight recorder is
+     * armed. Empty (the default) disables automatic dumps.
+     */
+    std::string postmortemPrefix;
+
+    /**
+     * Drift-monitor tunables (serve/drift_monitor.hh). The monitor
+     * arms itself from the active model's feature baseline and stays
+     * inert for baseline-less models.
+     */
+    DriftOptions drift{};
+
+    /** SLO objectives and harvest cadence (serve/slo_tracker.hh). */
+    SloOptions slo{};
 };
+
+/**
+ * Point-in-time service snapshot for statusz rendering — everything
+ * an operator (or tools/hm_statusz) wants on one page.
+ */
+struct ServiceStatus {
+    uint64_t modelEpoch = 0;
+    std::string predictorName;
+    bool hasBaseline = false;
+
+    int degradationLevel = 0;
+
+    std::size_t queueDepth = 0;
+    std::size_t queueCapacity = 0;
+    std::size_t workers = 0;
+
+    uint64_t submitted = 0;
+    uint64_t admitted = 0;
+    uint64_t completed = 0;
+    uint64_t shed = 0;
+    uint64_t errors = 0;
+
+    uint64_t batchFailures = 0;
+    uint64_t workerStalls = 0;
+    uint64_t workerRestarts = 0;
+    uint64_t fallbackServed = 0;
+
+    uint64_t statsHits = 0;
+    uint64_t statsMisses = 0;
+
+    bool flightArmed = false;
+    uint64_t flightAppended = 0;
+    uint64_t flightDropped = 0;
+    uint64_t postmortems = 0;
+
+    DriftScores drift;
+    SloStatus slo;
+};
+
+/** Human-readable multi-line rendering of @p status. */
+std::string statuszText(const ServiceStatus &status);
+
+/**
+ * One build-info-stamped JSON object ({"type":"statusz",...}) —
+ * the document tools/hm_statusz validates and renders.
+ */
+std::string statuszJson(const ServiceStatus &status);
 
 /** Concurrent prediction server over a ModelRegistry. */
 class PredictionService
@@ -208,6 +277,18 @@ class PredictionService
     uint64_t statsHits() const;
     uint64_t statsMisses() const;
 
+    /** Drift scores (readable in telemetry-OFF builds too). */
+    DriftScores driftScores() const { return drift_.scores(); }
+
+    /** SLO state: last window, rolling budget, latency percentiles. */
+    SloStatus sloStatus() const { return slo_.status(); }
+
+    /** Automatic postmortem dumps triggered so far. */
+    uint64_t postmortems() const { return postmortems_.load(); }
+
+    /** Live snapshot for statuszText()/statuszJson(). */
+    ServiceStatus statusz() const;
+
   private:
     /**
      * Per-worker health slot the watchdog scans. beatNs is the
@@ -251,6 +332,12 @@ class PredictionService
 
     std::vector<std::unique_ptr<GraphStatsCache>> stats_shards_;
 
+    /** @name Forensics: drift, SLOs, postmortem accounting. @{ */
+    DriftMonitor drift_;
+    SloTracker slo_;
+    std::atomic<uint64_t> postmortems_{0};
+    /** @} */
+
     /** Heuristic served at DegradationLevel::FallbackHeuristic. */
     std::unique_ptr<HeteroMap> fallback_;
 
@@ -290,6 +377,12 @@ class PredictionService
     void stopWatchdog();
     void noteFault();
     void beat(WorkerHealth &health);
+
+    /**
+     * Dump the armed flight recorder to the next sequenced
+     * postmortem file (no-op without a prefix or an armed recorder).
+     */
+    void maybePostmortem(const char *reason);
 };
 
 } // namespace serve

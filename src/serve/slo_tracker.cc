@@ -1,0 +1,165 @@
+/**
+ * @file
+ * SLO tracker implementation.
+ */
+
+#include "serve/slo_tracker.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace heteromap {
+namespace serve {
+
+namespace {
+
+/**
+ * The window's histogram delta: cumulative @p now minus cumulative
+ * @p last. Bucket counts and the count/sum subtract exactly; the
+ * delta's extrema are unknowable from two cumulative snapshots, so
+ * the cumulative ones stand in — they only widen the interpolation
+ * edges fractionBelow() tightens with, never misplace mass.
+ */
+telemetry::HistogramSnapshot
+windowDelta(const telemetry::HistogramSnapshot &now,
+            const telemetry::HistogramSnapshot &last)
+{
+    telemetry::HistogramSnapshot delta = now;
+    delta.count = now.count - last.count;
+    delta.sum = now.sum - last.sum;
+    for (std::size_t b = 0; b < telemetry::HistogramSnapshot::kBuckets;
+         ++b) {
+        delta.buckets[b] = now.buckets[b] - last.buckets[b];
+    }
+    return delta;
+}
+
+} // namespace
+
+std::vector<SloObjective>
+makeDefaultSlos()
+{
+    // Thresholds sized for the in-process service: the fast
+    // objective guards the cached/batched common case, the tail one
+    // the measurement-heavy cold path.
+    return {
+        {"fast", 5.0, 0.90},
+        {"tail", 50.0, 0.99},
+    };
+}
+
+SloTracker::SloTracker(SloOptions options) : options_(std::move(options))
+{
+    if (options_.objectives.empty())
+        options_.objectives = makeDefaultSlos();
+    options_.windowMs = std::max(1.0, options_.windowMs);
+    options_.budgetWindows =
+        std::max<std::size_t>(1, options_.budgetWindows);
+    for (const SloObjective &objective : options_.objectives) {
+        HM_ASSERT(objective.target > 0.0 && objective.target < 1.0,
+                  "SLO target must be a fraction in (0, 1)");
+        ObjectiveState state;
+        state.objective = objective;
+        state.ring.assign(options_.budgetWindows, WindowSpend{});
+        states_.push_back(std::move(state));
+    }
+    last_close_ = std::chrono::steady_clock::now();
+}
+
+bool
+SloTracker::maybeHarvest(bool force)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto now = std::chrono::steady_clock::now();
+    if (!force) {
+        const double elapsed_ms =
+            std::chrono::duration<double, std::milli>(now - last_close_)
+                .count();
+        if (elapsed_ms < options_.windowMs)
+            return false;
+    }
+    last_close_ = now;
+
+    const telemetry::HistogramSnapshot cumulative =
+        histogram_.snapshot();
+    const telemetry::HistogramSnapshot window =
+        windowDelta(cumulative, last_);
+    last_ = cumulative;
+    windows_ += 1;
+
+    for (ObjectiveState &state : states_) {
+        const double good =
+            window.fractionBelow(state.objective.thresholdMs);
+        const double allowed = 1.0 - state.objective.target;
+        state.goodFraction = good;
+        state.burnRate = (1.0 - good) / allowed;
+        if (good < state.objective.target && window.count > 0)
+            state.breaches += 1;
+
+        state.ring[state.ringNext] = WindowSpend{
+            (1.0 - good) * static_cast<double>(window.count),
+            window.count};
+        state.ringNext = (state.ringNext + 1) % state.ring.size();
+        state.ringFill =
+            std::min(state.ringFill + 1, state.ring.size());
+
+        double bad = 0.0;
+        uint64_t total = 0;
+        for (std::size_t i = 0; i < state.ringFill; ++i) {
+            bad += state.ring[i].bad;
+            total += state.ring[i].total;
+        }
+        state.budgetRemaining =
+            total == 0
+                ? 1.0
+                : std::clamp(1.0 - bad / (allowed *
+                                          static_cast<double>(total)),
+                             0.0, 1.0);
+
+        if (telemetry::enabled()) {
+            const std::string prefix =
+                "serve.slo." + state.objective.name;
+            telemetry::registry()
+                .gauge(prefix + ".good_fraction")
+                .set(state.goodFraction);
+            telemetry::registry()
+                .gauge(prefix + ".burn_rate")
+                .set(state.burnRate);
+            telemetry::registry()
+                .gauge(prefix + ".budget_remaining")
+                .set(state.budgetRemaining);
+        }
+    }
+    return true;
+}
+
+SloStatus
+SloTracker::status() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    SloStatus status;
+    status.windows = windows_;
+    const telemetry::HistogramSnapshot cumulative =
+        histogram_.snapshot();
+    status.requests = cumulative.count;
+    status.p50Ms = cumulative.percentile(0.50);
+    status.p95Ms = cumulative.percentile(0.95);
+    status.p99Ms = cumulative.percentile(0.99);
+    for (const ObjectiveState &state : states_) {
+        SloStatus::Objective out;
+        out.name = state.objective.name;
+        out.thresholdMs = state.objective.thresholdMs;
+        out.target = state.objective.target;
+        out.goodFraction = state.goodFraction;
+        out.burnRate = state.burnRate;
+        out.budgetRemaining = state.budgetRemaining;
+        out.breaches = state.breaches;
+        status.objectives.push_back(std::move(out));
+    }
+    return status;
+}
+
+} // namespace serve
+} // namespace heteromap

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Rolling-window latency SLO tracker for the serving tier.
+ *
+ * Workers record() every response's service latency into one
+ * lock-free telemetry::Histogram; the watchdog (or any caller)
+ * closes tumbling windows with maybeHarvest(). Each harvest takes a
+ * histogram snapshot, subtracts the previous one, and evaluates
+ * every objective on the window's delta using the interpolated
+ * HistogramSnapshot::fractionBelow():
+ *
+ *   goodFraction = fraction of the window's requests at or under
+ *                  the objective's threshold (1.0 for an idle
+ *                  window — vacuously compliant);
+ *   burnRate     = (1 - goodFraction) / (1 - target), the SRE
+ *                  error-budget burn rate (1.0 = spending exactly
+ *                  the budget, > 1 = on track to blow it);
+ *   budgetRemaining = share of the error budget left over the last
+ *                  budgetWindows windows, request-weighted:
+ *                  1 - badRequests / (allowedFraction * requests),
+ *                  clamped to [0, 1] (a breach shows up as 0
+ *                  remaining plus a burn rate above 1).
+ *
+ * Results are exported as serve.slo.<objective>.good_fraction /
+ * .burn_rate / .budget_remaining gauges and stay readable through
+ * status() in telemetry-OFF builds (the tracker owns its Histogram,
+ * which works in both builds).
+ */
+
+#ifndef HETEROMAP_SERVE_SLO_TRACKER_HH
+#define HETEROMAP_SERVE_SLO_TRACKER_HH
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/telemetry.hh"
+
+namespace heteromap {
+namespace serve {
+
+/** One latency objective: target fraction under a threshold. */
+struct SloObjective {
+    std::string name;        //!< metric-name fragment, e.g. "fast"
+    double thresholdMs = 1.0;
+    double target = 0.95;    //!< required good fraction in (0, 1)
+};
+
+struct SloOptions {
+    /** Defaulted in the tracker when empty (see makeDefaultSlos). */
+    std::vector<SloObjective> objectives;
+
+    /** Minimum wall time between maybeHarvest() window closes. */
+    double windowMs = 250.0;
+
+    /** Rolling error-budget horizon, in windows. */
+    std::size_t budgetWindows = 40;
+};
+
+/** Objectives used when SloOptions::objectives is empty. */
+std::vector<SloObjective> makeDefaultSlos();
+
+/** Point-in-time SLO state (last completed window + budget). */
+struct SloStatus {
+    struct Objective {
+        std::string name;
+        double thresholdMs = 0.0;
+        double target = 0.0;
+        double goodFraction = 1.0;
+        double burnRate = 0.0;
+        double budgetRemaining = 1.0;
+        uint64_t breaches = 0; //!< windows with goodFraction < target
+    };
+
+    std::vector<Objective> objectives;
+    uint64_t windows = 0;    //!< completed windows
+    uint64_t requests = 0;   //!< latencies recorded so far
+    double p50Ms = 0.0;      //!< cumulative latency percentiles
+    double p95Ms = 0.0;
+    double p99Ms = 0.0;
+};
+
+/** Thread-safe; record() is lock-free, harvests take a mutex. */
+class SloTracker
+{
+  public:
+    explicit SloTracker(SloOptions options = {});
+
+    /** Record one response's service latency. Lock-free. */
+    void record(double service_ms) { histogram_.record(service_ms); }
+
+    /**
+     * Close a window when windowMs has elapsed since the last close
+     * (always, when @p force). @return true when a window closed.
+     */
+    bool maybeHarvest(bool force = false);
+
+    SloStatus status() const;
+
+  private:
+    /** Per-objective rolling budget ring entry. */
+    struct WindowSpend {
+        double bad = 0.0;      //!< bad-request mass in the window
+        uint64_t total = 0;    //!< requests in the window
+    };
+
+    struct ObjectiveState {
+        SloObjective objective;
+        std::vector<WindowSpend> ring; //!< budgetWindows entries
+        std::size_t ringNext = 0;
+        std::size_t ringFill = 0;
+        double goodFraction = 1.0;
+        double burnRate = 0.0;
+        double budgetRemaining = 1.0;
+        uint64_t breaches = 0;
+    };
+
+    SloOptions options_;
+    telemetry::Histogram histogram_;
+
+    mutable std::mutex mutex_;
+    std::vector<ObjectiveState> states_;
+    telemetry::HistogramSnapshot last_; //!< cumulative, at last close
+    std::chrono::steady_clock::time_point last_close_;
+    uint64_t windows_ = 0;
+};
+
+} // namespace serve
+} // namespace heteromap
+
+#endif // HETEROMAP_SERVE_SLO_TRACKER_HH

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Counting-histogram quantile sketch implementation. See sketch.hh
+ * for the determinism rationale.
+ */
+
+#include "util/sketch.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace heteromap {
+namespace telemetry {
+
+QuantileSketch::QuantileSketch(std::size_t bins, double lo, double hi)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    HM_ASSERT(bins > 0, "sketch needs at least one bin");
+    HM_ASSERT(hi > lo, "sketch range must be non-empty (lo=", lo,
+              " hi=", hi, ")");
+}
+
+std::size_t
+QuantileSketch::binOf(double value) const
+{
+    if (value <= lo_)
+        return 0;
+    if (value >= hi_)
+        return counts_.size() - 1;
+    const double frac = (value - lo_) / (hi_ - lo_);
+    std::size_t bin = static_cast<std::size_t>(
+        frac * static_cast<double>(counts_.size()));
+    return std::min(bin, counts_.size() - 1);
+}
+
+void
+QuantileSketch::insert(double value)
+{
+    value = std::min(hi_, std::max(lo_, value));
+    counts_[binOf(value)] += 1;
+    count_ += 1;
+    if (!hasExtrema_) {
+        hasExtrema_ = true;
+        min_ = max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+}
+
+void
+QuantileSketch::merge(const QuantileSketch &other)
+{
+    HM_ASSERT(other.counts_.size() == counts_.size() &&
+                  other.lo_ == lo_ && other.hi_ == hi_,
+              "cannot merge sketches with different bin layouts");
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    count_ += other.count_;
+    if (other.hasExtrema_) {
+        if (!hasExtrema_) {
+            hasExtrema_ = true;
+            min_ = other.min_;
+            max_ = other.max_;
+        } else {
+            min_ = std::min(min_, other.min_);
+            max_ = std::max(max_, other.max_);
+        }
+    }
+}
+
+double
+QuantileSketch::observedMin() const
+{
+    return hasExtrema_ ? min_ : 0.0;
+}
+
+double
+QuantileSketch::observedMax() const
+{
+    return hasExtrema_ ? max_ : 0.0;
+}
+
+double
+QuantileSketch::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0.0;
+    q = std::min(1.0, std::max(0.0, q));
+    const double rank = q * static_cast<double>(count_);
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const uint64_t in_bin = counts_[i];
+        if (in_bin == 0)
+            continue;
+        if (static_cast<double>(cumulative + in_bin) >= rank) {
+            // Interpolate inside the bin, clamped to the exact
+            // extrema so point masses report their true value.
+            double bin_lo = lo_ + width * static_cast<double>(i);
+            double bin_hi = bin_lo + width;
+            bin_lo = std::max(bin_lo, min_);
+            bin_hi = std::min(bin_hi, max_);
+            if (bin_hi < bin_lo)
+                bin_hi = bin_lo;
+            const double frac = std::min(
+                1.0, std::max(0.0, (rank - double(cumulative)) /
+                                       double(in_bin)));
+            return bin_lo + frac * (bin_hi - bin_lo);
+        }
+        cumulative += in_bin;
+    }
+    return max_;
+}
+
+double
+QuantileSketch::cdfAt(double value) const
+{
+    if (count_ == 0)
+        return 0.0;
+    const std::size_t bin = binOf(std::min(hi_, std::max(lo_, value)));
+    uint64_t cumulative = 0;
+    for (std::size_t i = 0; i <= bin; ++i)
+        cumulative += counts_[i];
+    return static_cast<double>(cumulative) / static_cast<double>(count_);
+}
+
+double
+QuantileSketch::psiAgainst(const QuantileSketch &baseline,
+                           double epsilon) const
+{
+    HM_ASSERT(baseline.counts_.size() == counts_.size(),
+              "PSI needs matching bin layouts");
+    const double bins = static_cast<double>(counts_.size());
+    const double live_total = static_cast<double>(count_) + bins * epsilon;
+    const double base_total =
+        static_cast<double>(baseline.count_) + bins * epsilon;
+    double psi = 0.0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const double p =
+            (static_cast<double>(counts_[i]) + epsilon) / live_total;
+        const double q =
+            (static_cast<double>(baseline.counts_[i]) + epsilon) /
+            base_total;
+        psi += (p - q) * std::log(p / q);
+    }
+    return psi;
+}
+
+double
+QuantileSketch::ksAgainst(const QuantileSketch &baseline) const
+{
+    HM_ASSERT(baseline.counts_.size() == counts_.size(),
+              "KS needs matching bin layouts");
+    if (count_ == 0 || baseline.count_ == 0)
+        return 0.0;
+    double ks = 0.0;
+    uint64_t live_cum = 0;
+    uint64_t base_cum = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        live_cum += counts_[i];
+        base_cum += baseline.counts_[i];
+        const double gap =
+            std::fabs(double(live_cum) / double(count_) -
+                      double(base_cum) / double(baseline.count_));
+        ks = std::max(ks, gap);
+    }
+    return ks;
+}
+
+void
+QuantileSketch::clear()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    count_ = 0;
+    hasExtrema_ = false;
+    min_ = max_ = 0.0;
+}
+
+void
+QuantileSketch::save(std::ostream &os) const
+{
+    os << "sketch " << counts_.size() << ' ' << std::setprecision(17)
+       << lo_ << ' ' << hi_ << ' ' << count_ << ' '
+       << (hasExtrema_ ? 1 : 0) << ' ' << min_ << ' ' << max_ << '\n';
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        os << (i == 0 ? "" : " ") << counts_[i];
+    os << '\n';
+}
+
+std::string
+QuantileSketch::toString() const
+{
+    std::ostringstream oss;
+    save(oss);
+    return oss.str();
+}
+
+bool
+QuantileSketch::load(std::istream &is, QuantileSketch *out)
+{
+    std::string magic;
+    std::size_t bins = 0;
+    double lo = 0.0;
+    double hi = 0.0;
+    uint64_t count = 0;
+    int has_extrema = 0;
+    double min = 0.0;
+    double max = 0.0;
+    if (!(is >> magic >> bins >> lo >> hi >> count >> has_extrema >>
+          min >> max) ||
+        magic != "sketch" || bins == 0 || !(hi > lo))
+        return false;
+    QuantileSketch sketch(bins, lo, hi);
+    uint64_t total = 0;
+    for (std::size_t i = 0; i < bins; ++i) {
+        uint64_t c = 0;
+        if (!(is >> c))
+            return false;
+        sketch.counts_[i] = c;
+        total += c;
+    }
+    if (total != count)
+        return false;
+    sketch.count_ = count;
+    sketch.hasExtrema_ = has_extrema != 0;
+    sketch.min_ = min;
+    sketch.max_ = max;
+    // Eat the trailing newline so back-to-back sketches stream.
+    is.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+    *out = std::move(sketch);
+    return true;
+}
+
+bool
+QuantileSketch::operator==(const QuantileSketch &other) const
+{
+    return lo_ == other.lo_ && hi_ == other.hi_ &&
+           counts_ == other.counts_ && count_ == other.count_ &&
+           hasExtrema_ == other.hasExtrema_ && min_ == other.min_ &&
+           max_ == other.max_;
+}
+
+} // namespace telemetry
+} // namespace heteromap

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Deterministic streaming quantile sketch for drift detection.
+ *
+ * The drift monitor needs per-feature-dimension distribution
+ * summaries that are (a) mergeable so per-thread accumulation stays
+ * lock-free, (b) byte-identical regardless of insertion order or
+ * thread count so baselines serialized into model envelopes replay
+ * exactly, and (c) cheap enough to update on every served request.
+ * HeteroMap's features live on a [0,1] grid discretized to 0.1
+ * (features/bvars.hh, features/ivars.hh), so a fixed-bin counting
+ * histogram is exact for the quantities we compare: integer bucket
+ * counts plus an exact min/max, no floating-point accumulator whose
+ * value would depend on summation order. GK/t-digest style sketches
+ * buy nothing here and would break determinism.
+ *
+ * Drift scores: psiAgainst() is the Population Stability Index
+ * (sum over bins of (p-q)*ln(p/q), Laplace-smoothed), the standard
+ * "has this feature moved" score; ksAgainst() is the two-sample
+ * Kolmogorov-Smirnov statistic (max CDF gap), kept as a second
+ * opinion with a different sensitivity profile (PSI reacts to mass
+ * reweighting, KS to location shift).
+ */
+
+#ifndef HETEROMAP_UTIL_SKETCH_HH
+#define HETEROMAP_UTIL_SKETCH_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace heteromap {
+namespace telemetry {
+
+/** Bins a default-constructed sketch uses (0.05-wide over [0,1]). */
+inline constexpr std::size_t kSketchDefaultBins = 20;
+
+class QuantileSketch
+{
+  public:
+    /** Sketch over [@p lo, @p hi] with @p bins equal-width bins. */
+    explicit QuantileSketch(std::size_t bins = kSketchDefaultBins,
+                            double lo = 0.0, double hi = 1.0);
+
+    /** Count @p value (clamped into [lo, hi]). O(1). */
+    void insert(double value);
+
+    /**
+     * Fold @p other into this sketch. Requires identical bin layout.
+     * Commutative and associative, so any thread-count / merge-order
+     * combination over the same multiset yields an identical sketch.
+     */
+    void merge(const QuantileSketch &other);
+
+    uint64_t count() const { return count_; }
+    std::size_t bins() const { return counts_.size(); }
+    double lowerBound() const { return lo_; }
+    double upperBound() const { return hi_; }
+    uint64_t binCount(std::size_t bin) const { return counts_[bin]; }
+
+    /** Exact observed extrema (0 when the sketch is empty). */
+    double observedMin() const;
+    double observedMax() const;
+
+    /** Interpolated quantile for @p q in [0,1]; 0 when empty. */
+    double quantile(double q) const;
+
+    /** Fraction of mass in bins at or below the bin of @p value. */
+    double cdfAt(double value) const;
+
+    /**
+     * Population Stability Index of this sketch (the live window)
+     * against @p baseline. Both sides are Laplace-smoothed with
+     * @p epsilon pseudo-counts per bin so empty bins stay finite.
+     * >= 0; 0 iff the normalized bin masses agree. Conventional
+     * reading: < 0.1 stable, 0.1-0.25 drifting, > 0.25 shifted.
+     */
+    double psiAgainst(const QuantileSketch &baseline,
+                      double epsilon = 0.5) const;
+
+    /** Two-sample KS statistic (max |CDF gap|) in [0, 1]. */
+    double ksAgainst(const QuantileSketch &baseline) const;
+
+    /** Drop all counts (layout survives). */
+    void clear();
+
+    /**
+     * Deterministic text serialization: same multiset of inserts ->
+     * byte-identical output, independent of order and threading.
+     */
+    void save(std::ostream &os) const;
+    std::string toString() const;
+
+    /** Parse save() output; false (and untouched sketch) on error. */
+    static bool load(std::istream &is, QuantileSketch *out);
+
+    bool operator==(const QuantileSketch &other) const;
+    bool operator!=(const QuantileSketch &other) const
+    {
+        return !(*this == other);
+    }
+
+  private:
+    std::size_t binOf(double value) const;
+
+    double lo_ = 0.0;
+    double hi_ = 1.0;
+    std::vector<uint64_t> counts_;
+    uint64_t count_ = 0;
+    // Exact extrema; stored as "unset" sentinels via hasExtrema_ so
+    // empty sketches serialize identically however they were made.
+    bool hasExtrema_ = false;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace telemetry
+} // namespace heteromap
+
+#endif // HETEROMAP_UTIL_SKETCH_HH

@@ -6,11 +6,13 @@
 
 #include "util/telemetry.hh"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
 
+#include "util/build_info.hh"
 #include "util/logging.hh"
 #include "util/trace.hh"
 
@@ -102,6 +104,81 @@ Histogram::reset()
                std::memory_order_relaxed);
 }
 
+namespace {
+
+/**
+ * Lower/upper value edges of bucket @p index, tightened to the
+ * snapshot's observed min/max so interpolation never extrapolates
+ * outside the recorded range (the overflow bucket has no upper bound
+ * of its own, so the observed max is its edge).
+ */
+void
+bucketEdges(const HistogramSnapshot &snap, std::size_t index,
+            double *lo, double *hi)
+{
+    const auto &bounds = Histogram::bucketBoundsMs();
+    *lo = index == 0 ? 0.0 : bounds[index - 1];
+    *hi = index < bounds.size() ? bounds[index] : snap.max;
+    *lo = std::max(*lo, snap.min);
+    *hi = std::min(*hi, snap.max);
+    if (*hi < *lo)
+        *hi = *lo;
+}
+
+} // namespace
+
+double
+HistogramSnapshot::percentile(double q) const
+{
+    if (count == 0)
+        return 0.0;
+    q = std::min(1.0, std::max(0.0, q));
+    const double rank = q * static_cast<double>(count);
+    uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        const uint64_t in_bucket = buckets[i];
+        if (in_bucket == 0)
+            continue;
+        if (static_cast<double>(cumulative) +
+                static_cast<double>(in_bucket) >=
+            rank) {
+            double lo = 0.0;
+            double hi = 0.0;
+            bucketEdges(*this, i, &lo, &hi);
+            const double frac =
+                std::min(1.0, std::max(0.0, (rank - double(cumulative)) /
+                                                double(in_bucket)));
+            return lo + frac * (hi - lo);
+        }
+        cumulative += in_bucket;
+    }
+    return max;
+}
+
+double
+HistogramSnapshot::fractionBelow(double ms) const
+{
+    if (count == 0)
+        return 1.0;
+    double below = 0.0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        const uint64_t in_bucket = buckets[i];
+        if (in_bucket == 0)
+            continue;
+        double lo = 0.0;
+        double hi = 0.0;
+        bucketEdges(*this, i, &lo, &hi);
+        if (ms >= hi) {
+            below += static_cast<double>(in_bucket);
+            continue;
+        }
+        if (ms > lo && hi > lo)
+            below += static_cast<double>(in_bucket) * (ms - lo) / (hi - lo);
+        break;
+    }
+    return std::min(1.0, below / static_cast<double>(count));
+}
+
 std::string
 MetricsSnapshot::toText() const
 {
@@ -128,6 +205,9 @@ MetricsSnapshot::toText() const
             << " sum=" << formatDouble(hist.sum) << "ms"
             << " mean=" << formatDouble(hist.mean()) << "ms"
             << " min=" << formatDouble(hist.min) << "ms"
+            << " p50=" << formatDouble(hist.percentile(0.50)) << "ms"
+            << " p95=" << formatDouble(hist.percentile(0.95)) << "ms"
+            << " p99=" << formatDouble(hist.percentile(0.99)) << "ms"
             << " max=" << formatDouble(hist.max) << "ms\n";
     }
     return oss.str();
@@ -160,6 +240,9 @@ MetricsSnapshot::toJson() const
             << ",\"mean_ms\":" << formatDouble(hist.mean())
             << ",\"min_ms\":" << formatDouble(hist.min)
             << ",\"max_ms\":" << formatDouble(hist.max)
+            << ",\"p50_ms\":" << formatDouble(hist.percentile(0.50))
+            << ",\"p95_ms\":" << formatDouble(hist.percentile(0.95))
+            << ",\"p99_ms\":" << formatDouble(hist.percentile(0.99))
             << ",\"buckets\":[";
         for (std::size_t i = 0; i < hist.buckets.size(); ++i)
             oss << (i == 0 ? "" : ",") << hist.buckets[i];
@@ -188,6 +271,12 @@ MetricsSnapshot::toCsv() const
             << formatDouble(hist.mean()) << "\n"
             << "histogram," << name << ",min_ms,"
             << formatDouble(hist.min) << "\n"
+            << "histogram," << name << ",p50_ms,"
+            << formatDouble(hist.percentile(0.50)) << "\n"
+            << "histogram," << name << ",p95_ms,"
+            << formatDouble(hist.percentile(0.95)) << "\n"
+            << "histogram," << name << ",p99_ms,"
+            << formatDouble(hist.percentile(0.99)) << "\n"
             << "histogram," << name << ",max_ms,"
             << formatDouble(hist.max) << "\n";
     }
@@ -301,6 +390,8 @@ combinedTelemetryJson()
     const std::vector<TraceEvent> events = drainTrace();
     std::string out = "{\"traceEvents\":";
     out += traceEventsToJsonArray(events);
+    out += ",\"buildInfo\":";
+    out += buildInfoJson();
     out += ",\"metrics\":";
     out += registry().snapshot().toJson();
     out += "}";

@@ -107,6 +107,22 @@ struct HistogramSnapshot {
     std::array<uint64_t, kBuckets> buckets{};
 
     double mean() const { return count == 0 ? 0.0 : sum / count; }
+
+    /**
+     * Interpolated quantile estimate in milliseconds for @p q in
+     * [0, 1]. Walks the cumulative bucket counts to the bucket holding
+     * rank q*count and interpolates linearly inside it, with the
+     * bucket edges tightened to the observed min/max so single-bucket
+     * distributions report exact values. Returns 0 when empty.
+     */
+    double percentile(double q) const;
+
+    /**
+     * Fraction of recorded values <= @p ms, interpolating within the
+     * straddling bucket. Returns 1 when empty (vacuously compliant);
+     * the SLO tracker leans on that convention for idle windows.
+     */
+    double fractionBelow(double ms) const;
 };
 
 /**

@@ -6,6 +6,8 @@
 
 #include "util/trace.hh"
 
+#include "util/build_info.hh"
+
 #include <algorithm>
 #include <cctype>
 #include <chrono>
@@ -259,7 +261,11 @@ traceEventsToJsonArray(const std::vector<TraceEvent> &events)
 std::string
 traceToChromeJson(const std::vector<TraceEvent> &events)
 {
-    return "{\"traceEvents\":" + traceEventsToJsonArray(events) + "}";
+    // The buildInfo key makes the artifact attributable to a git
+    // state and build configuration; trace viewers ignore unknown
+    // top-level keys.
+    return "{\"traceEvents\":" + traceEventsToJsonArray(events) +
+           ",\"buildInfo\":" + buildInfoJson() + "}";
 }
 
 namespace {
@@ -520,6 +526,19 @@ traceEventsOf(const JsonValue &doc, std::string *error)
 }
 
 } // namespace
+
+bool
+validateJson(const std::string &json, std::string *error)
+{
+    try {
+        JsonParser(json).parse();
+        return true;
+    } catch (const std::exception &e) {
+        if (error != nullptr)
+            *error = e.what();
+        return false;
+    }
+}
 
 std::vector<ParsedTraceEvent>
 parseChromeTrace(const std::string &json, std::string *error)

@@ -106,6 +106,14 @@ bool validateChromeTrace(const std::string &json,
                          std::string *error = nullptr,
                          std::size_t *num_events = nullptr);
 
+/**
+ * True when @p json parses as one complete JSON document. Shared by
+ * the forensics tests/benches to assert flight-recorder JSONL lines
+ * and statusz snapshots are well-formed without growing a second
+ * parser. On failure sets @p error when non-null.
+ */
+bool validateJson(const std::string &json, std::string *error = nullptr);
+
 /** RAII span; prefer the HM_SPAN macro. */
 class ScopedSpan
 {

@@ -6,8 +6,10 @@
 # serving subsystem (MPMC queue, batching workers, RCU model
 # hot-swap) together with its fault-tolerance layer (chaos
 # injection, watchdog restarts, retrying client, and the fixed-seed
-# chaos soak), and the batched-inference equivalence suite (the
-# thread_local MLP batch workspace must stay private per worker).
+# chaos soak), the forensics layer (per-thread flight-recorder
+# rings, drift monitor, SLO tracker), and the batched-inference
+# equivalence suite (the thread_local MLP batch workspace must stay
+# private per worker).
 # Run from the repo root; uses a separate build tree so the normal
 # build and the tier-1 ctest run stay fast.
 #
@@ -20,7 +22,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-REGEX="Training|Props|Telemetry|Serve|Chaos|BatchInference"
+REGEX="Training|Props|Telemetry|Serve|Chaos|Forensics|BatchInference"
 while getopts "R:" opt; do
     case "$opt" in
       R) REGEX="$OPTARG" ;;
@@ -35,6 +37,6 @@ cmake -B "$BUILD_DIR" -S . -DHETEROMAP_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j \
     --target test_training test_props test_telemetry telemetry_tour \
              test_serve serving_tour test_chaos bench_serving_chaos \
-             test_batch_inference
+             test_forensics test_batch_inference
 ctest --test-dir "$BUILD_DIR" --output-on-failure -R "$REGEX"
 echo "TSan check passed for '$REGEX'"

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * hm_statusz: validate and print a PredictionService statusz
+ * snapshot (the statuszJson() document a bench or service dumps,
+ * e.g. bench_serving_chaos --statusz-out).
+ *
+ * Usage:
+ *   hm_statusz <statusz.json> [--quiet]
+ *
+ * Exit status: 0 when the file holds one well-formed JSON document
+ * with the statusz type marker; 1 on a read, parse, or shape error.
+ * CI runs this over the chaos soak's snapshot so a malformed emitter
+ * fails the build instead of shipping an unreadable dashboard.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "util/trace.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::string path;
+    bool quiet = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: hm_statusz <statusz.json> [--quiet]\n";
+            return 0;
+        } else if (path.empty()) {
+            path = arg;
+        } else {
+            std::cerr << "hm_statusz: unexpected argument '" << arg
+                      << "'\n";
+            return 1;
+        }
+    }
+    if (path.empty()) {
+        std::cerr << "usage: hm_statusz <statusz.json> [--quiet]\n";
+        return 1;
+    }
+
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open()) {
+        std::cerr << "hm_statusz: cannot open " << path << "\n";
+        return 1;
+    }
+    std::ostringstream raw;
+    raw << in.rdbuf();
+    const std::string document = raw.str();
+
+    std::string error;
+    if (!heteromap::telemetry::validateJson(document, &error)) {
+        std::cerr << "hm_statusz: " << path << " is not valid JSON: "
+                  << error << "\n";
+        return 1;
+    }
+    if (document.find("\"type\":\"statusz\"") == std::string::npos) {
+        std::cerr << "hm_statusz: " << path
+                  << " parses as JSON but lacks the statusz type "
+                     "marker\n";
+        return 1;
+    }
+
+    if (!quiet)
+        std::cout << document << "\n";
+    std::cout << "hm_statusz: " << path << " valid ("
+              << document.size() << " bytes)\n";
+    return 0;
+}
