@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Network serving soak: drives a loopback NetServer with open-loop,
+ * multi-tenant traffic — thousands of simulated clients whose
+ * popularity follows a Zipf distribution (a few hot tenants, a long
+ * cold tail), multiplexed over a handful of real connections — and
+ * reports wire throughput, the p50/p95/p99/p99.9 on-wire latency per
+ * lane, per-shard stats-cache affinity, and the quota-fairness
+ * split.
+ *
+ * The run doubles as an acceptance check (nonzero exit on failure):
+ *
+ *  - zero broken connections (no transport errors client-side);
+ *  - quota-limited tenants shed via ShedReason::QuotaExceeded while
+ *    every within-quota tenant sees zero sheds;
+ *  - priority-lane traffic is never quota-shed by the normal-lane
+ *    throttle.
+ *
+ * Run: ./bench_net_serving [--requests N] [--clients C] [--conns K]
+ *                          [--shards S] [--workers W] [--rate RPS]
+ *                          [--limited L] [--seed SEED]
+ *                          [--telemetry-out out.json]
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "arch/presets.hh"
+#include "core/experiment.hh"
+#include "graph/generators.hh"
+#include "net/client.hh"
+#include "net/server.hh"
+#include "serve/model_registry.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/table.hh"
+#include "util/telemetry.hh"
+#include "util/timer.hh"
+#include "workloads/registry.hh"
+
+using namespace heteromap;
+
+namespace {
+
+struct SoakOptions {
+    std::size_t requests = 2000;
+    std::size_t clients = 1000;  //!< simulated tenant ids
+    std::size_t conns = 4;       //!< real connections (sender threads)
+    std::size_t shards = 2;
+    std::size_t workers = 2;
+    double rateRps = 0.0;        //!< 0 = as fast as the conns go
+    std::size_t limited = 3;     //!< tenants given a tiny quota
+    uint64_t seed = 42;
+    double priorityFraction = 0.1;
+};
+
+SoakOptions
+parseArgs(int argc, char **argv)
+{
+    SoakOptions options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << "bench_net_serving: " << arg
+                          << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--requests")
+            options.requests = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--clients")
+            options.clients = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--conns")
+            options.conns = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--shards")
+            options.shards = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--workers")
+            options.workers = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--rate")
+            options.rateRps = std::strtod(next(), nullptr);
+        else if (arg == "--limited")
+            options.limited = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--seed")
+            options.seed = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--priority-fraction")
+            options.priorityFraction = std::strtod(next(), nullptr);
+        else {
+            std::cerr << "bench_net_serving: unknown argument "
+                      << arg << "\n";
+            std::exit(2);
+        }
+    }
+    return options;
+}
+
+/**
+ * Zipf(s = 1.1) sampler over [0, n): inverse-CDF walk on the
+ * precomputed cumulative harmonic weights. A few tenants take most
+ * of the traffic — the worst case for per-tenant fairness and the
+ * best case for fingerprint-routed cache affinity.
+ */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(std::size_t n, double s)
+    {
+        cdf_.reserve(n);
+        double total = 0.0;
+        for (std::size_t rank = 1; rank <= n; ++rank) {
+            total += 1.0 / std::pow(static_cast<double>(rank), s);
+            cdf_.push_back(total);
+        }
+        for (double &cumulative : cdf_)
+            cumulative /= total;
+    }
+
+    std::size_t
+    sample(double uniform01) const
+    {
+        const auto it = std::lower_bound(cdf_.begin(), cdf_.end(),
+                                         uniform01);
+        return static_cast<std::size_t>(it - cdf_.begin());
+    }
+
+  private:
+    std::vector<double> cdf_;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setLogVerbose(false);
+    telemetry::TelemetryFileWriter telemetry_writer(
+        telemetry::consumeTelemetryOutFlag(argc, argv));
+    const SoakOptions soak = parseArgs(argc, argv);
+
+    Oracle oracle;
+    AcceleratorPair pair = pinnedPair(primaryPair());
+    serve::ModelRegistry registry(pair, oracle);
+    registry.publish(PredictorKind::DecisionTree,
+                     makePredictor(PredictorKind::DecisionTree));
+
+    net::ServerOptions server_options;
+    server_options.endpoint =
+        net::parseEndpoint("tcp:127.0.0.1:0").value();
+    server_options.shards = soak.shards;
+    server_options.shard.workers = soak.workers;
+    // Generous default quota: within-quota tenants must never shed.
+    server_options.admission.clientRatePerSec = 1e6;
+    server_options.admission.clientBurst = 1e6;
+
+    net::NetServer server(registry, server_options);
+    const char *graph_names[] = {"mesh", "social", "road"};
+    server.registerGraph(
+        "mesh",
+        std::make_shared<const Graph>(generateMesh(1024, 4, 1)));
+    server.registerGraph("social",
+                         std::make_shared<const Graph>(
+                             generatePreferentialAttachment(1024, 4,
+                                                            7)));
+    server.registerGraph(
+        "road",
+        std::make_shared<const Graph>(generateRoadGrid(32, 32, 3)));
+
+    // Tenants [0, limited) get a token bucket that exhausts almost
+    // immediately; everyone else keeps the generous default. The
+    // Zipf head makes the limited tenants the *hottest* senders, so
+    // the quota actually bites.
+    const std::size_t limited =
+        std::min(soak.limited, soak.clients);
+    for (std::size_t client = 0; client < limited; ++client)
+        server.admission().setClientQuota(client, 0.001, 5.0);
+
+    auto bound = server.start();
+    if (!bound.ok()) {
+        std::cerr << "bench_net_serving: start failed: "
+                  << bound.error().toString() << "\n";
+        return 1;
+    }
+
+    const ZipfSampler zipf(soak.clients, 1.1);
+    const std::vector<std::string> workload_names = {"PR", "BFS"};
+
+    // Per-lane wire-latency histograms plus per-tenant-class
+    // accounting, all client-side.
+    telemetry::Histogram normal_hist, priority_hist;
+    std::atomic<uint64_t> ok{0}, shed_quota{0}, shed_other{0},
+        errors{0};
+    std::atomic<uint64_t> limited_ok{0}, limited_quota_shed{0};
+    std::atomic<uint64_t> unlimited_shed{0}, priority_shed{0};
+    std::atomic<uint64_t> transport_errors{0};
+
+    Timer wall;
+    wall.start();
+    std::vector<std::thread> senders;
+    senders.reserve(soak.conns);
+    const std::size_t per_conn =
+        (soak.requests + soak.conns - 1) / soak.conns;
+    for (std::size_t conn = 0; conn < soak.conns; ++conn) {
+        senders.emplace_back([&, conn] {
+            Rng rng(soak.seed * 7919 + conn);
+            net::NetClient client(bound.value());
+            const std::size_t begin = conn * per_conn;
+            const std::size_t end =
+                std::min(begin + per_conn, soak.requests);
+
+            // Open loop: this connection owes arrivals at
+            // rate / conns; pacing is against the wall clock, so a
+            // slow response does not slow the schedule.
+            const bool paced = soak.rateRps > 0.0;
+            const auto interval =
+                paced ? std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(
+                                static_cast<double>(soak.conns) /
+                                soak.rateRps))
+                      : std::chrono::steady_clock::duration::zero();
+            auto next_arrival = std::chrono::steady_clock::now();
+
+            for (std::size_t i = begin; i < end; ++i) {
+                if (paced) {
+                    std::this_thread::sleep_until(next_arrival);
+                    next_arrival += interval;
+                }
+                const std::size_t tenant =
+                    zipf.sample(rng.nextDouble());
+                const bool priority =
+                    rng.nextDouble() < soak.priorityFraction;
+                client.setClientId(tenant);
+                client.setPriority(priority);
+
+                serve::ServeRequest request;
+                request.workload = std::shared_ptr<const Workload>(
+                    makeWorkload(workload_names[i %
+                                                workload_names
+                                                    .size()]));
+                request.inputName = graph_names[tenant % 3];
+                const auto sent =
+                    std::chrono::steady_clock::now();
+                auto response = client.call(std::move(request));
+                const double wire_ms =
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - sent)
+                        .count();
+
+                if (response.status == serve::ServeStatus::Ok) {
+                    ok.fetch_add(1);
+                    (priority ? priority_hist : normal_hist)
+                        .record(wire_ms);
+                    if (tenant < limited)
+                        limited_ok.fetch_add(1);
+                } else if (response.status ==
+                           serve::ServeStatus::Shed) {
+                    if (response.shedReason ==
+                        serve::ShedReason::QuotaExceeded) {
+                        shed_quota.fetch_add(1);
+                        if (tenant < limited)
+                            limited_quota_shed.fetch_add(1);
+                    } else {
+                        shed_other.fetch_add(1);
+                    }
+                    if (tenant >= limited)
+                        unlimited_shed.fetch_add(1);
+                    if (priority)
+                        priority_shed.fetch_add(1);
+                } else {
+                    errors.fetch_add(1);
+                }
+            }
+            transport_errors.fetch_add(client.transportErrors());
+        });
+    }
+    for (auto &sender : senders)
+        sender.join();
+    const double elapsed_s = wall.elapsedSeconds();
+
+    const net::ServerStats stats = server.stats();
+    const auto normal = normal_hist.snapshot();
+    const auto priority = priority_hist.snapshot();
+
+    TextTable summary({"metric", "value"});
+    auto row = [&](const std::string &name, double value) {
+        summary.addRow({name, formatNumber(value, 3)});
+    };
+    row("requests", static_cast<double>(soak.requests));
+    row("wall_s", elapsed_s);
+    row("throughput_rps",
+        static_cast<double>(soak.requests) / elapsed_s);
+    row("ok", static_cast<double>(ok.load()));
+    row("shed_quota", static_cast<double>(shed_quota.load()));
+    row("shed_other", static_cast<double>(shed_other.load()));
+    row("errors", static_cast<double>(errors.load()));
+    row("transport_errors",
+        static_cast<double>(transport_errors.load()));
+    row("normal_p50_ms", normal.percentile(0.50));
+    row("normal_p95_ms", normal.percentile(0.95));
+    row("normal_p99_ms", normal.percentile(0.99));
+    row("normal_p999_ms", normal.percentile(0.999));
+    row("priority_p99_ms", priority.percentile(0.99));
+    row("frames_received",
+        static_cast<double>(stats.framesReceived));
+    row("bad_frames", static_cast<double>(stats.badFrames));
+    row("slow_reader_disconnects",
+        static_cast<double>(stats.slowReaderDisconnects));
+    summary.print(std::cout);
+    std::cout << "\n";
+
+    // Per-shard cache affinity: consistent-hash routing should keep
+    // each graph's stats-cache entries on exactly one shard.
+    TextTable shard_table(
+        {"shard", "completed", "stats_hits", "stats_misses"});
+    for (std::size_t shard = 0; shard < server.shards(); ++shard) {
+        const auto status = server.shard(shard).statusz();
+        shard_table.addRow(
+            {std::to_string(shard),
+             std::to_string(status.completed),
+             std::to_string(status.statsHits),
+             std::to_string(status.statsMisses)});
+    }
+    shard_table.print(std::cout);
+    std::cout << "\n";
+
+    const uint64_t quota_rejected_total =
+        server.admission().quotaRejected(net::Lane::Normal) +
+        server.admission().quotaRejected(net::Lane::Priority);
+
+    // --- Acceptance checks -------------------------------------------
+    bool pass = true;
+    auto check = [&](bool condition, const std::string &what) {
+        std::cout << (condition ? "PASS: " : "FAIL: ") << what
+                  << "\n";
+        pass = pass && condition;
+    };
+    check(transport_errors.load() == 0, "0 broken connections");
+    check(errors.load() == 0, "0 error responses");
+    check(limited == 0 || limited_quota_shed.load() > 0,
+          "quota-limited tenants shed via quota_rejected (" +
+              std::to_string(limited_quota_shed.load()) + ")");
+    check(unlimited_shed.load() == 0,
+          "within-quota tenants saw 0 sheds");
+    check(quota_rejected_total == shed_quota.load(),
+          "server quota_rejected matches client-observed sheds");
+    std::cout << (pass ? "SOAK PASS" : "SOAK FAIL") << "\n";
+    server.stop();
+    return pass ? 0 : 1;
+}

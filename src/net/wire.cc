@@ -1,0 +1,390 @@
+/**
+ * @file
+ * Wire codec implementation. Encoders append to a caller-owned
+ * string (one allocation for the common small frame); decoders walk
+ * a cursor over the payload view and fail with a recoverable error
+ * the moment a field would read past the end — and, symmetrically,
+ * when decoding finishes with declared bytes left over.
+ */
+
+#include "net/wire.hh"
+
+#include <cstring>
+
+namespace heteromap {
+namespace net {
+
+namespace {
+
+void
+putU8(std::string &out, uint8_t value)
+{
+    out.push_back(static_cast<char>(value));
+}
+
+void
+putU16(std::string &out, uint16_t value)
+{
+    out.push_back(static_cast<char>(value & 0xff));
+    out.push_back(static_cast<char>((value >> 8) & 0xff));
+}
+
+void
+putU32(std::string &out, uint32_t value)
+{
+    for (int shift = 0; shift < 32; shift += 8)
+        out.push_back(static_cast<char>((value >> shift) & 0xff));
+}
+
+void
+putU64(std::string &out, uint64_t value)
+{
+    for (int shift = 0; shift < 64; shift += 8)
+        out.push_back(static_cast<char>((value >> shift) & 0xff));
+}
+
+void
+putF64(std::string &out, double value)
+{
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    putU64(out, bits);
+}
+
+void
+putString(std::string &out, std::string_view text)
+{
+    // Length-limited by the u16 prefix; callers pass registry /
+    // catalogue names and error messages, all far below 64 KiB.
+    const uint16_t len = static_cast<uint16_t>(
+        text.size() > 0xffff ? 0xffff : text.size());
+    putU16(out, len);
+    out.append(text.data(), len);
+}
+
+/** Bounds-checked little-endian reader over one payload view. */
+class Cursor
+{
+  public:
+    explicit Cursor(std::string_view data) : data_(data) {}
+
+    bool
+    readU8(uint8_t &value)
+    {
+        if (pos_ + 1 > data_.size())
+            return false;
+        value = static_cast<uint8_t>(data_[pos_++]);
+        return true;
+    }
+
+    bool
+    readU16(uint16_t &value)
+    {
+        if (pos_ + 2 > data_.size())
+            return false;
+        value = 0;
+        for (int shift = 0; shift < 16; shift += 8)
+            value |= static_cast<uint16_t>(
+                static_cast<uint8_t>(data_[pos_++]))
+                     << shift;
+        return true;
+    }
+
+    bool
+    readU32(uint32_t &value)
+    {
+        if (pos_ + 4 > data_.size())
+            return false;
+        value = 0;
+        for (int shift = 0; shift < 32; shift += 8)
+            value |= static_cast<uint32_t>(
+                static_cast<uint8_t>(data_[pos_++]))
+                     << shift;
+        return true;
+    }
+
+    bool
+    readU64(uint64_t &value)
+    {
+        if (pos_ + 8 > data_.size())
+            return false;
+        value = 0;
+        for (int shift = 0; shift < 64; shift += 8)
+            value |= static_cast<uint64_t>(
+                static_cast<uint8_t>(data_[pos_++]))
+                     << shift;
+        return true;
+    }
+
+    bool
+    readF64(double &value)
+    {
+        uint64_t bits = 0;
+        if (!readU64(bits))
+            return false;
+        std::memcpy(&value, &bits, sizeof(value));
+        return true;
+    }
+
+    bool
+    readString(std::string_view &view)
+    {
+        uint16_t len = 0;
+        if (!readU16(len))
+            return false;
+        if (pos_ + len > data_.size())
+            return false;
+        view = data_.substr(pos_, len);
+        pos_ += len;
+        return true;
+    }
+
+    bool exhausted() const { return pos_ == data_.size(); }
+    std::size_t position() const { return pos_; }
+
+  private:
+    std::string_view data_;
+    std::size_t pos_ = 0;
+};
+
+void
+putHeader(std::string &out, FrameType type, uint16_t flags,
+          uint64_t request_id, uint32_t payload_len)
+{
+    putU32(out, kWireMagic);
+    putU8(out, kWireVersion);
+    putU8(out, static_cast<uint8_t>(type));
+    putU16(out, flags);
+    putU64(out, request_id);
+    putU32(out, payload_len);
+}
+
+/**
+ * Encode a payload with @p fill, then stamp the header in front with
+ * the measured payload length — the length prefix can never disagree
+ * with the bytes that follow it.
+ */
+template <typename Fill>
+void
+encodeFrame(std::string &out, FrameType type, uint16_t flags,
+            uint64_t request_id, Fill &&fill)
+{
+    const std::size_t header_at = out.size();
+    out.append(kHeaderBytes, '\0');
+    const std::size_t payload_at = out.size();
+    fill(out);
+    const uint32_t payload_len =
+        static_cast<uint32_t>(out.size() - payload_at);
+    std::string header;
+    header.reserve(kHeaderBytes);
+    putHeader(header, type, flags, request_id, payload_len);
+    out.replace(header_at, kHeaderBytes, header);
+}
+
+bool
+validFrameType(uint8_t raw)
+{
+    return raw >= static_cast<uint8_t>(FrameType::PredictRequest) &&
+           raw <= static_cast<uint8_t>(FrameType::StatuszResponse);
+}
+
+} // namespace
+
+const char *
+frameTypeName(FrameType type)
+{
+    switch (type) {
+      case FrameType::PredictRequest: return "predict-request";
+      case FrameType::PredictResponse: return "predict-response";
+      case FrameType::Ping: return "ping";
+      case FrameType::Pong: return "pong";
+      case FrameType::Statusz: return "statusz";
+      case FrameType::StatuszResponse: return "statusz-response";
+    }
+    return "unknown";
+}
+
+void
+encodeRequest(uint64_t request_id, const WireRequest &request,
+              std::string &out)
+{
+    uint16_t flags = 0;
+    if (request.supervised)
+        flags |= kFlagSupervised;
+    if (request.priority)
+        flags |= kFlagPriority;
+    encodeFrame(out, FrameType::PredictRequest, flags, request_id,
+                [&](std::string &buf) {
+                    putU64(buf, request.clientId);
+                    putF64(buf, request.deadlineMs);
+                    putU32(buf, request.sweeps);
+                    putU64(buf, request.seed);
+                    putString(buf, request.workload);
+                    putString(buf, request.graph);
+                });
+}
+
+void
+encodeResponse(uint64_t request_id, const WireResponse &response,
+               std::string &out)
+{
+    encodeFrame(out, FrameType::PredictResponse, 0, request_id,
+                [&](std::string &buf) {
+                    putU8(buf, response.status);
+                    putU8(buf, response.shedReason);
+                    putU8(buf, response.degradationLevel);
+                    putU8(buf, response.servedByFallback ? 1 : 0);
+                    putU64(buf, response.modelEpoch);
+                    putU8(buf, response.accelerator);
+                    putU32(buf, response.threads);
+                    putF64(buf, response.predictedSeconds);
+                    putF64(buf, response.overheadMs);
+                    putF64(buf, response.queueMs);
+                    putF64(buf, response.serviceMs);
+                    putU32(buf, response.batchSize);
+                    putU8(buf, response.hasError ? 1 : 0);
+                    putU8(buf, response.errorCode);
+                    putString(buf, response.errorMessage);
+                });
+}
+
+void
+encodePing(uint64_t request_id, std::string &out)
+{
+    encodeFrame(out, FrameType::Ping, 0, request_id,
+                [](std::string &) {});
+}
+
+void
+encodePong(uint64_t request_id, std::string &out)
+{
+    encodeFrame(out, FrameType::Pong, 0, request_id,
+                [](std::string &) {});
+}
+
+void
+encodeStatusz(uint64_t request_id, std::string &out)
+{
+    encodeFrame(out, FrameType::Statusz, 0, request_id,
+                [](std::string &) {});
+}
+
+void
+encodeStatuszResponse(uint64_t request_id, std::string_view json,
+                      std::string &out)
+{
+    // The u16 string prefix caps at 64 KiB; statusz documents can
+    // exceed that for wide fleets, so this payload is raw bytes and
+    // the frame length prefix is the only length.
+    encodeFrame(out, FrameType::StatuszResponse, 0, request_id,
+                [&](std::string &buf) {
+                    buf.append(json.data(), json.size());
+                });
+}
+
+Result<FrameHeader>
+decodeHeader(std::string_view buffer)
+{
+    HM_ASSERT(buffer.size() >= kHeaderBytes,
+              "decodeHeader needs ", kHeaderBytes, " bytes, got ",
+              buffer.size());
+    Cursor cursor(buffer.substr(0, kHeaderBytes));
+    uint32_t magic = 0;
+    uint8_t version = 0;
+    uint8_t raw_type = 0;
+    FrameHeader header;
+    cursor.readU32(magic);
+    cursor.readU8(version);
+    cursor.readU8(raw_type);
+    cursor.readU16(header.flags);
+    cursor.readU64(header.requestId);
+    cursor.readU32(header.payloadLen);
+    if (magic != kWireMagic)
+        return makeError(ErrorCode::Parse, 0,
+                         "bad frame magic 0x", std::hex, magic);
+    if (version != kWireVersion)
+        return makeError(ErrorCode::Parse, 0, "wire version skew: got ",
+                         unsigned(version), ", speak ",
+                         unsigned(kWireVersion));
+    if (!validFrameType(raw_type))
+        return makeError(ErrorCode::Parse, 0, "unknown frame type ",
+                         unsigned(raw_type));
+    if (header.payloadLen > kMaxPayloadBytes)
+        return makeError(ErrorCode::OutOfRange, 0,
+                         "declared payload ", header.payloadLen,
+                         " bytes exceeds the ", kMaxPayloadBytes,
+                         "-byte frame cap");
+    header.version = version;
+    header.type = static_cast<FrameType>(raw_type);
+    return header;
+}
+
+Result<WireRequest>
+decodeRequest(std::string_view payload)
+{
+    Cursor cursor(payload);
+    WireRequest request;
+    if (!cursor.readU64(request.clientId) ||
+        !cursor.readF64(request.deadlineMs) ||
+        !cursor.readU32(request.sweeps) ||
+        !cursor.readU64(request.seed) ||
+        !cursor.readString(request.workload) ||
+        !cursor.readString(request.graph))
+        return makeError(ErrorCode::Parse, 0,
+                         "truncated predict-request payload at byte ",
+                         cursor.position(), " of ", payload.size());
+    if (!cursor.exhausted())
+        return makeError(ErrorCode::Parse, 0, "predict-request payload "
+                         "declares ", payload.size(), " bytes but the "
+                         "fields end at ", cursor.position());
+    return request;
+}
+
+Result<WireResponse>
+decodeResponse(std::string_view payload)
+{
+    Cursor cursor(payload);
+    WireResponse response;
+    uint8_t fallback = 0, has_error = 0;
+    if (!cursor.readU8(response.status) ||
+        !cursor.readU8(response.shedReason) ||
+        !cursor.readU8(response.degradationLevel) ||
+        !cursor.readU8(fallback) ||
+        !cursor.readU64(response.modelEpoch) ||
+        !cursor.readU8(response.accelerator) ||
+        !cursor.readU32(response.threads) ||
+        !cursor.readF64(response.predictedSeconds) ||
+        !cursor.readF64(response.overheadMs) ||
+        !cursor.readF64(response.queueMs) ||
+        !cursor.readF64(response.serviceMs) ||
+        !cursor.readU32(response.batchSize) ||
+        !cursor.readU8(has_error) ||
+        !cursor.readU8(response.errorCode) ||
+        !cursor.readString(response.errorMessage))
+        return makeError(ErrorCode::Parse, 0,
+                         "truncated predict-response payload at byte ",
+                         cursor.position(), " of ", payload.size());
+    if (!cursor.exhausted())
+        return makeError(ErrorCode::Parse, 0, "predict-response payload "
+                         "declares ", payload.size(), " bytes but the "
+                         "fields end at ", cursor.position());
+    response.servedByFallback = fallback != 0;
+    response.hasError = has_error != 0;
+    return response;
+}
+
+Result<std::string_view>
+decodeStatuszResponse(std::string_view payload)
+{
+    // The whole payload is the document; an empty one means the
+    // server had no status to give, which is still malformed — the
+    // emitter always writes at least "{}".
+    if (payload.empty())
+        return makeError(ErrorCode::Parse, 0,
+                         "empty statusz-response payload");
+    return payload;
+}
+
+} // namespace net
+} // namespace heteromap

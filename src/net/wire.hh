@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Versioned binary wire codec for the network serving tier — the
+ * framing half of src/net/'s RPC front-end (net/server.hh speaks it
+ * on the accept side, net/client.hh on the connect side).
+ *
+ * Every message is one length-prefixed frame:
+ *
+ *   offset  size  field
+ *   ------  ----  -----------------------------------------------
+ *        0     4  magic       0x484D5250 ("HMRP", little-endian)
+ *        4     1  version     kWireVersion (skew is recoverable)
+ *        5     1  type        FrameType
+ *        6     2  flags       FrameFlag bits
+ *        8     8  requestId   client-chosen correlation id
+ *       16     4  payloadLen  payload bytes following the header
+ *
+ * followed by payloadLen bytes of type-specific payload. All integers
+ * are little-endian regardless of host order; doubles travel as their
+ * IEEE-754 bit pattern in a u64. Strings are u16 length + bytes.
+ *
+ * Decode discipline: the transport accumulates bytes until a full
+ * header (kHeaderBytes) is buffered, decodes it, then accumulates
+ * payloadLen more before decoding the payload — "not enough bytes
+ * yet" is a buffering state, never an error. Everything else
+ * malformed (bad magic, version skew, unknown frame type, oversized
+ * declared length, truncated payload, payload/declared-length
+ * mismatch) is a recoverable util/errors.hh Result error: the
+ * connection handler sheds the frame (and, since framing is lost,
+ * the connection) without taking the process down.
+ *
+ * Zero-copy parse: decoded request/response structs hold
+ * std::string_view fields that point into the caller's buffer — the
+ * event loop parses straight out of its per-connection read buffer
+ * and only copies the few small strings that outlive the frame.
+ */
+
+#ifndef HETEROMAP_NET_WIRE_HH
+#define HETEROMAP_NET_WIRE_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/errors.hh"
+
+namespace heteromap {
+namespace net {
+
+/** "HMRP" little-endian. */
+inline constexpr uint32_t kWireMagic = 0x50524D48u;
+
+/** Current protocol version; bump on any layout change. */
+inline constexpr uint8_t kWireVersion = 1;
+
+/** Fixed frame-header size in bytes. */
+inline constexpr std::size_t kHeaderBytes = 20;
+
+/**
+ * Payload-size ceiling. A declared length above this is rejected
+ * before any allocation, so a hostile or corrupt length prefix can
+ * never balloon a connection buffer.
+ */
+inline constexpr uint32_t kMaxPayloadBytes = 1u << 20;
+
+/** Frame kinds carried over one connection. */
+enum class FrameType : uint8_t {
+    PredictRequest = 1,  //!< client -> server: one ServeRequest
+    PredictResponse = 2, //!< server -> client: the ServeResponse
+    Ping = 3,            //!< client -> server liveness probe
+    Pong = 4,            //!< server -> client probe echo
+    Statusz = 5,         //!< client -> server: fleet status ask
+    StatuszResponse = 6, //!< server -> client: statusz JSON blob
+};
+
+/** @return e.g. "predict-request"; "unknown" for invalid values. */
+const char *frameTypeName(FrameType type);
+
+/** Header flag bits. */
+enum FrameFlag : uint16_t {
+    kFlagSupervised = 1u << 0, //!< route through the supervised lane
+    kFlagPriority = 1u << 1,   //!< admission priority lane
+};
+
+/** Decoded frame header. */
+struct FrameHeader {
+    uint8_t version = kWireVersion;
+    FrameType type = FrameType::Ping;
+    uint16_t flags = 0;
+    uint64_t requestId = 0;
+    uint32_t payloadLen = 0;
+};
+
+/**
+ * One prediction request as it travels on the wire. The graph rides
+ * as a catalogue name (the server resolves it against its registered
+ * graph set and routes by the resolved fingerprint) — shipping whole
+ * CSR arrays per request would defeat the point of a warm,
+ * fingerprint-routed stats cache.
+ */
+struct WireRequest {
+    uint64_t clientId = 0;     //!< admission-quota key
+
+    /**
+     * Encode-side inputs only: encodeRequest() lifts these into the
+     * header's kFlagSupervised/kFlagPriority bits. decodeRequest()
+     * sees just the payload, so readers take them from FrameHeader
+     * ::flags, not from the decoded struct.
+     */
+    bool supervised = false;
+    bool priority = false;
+    double deadlineMs = 0.0;   //!< queueing budget; 0 = none
+    uint32_t sweeps = 0;       //!< MeasureOptions::sweeps (0 = default)
+    uint64_t seed = 0;         //!< MeasureOptions::seed (0 = default)
+    std::string_view workload; //!< registry name, e.g. "PR"
+    std::string_view graph;    //!< server-side catalogue name
+};
+
+/** One prediction response as it travels on the wire. */
+struct WireResponse {
+    uint8_t status = 0;          //!< serve::ServeStatus
+    uint8_t shedReason = 0;      //!< serve::ShedReason
+    uint8_t degradationLevel = 0;
+    bool servedByFallback = false;
+    uint64_t modelEpoch = 0;
+    uint8_t accelerator = 0;     //!< deployed AcceleratorKind
+    uint32_t threads = 0;        //!< threads on that accelerator
+    double predictedSeconds = 0.0;
+    double overheadMs = 0.0;
+    double queueMs = 0.0;
+    double serviceMs = 0.0;
+    uint32_t batchSize = 0;
+    bool hasError = false;
+    uint8_t errorCode = 0;       //!< ErrorCode when hasError
+    std::string_view errorMessage;
+};
+
+/** @name Encoding (appends one whole frame to @p out). @{ */
+void encodeRequest(uint64_t request_id, const WireRequest &request,
+                   std::string &out);
+void encodeResponse(uint64_t request_id, const WireResponse &response,
+                    std::string &out);
+void encodePing(uint64_t request_id, std::string &out);
+void encodePong(uint64_t request_id, std::string &out);
+void encodeStatusz(uint64_t request_id, std::string &out);
+void encodeStatuszResponse(uint64_t request_id, std::string_view json,
+                           std::string &out);
+/** @} */
+
+/**
+ * Decode a header from the first kHeaderBytes of @p buffer (the
+ * caller guarantees at least that many bytes). Bad magic, version
+ * skew, an unknown frame type, and a payload length above
+ * kMaxPayloadBytes are recoverable errors.
+ */
+Result<FrameHeader> decodeHeader(std::string_view buffer);
+
+/**
+ * Decode @p payload (exactly header.payloadLen bytes) for a
+ * PredictRequest frame. String views point into @p payload.
+ * Truncated fields and trailing bytes beyond the declared layout
+ * are recoverable errors.
+ */
+Result<WireRequest> decodeRequest(std::string_view payload);
+
+/** PredictResponse counterpart of decodeRequest(). */
+Result<WireResponse> decodeResponse(std::string_view payload);
+
+/** StatuszResponse payload: the JSON document (view into payload). */
+Result<std::string_view> decodeStatuszResponse(std::string_view payload);
+
+} // namespace net
+} // namespace heteromap
+
+#endif // HETEROMAP_NET_WIRE_HH

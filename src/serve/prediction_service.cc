@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <chrono>
 #include <iomanip>
+#include <map>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -99,11 +100,17 @@ PredictionService::PredictionService(ModelRegistry &models,
               "published model");
     stats_shards_.reserve(options_.statsShards);
     for (std::size_t s = 0; s < options_.statsShards; ++s) {
-        // Every shard registers the same prefix, so the shared
-        // "serve.stats_cache.*" counters aggregate across shards
-        // (and the per-shard accessors read the same atomics).
+        // Every shard registers the service's prefix, so the
+        // "<prefix>.*" counters aggregate across shards (and the
+        // per-shard accessors read the same atomics). Co-resident
+        // services that keep the default prefix alias each other —
+        // multi-service hosts pass distinct prefixes (see
+        // ServiceOptions::statsMetricsPrefix).
         stats_shards_.push_back(std::make_unique<GraphStatsCache>(
-            options_.statsCapacityPerShard, "serve.stats_cache"));
+            options_.statsCapacityPerShard,
+            options_.statsMetricsPrefix.empty()
+                ? nullptr
+                : options_.statsMetricsPrefix.c_str()));
     }
 
     // The last-resort model: the paper's hand-built heuristic tree
@@ -780,15 +787,26 @@ PredictionService::close()
 uint64_t
 PredictionService::statsHits() const
 {
-    // Shards share the prefixed registry counters, so any shard
-    // reads the aggregate.
-    return stats_shards_.front()->hits();
+    // With a metrics prefix, the shards share the prefixed registry
+    // counters, so any one shard reads the aggregate; detached
+    // (empty-prefix) caches each own their counters and must sum.
+    if (!options_.statsMetricsPrefix.empty())
+        return stats_shards_.front()->hits();
+    uint64_t total = 0;
+    for (const auto &shard : stats_shards_)
+        total += shard->hits();
+    return total;
 }
 
 uint64_t
 PredictionService::statsMisses() const
 {
-    return stats_shards_.front()->misses();
+    if (!options_.statsMetricsPrefix.empty())
+        return stats_shards_.front()->misses();
+    uint64_t total = 0;
+    for (const auto &shard : stats_shards_)
+        total += shard->misses();
+    return total;
 }
 
 void
@@ -830,6 +848,7 @@ PredictionService::statusz() const
     status.fallbackServed = fallbackServed();
     status.statsHits = statsHits();
     status.statsMisses = statsMisses();
+    status.statsPrefix = options_.statsMetricsPrefix;
     status.flightArmed = forensics::flightRecorderArmed();
     status.flightAppended = forensics::auditRecordsAppended();
     status.flightDropped = forensics::auditRecordsDropped();
@@ -972,6 +991,137 @@ statuszJson(const ServiceStatus &status)
            << ",\"breaches\":" << objective.breaches << "}";
     }
     os << "]}}";
+    return os.str();
+}
+
+ServiceStatus
+aggregateStatusz(const std::vector<ServiceStatus> &shards)
+{
+    ServiceStatus fleet;
+    if (shards.empty())
+        return fleet;
+    fleet = shards.front();
+    fleet.queueDepth = fleet.queueCapacity = fleet.workers = 0;
+    fleet.submitted = fleet.admitted = fleet.completed = 0;
+    fleet.shed = fleet.errors = 0;
+    fleet.batchFailures = fleet.workerStalls = 0;
+    fleet.workerRestarts = fleet.fallbackServed = 0;
+    fleet.postmortems = 0;
+    fleet.statsHits = fleet.statsMisses = 0;
+    fleet.statsPrefix = "fleet";
+
+    // Stats-cache counters: one term per distinct shared prefix
+    // (those shards read the same registry atomics — their reported
+    // values are copies of one number), plus every detached shard.
+    std::map<std::string, std::pair<uint64_t, uint64_t>> by_prefix;
+    for (const ServiceStatus &shard : shards) {
+        fleet.queueDepth += shard.queueDepth;
+        fleet.queueCapacity += shard.queueCapacity;
+        fleet.workers += shard.workers;
+        fleet.submitted += shard.submitted;
+        fleet.admitted += shard.admitted;
+        fleet.completed += shard.completed;
+        fleet.shed += shard.shed;
+        fleet.errors += shard.errors;
+        fleet.batchFailures += shard.batchFailures;
+        fleet.workerStalls += shard.workerStalls;
+        fleet.workerRestarts += shard.workerRestarts;
+        fleet.fallbackServed += shard.fallbackServed;
+        fleet.postmortems += shard.postmortems;
+
+        if (shard.statsPrefix.empty()) {
+            fleet.statsHits += shard.statsHits;
+            fleet.statsMisses += shard.statsMisses;
+        } else {
+            // Snapshot skew across shards of one prefix group is
+            // possible (statuses are taken one by one); take the
+            // max — the freshest read of the shared counter.
+            auto &entry = by_prefix[shard.statsPrefix];
+            entry.first = std::max(entry.first, shard.statsHits);
+            entry.second = std::max(entry.second, shard.statsMisses);
+        }
+
+        fleet.modelEpoch = std::max(fleet.modelEpoch, shard.modelEpoch);
+        fleet.degradationLevel =
+            std::max(fleet.degradationLevel, shard.degradationLevel);
+        fleet.hasBaseline = fleet.hasBaseline && shard.hasBaseline;
+        if (shard.drift.psi > fleet.drift.psi)
+            fleet.drift = shard.drift;
+    }
+    for (const auto &[prefix, counts] : by_prefix) {
+        fleet.statsHits += counts.first;
+        fleet.statsMisses += counts.second;
+    }
+
+    // SLO roll-up: worst shard per objective (matched by name), and
+    // percentile upper bounds — a fleet-total percentile cannot be
+    // recovered from per-shard percentiles, so report the bound and
+    // leave exact numbers to the per-shard blocks.
+    fleet.slo = SloStatus{};
+    fleet.slo.objectives =
+        shards.front().slo.objectives; // shape from shard 0
+    for (const ServiceStatus &shard : shards) {
+        fleet.slo.windows =
+            std::max(fleet.slo.windows, shard.slo.windows);
+        fleet.slo.requests += shard.slo.requests;
+        fleet.slo.p50Ms = std::max(fleet.slo.p50Ms, shard.slo.p50Ms);
+        fleet.slo.p95Ms = std::max(fleet.slo.p95Ms, shard.slo.p95Ms);
+        fleet.slo.p99Ms = std::max(fleet.slo.p99Ms, shard.slo.p99Ms);
+        for (SloStatus::Objective &fleet_obj : fleet.slo.objectives) {
+            for (const SloStatus::Objective &shard_obj :
+                 shard.slo.objectives) {
+                if (shard_obj.name != fleet_obj.name)
+                    continue;
+                if (&shard == &shards.front()) {
+                    // Shard 0 seeded the shape; only fold the others.
+                    break;
+                }
+                fleet_obj.goodFraction = std::min(
+                    fleet_obj.goodFraction, shard_obj.goodFraction);
+                fleet_obj.burnRate =
+                    std::max(fleet_obj.burnRate, shard_obj.burnRate);
+                fleet_obj.budgetRemaining =
+                    std::min(fleet_obj.budgetRemaining,
+                             shard_obj.budgetRemaining);
+                fleet_obj.breaches += shard_obj.breaches;
+                break;
+            }
+        }
+    }
+    return fleet;
+}
+
+std::string
+fleetStatuszText(const std::vector<ServiceStatus> &shards)
+{
+    std::ostringstream os;
+    os << "fleet: shards=" << shards.size() << "\n";
+    os << statuszText(aggregateStatusz(shards));
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+        os << "\n--- shard " << s << " ---\n";
+        os << statuszText(shards[s]);
+    }
+    return os.str();
+}
+
+std::string
+fleetStatuszJson(const std::vector<ServiceStatus> &shards)
+{
+    // Reuse the single-service emitter for each block: the fleet
+    // document is {"type":"statusz","shard_count":N,
+    // "fleet":<status>,"shards":[<status>...]} where each <status>
+    // is a full statuszJson object (type marker included, so both
+    // shapes validate the same way).
+    std::ostringstream os;
+    os << "{\"type\":\"statusz\",\"shard_count\":" << shards.size()
+       << ",\"fleet\":" << statuszJson(aggregateStatusz(shards))
+       << ",\"shards\":[";
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+        if (s > 0)
+            os << ",";
+        os << statuszJson(shards[s]);
+    }
+    os << "]}";
     return os.str();
 }
 

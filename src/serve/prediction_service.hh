@@ -133,6 +133,20 @@ struct ServiceOptions {
     /** Entry bound per stats shard. */
     std::size_t statsCapacityPerShard = GraphStatsCache::kDefaultCapacity;
 
+    /**
+     * Telemetry prefix for this service's stats-cache counters. The
+     * default makes every service in the process mirror into the
+     * same "serve.stats_cache.*" registry counters — fine for one
+     * service, but N co-resident services (the net tier's shards)
+     * then all read the identical process aggregate, and summing
+     * them would N-times-count it. A multi-shard host gives each
+     * service a distinct prefix ("serve.shard3.stats_cache") so
+     * per-shard hit rates are real; aggregateStatusz() uses the
+     * prefix to know which numbers are safe to sum. Empty = private
+     * detached counters (no registry mirror).
+     */
+    std::string statsMetricsPrefix = "serve.stats_cache";
+
     /** Supervised-lane tunables and fault scenario. */
     SupervisorOptions supervisor{};
     FaultInjector faults{};
@@ -197,6 +211,14 @@ struct ServiceStatus {
     uint64_t statsHits = 0;
     uint64_t statsMisses = 0;
 
+    /**
+     * The service's statsMetricsPrefix. Shard statuses that share a
+     * non-empty prefix are reading the *same* registry counters, so
+     * a fleet roll-up must count that group once, not per shard
+     * (see aggregateStatusz).
+     */
+    std::string statsPrefix;
+
     bool flightArmed = false;
     uint64_t flightAppended = 0;
     uint64_t flightDropped = 0;
@@ -214,6 +236,36 @@ std::string statuszText(const ServiceStatus &status);
  * the document tools/hm_statusz validates and renders.
  */
 std::string statuszJson(const ServiceStatus &status);
+
+/**
+ * Roll @p shards up into one fleet-total ServiceStatus without
+ * double-counting:
+ *
+ *  - request/fault counters, queue depth/capacity, and workers sum
+ *    across shards (each shard owns those);
+ *  - stats-cache counters sum once per distinct statsPrefix — N
+ *    shards sharing "serve.stats_cache" all read the same process
+ *    aggregate, so that group contributes one term, while shards
+ *    with per-shard prefixes (or empty = detached) each contribute;
+ *  - flight-recorder numbers are process-wide: taken once;
+ *  - model epoch, ladder level, drift, and SLO report the *worst*
+ *    shard (max epoch; max ladder; max PSI; per-objective min good
+ *    fraction / max burn / min budget, with percentile upper
+ *    bounds), because a fleet is as healthy as its sickest shard.
+ *
+ * Empty input yields a default ServiceStatus.
+ */
+ServiceStatus aggregateStatusz(const std::vector<ServiceStatus> &shards);
+
+/** Fleet rendering: the aggregate, then one block per shard. */
+std::string fleetStatuszText(const std::vector<ServiceStatus> &shards);
+
+/**
+ * One JSON document ({"type":"statusz","fleet":{...},"shards":[...]})
+ * — hm_statusz validates and renders it like a single-service
+ * snapshot, plus the per-shard breakdown.
+ */
+std::string fleetStatuszJson(const std::vector<ServiceStatus> &shards);
 
 /** Concurrent prediction server over a ModelRegistry. */
 class PredictionService

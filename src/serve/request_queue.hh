@@ -61,6 +61,7 @@ enum class ShedReason {
     QueueFull,       //!< Reject admission with the queue at capacity
     DeadlineExpired, //!< still queued when its deadline passed
     CircuitOpen,     //!< a RetryingClient breaker shed without submitting
+    QuotaExceeded,   //!< a net-tier admission quota rejected the client
 };
 
 /**

@@ -32,9 +32,17 @@ isTerminal(const ServeResponse &response)
 {
     // Ok succeeded; Closed means the service is shutting down, so
     // more attempts can only observe Closed again. Error and Shed
-    // are transient (a crashed batch, a full queue) — retry those.
-    return response.status == ServeStatus::Ok ||
-           response.status == ServeStatus::Closed;
+    // are transient (a crashed batch, a reset connection, a full
+    // queue) — retry those. The exception: a Parse or OutOfRange
+    // ServeError says the *request* is malformed (bad frame, graph
+    // the server does not know) — resending identical bytes fails
+    // identically, so those errors are terminal too.
+    if (response.status == ServeStatus::Ok ||
+        response.status == ServeStatus::Closed)
+        return true;
+    return response.status == ServeStatus::Error && response.error &&
+           (response.error->code == ErrorCode::Parse ||
+            response.error->code == ErrorCode::OutOfRange);
 }
 
 } // namespace
@@ -52,7 +60,21 @@ circuitStateName(CircuitState state)
 
 RetryingClient::RetryingClient(PredictionService &service,
                                RetryOptions options)
-    : service_(service), options_(options), rng_(options.seed)
+    : owned_backend_(std::make_unique<InProcessBackend>(service)),
+      backend_(*owned_backend_), options_(options), rng_(options.seed)
+{
+    normalizeOptions();
+}
+
+RetryingClient::RetryingClient(ServeBackend &backend,
+                               RetryOptions options)
+    : backend_(backend), options_(options), rng_(options.seed)
+{
+    normalizeOptions();
+}
+
+void
+RetryingClient::normalizeOptions()
 {
     options_.maxAttempts = std::max(1u, options_.maxAttempts);
     options_.backoffMultiplier =
@@ -181,7 +203,7 @@ RetryingClient::call(ServeRequest request)
     for (unsigned attempt = 1;; ++attempt) {
         result.attempts = attempt;
         HM_COUNTER_INC("client.attempts");
-        result.response = service_.submit(request).get();
+        result.response = backend_.call(request);
 
         if (isTerminal(result.response))
             break;

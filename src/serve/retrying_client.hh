@@ -21,6 +21,15 @@
  * Retry classification: Error and Shed responses are transient and
  * retried; Ok succeeds; Closed is terminal (the service is shutting
  * down — retrying cannot help).
+ *
+ * Backends: the client speaks to a ServeBackend, not to a concrete
+ * PredictionService — the in-process service is one backend, and the
+ * network client (net/client.hh) is another. A network backend's
+ * contract is to *return* transport failures (connection reset,
+ * frame decode error) as ServeStatus::Error responses carrying a
+ * structured ServeError rather than throwing, so network failures
+ * walk the same retry/backoff/breaker ladder as server-side batch
+ * failures do.
  */
 
 #ifndef HETEROMAP_SERVE_RETRYING_CLIENT_HH
@@ -30,6 +39,7 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 
 #include "serve/prediction_service.hh"
@@ -37,6 +47,40 @@
 
 namespace heteromap {
 namespace serve {
+
+/**
+ * Something a RetryingClient can call: the in-process service, a
+ * network connection to one, or a test double. call() must always
+ * return a response — transport failures become Error responses
+ * with a ServeError (code Unavailable for connection-level faults,
+ * Parse for frame decode failures), never exceptions, so the
+ * breaker ladder sees them like any other transient failure.
+ */
+class ServeBackend
+{
+  public:
+    virtual ~ServeBackend() = default;
+    virtual ServeResponse call(ServeRequest request) = 0;
+};
+
+/** ServeBackend over an in-process PredictionService. */
+class InProcessBackend : public ServeBackend
+{
+  public:
+    explicit InProcessBackend(PredictionService &service)
+        : service_(service)
+    {
+    }
+
+    ServeResponse
+    call(ServeRequest request) override
+    {
+        return service_.submit(std::move(request)).get();
+    }
+
+  private:
+    PredictionService &service_;
+};
 
 /** Breaker states, the classic three. */
 enum class CircuitState {
@@ -117,7 +161,12 @@ class RetryingClient
      */
     using Sleeper = std::function<void(double ms)>;
 
+    /** Wrap the in-process service (owns the adapter). */
     explicit RetryingClient(PredictionService &service,
+                            RetryOptions options = {});
+
+    /** Wrap any backend (@p backend must outlive the client). */
+    explicit RetryingClient(ServeBackend &backend,
                             RetryOptions options = {});
 
     RetryingClient(const RetryingClient &) = delete;
@@ -148,13 +197,17 @@ class RetryingClient
         std::chrono::steady_clock::time_point openedAt{};
     };
 
-    PredictionService &service_;
+    std::unique_ptr<ServeBackend> owned_backend_; //!< service adapter
+    ServeBackend &backend_;
     RetryOptions options_;
 
     mutable std::mutex mutex_; //!< guards breakers_ and rng_
     std::array<Breaker, kNumClientLanes> breakers_;
     Rng rng_;
     Sleeper sleeper_;
+
+    /** Clamp option fields to their documented domains. */
+    void normalizeOptions();
 
     /** Jittered backoff for 1-based retry number @p retry. */
     double backoffMs(unsigned retry);

@@ -3,9 +3,10 @@
 # predictor-overhead microbenchmarks (scalar vs batched inference,
 # flat vs pointer decision tree), the graph-measurement substrate
 # bench (blocked stats sweep, compressed CSR, stats-cache
-# amortization), and the serving load bench, then assembles one
-# machine-readable BENCH_8.json of medians (and the serving latency
-# percentiles, p99 included) with python3 stdlib only.
+# amortization), the serving load bench, and the network serving
+# soak (on-wire latency percentiles over loopback, p99.9 included),
+# then assembles one machine-readable BENCH_10.json of medians with
+# python3 stdlib only.
 #
 # Every bench uses fixed seeds, so two snapshots on the same machine
 # differ only by scheduler noise — which the medians are there to
@@ -13,19 +14,20 @@
 #
 #   tools/bench_snapshot.sh [build-dir] [out.json]
 #
-# Defaults: build-dir=build, out=<build-dir>/BENCH_8.json
+# Defaults: build-dir=build, out=<build-dir>/BENCH_10.json
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
-OUT="${2:-$BUILD_DIR/BENCH_8.json}"
+OUT="${2:-$BUILD_DIR/BENCH_10.json}"
 SERVING_RUNS=3
+NET_RUNS=3
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j \
     --target bench_predictor_overhead bench_graph_measurement \
-             bench_serving_load >/dev/null
+             bench_serving_load bench_net_serving >/dev/null
 
 echo "bench_snapshot: predictor overhead (5 repetitions)..."
 "$BUILD_DIR/bench/bench_predictor_overhead" \
@@ -47,13 +49,21 @@ for i in $(seq 1 "$SERVING_RUNS"); do
         > "$BUILD_DIR/bench_snapshot_serving_$i.txt"
 done
 
-python3 - "$BUILD_DIR" "$OUT" "$SERVING_RUNS" <<'PY'
+echo "bench_snapshot: net serving soak ($NET_RUNS runs)..."
+for i in $(seq 1 "$NET_RUNS"); do
+    "$BUILD_DIR/bench/bench_net_serving" \
+        --requests 600 --clients 300 --conns 4 --seed 7 \
+        > "$BUILD_DIR/bench_snapshot_net_$i.txt"
+done
+
+python3 - "$BUILD_DIR" "$OUT" "$SERVING_RUNS" "$NET_RUNS" <<'PY'
 import json
 import re
 import statistics
 import sys
 
-build_dir, out_path, serving_runs = sys.argv[1], sys.argv[2], int(sys.argv[3])
+build_dir, out_path = sys.argv[1], sys.argv[2]
+serving_runs, net_runs = int(sys.argv[3]), int(sys.argv[4])
 
 
 def split_columns(line):
@@ -168,13 +178,35 @@ serving = {
 }
 serving["runs"] = serving_runs
 
+# --- net serving soak: on-wire percentiles across runs --------------
+# Same metric/value table shape as the serving bench; the per-shard
+# table and PASS/FAIL lines don't match the 2-column split and fall
+# through the filter.
+net_samples = {}
+for i in range(1, net_runs + 1):
+    with open(f"{build_dir}/bench_snapshot_net_{i}.txt") as fh:
+        for line in fh.read().splitlines():
+            cols = split_columns(line)
+            if len(cols) != 2:
+                continue
+            number = parse_number(cols[1])
+            if number is not None:
+                net_samples.setdefault(cols[0], []).append(number)
+
+net_serving = {
+    key: round(statistics.median(values), 5)
+    for key, values in net_samples.items()
+}
+net_serving["runs"] = net_runs
+
 snapshot = {
     "schema": "heteromap-bench-snapshot-v1",
-    "pr": 8,
+    "pr": 10,
     "predictor_overhead": predictor,
     "derived": derived,
     "graph_measurement": graph,
     "serving_load": serving,
+    "net_serving": net_serving,
 }
 
 with open(out_path, "w") as fh:
@@ -189,6 +221,9 @@ for key in floor_keys:
     print(f"  {key}: {value} ({status})")
 print(f"  flat_vs_pointer_tree_speedup: "
       f"{derived.get('flat_vs_pointer_tree_speedup')}")
+for key in ["throughput_rps", "normal_p50_ms", "normal_p99_ms",
+            "normal_p999_ms"]:
+    print(f"  net_serving.{key}: {net_serving.get(key)}")
 PY
 
 echo "wrote $OUT"

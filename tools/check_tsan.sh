@@ -7,9 +7,12 @@
 # hot-swap) together with its fault-tolerance layer (chaos
 # injection, watchdog restarts, retrying client, and the fixed-seed
 # chaos soak), the forensics layer (per-thread flight-recorder
-# rings, drift monitor, SLO tracker), and the batched-inference
+# rings, drift monitor, SLO tracker), the batched-inference
 # equivalence suite (the thread_local MLP batch workspace must stay
-# private per worker).
+# private per worker), and the network serving tier (epoll loop +
+# harvester threads + outbox handoff, NetClient connections, the
+# multi-tenant admission bucket map, and the fixed-seed loopback
+# soak).
 # Run from the repo root; uses a separate build tree so the normal
 # build and the tier-1 ctest run stay fast.
 #
@@ -22,7 +25,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-REGEX="Training|Props|Telemetry|Serve|Chaos|Forensics|BatchInference"
+REGEX="Training|Props|Telemetry|Serve|Chaos|Forensics|BatchInference|Net"
 while getopts "R:" opt; do
     case "$opt" in
       R) REGEX="$OPTARG" ;;
@@ -37,6 +40,7 @@ cmake -B "$BUILD_DIR" -S . -DHETEROMAP_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j \
     --target test_training test_props test_telemetry telemetry_tour \
              test_serve serving_tour test_chaos bench_serving_chaos \
-             test_forensics test_batch_inference
+             test_forensics test_batch_inference test_net \
+             bench_net_serving
 ctest --test-dir "$BUILD_DIR" --output-on-failure -R "$REGEX"
 echo "TSan check passed for '$REGEX'"

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * hm_serverd: the standalone network prediction server. Publishes a
+ * model (a fresh decision tree, or a saveActive() snapshot file),
+ * registers the built-in synthetic graph catalogue, and serves the
+ * binary RPC protocol (net/wire.hh) on a TCP or Unix endpoint until
+ * SIGINT/SIGTERM.
+ *
+ * Run: ./hm_serverd [--listen tcp:127.0.0.1:7070 | unix:/tmp/hm.sock]
+ *                   [--shards N] [--workers W] [--model FILE]
+ *                   [--client-rate RPS] [--client-burst N]
+ *                   [--max-conns N] [--telemetry-out out.json]
+ *
+ * The catalogue ships the same three graphs the serving benches use
+ * ("mesh", "social", "road"); production deployments would register
+ * their own datasets. On shutdown the fleet statusz document is
+ * printed so a supervised run always ends with a status snapshot.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "arch/presets.hh"
+#include "core/experiment.hh"
+#include "graph/generators.hh"
+#include "net/server.hh"
+#include "serve/model_registry.hh"
+#include "util/logging.hh"
+#include "util/telemetry.hh"
+
+using namespace heteromap;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void
+onSignal(int)
+{
+    g_stop.store(true);
+}
+
+struct DaemonOptions {
+    std::string listen = "tcp:127.0.0.1:0";
+    std::size_t shards = 2;
+    std::size_t workers = 2;
+    std::string modelFile;
+    double clientRate = 1000.0;
+    double clientBurst = 100.0;
+    std::size_t maxConns = 1024;
+};
+
+DaemonOptions
+parseArgs(int argc, char **argv)
+{
+    DaemonOptions options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << "hm_serverd: " << arg
+                          << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--listen")
+            options.listen = next();
+        else if (arg == "--shards")
+            options.shards = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--workers")
+            options.workers = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--model")
+            options.modelFile = next();
+        else if (arg == "--client-rate")
+            options.clientRate = std::strtod(next(), nullptr);
+        else if (arg == "--client-burst")
+            options.clientBurst = std::strtod(next(), nullptr);
+        else if (arg == "--max-conns")
+            options.maxConns = std::strtoull(next(), nullptr, 10);
+        else {
+            std::cerr << "hm_serverd: unknown argument " << arg
+                      << "\n";
+            std::exit(2);
+        }
+    }
+    return options;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    telemetry::TelemetryFileWriter telemetry_writer(
+        telemetry::consumeTelemetryOutFlag(argc, argv));
+    const DaemonOptions daemon = parseArgs(argc, argv);
+
+    auto endpoint = net::parseEndpoint(daemon.listen);
+    if (!endpoint.ok()) {
+        std::cerr << "hm_serverd: bad --listen: "
+                  << endpoint.error().toString() << "\n";
+        return 2;
+    }
+
+    Oracle oracle;
+    AcceleratorPair pair = pinnedPair(primaryPair());
+    serve::ModelRegistry registry(pair, oracle);
+    if (!daemon.modelFile.empty()) {
+        auto loaded = registry.loadFrom(daemon.modelFile);
+        if (!loaded.ok()) {
+            std::cerr << "hm_serverd: model load failed: "
+                      << loaded.error().toString() << "\n";
+            return 2;
+        }
+    } else {
+        registry.publish(PredictorKind::DecisionTree,
+                         makePredictor(PredictorKind::DecisionTree));
+    }
+
+    net::ServerOptions options;
+    options.endpoint = endpoint.value();
+    options.shards = daemon.shards;
+    options.shard.workers = daemon.workers;
+    options.admission.clientRatePerSec = daemon.clientRate;
+    options.admission.clientBurst = daemon.clientBurst;
+    options.maxConnections = daemon.maxConns;
+
+    net::NetServer server(registry, options);
+    server.registerGraph(
+        "mesh",
+        std::make_shared<const Graph>(generateMesh(1024, 4, 1)));
+    server.registerGraph("social",
+                         std::make_shared<const Graph>(
+                             generatePreferentialAttachment(1024, 4,
+                                                            7)));
+    server.registerGraph(
+        "road",
+        std::make_shared<const Graph>(generateRoadGrid(32, 32, 3)));
+
+    auto bound = server.start();
+    if (!bound.ok()) {
+        std::cerr << "hm_serverd: start failed: "
+                  << bound.error().toString() << "\n";
+        return 1;
+    }
+    std::cout << "hm_serverd: serving on "
+              << bound.value().toString() << " (" << server.shards()
+              << " shards)" << std::endl;
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    while (!g_stop.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    std::cout << server.statuszJson() << "\n";
+    server.stop();
+    return 0;
+}
