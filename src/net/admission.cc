@@ -17,33 +17,6 @@
 namespace heteromap {
 namespace net {
 
-namespace {
-
-/**
- * Registry counters per (metric stem, lane), resolved once per slot
- * — the admission hot path pays one pointer load, not a name lookup.
- */
-struct LaneCounters {
-    telemetry::Counter *lanes[kNumLanes] = {};
-
-    telemetry::Counter &
-    operator()(const char *stem, Lane lane)
-    {
-        telemetry::Counter *&slot =
-            lanes[static_cast<std::size_t>(lane)];
-        if (!slot)
-            slot = &telemetry::registry().counter(
-                std::string(stem) + "." + laneName(lane));
-        return *slot;
-    }
-};
-
-LaneCounters accepted_counters;
-LaneCounters quota_rejected_counters;
-LaneCounters lane_shed_counters;
-
-} // namespace
-
 const char *
 laneName(Lane lane)
 {
@@ -60,6 +33,20 @@ NetAdmission::NetAdmission(AdmissionOptions options)
     normal_lane_.ratePerSec = options_.normalLaneRatePerSec;
     normal_lane_.burst = std::max(1.0, options_.normalLaneBurst);
     normal_lane_.tokens = normal_lane_.burst;
+
+    // Counter registration takes the registry mutex; do it once here
+    // so admit() only dereferences. The slots are per-instance —
+    // concurrent NetAdmissions must not share lazily-filled caches.
+    for (std::size_t ix = 0; ix < kNumLanes; ++ix) {
+        const char *lane = laneName(static_cast<Lane>(ix));
+        auto &registry = telemetry::registry();
+        accepted_counters_[ix] = &registry.counter(
+            std::string("serve.net.accepted.") + lane);
+        quota_rejected_counters_[ix] = &registry.counter(
+            std::string("serve.net.quota_rejected.") + lane);
+        lane_shed_counters_[ix] = &registry.counter(
+            std::string("serve.net.shed.") + lane);
+    }
 }
 
 void
@@ -133,17 +120,17 @@ NetAdmission::admit(uint64_t client_id, Lane lane, int64_t now_ns)
     Bucket &bucket = clientBucket(client_id, now_ns);
     if (!tryTake(bucket, now_ns)) {
         ++quota_rejected_[lane_ix];
-        quota_rejected_counters("serve.net.quota_rejected", lane).add(1);
+        quota_rejected_counters_[lane_ix]->add(1);
         return AdmissionDecision::QuotaRejected;
     }
     if (lane == Lane::Normal && normal_lane_.ratePerSec > 0.0 &&
         !tryTake(normal_lane_, now_ns)) {
         ++lane_shed_[lane_ix];
-        lane_shed_counters("serve.net.shed", lane).add(1);
+        lane_shed_counters_[lane_ix]->add(1);
         return AdmissionDecision::LaneShed;
     }
     ++accepted_[lane_ix];
-    accepted_counters("serve.net.accepted", lane).add(1);
+    accepted_counters_[lane_ix]->add(1);
     return AdmissionDecision::Admitted;
 }
 

@@ -34,6 +34,9 @@
 #include <unordered_map>
 
 namespace heteromap {
+namespace telemetry {
+class Counter;
+}
 namespace net {
 
 /** Admission lanes (wire flag kFlagPriority selects Priority). */
@@ -135,6 +138,16 @@ class NetAdmission
     uint64_t accepted_[kNumLanes] = {0, 0};
     uint64_t quota_rejected_[kNumLanes] = {0, 0};
     uint64_t lane_shed_[kNumLanes] = {0, 0};
+
+    /**
+     * Registry counters resolved once at construction, so the admit
+     * hot path pays a pointer load. Per-instance (not file-scope):
+     * two NetAdmissions in one process each hold their own mutex_,
+     * and shared lazily-filled slots would race.
+     */
+    telemetry::Counter *accepted_counters_[kNumLanes] = {};
+    telemetry::Counter *quota_rejected_counters_[kNumLanes] = {};
+    telemetry::Counter *lane_shed_counters_[kNumLanes] = {};
 };
 
 } // namespace net

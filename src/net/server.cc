@@ -369,8 +369,11 @@ NetServer::loopThread()
             // Re-check: readReady may have closed the connection.
             it = connections_.find(fd);
             if (it != connections_.end() &&
-                (events[i].events & EPOLLOUT))
+                (events[i].events & EPOLLOUT)) {
                 writeReady(it->second);
+                if (it->second.dead)
+                    closeConnection(fd);
+            }
         }
         // Posts that raced the wakeup read are picked up here.
         drainOutbox();
@@ -443,7 +446,7 @@ NetServer::readReady(Connection &conn)
         closeConnection(conn.fd.get());
         return;
     }
-    if (!parseFrames(conn))
+    if (!parseFrames(conn) || conn.dead)
         closeConnection(conn.fd.get());
 }
 
@@ -475,6 +478,8 @@ NetServer::parseFrames(Connection &conn)
         if (!dispatchFrame(conn, header.value(), payload))
             return false;
         conn.rpos += frame_bytes;
+        if (conn.dead) // a send inside dispatch failed the connection
+            return false;
     }
     if (conn.rpos > 0) {
         conn.rbuf.erase(0, conn.rpos);
@@ -600,7 +605,13 @@ NetServer::handlePredict(Connection &conn, const FrameHeader &header,
 void
 NetServer::sendOnConn(Connection &conn, std::string bytes)
 {
-    frames_sent_.fetch_add(1);
+    if (conn.dead)
+        return; // going away; the bytes would never be delivered
+    // One sendOnConn call is one frame: remember where it ends in
+    // the queued-byte stream so writeReady can count framesSent only
+    // once the frame's last byte has left the write buffer.
+    conn.wqueued += bytes.size();
+    conn.frameEnds.push_back(conn.wqueued);
     if (conn.wbuf.empty()) {
         conn.wbuf = std::move(bytes);
         conn.wpos = 0;
@@ -613,19 +624,30 @@ NetServer::sendOnConn(Connection &conn, std::string bytes)
 void
 NetServer::writeReady(Connection &conn)
 {
+    if (conn.dead)
+        return;
     while (conn.wpos < conn.wbuf.size()) {
         const ssize_t wrote =
             ::send(conn.fd.get(), conn.wbuf.data() + conn.wpos,
                    conn.wbuf.size() - conn.wpos, MSG_NOSIGNAL);
         if (wrote > 0) {
             conn.wpos += static_cast<std::size_t>(wrote);
+            conn.wflushed += static_cast<uint64_t>(wrote);
+            while (!conn.frameEnds.empty() &&
+                   conn.frameEnds.front() <= conn.wflushed) {
+                conn.frameEnds.pop_front();
+                frames_sent_.fetch_add(1);
+            }
             continue;
         }
         if (wrote < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
             break;
         if (wrote < 0 && errno == EINTR)
             continue;
-        closeConnection(conn.fd.get());
+        // EPIPE/ECONNRESET and friends. Callers up the stack (parse,
+        // dispatch, drainOutbox) may still hold this Connection&, so
+        // only mark it; the event loop reaps it at top level.
+        conn.dead = true;
         return;
     }
     if (conn.wpos >= conn.wbuf.size()) {
@@ -636,10 +658,11 @@ NetServer::writeReady(Connection &conn)
         conn.wpos = 0;
     }
     if (conn.wbuf.size() - conn.wpos > options_.maxWriteBacklogBytes) {
-        // A reader this slow pins server memory; cut it loose.
+        // A reader this slow pins server memory; cut it loose (the
+        // buffered-but-undelivered frames are never counted as sent).
         slow_reader_disconnects_.fetch_add(1);
         HM_COUNTER_INC("serve.net.slow_reader_disconnects");
-        closeConnection(conn.fd.get());
+        conn.dead = true;
         return;
     }
     const bool want_write = !conn.wbuf.empty();
@@ -726,10 +749,13 @@ NetServer::drainOutbox()
         auto id_it = conn_fd_by_id_.find(conn_id);
         if (id_it == conn_fd_by_id_.end())
             continue; // connection died while the shard worked
-        auto conn_it = connections_.find(id_it->second);
+        const int fd = id_it->second;
+        auto conn_it = connections_.find(fd);
         if (conn_it == connections_.end())
             continue;
         sendOnConn(conn_it->second, std::move(bytes));
+        if (conn_it->second.dead)
+            closeConnection(fd);
     }
 }
 

@@ -102,7 +102,7 @@ struct ServerStats {
     uint64_t connectionsDropped = 0;   //!< at the maxConnections cap
     uint64_t slowReaderDisconnects = 0;
     uint64_t framesReceived = 0;
-    uint64_t framesSent = 0;
+    uint64_t framesSent = 0; //!< frames fully flushed to a socket
     uint64_t badFrames = 0;            //!< malformed header or payload
     uint64_t requestsSubmitted = 0;    //!< admitted into a shard
     uint64_t unknownGraph = 0;
@@ -173,6 +173,21 @@ class NetServer
         std::string wbuf;
         std::size_t wpos = 0; //!< flush cursor into wbuf
         bool wantWrite = false;
+
+        /**
+         * Marked instead of closing in-place: writeReady can fail
+         * (EPIPE, backlog overflow) while a caller further up the
+         * stack still holds this Connection&, so the erase from
+         * connections_ is deferred to the top of the event loop /
+         * readReady, after every reference is dropped.
+         */
+        bool dead = false;
+
+        /** @name Flush-time frame accounting (framesSent). @{ */
+        uint64_t wqueued = 0;  //!< total bytes ever queued
+        uint64_t wflushed = 0; //!< total bytes handed to the socket
+        std::deque<uint64_t> frameEnds; //!< wqueued offset per frame
+        /** @} */
     };
 
     struct CatalogEntry {

@@ -277,6 +277,21 @@ encodeStatuszResponse(uint64_t request_id, std::string_view json,
     // The u16 string prefix caps at 64 KiB; statusz documents can
     // exceed that for wide fleets, so this payload is raw bytes and
     // the frame length prefix is the only length.
+    //
+    // A document over kMaxPayloadBytes would encode a frame whose
+    // declared length the peer's own decodeHeader rejects — statusz
+    // must not self-break exactly when the fleet is widest, so an
+    // oversized document is replaced by a small valid-JSON stub
+    // naming the size it could not ship.
+    if (json.size() > kMaxPayloadBytes) {
+        std::string stub = "{\"statusz_truncated\":true,"
+                           "\"document_bytes\":";
+        stub += std::to_string(json.size());
+        stub += "}";
+        encodeFrame(out, FrameType::StatuszResponse, 0, request_id,
+                    [&](std::string &buf) { buf.append(stub); });
+        return;
+    }
     encodeFrame(out, FrameType::StatuszResponse, 0, request_id,
                 [&](std::string &buf) {
                     buf.append(json.data(), json.size());

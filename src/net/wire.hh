@@ -143,6 +143,12 @@ void encodeResponse(uint64_t request_id, const WireResponse &response,
 void encodePing(uint64_t request_id, std::string &out);
 void encodePong(uint64_t request_id, std::string &out);
 void encodeStatusz(uint64_t request_id, std::string &out);
+
+/**
+ * A @p json document over kMaxPayloadBytes is replaced by a small
+ * {"statusz_truncated":true,...} stub — the encoder never emits a
+ * frame the peer's decodeHeader would reject as OutOfRange.
+ */
 void encodeStatuszResponse(uint64_t request_id, std::string_view json,
                            std::string &out);
 /** @} */

@@ -13,9 +13,11 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <map>
 #include <memory>
@@ -258,6 +260,38 @@ TEST(NetWire, TruncatedAndOversizedPayloadTable)
     EXPECT_FALSE(decodeStatuszResponse("").ok());
 }
 
+TEST(NetWire, OversizedStatuszDocumentIsCappedToAStub)
+{
+    // A fleet document over the frame cap must not encode a frame
+    // whose declared length the peer's own decodeHeader rejects —
+    // statusz would self-break exactly when the fleet is widest.
+    // Oversized documents ship as a small valid-JSON stub instead.
+    const std::string huge(kMaxPayloadBytes + 1, 'x');
+    std::string frame;
+    encodeStatuszResponse(9, huge, frame);
+
+    auto header = decodeHeader(frame);
+    ASSERT_TRUE(header.ok()) << header.error().toString();
+    EXPECT_EQ(header.value().type, FrameType::StatuszResponse);
+    EXPECT_LE(header.value().payloadLen, kMaxPayloadBytes);
+
+    auto payload = decodeStatuszResponse(
+        std::string_view(frame).substr(kHeaderBytes));
+    ASSERT_TRUE(payload.ok());
+    EXPECT_NE(payload.value().find("\"statusz_truncated\":true"),
+              std::string_view::npos);
+    EXPECT_NE(payload.value().find(std::to_string(huge.size())),
+              std::string_view::npos);
+
+    // At the cap exactly, the document still ships verbatim.
+    const std::string at_cap(kMaxPayloadBytes, 'y');
+    std::string cap_frame;
+    encodeStatuszResponse(10, at_cap, cap_frame);
+    auto cap_header = decodeHeader(cap_frame);
+    ASSERT_TRUE(cap_header.ok());
+    EXPECT_EQ(cap_header.value().payloadLen, kMaxPayloadBytes);
+}
+
 // --- Consistent-hash router -----------------------------------------
 
 TEST(NetRouter, DeterministicAcrossInstances)
@@ -434,6 +468,36 @@ TEST(NetAdmissionTest, ClientTableIsBoundedWithPinnedSurvivors)
     // evicted-and-recreated bucket would have a fresh burst).
     EXPECT_EQ(admission.admit(1000, Lane::Normal, now),
               AdmissionDecision::QuotaRejected);
+}
+
+TEST(NetAdmissionTest, ConcurrentInstancesAdmitIndependently)
+{
+    // Regression: the lane telemetry-counter caches were file-scope
+    // and lazily filled under each instance's own mutex_, so two
+    // admissions admitting concurrently in one process raced on the
+    // shared pointer slots. They are per-instance now; running two
+    // instances from two threads lets TSan vouch for it.
+    AdmissionOptions options;
+    options.clientRatePerSec = 0.0;
+    options.clientBurst = 1000.0;
+    NetAdmission first(options);
+    NetAdmission second(options);
+
+    auto hammer = [](NetAdmission &admission, uint64_t client) {
+        for (int64_t i = 0; i < 500; ++i)
+            admission.admit(client,
+                            i % 2 ? Lane::Priority : Lane::Normal,
+                            i);
+    };
+    std::thread one([&] { hammer(first, 1); });
+    std::thread two([&] { hammer(second, 2); });
+    one.join();
+    two.join();
+
+    EXPECT_EQ(first.accepted(Lane::Normal), 250u);
+    EXPECT_EQ(first.accepted(Lane::Priority), 250u);
+    EXPECT_EQ(second.accepted(Lane::Normal), 250u);
+    EXPECT_EQ(second.accepted(Lane::Priority), 250u);
 }
 
 // --- Endpoints -------------------------------------------------------
@@ -704,6 +768,55 @@ TEST_F(NetLoopback, BadMagicClosesConnection)
     char byte;
     EXPECT_FALSE(recvAll(fd.get(), &byte, 1).ok());
     EXPECT_GE(server_->stats().badFrames, 1u);
+    server_->stop();
+}
+
+TEST_F(NetLoopback, SlowReaderDisconnectMidPipelineIsSafe)
+{
+    // Regression: a send failure or backlog overflow inside
+    // dispatchFrame used to closeConnection() while parseFrames was
+    // still holding the Connection& — a use-after-free (caught by
+    // ASan) when a client pipelined requests and then stopped
+    // reading. The close is deferred to the top of the loop now.
+    ServerOptions options;
+    options.maxWriteBacklogBytes = 4096;
+    const Endpoint endpoint = startServer(options);
+    auto connected = connectTo(endpoint);
+    ASSERT_TRUE(connected.ok());
+    OwnedFd fd = std::move(connected).value();
+    // Shrink the receive window so the server's responses overrun
+    // kernel buffering (and then the backlog bound) quickly.
+    const int rcvbuf = 4096;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_RCVBUF, &rcvbuf,
+                 sizeof rcvbuf);
+
+    // Pipeline statusz requests in big batches and never read a
+    // byte back: each response is a sizeable JSON document, so once
+    // the kernel's buffers fill (sndbuf autotunes up to ~4 MiB),
+    // the write backlog overflows while later frames from the same
+    // read buffer are still being dispatched. Keep feeding until
+    // the server cuts the connection (our send then fails) so the
+    // test is independent of the machine's buffer limits.
+    std::string batch;
+    for (uint64_t i = 0; i < 256; ++i)
+        encodeStatusz(i, batch);
+    for (int round = 0; round < 256; ++round) {
+        if (!sendAll(fd.get(), batch.data(), batch.size()).ok())
+            break;
+        if (server_->stats().slowReaderDisconnects > 0)
+            break;
+    }
+
+    for (int spin = 0;
+         spin < 400 && server_->stats().slowReaderDisconnects == 0;
+         ++spin)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    const ServerStats stats = server_->stats();
+    EXPECT_GE(stats.slowReaderDisconnects, 1u);
+    // framesSent counts only frames fully flushed to the socket:
+    // the discarded backlog of a disconnected slow reader was never
+    // sent (it used to be counted at queue time).
+    EXPECT_LT(stats.framesSent, stats.framesReceived);
     server_->stop();
 }
 
